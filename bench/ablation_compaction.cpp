@@ -1,0 +1,79 @@
+// Ablation of the test-generation flow feeding the compressor: how the
+// compaction strategy trades pattern count against don't-care density, and
+// what that does to the LZW ratio. This is the knob that moves a circuit
+// along the paper's Table 3 X-density axis.
+#include <cstdio>
+
+#include "atpg/atpg.h"
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "gen/suite.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  const char* name = "itc_b12f";
+  const auto& profile = gen::find_profile(name);
+  const netlist::Netlist nl = gen::build_circuit(profile);
+  const lzw::LzwConfig config = exp::paper_lzw_config(profile);
+
+  std::printf("Ablation — compaction strategy on %s (width %u)\n\n", name,
+              nl.scan_vector_width());
+
+  exp::Table table({"strategy", "patterns", "bits", "X-dens", "coverage",
+                    "LZW ratio", "compressed bits"});
+  struct Case {
+    const char* label;
+    atpg::AtpgOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    atpg::AtpgOptions none;
+    none.compaction_window = 0;
+    cases.push_back({"none (one cube per fault)", none});
+    atpg::AtpgOptions stat;
+    stat.compaction_window = 16;
+    cases.push_back({"static merge (window 16)", stat});
+    atpg::AtpgOptions dyn;
+    dyn.compaction_window = 0;
+    dyn.dynamic_compaction = 8;
+    cases.push_back({"dynamic (8 secondaries)", dyn});
+    atpg::AtpgOptions both;
+    both.compaction_window = 16;
+    both.dynamic_compaction = 8;
+    cases.push_back({"dynamic + static", both});
+  }
+
+  for (const auto& c : cases) {
+    const auto result = atpg::generate_tests(nl, c.options);
+    const auto stream = result.tests.serialize();
+    const auto encoded = lzw::Encoder(config).encode(stream);
+    table.add_row({c.label, exp::num(result.stats.patterns),
+                   exp::num(result.tests.total_bits()),
+                   exp::pct(100.0 * result.tests.x_density()),
+                   exp::pct(result.stats.fault_coverage()),
+                   exp::pct(encoded.ratio_percent()),
+                   exp::num(encoded.compressed_bits())});
+  }
+
+  // Reverse-order fault-sim compaction of the verbose set: drops patterns
+  // without merging cubes, so the X density of survivors is untouched.
+  {
+    const auto verbose = atpg::generate_tests(nl, cases.front().options);
+    const auto pruned = atpg::reverse_order_compact(nl, verbose.tests);
+    const auto encoded = lzw::Encoder(config).encode(pruned.serialize());
+    table.add_row({"reverse-order prune", exp::num(pruned.cubes.size()),
+                   exp::num(pruned.total_bits()),
+                   exp::pct(100.0 * pruned.x_density()),
+                   exp::pct(verbose.stats.fault_coverage()),
+                   exp::pct(encoded.ratio_percent()),
+                   exp::num(encoded.compressed_bits())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Compaction shrinks the uncompressed volume but consumes the\n"
+              "don't-cares the codec feeds on: the ratio column collapses as X\n"
+              "drops. Which strategy minimizes the *compressed* download (last\n"
+              "column) depends on the circuit — the tension the paper's\n"
+              "X-exploiting codec lives on.\n");
+  return 0;
+}

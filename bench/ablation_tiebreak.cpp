@@ -1,0 +1,30 @@
+// Ablation of a design choice the paper leaves open: when several
+// dictionary children are compatible with a ternary input character, which
+// one should the encoder bind the X bits to? DESIGN.md lists the policies;
+// this bench quantifies the difference.
+#include <cstdio>
+
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  std::printf("Ablation — child tie-break policy in the X-aware matcher\n\n");
+
+  exp::Table table({"Test", "First", "LowestChar", "MostRecent", "MostChildren"});
+  for (const auto& profile : gen::table1_suite()) {
+    const exp::PreparedCircuit pc = exp::prepare(profile);
+    const bits::TritVector stream = pc.tests.serialize();
+    const lzw::LzwConfig config = exp::paper_lzw_config(profile);
+    std::vector<std::string> row{profile.name};
+    for (const auto tb : {lzw::Tiebreak::First, lzw::Tiebreak::LowestChar,
+                          lzw::Tiebreak::MostRecent, lzw::Tiebreak::MostChildren}) {
+      const lzw::Encoder encoder(config, tb);
+      row.push_back(exp::pct(encoder.encode(stream).ratio_percent()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation of the paper's core idea (§5): dynamic sliding-window don't-care
+// assignment versus pre-processing the X bits before plain LZW. The paper
+// reports that every pre-processing scheme it tried yielded only 40–60 %
+// while the dynamic assignment produced the published results.
+#include <cstdio>
+
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  std::printf("Ablation — dynamic X assignment vs pre-fill (paper §5)\n\n");
+
+  exp::Table table({"Test", "Dynamic", "ZeroFill", "OneFill", "RepeatFill",
+                    "RandomFill"});
+  for (const auto& profile : gen::table1_suite()) {
+    const exp::PreparedCircuit pc = exp::prepare(profile);
+    const bits::TritVector stream = pc.tests.serialize();
+    const lzw::Encoder encoder(exp::paper_lzw_config(profile));
+    std::vector<std::string> row{profile.name};
+    for (const auto mode :
+         {lzw::XAssignMode::Dynamic, lzw::XAssignMode::ZeroFill,
+          lzw::XAssignMode::OneFill, lzw::XAssignMode::RepeatFill,
+          lzw::XAssignMode::RandomFill}) {
+      row.push_back(exp::pct(encoder.encode(stream, mode).ratio_percent()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: Dynamic wins on every circuit; the pre-fill modes\n"
+              "recover only part of the don't-care benefit (paper: 40-60%%).\n");
+  return 0;
+}

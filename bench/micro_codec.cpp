@@ -1,0 +1,196 @@
+// Google-benchmark micro suite: raw throughput of the codec and simulator
+// building blocks. These are engineering (not paper-reproduction) numbers;
+// the table*_ binaries reproduce the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "bits/rng.h"
+#include "bits/tritvector.h"
+#include "codec/huffman.h"
+#include "codec/lfsr_reseed.h"
+#include "codec/lz77.h"
+#include "codec/rle.h"
+#include "fault/fsim.h"
+#include "gen/circuit_gen.h"
+#include "hw/decompressor.h"
+#include "hw/decompressor_rtl.h"
+#include "lzw/decoder.h"
+#include "lzw/encoder.h"
+#include "sim/logicsim.h"
+
+namespace {
+
+using namespace tdc;
+
+bits::TritVector random_cube(std::size_t n, double x_density, std::uint64_t seed) {
+  bits::Rng rng(seed);
+  bits::TritVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(x_density)) {
+      v.set(i, rng.bit() ? bits::Trit::One : bits::Trit::Zero);
+    }
+  }
+  return v;
+}
+
+const lzw::LzwConfig kConfig{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+
+void BM_LzwEncodeDynamic(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  const lzw::Encoder enc(kConfig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(input));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_LzwEncodeDynamic)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_LzwEncodeZeroFill(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  const lzw::Encoder enc(kConfig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(input, lzw::XAssignMode::ZeroFill));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_LzwEncodeZeroFill)->Arg(1 << 15);
+
+void BM_LzwDecode(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  const auto encoded = lzw::Encoder(kConfig).encode(input);
+  const lzw::Decoder dec(kConfig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(encoded.codes, encoded.original_bits));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_LzwDecode)->Arg(1 << 15);
+
+void BM_Lz77Encode(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::lz77_encode(input));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_Lz77Encode)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_AltRleEncode(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::alternating_rle_encode(input, codec::RleConfig{codec::RunCode::Golomb, 16}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_AltRleEncode)->Arg(1 << 15);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto input = random_cube(1 << 15, 0.9, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::huffman_encode(input, codec::HuffmanConfig{8, 16}));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 15) / 8);
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_LfsrReseedEncode(benchmark::State& state) {
+  bits::Rng rng(3);
+  std::vector<bits::TritVector> cubes;
+  for (int p = 0; p < 64; ++p) {
+    bits::TritVector v(256);
+    for (int k = 0; k < 24; ++k) {
+      v.set(rng.below(256), rng.bit() ? bits::Trit::One : bits::Trit::Zero);
+    }
+    cubes.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::lfsr_reseed_encode(cubes));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LfsrReseedEncode);
+
+void BM_TdiffGolombEncode(benchmark::State& state) {
+  const auto input = random_cube(1 << 15, 0.9, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::golomb_tdiff_encode(input, 128, codec::RleConfig{codec::RunCode::Golomb, 16}));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 15) / 8);
+}
+BENCHMARK(BM_TdiffGolombEncode);
+
+void BM_RtlDecompressorCycleSim(benchmark::State& state) {
+  const auto input = random_cube(1 << 12, 0.9, 1);
+  const auto encoded = lzw::Encoder(kConfig).encode(input);
+  const hw::DecompressorRtl model(hw::HwConfig{.lzw = kConfig, .clock_ratio = 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run(encoded));
+  }
+}
+BENCHMARK(BM_RtlDecompressorCycleSim);
+
+void BM_HwDecompressorModel(benchmark::State& state) {
+  const auto input = random_cube(1 << 15, 0.9, 1);
+  const auto encoded = lzw::Encoder(kConfig).encode(input);
+  const hw::DecompressorModel model(hw::HwConfig{.lzw = kConfig, .clock_ratio = 10});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.run(encoded));
+  }
+}
+BENCHMARK(BM_HwDecompressorModel);
+
+void BM_LogicSim64(benchmark::State& state) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 32;
+  cfg.pos = 16;
+  cfg.ffs = 128;
+  cfg.gates = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 3;
+  const netlist::Netlist nl = gen::generate_circuit(cfg);
+  sim::Sim64 sim(nl);
+  bits::Rng rng(1);
+  for (const auto g : nl.inputs()) sim.set(g, rng.next_u64());
+  for (const auto g : nl.dffs()) sim.set(g, rng.next_u64());
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.get(nl.outputs().front()));
+  }
+  // 64 patterns per run().
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LogicSim64)->Arg(2000)->Arg(8000);
+
+void BM_FaultSimBatch(benchmark::State& state) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 32;
+  cfg.pos = 16;
+  cfg.ffs = 64;
+  cfg.gates = 1000;
+  cfg.seed = 4;
+  const netlist::Netlist nl = gen::generate_circuit(cfg);
+  sim::Sim64 sim(nl);
+  bits::Rng rng(1);
+  for (const auto g : nl.inputs()) sim.set(g, rng.next_u64());
+  for (const auto g : nl.dffs()) sim.set(g, rng.next_u64());
+  sim.run();
+  const auto faults = fault::collapsed_fault_list(nl);
+  fault::FaultSimulator fsim(nl);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& f : faults) acc ^= fsim.detect_mask(sim, f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_FaultSimBatch);
+
+void BM_TritVectorCareCount(benchmark::State& state) {
+  const auto v = random_cube(1 << 18, 0.7, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.care_count());
+  }
+}
+BENCHMARK(BM_TritVectorCareCount);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Reproduces paper Table 1: "Compression Comparison Results" — test
+// compression ratios of don't-care-aware LZW vs the LZ77 [Wolff &
+// Papachristou, ITC'02] and alternating run-length [Chandra & Chakrabarty]
+// baselines, on the five comparison circuits, single scan chain.
+//
+// Paper configuration (§6): 7-bit characters, 64-bit dictionary entries
+// (C_MDATA = 63 data bits), N = 1024 or 2048 per circuit.
+#include <cstdio>
+
+#include "codec/huffman.h"
+#include "codec/lz77.h"
+#include "codec/rle.h"
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+int main() {
+  using namespace tdc;
+  std::printf("Table 1 — Test compression ratios: LZW vs LZ77 vs RLE\n");
+  std::printf("(paper columns are OCR-reconstructed reference values; see EXPERIMENTS.md)\n\n");
+
+  exp::Table table({"Test", "X-dens", "LZW", "LZ77", "RLE", "paper LZW"});
+  exp::Table upgraded(
+      {"Test", "LZW", "LZ77 (unbounded)", "RLE (tuned)", "Sel-Huffman"});
+  for (const auto& profile : gen::table1_suite()) {
+    const exp::PreparedCircuit pc = exp::prepare(profile);
+    const bits::TritVector stream = pc.tests.serialize();
+
+    const auto lzw_result =
+        lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
+    // Baselines at their published / hardware-faithful parameterizations.
+    const auto lz77_result = codec::lz77_encode(stream, exp::paper_lz77_config());
+    const auto rle_result =
+        codec::alternating_rle_encode(stream, exp::paper_rle_config());
+
+    table.add_row({profile.name, exp::pct(100.0 * pc.tests.x_density()),
+                   exp::pct(lzw_result.ratio_percent()),
+                   exp::pct(lz77_result.stats().ratio_percent()),
+                   exp::pct(rle_result.stats().ratio_percent()),
+                   profile.paper_lzw_percent >= 0
+                       ? exp::pct(profile.paper_lzw_percent, 1)
+                       : "n/a"});
+
+    // Honest extra datapoint: the same baselines with software-only
+    // resources (1024-bit window / 255-bit matches; per-circuit Golomb grid
+    // and FDR). See EXPERIMENTS.md for the discussion.
+    upgraded.add_row({profile.name, exp::pct(lzw_result.ratio_percent()),
+                      exp::pct(codec::lz77_encode(stream).stats().ratio_percent()),
+                      exp::pct(codec::best_alternating_rle(stream)
+                                   .stats()
+                                   .ratio_percent()),
+                      exp::pct(codec::huffman_encode(
+                                   stream, codec::HuffmanConfig{8, 32})
+                                   .stats()
+                                   .ratio_percent())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Appendix — baselines without the hardware constraints the paper's\n"
+              "comparison implies (these can overtake LZW on synthetic cubes):\n\n%s\n",
+              upgraded.render().c_str());
+  return 0;
+}

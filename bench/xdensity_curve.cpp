@@ -1,0 +1,59 @@
+// The paper's §6 headline observation as an explicit curve: "the amount of
+// compression is proportional to the Don't-Care data ratio". A controlled
+// synthetic workload (fixed cube structure, X density swept) isolates the
+// relationship for LZW and both baseline families.
+#include <cstdio>
+
+#include "bits/rng.h"
+#include "codec/lz77.h"
+#include "codec/rle.h"
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "lzw/encoder.h"
+
+namespace {
+
+using namespace tdc;
+
+/// Cube stream of `patterns` x `width` bits: each cube has one contiguous
+/// care segment whose length sets the X density; segment contents are
+/// random, positions block-aligned — the ATPG cube shape.
+bits::TritVector workload(std::uint32_t width, std::uint32_t patterns,
+                          double x_density, std::uint64_t seed) {
+  bits::Rng rng(seed);
+  const auto care = static_cast<std::uint32_t>(width * (1.0 - x_density));
+  bits::TritVector v(static_cast<std::size_t>(width) * patterns);
+  for (std::uint32_t p = 0; p < patterns; ++p) {
+    const std::uint32_t base =
+        care >= width ? 0 : static_cast<std::uint32_t>(rng.below(width - care + 1));
+    for (std::uint32_t k = 0; k < care; ++k) {
+      v.set(static_cast<std::size_t>(p) * width + base + k,
+            rng.bit() ? bits::Trit::One : bits::Trit::Zero);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Compression vs don't-care density (synthetic, width=256, 200 cubes)\n\n");
+
+  exp::Table table({"X density", "LZW", "LZ77 (hw)", "RLE (alt m=16)"});
+  const lzw::LzwConfig config{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  for (const double x : {0.0, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95}) {
+    const auto stream = workload(256, 200, x, 42);
+    const auto lzw_r = lzw::Encoder(config).encode(stream);
+    const auto lz_r = codec::lz77_encode(stream, exp::paper_lz77_config());
+    const auto rle_r = codec::alternating_rle_encode(stream, exp::paper_rle_config());
+    table.add_row({exp::pct(100.0 * x, 0), exp::pct(lzw_r.ratio_percent()),
+                   exp::pct(lz_r.stats().ratio_percent()),
+                   exp::pct(rle_r.stats().ratio_percent())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape (paper §6): every codec's ratio rises with the X\n"
+              "density. LZW's dynamic assignment converts X directly into\n"
+              "dictionary hits and leads over most of the range; run-length\n"
+              "coding only catches up where X runs grow extreme (>90%%).\n");
+  return 0;
+}

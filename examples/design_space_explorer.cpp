@@ -1,0 +1,80 @@
+// The paper's §6/§7 engineering-tradeoff discussion as a tool: sweep the
+// decompressor design space (dictionary size N, character width C_C, entry
+// width C_MDATA) for one circuit and report, under a given on-chip memory
+// budget, which configuration maximizes compression and which maximizes
+// download improvement.
+//
+//   build/examples/design_space_explorer [circuit] [memory_budget_bits]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "hw/decompressor.h"
+#include "lzw/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace tdc;
+  const std::string name = argc > 1 ? argv[1] : "s9234f";
+  const std::uint64_t budget = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                        : 128 * 1024;  // bits of reusable RAM
+
+  const auto& profile = gen::find_profile(name);
+  const exp::PreparedCircuit pc = exp::prepare(profile);
+  const bits::TritVector stream = pc.tests.serialize();
+
+  std::printf("Design-space exploration for %s (budget %llu memory bits)\n\n",
+              name.c_str(), static_cast<unsigned long long>(budget));
+
+  struct Candidate {
+    lzw::LzwConfig config;
+    std::uint64_t memory_bits;
+    double ratio;
+    double improvement;
+  };
+  std::vector<Candidate> feasible;
+
+  exp::Table table({"N", "C_C", "C_MDATA", "memory", "ratio", "improv@10x", "fits"});
+  for (const std::uint32_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    for (const std::uint32_t cc : {4u, 7u, 8u}) {
+      if ((1u << cc) >= n) continue;  // degenerate: literals fill dictionary
+      for (const std::uint32_t entry : {63u, 127u, 255u}) {
+        const lzw::LzwConfig config{.dict_size = n, .char_bits = cc,
+                                    .entry_bits = entry};
+        const auto encoded = lzw::Encoder(config).encode(stream);
+        const hw::DecompressorModel model(
+            hw::HwConfig{.lzw = config, .clock_ratio = 10});
+        const double improvement = model.run(encoded).improvement_percent(10);
+        const std::uint64_t memory = model.memory().total_bits();
+        const bool fits = memory <= budget;
+        if (fits) {
+          feasible.push_back({config, memory, encoded.ratio_percent(), improvement});
+        }
+        table.add_row({exp::num(n), exp::num(cc), exp::num(entry), exp::num(memory),
+                       exp::pct(encoded.ratio_percent()), exp::pct(improvement),
+                       fits ? "yes" : "no"});
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (feasible.empty()) {
+    std::printf("no configuration fits the budget\n");
+    return 1;
+  }
+  const auto best_ratio = *std::max_element(
+      feasible.begin(), feasible.end(),
+      [](const Candidate& a, const Candidate& b) { return a.ratio < b.ratio; });
+  const auto best_perf = *std::max_element(
+      feasible.begin(), feasible.end(), [](const Candidate& a, const Candidate& b) {
+        return a.improvement < b.improvement;
+      });
+  std::printf("best compression within budget: %s -> %.2f%% (memory %llu bits)\n",
+              best_ratio.config.describe().c_str(), best_ratio.ratio,
+              static_cast<unsigned long long>(best_ratio.memory_bits));
+  std::printf("best download time within budget: %s -> %.2f%% (memory %llu bits)\n",
+              best_perf.config.describe().c_str(), best_perf.improvement,
+              static_cast<unsigned long long>(best_perf.memory_bits));
+  return 0;
+}

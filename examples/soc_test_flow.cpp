@@ -1,0 +1,79 @@
+// The paper's Figures 1 and 2 in action — the complete SoC test flow:
+//
+//   test insertion & ATPG  ->  LZW compression with dynamic X assignment
+//   (Fig. 1, workstation)      (Fig. 1, compression tool)
+//
+//   ATE tester download    ->  on-chip LZW decompressor -> scan chain
+//   (Fig. 2, tester data)      (Fig. 2, embedded core + reused memory)
+//
+// Everything runs for real: a full-scan circuit is synthesized, PODEM
+// generates the cubes, the stream is compressed, the cycle-accurate
+// hardware model decompresses it, and the delivered vectors are fault-
+// graded to show silicon-equivalent coverage.
+//
+//   build/examples/soc_test_flow [circuit]   (default itc_b13f)
+#include <cstdio>
+
+#include "atpg/atpg.h"
+#include "exp/flow.h"
+#include "fault/fault.h"
+#include "gen/suite.h"
+#include "hw/decompressor.h"
+#include "lzw/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace tdc;
+  const std::string name = argc > 1 ? argv[1] : "itc_b13f";
+  const auto& profile = gen::find_profile(name);
+
+  // --- Fig. 1: test generation workstation -------------------------------
+  std::printf("[1] synthesizing full-scan circuit %s ...\n", name.c_str());
+  const netlist::Netlist nl = gen::build_circuit(profile);
+  std::printf("    %u gates, %zu PIs, %zu scan cells, %zu POs -> scan vector width %u\n",
+              nl.gate_count(), nl.inputs().size(), nl.dffs().size(),
+              nl.outputs().size(), nl.scan_vector_width());
+
+  std::printf("[2] deterministic ATPG (PODEM + fault dropping) ...\n");
+  atpg::AtpgOptions opt;
+  opt.compaction_window = profile.compaction_window;
+  const atpg::AtpgResult atpg_result = atpg::generate_tests(nl, opt);
+  const scan::TestSet tests =
+      atpg_result.tests.vertically_filled(profile.fill_fraction, 1);
+  std::printf("    %zu faults, %.2f%% coverage, %llu patterns, %.1f%% don't-cares\n",
+              atpg_result.stats.total_faults, atpg_result.stats.fault_coverage(),
+              static_cast<unsigned long long>(tests.pattern_count()),
+              100.0 * tests.x_density());
+
+  std::printf("[3] LZW compression with dynamic don't-care assignment ...\n");
+  const lzw::LzwConfig config = exp::paper_lzw_config(profile);
+  const bits::TritVector stream = tests.serialize();
+  const auto encoded = lzw::Encoder(config).encode(stream);
+  std::printf("    %s\n", config.describe().c_str());
+  std::printf("    %llu -> %llu bits: compression ratio %.2f%%\n",
+              static_cast<unsigned long long>(encoded.original_bits),
+              static_cast<unsigned long long>(encoded.compressed_bits()),
+              encoded.ratio_percent());
+
+  // --- Fig. 2: tester + embedded core ------------------------------------
+  std::printf("[4] on-chip decompression (cycle-accurate Fig. 5 model, 10x clock) ...\n");
+  const hw::DecompressorModel model(hw::HwConfig{.lzw = config, .clock_ratio = 10});
+  const hw::HwRunResult run = model.run(encoded);
+  std::printf("    dictionary memory %s (reused via Fig. 6 BIST muxing)\n",
+              model.memory().geometry().c_str());
+  std::printf("    %llu internal cycles -> download improvement %.2f%%\n",
+              static_cast<unsigned long long>(run.internal_cycles),
+              run.improvement_percent(10));
+
+  std::printf("[5] verifying the delivered scan data ...\n");
+  if (!stream.covered_by(run.scan_bits)) {
+    std::printf("    ERROR: scan stream violates a care bit!\n");
+    return 1;
+  }
+  const auto patterns = tests.deserialize(run.scan_bits);
+  const double coverage =
+      atpg::fault_coverage(nl, fault::collapsed_fault_list(nl), patterns);
+  std::printf("    every care bit preserved; delivered-vector coverage %.2f%%\n",
+              coverage);
+  std::printf("done.\n");
+  return 0;
+}

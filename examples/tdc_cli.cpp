@@ -1,0 +1,223 @@
+// Command-line front end — the "compression tool" box of the paper's
+// Fig. 1 as a downstream user would run it:
+//
+//   tdc_cli gen <circuit> <out.tests>            synthesize + ATPG a suite
+//                                                circuit into a cube file
+//   tdc_cli compress <in.tests> <out.tdclzw>     [--dict N] [--char C]
+//                                                [--entry E] [--variable]
+//   tdc_cli decompress <in.tdclzw> <out.tests>   expand to full vectors
+//   tdc_cli info <file>                          describe either format
+//   tdc_cli stats <netlist>                      structural report
+//                                                (.bench or .v by extension)
+//   tdc_cli convert <in> <out>                   .bench <-> .v
+//   tdc_cli wave <in.tdclzw> <out.vcd> [k]       GTKWave dump of the
+//                                                decompressor running the
+//                                                image at clock ratio k
+//
+// The .tests format is the plain-text cube format of scan/testset_io.h;
+// .tdclzw is the binary compressed image of lzw/stream_io.h.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "exp/flow.h"
+#include "hw/decompressor_rtl.h"
+#include "lzw/stream_io.h"
+#include "lzw/verify.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "netlist/verilog_io.h"
+#include "scan/testset_io.h"
+
+namespace {
+
+using namespace tdc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tdc_cli gen <circuit> <out.tests>\n"
+               "  tdc_cli compress <in.tests> <out.tdclzw> [--dict N] [--char C]"
+               " [--entry E] [--variable]\n"
+               "  tdc_cli decompress <in.tdclzw> <out.tests>\n"
+               "  tdc_cli info <file>\n"
+               "  tdc_cli stats <netlist.bench|netlist.v>\n"
+               "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
+               "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+netlist::Netlist load_netlist(const std::string& path) {
+  if (ends_with(path, ".v")) return netlist::parse_verilog_file(path);
+  return netlist::parse_bench_file(path);
+}
+
+int cmd_wave(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return usage();
+  const lzw::CompressedImage image = lzw::read_image_file(argv[0]);
+  const std::uint32_t k =
+      argc == 3 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 10;
+
+  // Rebuild an EncodeResult view of the image for the RTL model.
+  lzw::EncodeResult encoded;
+  encoded.config = image.config;
+  encoded.original_bits = image.original_bits;
+  const auto decoded = image.decode();  // validates the stream
+  encoded.stream = image.stream;
+  // The RTL model reads codes from the stream; it only needs the count.
+  encoded.codes.resize(image.code_count);
+
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  hw::VcdWriter vcd(out, "lzw_decompressor");
+  const hw::DecompressorRtl rtl(hw::HwConfig{.lzw = image.config, .clock_ratio = k});
+  const auto run = rtl.run(encoded, &vcd);
+  std::printf("%s: %llu internal cycles at %ux -> %s (%llu scan bits)\n", argv[0],
+              static_cast<unsigned long long>(run.internal_cycles), k, argv[1],
+              static_cast<unsigned long long>(decoded.bits.size()));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const netlist::Netlist nl = load_netlist(argv[0]);
+  std::printf("%s", netlist::analyze(nl).report().c_str());
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const netlist::Netlist nl = load_netlist(argv[0]);
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  if (ends_with(argv[1], ".v")) {
+    netlist::write_verilog(out, nl);
+  } else {
+    netlist::write_bench(out, nl);
+  }
+  std::printf("%s -> %s (%u nodes)\n", argv[0], argv[1], nl.gate_count());
+  return 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const exp::PreparedCircuit pc = exp::prepare(argv[0]);
+  scan::write_tests_file(argv[1], pc.tests);
+  std::printf("%s: %llu patterns x %u bits (%.1f%% X), coverage %.2f%% -> %s\n",
+              argv[0], static_cast<unsigned long long>(pc.tests.pattern_count()),
+              pc.tests.width, 100.0 * pc.tests.x_density(), pc.fault_coverage,
+              argv[1]);
+  return 0;
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const scan::TestSet tests = scan::read_tests_file(argv[0]);
+  lzw::LzwConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--variable") {
+      config.variable_width = true;
+    } else if (i + 1 < argc && a == "--dict") {
+      config.dict_size = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (i + 1 < argc && a == "--char") {
+      config.char_bits = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (i + 1 < argc && a == "--entry") {
+      config.entry_bits = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  config.validate();
+
+  const bits::TritVector stream = tests.serialize();
+  const auto encoded = lzw::Encoder(config).encode(stream);
+  const auto report = lzw::verify_roundtrip(stream, encoded);
+  if (!report.ok) {
+    std::fprintf(stderr, "internal verification failed: %s\n", report.error.c_str());
+    return 1;
+  }
+  lzw::write_image_file(argv[1], encoded);
+  std::printf("%s: %llu -> %llu bits (ratio %.2f%%, %s) -> %s\n", argv[0],
+              static_cast<unsigned long long>(encoded.original_bits),
+              static_cast<unsigned long long>(encoded.compressed_bits()),
+              encoded.ratio_percent(), config.describe().c_str(), argv[1]);
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const lzw::CompressedImage image = lzw::read_image_file(argv[0]);
+  const lzw::DecodeResult decoded = image.decode();
+
+  scan::TestSet out;
+  out.circuit = "decompressed";
+  // Without side information the stream is one long vector; emit it as a
+  // single-pattern set (downstream tools re-split by their known width).
+  out.width = static_cast<std::uint32_t>(decoded.bits.size());
+  out.cubes.push_back(decoded.bits);
+  scan::write_tests_file(argv[1], out);
+  std::printf("%s: %llu codes -> %llu bits -> %s\n", argv[0],
+              static_cast<unsigned long long>(image.code_count),
+              static_cast<unsigned long long>(decoded.bits.size()), argv[1]);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const std::string path = argv[0];
+  try {
+    const lzw::CompressedImage image = lzw::read_image_file(path);
+    std::printf("%s: TDCLZW1 image, %s%s, %llu codes, %llu original bits,"
+                " %llu payload bits (ratio %.2f%%)\n",
+                path.c_str(), image.config.describe().c_str(),
+                image.config.variable_width ? " variable-width" : "",
+                static_cast<unsigned long long>(image.code_count),
+                static_cast<unsigned long long>(image.original_bits),
+                static_cast<unsigned long long>(image.stream.bit_count()),
+                (1.0 - static_cast<double>(image.stream.bit_count()) /
+                           static_cast<double>(image.original_bits)) *
+                    100.0);
+    return 0;
+  } catch (const std::exception&) {
+    // fall through: try the .tests format
+  }
+  const scan::TestSet tests = scan::read_tests_file(path);
+  std::printf("%s: test set '%s', %llu patterns x %u bits, %.1f%% don't-cares\n",
+              path.c_str(), tests.circuit.c_str(),
+              static_cast<unsigned long long>(tests.pattern_count()), tests.width,
+              100.0 * tests.x_density());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "compress") return cmd_compress(argc - 2, argv + 2);
+    if (cmd == "decompress") return cmd_decompress(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+    if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
+    if (cmd == "wave") return cmd_wave(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

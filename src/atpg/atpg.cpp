@@ -1,0 +1,193 @@
+#include "atpg/atpg.h"
+
+#include <algorithm>
+
+#include "fault/fsim.h"
+#include "sim/logicsim.h"
+
+namespace tdc::atpg {
+
+using netlist::Netlist;
+
+namespace {
+
+/// Loads up to 64 fully specified patterns into a Sim64 batch and runs it.
+/// Returns the valid-pattern mask.
+std::uint64_t load_batch(sim::Sim64& sim, const scan::ScanView& view,
+                         const std::vector<bits::TritVector>& patterns,
+                         std::size_t first, std::size_t count) {
+  for (std::uint32_t pos = 0; pos < view.width(); ++pos) {
+    std::uint64_t word = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+      if (patterns[first + p].get(pos) == bits::Trit::One) word |= 1ULL << p;
+    }
+    sim.set(view.source(pos), word);
+  }
+  sim.run();
+  return count == 64 ? ~0ULL : (1ULL << count) - 1;
+}
+
+}  // namespace
+
+AtpgResult generate_tests(const Netlist& nl, const AtpgOptions& options) {
+  AtpgResult result;
+  result.tests.circuit = nl.name();
+
+  const auto faults = fault::collapsed_fault_list(nl);
+  std::vector<bool> dropped(faults.size(), false);
+
+  Podem podem(nl);
+  const scan::ScanView& view = podem.view();
+  result.tests.width = view.width();
+
+  sim::Sim64 gsim(nl);
+  fault::FaultSimulator fsim(nl);
+
+  result.stats.total_faults = faults.size();
+
+  // Cubes waiting to be fault-simulated for dropping (batched 64 at a time).
+  std::vector<bits::TritVector> pending;
+  auto flush_pending = [&] {
+    if (pending.empty()) return;
+    const std::uint64_t mask = load_batch(gsim, view, pending, 0, pending.size());
+    fsim.drop_detected(gsim, faults, dropped, mask);
+    pending.clear();
+  };
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (dropped[i]) continue;
+    PodemResult pr = podem.generate(faults[i], options.podem);
+    ++result.stats.podem_calls;
+    for (std::uint32_t attempt = 1;
+         pr.outcome == PodemOutcome::Aborted && attempt <= options.restart_attempts;
+         ++attempt) {
+      PodemOptions retry = options.podem;
+      retry.seed = 0x9e37u + i * 131u + attempt;  // any non-zero works
+      pr = podem.generate(faults[i], retry);
+      ++result.stats.podem_calls;
+    }
+    switch (pr.outcome) {
+      case PodemOutcome::Untestable:
+        ++result.stats.untestable;
+        dropped[i] = true;  // remove from further consideration
+        continue;
+      case PodemOutcome::Aborted:
+        ++result.stats.aborted;
+        dropped[i] = true;
+        continue;
+      case PodemOutcome::Test:
+        break;
+    }
+    dropped[i] = true;  // the cube detects its target fault for any fill
+
+    // Dynamic compaction: widen this cube over further undetected faults.
+    if (options.dynamic_compaction > 0) {
+      PodemOptions secondary = options.podem;
+      secondary.backtrack_limit = options.dynamic_backtrack_limit;
+      std::uint32_t attempts = 0;
+      for (std::size_t j = i + 1;
+           j < faults.size() && attempts < options.dynamic_compaction; ++j) {
+        if (dropped[j]) continue;
+        ++attempts;
+        const PodemResult sr = podem.generate(faults[j], secondary, &pr.cube);
+        ++result.stats.podem_calls;
+        if (sr.outcome == PodemOutcome::Test) {
+          pr.cube = sr.cube;
+          dropped[j] = true;
+        }
+      }
+    }
+    result.tests.cubes.push_back(pr.cube);
+    // 0-fill for dropping: deterministic and reproducible. Incidental
+    // detections are later re-validated end-to-end by the flow experiment
+    // that grades the actually-decompressed stream.
+    pending.push_back(pr.cube.filled(bits::Trit::Zero));
+    if (pending.size() == 64) flush_pending();
+  }
+  flush_pending();
+
+  if (options.compaction_window > 0) {
+    result.tests = result.tests.compacted(options.compaction_window);
+  }
+
+  result.stats.patterns = result.tests.cubes.size();
+  // Detected = everything dropped, minus the untestable/aborted faults that
+  // were only removed from consideration, minus anything never dropped.
+  std::size_t undetected = 0;
+  for (const bool d : dropped) undetected += !d;
+  result.stats.detected = result.stats.total_faults - result.stats.untestable -
+                          result.stats.aborted - undetected;
+  return result;
+}
+
+scan::TestSet reverse_order_compact(const Netlist& nl, const scan::TestSet& tests) {
+  const auto faults = fault::collapsed_fault_list(nl);
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<bool> keep(tests.cubes.size(), false);
+
+  sim::Sim64 sim(nl);
+  fault::FaultSimulator fsim(nl);
+  const scan::ScanView view(nl);
+
+  std::vector<bits::TritVector> filled;
+  filled.reserve(tests.cubes.size());
+  for (const auto& c : tests.cubes) filled.push_back(c.filled(bits::Trit::Zero));
+
+  // Walk 64-pattern chunks from the back; inside a chunk, resolve pattern
+  // priority (later pattern wins) from the per-fault detect masks.
+  const std::size_t n = filled.size();
+  for (std::size_t end = n; end > 0;) {
+    const std::size_t count = std::min<std::size_t>(64, end);
+    const std::size_t first = end - count;
+    const std::uint64_t valid = load_batch(sim, view, filled, first, count);
+
+    // Per-fault masks for the still-undetected faults of this chunk.
+    std::vector<std::pair<std::size_t, std::uint64_t>> masks;
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;
+      const std::uint64_t m = fsim.detect_mask(sim, faults[fi], valid);
+      if (m != 0) masks.emplace_back(fi, m);
+    }
+    // Later patterns first: keep a pattern iff it detects a fault no
+    // already-kept (later) pattern of this or a later chunk detects.
+    for (std::size_t p = count; p-- > 0;) {
+      bool needed = false;
+      for (const auto& [fi, m] : masks) {
+        if (!detected[fi] && ((m >> p) & 1ULL) != 0) needed = true;
+      }
+      if (!needed) continue;
+      keep[first + p] = true;
+      for (auto& [fi, m] : masks) {
+        if (((m >> p) & 1ULL) != 0) detected[fi] = true;
+      }
+    }
+    end = first;
+  }
+
+  scan::TestSet out;
+  out.circuit = tests.circuit;
+  out.width = tests.width;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (keep[p]) out.cubes.push_back(tests.cubes[p]);
+  }
+  return out;
+}
+
+double fault_coverage(const Netlist& nl, const std::vector<fault::Fault>& faults,
+                      const std::vector<bits::TritVector>& patterns) {
+  if (faults.empty()) return 0.0;
+  sim::Sim64 gsim(nl);
+  fault::FaultSimulator fsim(nl);
+  const scan::ScanView view(nl);
+  std::vector<bool> dropped(faults.size(), false);
+  for (std::size_t first = 0; first < patterns.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
+    const std::uint64_t mask = load_batch(gsim, view, patterns, first, count);
+    fsim.drop_detected(gsim, faults, dropped, mask);
+  }
+  std::size_t detected = 0;
+  for (const bool d : dropped) detected += d;
+  return 100.0 * static_cast<double>(detected) / static_cast<double>(faults.size());
+}
+
+}  // namespace tdc::atpg

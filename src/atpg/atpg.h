@@ -1,0 +1,84 @@
+#ifndef TDC_ATPG_ATPG_H
+#define TDC_ATPG_ATPG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "scan/testset.h"
+
+namespace tdc::atpg {
+
+/// Options of the deterministic test-generation flow.
+struct AtpgOptions {
+  PodemOptions podem;
+
+  /// Randomized-restart attempts after a deterministic abort. Each retry
+  /// reruns PODEM with randomized tie-breaking and the same backtrack
+  /// limit; a fault is declared aborted only when every attempt fails.
+  std::uint32_t restart_attempts = 4;
+
+  /// Greedy static compaction window applied to the finished cube list
+  /// (0 = keep one cube per PODEM call). Larger windows merge more cubes,
+  /// shrinking the set and *lowering* its X density — the knob that places
+  /// a circuit in the paper's 35–93 % don't-care band.
+  std::uint32_t compaction_window = 32;
+
+  /// Dynamic compaction: after each primary test, try to extend the cube
+  /// to detect up to this many further undetected faults (PODEM reruns on
+  /// the fixed base cube). 0 disables. Packs more detections per pattern
+  /// than static merging at the cost of extra PODEM calls.
+  std::uint32_t dynamic_compaction = 0;
+
+  /// Backtrack budget for each secondary-fault attempt.
+  std::uint32_t dynamic_backtrack_limit = 16;
+};
+
+struct AtpgStats {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+  std::size_t patterns = 0;
+  std::uint64_t podem_calls = 0;
+
+  double fault_coverage() const {
+    return total_faults == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detected) / static_cast<double>(total_faults);
+  }
+};
+
+struct AtpgResult {
+  scan::TestSet tests;
+  AtpgStats stats;
+};
+
+/// Full deterministic ATPG flow over the collapsed stuck-at fault list:
+/// for each not-yet-detected fault run PODEM, keep the cube, 0-fill it and
+/// fault-simulate to drop everything else it detects. Optionally compact.
+///
+/// The resulting cube set is the exact analogue of the paper's input data:
+/// deterministic scan tests where only the fault-relevant inputs are
+/// specified and the rest (typically 60–95 %) is X.
+AtpgResult generate_tests(const netlist::Netlist& nl, const AtpgOptions& options = {});
+
+/// Stuck-at fault coverage (% of `faults`) achieved by a set of *fully
+/// specified* patterns over the ScanView ordering. Used to check that a
+/// decompressed (X-bound) stream preserves the coverage of the cube set.
+double fault_coverage(const netlist::Netlist& nl, const std::vector<fault::Fault>& faults,
+                      const std::vector<bits::TritVector>& patterns);
+
+/// Classic reverse-order pattern compaction: fault-simulate the set from
+/// the last pattern to the first (0-filled), keeping a pattern only if it
+/// detects a fault nothing later-kept detects. Typically drops the many
+/// early patterns whose faults the later, denser patterns also catch.
+/// Returns the surviving cubes in original order.
+scan::TestSet reverse_order_compact(const netlist::Netlist& nl,
+                                    const scan::TestSet& tests);
+
+}  // namespace tdc::atpg
+
+#endif  // TDC_ATPG_ATPG_H

@@ -1,0 +1,412 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdc::atpg {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+/// Three-valued n-ary gate function over 0/1/2(X) operands.
+std::uint8_t eval_kind(GateKind kind, const std::uint8_t* v, std::size_t n) {
+  constexpr std::uint8_t kX = 2;
+  switch (kind) {
+    case GateKind::Const0: return 0;
+    case GateKind::Const1: return 1;
+    case GateKind::Buf: return v[0];
+    case GateKind::Not: return v[0] == kX ? kX : static_cast<std::uint8_t>(1 - v[0]);
+    case GateKind::And:
+    case GateKind::Nand: {
+      bool any_x = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] == 0) return kind == GateKind::Nand ? 1 : 0;
+        if (v[i] == kX) any_x = true;
+      }
+      if (any_x) return kX;
+      return kind == GateKind::Nand ? 0 : 1;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      bool any_x = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] == 1) return kind == GateKind::Nor ? 0 : 1;
+        if (v[i] == kX) any_x = true;
+      }
+      if (any_x) return kX;
+      return kind == GateKind::Nor ? 1 : 0;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      std::uint8_t p = kind == GateKind::Xnor ? 1 : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] == kX) return kX;
+        p ^= v[i];
+      }
+      return p;
+    }
+    default:
+      return kX;  // Input/Dff handled by caller
+  }
+}
+
+/// Non-controlling value of a gate's inputs (what the D-frontier objective
+/// assigns to let a fault effect through).
+std::uint8_t noncontrolling(GateKind kind) {
+  switch (kind) {
+    case GateKind::And:
+    case GateKind::Nand:
+      return 1;
+    case GateKind::Or:
+    case GateKind::Nor:
+      return 0;
+    default:
+      return 0;  // XOR/NOT/BUF: any value propagates
+  }
+}
+
+}  // namespace
+
+Podem::Podem(const Netlist& nl) : nl_(&nl), view_(nl), scoap_(nl) {
+  if (!nl.finalized()) throw std::runtime_error("Podem: netlist not finalized");
+  good_.assign(nl.gate_count(), kX);
+  faulty_.assign(nl.gate_count(), kX);
+  observed_.assign(nl.gate_count(), 0);
+  for (const auto g : nl.outputs()) observed_[g] = 1;
+  for (const auto d : nl.dffs()) observed_[nl.fanins(d)[0]] = 1;
+  buckets_.resize(nl.max_level() + 2);
+  queued_.assign(nl.gate_count(), 0);
+}
+
+std::uint8_t Podem::eval_gate(std::uint32_t g, const std::uint8_t* vals,
+                              bool faulty) const {
+  const Netlist& nl = *nl_;
+  std::uint8_t ins[64];
+  const auto& fi = nl.fanins(g);
+  for (std::size_t i = 0; i < fi.size(); ++i) ins[i] = vals[fi[i]];
+  if (faulty && fault_.pin >= 0 && fault_.gate == g) {
+    ins[fault_.pin] = fault_.stuck_one ? 1 : 0;
+  }
+  std::uint8_t out = eval_kind(nl.kind(g), ins, fi.size());
+  if (faulty && fault_.pin < 0 && fault_.gate == g) {
+    out = fault_.stuck_one ? 1 : 0;
+  }
+  return out;
+}
+
+void Podem::assign_source(std::uint32_t source, std::uint8_t value) {
+  good_[source] = value;
+  faulty_[source] = value;
+  if (fault_.pin < 0 && fault_.gate == source) {
+    faulty_[source] = fault_.stuck_one ? 1 : 0;
+  }
+  propagate_from(source);
+}
+
+void Podem::propagate_from(std::uint32_t gate) {
+  const Netlist& nl = *nl_;
+  auto enqueue = [&](std::uint32_t g) {
+    if (!queued_[g]) {
+      queued_[g] = 1;
+      buckets_[nl.level(g)].push_back(g);
+    }
+  };
+  for (const auto s : nl.fanouts(gate)) {
+    if (nl.kind(s) != GateKind::Dff) enqueue(s);
+  }
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t g = bucket[i];
+      queued_[g] = 0;
+      const std::uint8_t ng = eval_gate(g, good_.data(), false);
+      const std::uint8_t nf = eval_gate(g, faulty_.data(), true);
+      if (ng == good_[g] && nf == faulty_[g]) continue;
+      good_[g] = ng;
+      faulty_[g] = nf;
+      for (const auto s : nl.fanouts(g)) {
+        if (nl.kind(s) != GateKind::Dff) enqueue(s);
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void Podem::recompute_all() {
+  const Netlist& nl = *nl_;
+  for (const std::uint32_t g : nl.topo_order()) {
+    good_[g] = eval_gate(g, good_.data(), false);
+    faulty_[g] = eval_gate(g, faulty_.data(), true);
+  }
+}
+
+std::uint32_t Podem::excitation_line() const {
+  return fault_.pin < 0 ? fault_.gate : nl_->fanins(fault_.gate)[fault_.pin];
+}
+
+bool Podem::d_at_observed() const {
+  for (std::uint32_t g = 0; g < nl_->gate_count(); ++g) {
+    if (observed_[g] && has_d(g)) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> Podem::d_frontier() const {
+  const Netlist& nl = *nl_;
+  std::vector<std::uint32_t> frontier;
+  // A pin fault whose driver line is already excited makes the faulted gate
+  // itself the frontier seed: the discrepancy sits on its input pin, not on
+  // any fanin gate's output.
+  if (fault_.pin >= 0 && nl.kind(fault_.gate) != GateKind::Dff &&
+      composite_x(fault_.gate)) {
+    const std::uint32_t line = nl.fanins(fault_.gate)[fault_.pin];
+    const std::uint8_t stuck = fault_.stuck_one ? 1 : 0;
+    if (good_[line] != kX && good_[line] != stuck) frontier.push_back(fault_.gate);
+  }
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.is_source(g) || nl.kind(g) == GateKind::Dff) continue;
+    if (!composite_x(g)) continue;
+    for (const auto f : nl.fanins(g)) {
+      if (has_d(f)) {
+        frontier.push_back(g);
+        break;
+      }
+    }
+  }
+  return frontier;
+}
+
+bool Podem::xpath_exists(const std::vector<std::uint32_t>& frontier) const {
+  const Netlist& nl = *nl_;
+  // BFS forward through composite-X gates toward an observation point.
+  std::vector<std::uint8_t> seen(nl.gate_count(), 0);
+  std::vector<std::uint32_t> queue;
+  for (const auto g : frontier) {
+    if (observed_[g]) return true;
+    seen[g] = 1;
+    queue.push_back(g);
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const std::uint32_t g = queue[head++];
+    for (const auto s : nl.fanouts(g)) {
+      if (nl.kind(s) == GateKind::Dff || seen[s] || !composite_x(s)) continue;
+      if (observed_[s]) return true;
+      seen[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  return false;
+}
+
+std::pair<std::uint32_t, std::uint8_t> Podem::backtrace(std::uint32_t gate,
+                                                        std::uint8_t value,
+                                                        bits::Rng* rng) const {
+  const Netlist& nl = *nl_;
+  std::uint32_t g = gate;
+  std::uint8_t v = value;
+  while (!nl.is_source(g)) {
+    const GateKind k = nl.kind(g);
+    if (k == GateKind::Const0 || k == GateKind::Const1) break;  // unreachable objective
+    if (netlist::inverting(k)) v = static_cast<std::uint8_t>(1 - v);
+
+    // Does satisfying the objective require ALL inputs at v, or ANY one?
+    // (XOR: any input, any value.) SCOAP guidance: hardest input first for
+    // "all", easiest for "any" (Goldstein/Goel heuristics).
+    bool all_inputs;
+    switch (k) {
+      case GateKind::And:
+      case GateKind::Nand:
+        all_inputs = v == 1;
+        break;
+      case GateKind::Or:
+      case GateKind::Nor:
+        all_inputs = v == 0;
+        break;
+      default:
+        all_inputs = false;
+        break;
+    }
+    const auto cost = [&](std::uint32_t f) { return scoap_.cc(f, v == 1); };
+
+    // Follow an unspecified fanin. Prefer good-machine X; the gate may
+    // instead be X only in the faulty machine (its good side is controlled
+    // by a D input), in which case descend along the faulty-side X — every
+    // such chain bottoms out at an assignable source that is X in both.
+    std::uint32_t next = g;
+    if (rng != nullptr && rng->chance(0.4)) {
+      // Restart mode: occasionally take a uniformly random X fanin to
+      // escape the deterministic heuristic's failure paths.
+      std::uint32_t n_x = 0;
+      for (const auto f : nl.fanins(g)) {
+        if (good_[f] == kX && rng->below(++n_x) == 0) next = f;
+      }
+    } else {
+      for (const auto f : nl.fanins(g)) {
+        if (good_[f] != kX) continue;
+        if (next == g || (all_inputs ? cost(f) > cost(next) : cost(f) < cost(next))) {
+          next = f;
+        }
+      }
+    }
+    if (next == g) {
+      for (const auto f : nl.fanins(g)) {
+        if (faulty_[f] == kX) {
+          next = f;
+          break;
+        }
+      }
+    }
+    if (next == g) break;  // no unspecified fanin: objective already decided
+    g = next;
+  }
+  return {g, v};
+}
+
+PodemResult Podem::generate(const fault::Fault& f, const PodemOptions& options,
+                            const bits::TritVector* base_cube) {
+  const Netlist& nl = *nl_;
+  fault_ = f;
+  std::fill(good_.begin(), good_.end(), kX);
+  std::fill(faulty_.begin(), faulty_.end(), kX);
+  if (f.pin < 0 && nl.is_source(f.gate)) {
+    faulty_[f.gate] = f.stuck_one ? 1 : 0;  // stuck source is never X
+  }
+  recompute_all();  // constants and the stuck line settle; X everywhere else
+
+  if (base_cube != nullptr) {
+    // Dynamic compaction: the base pattern's care bits are immutable
+    // context — applied up front, never on the decision stack.
+    for (std::uint32_t pos = 0; pos < view_.width(); ++pos) {
+      const bits::Trit t = base_cube->get(pos);
+      if (t == bits::Trit::X) continue;
+      assign_source(view_.source(pos), t == bits::Trit::One ? 1 : 0);
+    }
+  }
+
+  PodemResult result;
+  std::vector<Decision> stack;
+  bits::Rng rng_storage(options.seed);
+  bits::Rng* rng = options.seed != 0 ? &rng_storage : nullptr;
+
+  // DFF data-pin faults are directly observable at scan-out; exciting the
+  // driver line is the whole test.
+  const bool trivially_observed =
+      f.pin >= 0 && nl.kind(f.gate) == GateKind::Dff;
+
+  auto success = [&] {
+    if (trivially_observed) {
+      const std::uint32_t line = excitation_line();
+      return good_[line] != kX && good_[line] != (f.stuck_one ? 1 : 0);
+    }
+    return d_at_observed();
+  };
+
+  for (;;) {
+    if (success()) {
+      result.outcome = PodemOutcome::Test;
+      result.cube = base_cube != nullptr ? *base_cube
+                                         : bits::TritVector(view_.width());
+      for (const auto& d : stack) {
+        result.cube.set(view_.position_of(d.source),
+                        d.value ? bits::Trit::One : bits::Trit::Zero);
+      }
+      return result;
+    }
+
+    // ---- choose an objective, or detect a dead end.
+    bool dead_end = false;
+    std::uint32_t obj_gate = 0;
+    std::uint8_t obj_value = 0;
+    const std::uint32_t line = excitation_line();
+    const std::uint8_t stuck = f.stuck_one ? 1 : 0;
+    if (good_[line] == stuck) {
+      dead_end = true;  // fault can no longer be excited
+    } else if (good_[line] == kX) {
+      obj_gate = line;
+      obj_value = static_cast<std::uint8_t>(1 - stuck);
+    } else if (trivially_observed) {
+      dead_end = true;  // excited but success() said no — cannot happen
+    } else {
+      const auto frontier = d_frontier();
+      if (frontier.empty()) {
+        dead_end = true;
+      } else if (options.xpath_check && !xpath_exists(frontier)) {
+        dead_end = true;
+      } else {
+        // Advance the D-frontier gate closest to an output (highest level
+        // ~ fewest remaining gates); restart mode picks randomly instead.
+        std::uint32_t gd = frontier.front();
+        if (rng != nullptr) {
+          gd = frontier[rng->below(frontier.size())];
+        } else {
+          for (const auto g : frontier) {
+            if (nl.level(g) > nl.level(gd)) gd = g;
+          }
+        }
+        obj_gate = gd;
+        obj_value = noncontrolling(nl.kind(gd));
+        // Objective targets an unspecified input of gd (good-machine X
+        // preferred, faulty-only X otherwise); backtrace starts there.
+        for (const auto fi : nl.fanins(gd)) {
+          if (good_[fi] == kX) {
+            obj_gate = fi;
+            break;
+          }
+        }
+        if (obj_gate == gd) {
+          for (const auto fi : nl.fanins(gd)) {
+            if (faulty_[fi] == kX) {
+              obj_gate = fi;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    if (!dead_end) {
+      const auto [src, val] = backtrace(obj_gate, obj_value, rng);
+      if (!nl.is_source(src) || good_[src] != kX) {
+        dead_end = true;  // backtrace failed to reach a free input
+      } else {
+        stack.push_back(Decision{src, val, false});
+        ++result.decisions;
+        assign_source(src, val);
+        continue;
+      }
+    }
+
+    // ---- backtrack.
+    bool resumed = false;
+    while (!stack.empty()) {
+      Decision& top = stack.back();
+      if (!top.flipped) {
+        top.flipped = true;
+        top.value = static_cast<std::uint8_t>(1 - top.value);
+        ++result.backtracks;
+        if (result.backtracks > options.backtrack_limit) {
+          result.outcome = PodemOutcome::Aborted;
+          return result;
+        }
+        assign_source(top.source, top.value);
+        resumed = true;
+        break;
+      }
+      good_[top.source] = kX;
+      faulty_[top.source] = kX;
+      if (fault_.pin < 0 && fault_.gate == top.source) {
+        faulty_[top.source] = fault_.stuck_one ? 1 : 0;
+      }
+      propagate_from(top.source);
+      stack.pop_back();
+    }
+    if (!resumed) {
+      result.outcome = PodemOutcome::Untestable;
+      return result;
+    }
+  }
+}
+
+}  // namespace tdc::atpg

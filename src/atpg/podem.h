@@ -1,0 +1,118 @@
+#ifndef TDC_ATPG_PODEM_H
+#define TDC_ATPG_PODEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/rng.h"
+#include "bits/tritvector.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "scan/testset.h"
+#include "sim/testability.h"
+
+namespace tdc::atpg {
+
+struct PodemOptions {
+  /// Abort the fault after this many backtracks.
+  std::uint32_t backtrack_limit = 64;
+
+  /// Prune decisions with an X-path check (is any observation point still
+  /// reachable from the D-frontier through unspecified gates?).
+  bool xpath_check = true;
+
+  /// Non-zero: randomize D-frontier and backtrace tie-breaking with this
+  /// seed. Chronological backtracking thrashes on reconvergent/XOR logic;
+  /// a handful of cheap randomized restarts recovers most aborts (see
+  /// generate_tests).
+  std::uint64_t seed = 0;
+};
+
+enum class PodemOutcome {
+  Test,        ///< cube generated
+  Untestable,  ///< search space exhausted without a test (redundant fault)
+  Aborted,     ///< backtrack limit hit
+};
+
+struct PodemResult {
+  PodemOutcome outcome = PodemOutcome::Aborted;
+  /// Test cube over the ScanView ordering (PIs then scan cells); only the
+  /// inputs the test actually constrains are specified — everything else
+  /// is X. Valid when outcome == Test.
+  bits::TritVector cube;
+  std::uint32_t backtracks = 0;
+  std::uint32_t decisions = 0;
+};
+
+/// Path-Oriented DEcision Making test generation (Goel 1981) over the
+/// full-scan combinational core, using a dual three-valued (good, faulty)
+/// machine with event-driven implication.
+///
+/// The produced cubes are the raw material of the reproduced paper: their
+/// unspecified positions are the don't-cares the LZW compressor exploits.
+class Podem {
+ public:
+  explicit Podem(const netlist::Netlist& nl);
+
+  /// Attempts to generate a test cube for `f`. When `base_cube` is given
+  /// (dynamic compaction), its specified positions are applied as fixed,
+  /// non-backtrackable assignments before the search, and a successful
+  /// result's cube contains base and new assignments merged — i.e. one
+  /// pattern detecting the base cube's faults *and* `f`.
+  PodemResult generate(const fault::Fault& f, const PodemOptions& options = {},
+                       const bits::TritVector* base_cube = nullptr);
+
+  const scan::ScanView& view() const { return view_; }
+
+ private:
+  static constexpr std::uint8_t kX = 2;
+
+  struct Decision {
+    std::uint32_t source;  // gate id of the assigned PI / scan cell
+    std::uint8_t value;
+    bool flipped;          // both phases tried
+  };
+
+  // -- machine -----------------------------------------------------------
+  std::uint8_t eval_gate(std::uint32_t g, const std::uint8_t* vals,
+                         bool faulty) const;
+  void assign_source(std::uint32_t source, std::uint8_t value);
+  void propagate_from(std::uint32_t gate);
+  void recompute_all();
+
+  // -- search helpers ----------------------------------------------------
+  /// The line whose good value must become !stuck to excite the fault.
+  std::uint32_t excitation_line() const;
+  bool d_at_observed() const;
+  bool has_d(std::uint32_t g) const {
+    return good_[g] != kX && faulty_[g] != kX && good_[g] != faulty_[g];
+  }
+  bool composite_x(std::uint32_t g) const {
+    return good_[g] == kX || faulty_[g] == kX;
+  }
+  std::vector<std::uint32_t> d_frontier() const;
+  bool xpath_exists(const std::vector<std::uint32_t>& frontier) const;
+
+  /// Maps an objective (gate, value) to a source assignment. `rng` is null
+  /// for deterministic SCOAP-guided descent, non-null for randomized
+  /// tie-breaking (restart mode).
+  std::pair<std::uint32_t, std::uint8_t> backtrace(std::uint32_t gate,
+                                                   std::uint8_t value,
+                                                   bits::Rng* rng) const;
+
+  const netlist::Netlist* nl_;
+  scan::ScanView view_;
+  fault::Fault fault_{};
+  std::vector<std::uint8_t> good_;
+  std::vector<std::uint8_t> faulty_;
+  std::vector<std::uint8_t> observed_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::vector<std::uint8_t> queued_;
+  // SCOAP controllabilities guide the backtrace input choice:
+  // hardest-first for "all inputs must be v", easiest for "any input".
+  sim::Testability scoap_;
+};
+
+}  // namespace tdc::atpg
+
+#endif  // TDC_ATPG_PODEM_H

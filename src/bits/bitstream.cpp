@@ -1,0 +1,45 @@
+#include "bits/bitstream.h"
+
+#include <cassert>
+
+namespace tdc::bits {
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  assert(width <= 64);
+  assert(width == 64 || (value >> width) == 0);
+  for (unsigned i = width; i-- > 0;) {
+    write_bit(((value >> i) & 1ULL) != 0);
+  }
+}
+
+void BitWriter::write_bit(bool b) {
+  const std::size_t byte = bit_count_ / 8;
+  const unsigned off = 7 - static_cast<unsigned>(bit_count_ % 8);
+  if (byte >= bytes_.size()) bytes_.push_back(0);
+  if (b) bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << off));
+  ++bit_count_;
+}
+
+bool BitWriter::bit_at(std::size_t i) const {
+  assert(i < bit_count_);
+  return (bytes_[i / 8] >> (7 - (i % 8))) & 1u;
+}
+
+std::uint64_t BitReader::read(unsigned width) {
+  assert(width <= 64);
+  assert(width <= remaining());
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v = (v << 1) | (read_bit() ? 1ULL : 0ULL);
+  }
+  return v;
+}
+
+bool BitReader::read_bit() {
+  assert(pos_ < bit_count_);
+  const bool b = ((*bytes_)[pos_ / 8] >> (7 - (pos_ % 8))) & 1u;
+  ++pos_;
+  return b;
+}
+
+}  // namespace tdc::bits

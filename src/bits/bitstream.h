@@ -1,0 +1,72 @@
+#ifndef TDC_BITS_BITSTREAM_H
+#define TDC_BITS_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdc::bits {
+
+/// MSB-first bit-serial writer.
+///
+/// This matches the wire order of the paper's tester interface: the first
+/// bit written is the first bit shifted into the on-chip decompressor.
+/// Values wider than one bit are emitted most-significant bit first.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value`, MSB first.
+  /// Precondition: width <= 64 and value fits in `width` bits.
+  void write(std::uint64_t value, unsigned width);
+
+  /// Appends a single bit.
+  void write_bit(bool b);
+
+  /// Total number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Backing storage; the final byte is zero-padded in its low bits.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Reads back bit `i` (0 = first written). Precondition: i < bit_count().
+  bool bit_at(std::size_t i) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// MSB-first bit-serial reader over a BitWriter's output (or raw bytes).
+class BitReader {
+ public:
+  /// Wraps `bytes`, exposing exactly `bit_count` bits.
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_count)
+      : bytes_(&bytes), bit_count_(bit_count) {}
+
+  /// Convenience constructor over a writer's buffer.
+  explicit BitReader(const BitWriter& w) : BitReader(w.bytes(), w.bit_count()) {}
+
+  /// Bits still available.
+  std::size_t remaining() const { return bit_count_ - pos_; }
+
+  /// True when every bit has been consumed.
+  bool exhausted() const { return pos_ >= bit_count_; }
+
+  /// Reads the next `width` bits as an MSB-first unsigned value.
+  /// Precondition: width <= 64 and width <= remaining().
+  std::uint64_t read(unsigned width);
+
+  /// Reads one bit.
+  bool read_bit();
+
+  /// Current cursor position in bits from the start.
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t bit_count_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_BITSTREAM_H

@@ -1,0 +1,61 @@
+#include "bits/gf2.h"
+
+#include <bit>
+
+namespace tdc::bits {
+
+std::size_t Gf2Row::lowest_set() const {
+  for (std::size_t w = 0; w * 64 < vars_; ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return npos;
+}
+
+bool Gf2Row::dot(const Gf2Row& assignment) const {
+  int parity = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    parity ^= std::popcount(words_[w] & assignment.words_[w]) & 1;
+  }
+  return parity != 0;
+}
+
+bool Gf2Solver::add(Gf2Row row, bool rhs) {
+  // Reduce against existing pivots.
+  for (;;) {
+    const std::size_t p = row.lowest_set();
+    if (p == npos) {
+      return !rhs;  // 0 = rhs: redundant if rhs is 0, contradiction if 1
+    }
+    const std::size_t r = pivot_row_[p];
+    if (r == npos) {
+      pivot_row_[p] = rows_.size();
+      rows_.push_back(std::move(row));
+      rhs_.push_back(rhs);
+      return true;
+    }
+    row.add(rows_[r]);
+    rhs = rhs != rhs_[r];
+  }
+}
+
+Gf2Row Gf2Solver::solution() const {
+  // Back-substitution with free variables at 0: process pivots from the
+  // highest variable down.
+  Gf2Row x(vars_);
+  for (std::size_t v = vars_; v-- > 0;) {
+    const std::size_t r = pivot_row_[v];
+    if (r == npos) continue;
+    // Row r: x_v + sum(higher terms) = rhs_r  (v is its lowest set bit).
+    bool acc = rhs_[r];
+    const Gf2Row& row = rows_[r];
+    for (std::size_t u = v + 1; u < vars_; ++u) {
+      if (row.get(u) && x.get(u)) acc = !acc;
+    }
+    x.set(v, acc);
+  }
+  return x;
+}
+
+}  // namespace tdc::bits

@@ -1,0 +1,86 @@
+#ifndef TDC_BITS_GF2_H
+#define TDC_BITS_GF2_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tdc::bits {
+
+/// A row vector over GF(2), packed 64 variables per word.
+class Gf2Row {
+ public:
+  Gf2Row() = default;
+  explicit Gf2Row(std::size_t vars) : vars_(vars), words_((vars + 63) / 64, 0) {}
+
+  std::size_t variables() const { return vars_; }
+
+  bool get(std::size_t i) const { return (words_[i / 64] >> (i % 64)) & 1ULL; }
+
+  void set(std::size_t i, bool v) {
+    if (v) {
+      words_[i / 64] |= 1ULL << (i % 64);
+    } else {
+      words_[i / 64] &= ~(1ULL << (i % 64));
+    }
+  }
+
+  void flip(std::size_t i) { words_[i / 64] ^= 1ULL << (i % 64); }
+
+  /// this ^= other (rows must be the same width).
+  void add(const Gf2Row& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  }
+
+  bool any() const {
+    for (const auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Index of the lowest set variable, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t lowest_set() const;
+
+  /// Dot product with an assignment vector (parity of the AND).
+  bool dot(const Gf2Row& assignment) const;
+
+  bool operator==(const Gf2Row&) const = default;
+
+ private:
+  std::size_t vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Incremental GF(2) linear system solver: rows `a·x = b` are added one at
+/// a time; inconsistency is detected immediately (so a caller packing test
+/// cubes into LFSR seeds knows exactly when a cube stops fitting).
+///
+/// Maintains rows in row-echelon form keyed by pivot variable.
+class Gf2Solver {
+ public:
+  explicit Gf2Solver(std::size_t vars) : vars_(vars), pivot_row_(vars, npos) {}
+
+  std::size_t variables() const { return vars_; }
+  std::size_t rank() const { return rows_.size(); }
+
+  /// Adds the constraint `row · x = rhs`. Returns false (and leaves the
+  /// system unchanged) iff the constraint contradicts the current system.
+  /// A redundant (already-implied) constraint returns true and is dropped.
+  bool add(Gf2Row row, bool rhs);
+
+  /// A solution of the current system (free variables set to 0).
+  Gf2Row solution() const;
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t vars_;
+  std::vector<Gf2Row> rows_;
+  std::vector<bool> rhs_;
+  std::vector<std::size_t> pivot_row_;  // variable -> row index (npos if free)
+};
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_GF2_H

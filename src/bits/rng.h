@@ -1,0 +1,76 @@
+#ifndef TDC_BITS_RNG_H
+#define TDC_BITS_RNG_H
+
+#include <cstdint>
+
+namespace tdc::bits {
+
+/// Deterministic, platform-independent PRNG (xoroshiro128++ seeded via
+/// splitmix64). Used everywhere in the project instead of <random> so that
+/// circuit generation, ATPG random phases and workload synthesis reproduce
+/// bit-identically across compilers and standard libraries.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal sequences on any platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the 128-bit state.
+    auto next_seed = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next_seed();
+    s1_ = next_seed();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is invalid
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t r = rotl(s0_ + s1_, 17) + s0_;
+    s1_ ^= s0_;
+    s0_ = rotl(s0_, 49) ^ s1_ ^ (s1_ << 21);
+    s1_ = rotl(s1_, 28);
+    return r;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Debiased multiply-shift (Lemire); the retry loop is entered rarely.
+    for (;;) {
+      const std::uint64_t x = next_u64();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// One uniformly random bit.
+  bool bit() { return (next_u64() >> 63) != 0; }
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool chance(double p) { return real() < p; }
+
+  /// Uniform double in [0, 1).
+  double real() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_RNG_H

@@ -1,0 +1,59 @@
+#ifndef TDC_BITS_TRIT_H
+#define TDC_BITS_TRIT_H
+
+#include <cstdint>
+
+namespace tdc::bits {
+
+/// Three-valued scan-test logic value: 0, 1, or X (don't-care).
+///
+/// Test cubes produced by deterministic ATPG specify only the inputs a fault
+/// test actually depends on; everything else is X. The numeric values are
+/// chosen so that Zero/One cast to their bit value.
+enum class Trit : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,
+};
+
+/// Character used in textual cube formats for each trit.
+constexpr char to_char(Trit t) {
+  switch (t) {
+    case Trit::Zero: return '0';
+    case Trit::One: return '1';
+    default: return 'X';
+  }
+}
+
+/// Parses '0', '1', 'x'/'X' (also '-' as used by some ATPG tools) into a Trit.
+/// Returns X for any unrecognized character marked as don't-care by
+/// convention; use is_trit_char() to validate beforehand.
+constexpr Trit trit_from_char(char c) {
+  switch (c) {
+    case '0': return Trit::Zero;
+    case '1': return Trit::One;
+    default: return Trit::X;
+  }
+}
+
+/// True iff `c` is a valid textual trit ('0', '1', 'x', 'X', '-').
+constexpr bool is_trit_char(char c) {
+  return c == '0' || c == '1' || c == 'x' || c == 'X' || c == '-';
+}
+
+/// True iff the two trits can describe the same fully-specified bit:
+/// X is compatible with everything; 0/1 only with themselves.
+constexpr bool compatible(Trit a, Trit b) {
+  return a == Trit::X || b == Trit::X || a == b;
+}
+
+/// Intersection of two compatible trits (the more specified of the two).
+/// Precondition: compatible(a, b).
+constexpr Trit merge(Trit a, Trit b) { return a == Trit::X ? b : a; }
+
+/// True iff `t` is a care bit (0 or 1).
+constexpr bool is_care(Trit t) { return t != Trit::X; }
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_TRIT_H

@@ -1,0 +1,194 @@
+#include "bits/tritvector.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace tdc::bits {
+
+TritVector::TritVector(std::size_t n, Trit fill) : size_(n) {
+  care_.assign(words_for(n), 0);
+  value_.assign(words_for(n), 0);
+  if (fill != Trit::X && n > 0) {
+    const std::uint64_t care_fill = ~0ULL;
+    const std::uint64_t val_fill = fill == Trit::One ? ~0ULL : 0ULL;
+    for (std::size_t w = 0; w < care_.size(); ++w) {
+      care_[w] = care_fill;
+      value_[w] = val_fill;
+    }
+    // Clear bits past the end so whole-word operations stay exact.
+    const std::size_t tail = n % 64;
+    if (tail != 0) {
+      const std::uint64_t mask = (1ULL << tail) - 1;
+      care_.back() &= mask;
+      value_.back() &= mask;
+    }
+  }
+}
+
+TritVector TritVector::from_string(std::string_view s) {
+  TritVector v;
+  v.size_ = s.size();
+  v.care_.assign(words_for(s.size()), 0);
+  v.value_.assign(words_for(s.size()), 0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (!is_trit_char(s[i])) {
+      throw std::invalid_argument("TritVector::from_string: bad character '" +
+                                  std::string(1, s[i]) + "'");
+    }
+    v.set(i, trit_from_char(s[i]));
+  }
+  return v;
+}
+
+Trit TritVector::get(std::size_t i) const {
+  assert(i < size_);
+  const std::size_t w = i / 64;
+  const std::uint64_t m = 1ULL << (i % 64);
+  if ((care_[w] & m) == 0) return Trit::X;
+  return (value_[w] & m) != 0 ? Trit::One : Trit::Zero;
+}
+
+void TritVector::set(std::size_t i, Trit t) {
+  assert(i < size_);
+  const std::size_t w = i / 64;
+  const std::uint64_t m = 1ULL << (i % 64);
+  if (t == Trit::X) {
+    care_[w] &= ~m;
+    value_[w] &= ~m;  // keep normal form: value is 0 under X
+  } else {
+    care_[w] |= m;
+    if (t == Trit::One) {
+      value_[w] |= m;
+    } else {
+      value_[w] &= ~m;
+    }
+  }
+}
+
+void TritVector::push_back(Trit t) {
+  if (size_ % 64 == 0) {
+    care_.push_back(0);
+    value_.push_back(0);
+  }
+  ++size_;
+  set(size_ - 1, t);
+}
+
+void TritVector::append(const TritVector& other) {
+  // Word-aligned fast path is not worth the complexity here; appends are
+  // off the hot path (serialization happens once per test set).
+  for (std::size_t i = 0; i < other.size_; ++i) push_back(other.get(i));
+}
+
+std::size_t TritVector::care_count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : care_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool TritVector::compatible_with(const TritVector& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    const std::uint64_t both = care_[w] & other.care_[w];
+    if (((value_[w] ^ other.value_[w]) & both) != 0) return false;
+  }
+  return true;
+}
+
+bool TritVector::covered_by(const TritVector& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    // Every care bit of this must be a care bit of other with equal value.
+    if ((care_[w] & ~other.care_[w]) != 0) return false;
+    if (((value_[w] ^ other.value_[w]) & care_[w]) != 0) return false;
+  }
+  return true;
+}
+
+void TritVector::merge_in(const TritVector& other) {
+  assert(compatible_with(other));
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    value_[w] |= other.value_[w] & ~care_[w];
+    care_[w] |= other.care_[w];
+  }
+}
+
+TritVector TritVector::slice(std::size_t pos, std::size_t len) const {
+  assert(pos + len <= size_);
+  TritVector out(len);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, get(pos + i));
+  return out;
+}
+
+TritVector TritVector::filled(Trit v) const {
+  assert(v != Trit::X);
+  TritVector out = *this;
+  for (std::size_t w = 0; w < out.care_.size(); ++w) {
+    const std::uint64_t xs = ~out.care_[w];
+    if (v == Trit::One) out.value_[w] |= xs;
+    out.care_[w] = ~0ULL;
+  }
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !out.care_.empty()) {
+    const std::uint64_t mask = (1ULL << tail) - 1;
+    out.care_.back() &= mask;
+    out.value_.back() &= mask;
+  }
+  return out;
+}
+
+TritVector TritVector::filled_random(Rng& rng) const {
+  TritVector out = *this;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (out.get(i) == Trit::X) out.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return out;
+}
+
+TritVector TritVector::filled_repeat_last() const {
+  TritVector out = *this;
+  Trit last = Trit::Zero;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Trit t = out.get(i);
+    if (t == Trit::X) {
+      out.set(i, last);
+    } else {
+      last = t;
+    }
+  }
+  return out;
+}
+
+bool TritVector::operator==(const TritVector& other) const {
+  return size_ == other.size_ && care_ == other.care_ && value_ == other.value_;
+}
+
+std::string TritVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(to_char(get(i)));
+  return s;
+}
+
+std::uint64_t TritVector::word(std::size_t pos, std::size_t len) const {
+  assert(len <= 64);
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const bool one = pos + i < size_ && get(pos + i) == Trit::One;
+    out = (out << 1) | (one ? 1ULL : 0ULL);
+  }
+  return out;
+}
+
+std::uint64_t TritVector::care_word(std::size_t pos, std::size_t len) const {
+  assert(len <= 64);
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const bool care = pos + i < size_ && get(pos + i) != Trit::X;
+    out = (out << 1) | (care ? 1ULL : 0ULL);
+  }
+  return out;
+}
+
+}  // namespace tdc::bits

@@ -1,0 +1,118 @@
+#ifndef TDC_BITS_TRITVECTOR_H
+#define TDC_BITS_TRITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bits/rng.h"
+#include "bits/trit.h"
+
+namespace tdc::bits {
+
+/// Packed vector of three-valued logic (0/1/X), the universal carrier for
+/// scan-test data in this project.
+///
+/// Storage is two bit-planes of 64-bit words:
+///   * `care` — bit i set iff position i is specified (0 or 1),
+///   * `value` — the bit value; kept 0 wherever care is 0 (normal form),
+/// which makes compatibility checks and care-bit counting word-parallel.
+class TritVector {
+ public:
+  TritVector() = default;
+
+  /// Constructs `n` trits, all initialized to `fill`.
+  explicit TritVector(std::size_t n, Trit fill = Trit::X);
+
+  /// Parses a textual cube, e.g. "01XX10-1" ('-' is an X alias).
+  /// Throws std::invalid_argument on any other character.
+  static TritVector from_string(std::string_view s);
+
+  /// Number of trits.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Reads the trit at `i`. Precondition: i < size().
+  Trit get(std::size_t i) const;
+
+  /// Writes the trit at `i`. Precondition: i < size().
+  void set(std::size_t i, Trit t);
+
+  /// Appends one trit at the end.
+  void push_back(Trit t);
+
+  /// Appends every trit of `other`.
+  void append(const TritVector& other);
+
+  /// Number of specified (0/1) positions.
+  std::size_t care_count() const;
+
+  /// Number of X positions.
+  std::size_t x_count() const { return size_ - care_count(); }
+
+  /// Fraction of X positions in [0,1]; 0 for an empty vector.
+  double x_density() const {
+    return size_ == 0 ? 0.0 : static_cast<double>(x_count()) / static_cast<double>(size_);
+  }
+
+  /// True iff no position is X.
+  bool fully_specified() const { return care_count() == size_; }
+
+  /// True iff the two vectors have equal size and every position is
+  /// pairwise compatible (X matches anything). This is the cube-merge /
+  /// verification predicate.
+  bool compatible_with(const TritVector& other) const;
+
+  /// True iff every care bit of `this` has the same value in `other`
+  /// (other may specify more). `other` must be the same size.
+  bool covered_by(const TritVector& other) const;
+
+  /// Merges a compatible vector into this one (X positions adopt the other
+  /// side's value). Precondition: compatible_with(other).
+  void merge_in(const TritVector& other);
+
+  /// Copy of trits [pos, pos+len). Precondition: pos+len <= size().
+  TritVector slice(std::size_t pos, std::size_t len) const;
+
+  /// Replaces every X by `v` and returns the fully-specified result.
+  TritVector filled(Trit v) const;
+
+  /// Replaces every X by an independent fair coin flip from `rng`.
+  TritVector filled_random(Rng& rng) const;
+
+  /// Replaces each X by the value of the nearest preceding care bit
+  /// (0 if none yet) — the "repeat fill" favoured by run-length coders.
+  TritVector filled_repeat_last() const;
+
+  /// Exact (value + care plane) equality.
+  bool operator==(const TritVector& other) const;
+  bool operator!=(const TritVector& other) const { return !(*this == other); }
+
+  /// Textual form using '0'/'1'/'X'.
+  std::string to_string() const;
+
+  /// Interprets trits [pos, pos+len) as an MSB-first unsigned integer;
+  /// X bits read as 0, as do positions at or past size() (implicit X
+  /// padding for a trailing partial character). Precondition: len <= 64.
+
+  std::uint64_t word(std::size_t pos, std::size_t len) const;
+
+  /// MSB-first mask of care bits over [pos, pos+len): bit set iff the
+  /// corresponding trit is specified. Together with word() this yields the
+  /// (value, mask) pair used for wildcard character matching.
+  /// Positions at or past size() read as X (mask 0), so a trailing partial
+  /// character can be fetched without explicit padding.
+  std::uint64_t care_word(std::size_t pos, std::size_t len) const;
+
+ private:
+  static std::size_t words_for(std::size_t n) { return (n + 63) / 64; }
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> care_;
+  std::vector<std::uint64_t> value_;
+};
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_TRITVECTOR_H

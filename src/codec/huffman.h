@@ -1,0 +1,59 @@
+#ifndef TDC_CODEC_HUFFMAN_H
+#define TDC_CODEC_HUFFMAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitstream.h"
+#include "bits/tritvector.h"
+#include "codec/stats.h"
+
+namespace tdc::codec {
+
+/// Selective-Huffman test-data compression (Jas, Ghosh-Dastidar & Touba,
+/// VTS'99 — refs [5]/[6] of the reproduced paper).
+///
+/// The scan stream is cut into fixed-size blocks. The encoder clusters the
+/// ternary blocks don't-care-aware (an X matches either value), keeps the
+/// `codebook_size` most frequent fully-bound patterns, and Huffman-codes
+/// them; any block incompatible with every codebook pattern is emitted as
+/// an escape prefix plus its raw bits. The codebook travels out-of-band
+/// (like the LZW configurator state).
+struct HuffmanConfig {
+  std::uint32_t block_bits = 8;      ///< block size in scan bits
+  std::uint32_t codebook_size = 16;  ///< coded patterns (escape excluded)
+};
+
+/// One codebook entry: a fully specified pattern and its code word.
+struct HuffmanEntry {
+  std::uint64_t pattern = 0;  ///< block value, MSB-first
+  std::uint32_t code = 0;     ///< Huffman code word (MSB-first)
+  std::uint32_t code_len = 0;
+};
+
+struct HuffmanResult {
+  HuffmanConfig config;
+  std::vector<HuffmanEntry> codebook;
+  std::uint32_t escape_code = 0;
+  std::uint32_t escape_len = 0;
+  bits::BitWriter stream;
+  std::uint64_t original_bits = 0;
+  std::uint64_t escaped_blocks = 0;
+  std::uint64_t coded_blocks = 0;
+
+  CodecStats stats() const {
+    return CodecStats{"Sel-Huffman", original_bits, stream.bit_count()};
+  }
+};
+
+/// Compresses a ternary scan stream. A trailing partial block is padded
+/// with X (the decoder truncates at original_bits).
+HuffmanResult huffman_encode(const bits::TritVector& input,
+                             const HuffmanConfig& config = {});
+
+/// Decompresses using the result's codebook.
+bits::TritVector huffman_decode(const HuffmanResult& encoded);
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_HUFFMAN_H

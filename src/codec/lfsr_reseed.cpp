@@ -1,0 +1,136 @@
+#include "codec/lfsr_reseed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdc::codec {
+
+namespace {
+
+/// Output functionals for one candidate tap set: row[c] maps the seed to
+/// scan bit c, built by symbolically stepping the LFSR with each state bit
+/// held as a GF(2) row over the seed variables.
+std::vector<bits::Gf2Row> rows_for_taps(std::uint32_t n, std::uint32_t cycles,
+                                        const std::vector<std::uint32_t>& taps) {
+  std::vector<bits::Gf2Row> state(n, bits::Gf2Row(n));
+  for (std::uint32_t i = 0; i < n; ++i) state[i].set(i, true);
+
+  std::vector<bits::Gf2Row> rows;
+  rows.reserve(cycles);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    const bits::Gf2Row out = state[n - 1];
+    rows.push_back(out);
+    // state' = (state << 1) ^ (out ? taps : 0), symbolically.
+    for (std::uint32_t i = n; i-- > 1;) state[i] = state[i - 1];
+    state[0] = bits::Gf2Row(n);
+    for (const auto t : taps) state[t].add(out);
+  }
+  return rows;
+}
+
+/// Output functionals of the expander. Arbitrary seed sizes have no handy
+/// primitive-polynomial table, so tap sets are drawn from a deterministic
+/// pseudo-random sequence until the output functionals span the full seed
+/// space over the scan window (what actually matters for cube solvability:
+/// a degenerate short-period LFSR repeats rows and rejects cubes). The
+/// search is deterministic in (n, cycles), so encoder and decoder always
+/// agree on the expander.
+std::vector<bits::Gf2Row> output_rows(std::uint32_t n, std::uint32_t cycles) {
+  std::vector<bits::Gf2Row> best;
+  std::size_t best_rank = 0;
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL ^ (std::uint64_t{n} << 32);
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<std::uint32_t> taps{0};  // constant term: invertible step
+    const std::uint32_t extra = 3 + static_cast<std::uint32_t>(next() % 5);
+    for (std::uint32_t k = 0; k < extra; ++k) {
+      taps.push_back(1 + static_cast<std::uint32_t>(next() % (n - 1)));
+    }
+    std::sort(taps.begin(), taps.end());
+    taps.erase(std::unique(taps.begin(), taps.end()), taps.end());
+
+    auto rows = rows_for_taps(n, cycles, taps);
+    bits::Gf2Solver rank_probe(n);
+    for (const auto& r : rows) rank_probe.add(r, false);
+    const std::size_t rank = rank_probe.rank();
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = std::move(rows);
+    }
+    if (best_rank >= std::min<std::size_t>(n, cycles)) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+LfsrReseedResult lfsr_reseed_encode(const std::vector<bits::TritVector>& cubes,
+                                    const LfsrReseedConfig& config) {
+  LfsrReseedResult result;
+  if (cubes.empty()) return result;
+
+  result.width = static_cast<std::uint32_t>(cubes.front().size());
+  for (const auto& c : cubes) {
+    if (c.size() != result.width) {
+      throw std::invalid_argument("lfsr_reseed_encode: cube width mismatch");
+    }
+    result.original_bits += c.size();
+  }
+
+  std::uint32_t n = config.seed_bits;
+  if (n == 0) {
+    std::size_t max_care = 1;
+    for (const auto& c : cubes) max_care = std::max(max_care, c.care_count());
+    n = static_cast<std::uint32_t>(max_care) + config.margin;
+  }
+  n = std::max<std::uint32_t>(n, 2);
+  result.seed_bits = n;
+
+  const auto rows = output_rows(n, result.width);
+
+  for (const auto& cube : cubes) {
+    bits::Gf2Solver solver(n);
+    bool ok = true;
+    for (std::uint32_t pos = 0; pos < result.width && ok; ++pos) {
+      const bits::Trit t = cube.get(pos);
+      if (t == bits::Trit::X) continue;
+      ok = solver.add(rows[pos], t == bits::Trit::One);
+    }
+    if (ok) {
+      result.seeds.push_back(solver.solution());
+      result.escaped.push_back(false);
+      result.raw.emplace_back();
+    } else {
+      result.seeds.emplace_back();
+      result.escaped.push_back(true);
+      result.raw.push_back(cube.filled(bits::Trit::Zero));
+    }
+  }
+  return result;
+}
+
+std::vector<bits::TritVector> lfsr_reseed_expand(const LfsrReseedResult& encoded) {
+  const auto rows = output_rows(encoded.seed_bits, encoded.width);
+  std::vector<bits::TritVector> out;
+  out.reserve(encoded.seeds.size());
+  for (std::size_t p = 0; p < encoded.seeds.size(); ++p) {
+    if (encoded.escaped[p]) {
+      out.push_back(encoded.raw[p]);
+      continue;
+    }
+    bits::TritVector v(encoded.width);
+    for (std::uint32_t pos = 0; pos < encoded.width; ++pos) {
+      v.set(pos, rows[pos].dot(encoded.seeds[p]) ? bits::Trit::One
+                                                 : bits::Trit::Zero);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace tdc::codec

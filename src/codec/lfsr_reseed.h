@@ -1,0 +1,70 @@
+#ifndef TDC_CODEC_LFSR_RESEED_H
+#define TDC_CODEC_LFSR_RESEED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/gf2.h"
+#include "bits/tritvector.h"
+#include "codec/stats.h"
+
+namespace tdc::codec {
+
+/// LFSR-reseeding test compression — the linear-decompressor family
+/// (Könemann's seed encoding; the industrial EDT/smartBIST line referenced
+/// by the paper's related work [9]/[19]/[20]).
+///
+/// An n-bit LFSR expands a seed into the scan stream; every scan bit is a
+/// GF(2)-linear functional of the seed, so a test cube with c specified
+/// bits is a system of c linear equations. Any cube with c ≲ n (almost
+/// always, with the customary margin of ~20 bits) is encoded by just the
+/// n-bit seed — the tester stores seeds instead of vectors.
+struct LfsrReseedConfig {
+  /// LFSR length n = seed size in bits. 0 = auto-size to the set's
+  /// maximum per-cube care count plus `margin`.
+  std::uint32_t seed_bits = 0;
+
+  /// Auto-sizing slack over the maximum care count (Könemann's classic
+  /// "s_max + 20" rule).
+  std::uint32_t margin = 20;
+};
+
+struct LfsrReseedResult {
+  std::uint32_t seed_bits = 0;
+  std::uint32_t width = 0;
+
+  /// One seed per pattern (empty row for escaped patterns).
+  std::vector<bits::Gf2Row> seeds;
+
+  /// Patterns whose equation system was inconsistent (linear-dependence
+  /// bad luck): shipped raw instead, 0-filled.
+  std::vector<bool> escaped;
+  std::vector<bits::TritVector> raw;
+
+  std::uint64_t original_bits = 0;
+
+  /// Tester storage: per pattern 1 escape flag + (seed or raw vector).
+  std::uint64_t compressed_bits() const {
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < seeds.size(); ++p) {
+      total += 1 + (escaped[p] ? width : seed_bits);
+    }
+    return total;
+  }
+
+  CodecStats stats() const {
+    return CodecStats{"LFSR-reseed", original_bits, compressed_bits()};
+  }
+};
+
+/// Encodes a cube set (all cubes of equal width). Deterministic.
+LfsrReseedResult lfsr_reseed_encode(const std::vector<bits::TritVector>& cubes,
+                                    const LfsrReseedConfig& config = {});
+
+/// Expands the seeds back into fully specified patterns (the on-chip
+/// LFSR's output), raw escapes passed through.
+std::vector<bits::TritVector> lfsr_reseed_expand(const LfsrReseedResult& encoded);
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_LFSR_RESEED_H

@@ -1,0 +1,182 @@
+#include "codec/lz77.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace tdc::codec {
+
+namespace {
+
+/// LSB-first packed bit plane with random 64-bit windowed reads.
+/// (TritVector's accessors are MSB-first per call; the matcher wants flat
+/// machine-word access, so the encoder snapshots the input into this form.)
+class BitPlane {
+ public:
+  explicit BitPlane(std::size_t n) : n_(n), words_((n + 63) / 64 + 1, 0) {}
+
+  void set(std::size_t i, bool b) {
+    if (b) words_[i / 64] |= 1ULL << (i % 64);
+  }
+
+  bool get(std::size_t i) const { return (words_[i / 64] >> (i % 64)) & 1ULL; }
+
+  /// Reads up to 64 bits starting at `pos` (bit pos in the low bit).
+  /// Bits past the plane's end read as 0.
+  std::uint64_t window(std::size_t pos, unsigned nbits) const {
+    assert(nbits <= 64);
+    const std::size_t w = pos / 64;
+    const unsigned off = static_cast<unsigned>(pos % 64);
+    std::uint64_t v = words_[w] >> off;
+    if (off != 0 && w + 1 < words_.size()) v |= words_[w + 1] << (64 - off);
+    if (nbits < 64) v &= (1ULL << nbits) - 1;
+    return v;
+  }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Longest wildcard match of input[pos..pos+maxlen) against the already
+/// bound output at hpos (= pos - offset). The overlapped region (i >= offset)
+/// is periodic with period `offset`; it is extended serially.
+std::uint32_t match_length(const BitPlane& value, const BitPlane& care,
+                           const BitPlane& bound, std::size_t pos,
+                           std::size_t hpos, std::uint32_t maxlen) {
+  const std::size_t offset = pos - hpos;
+  const auto direct = static_cast<std::uint32_t>(
+      std::min<std::size_t>(offset, maxlen));
+
+  std::uint32_t len = 0;
+  while (len < direct) {
+    const unsigned chunk = static_cast<unsigned>(std::min<std::uint32_t>(64, direct - len));
+    const std::uint64_t iv = value.window(pos + len, chunk);
+    const std::uint64_t ic = care.window(pos + len, chunk);
+    const std::uint64_t hv = bound.window(hpos + len, chunk);
+    const std::uint64_t mismatch = (iv ^ hv) & ic;
+    if (mismatch != 0) {
+      return len + static_cast<std::uint32_t>(std::countr_zero(mismatch));
+    }
+    len += chunk;
+  }
+  // Periodic (self-referential) extension: output bit pos+i copies
+  // bound(hpos + i mod offset).
+  while (len < maxlen) {
+    const bool h = bound.get(hpos + (len % offset));
+    if (care.get(pos + len) && value.get(pos + len) != h) break;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
+Lz77Result lz77_encode(const bits::TritVector& input, const Lz77Config& config) {
+  const std::size_t n = input.size();
+  Lz77Result result;
+  result.config = config;
+  result.original_bits = n;
+
+  BitPlane value(n), care(n), bound(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bits::Trit t = input.get(i);
+    if (t != bits::Trit::X) {
+      care.set(i, true);
+      value.set(i, t == bits::Trit::One);
+    }
+  }
+
+  auto emit_token = [&](const Lz77Token& t) {
+    result.tokens.push_back(t);
+    if (t.is_match) {
+      result.stream.write_bit(true);
+      result.stream.write(t.offset - 1, config.window_bits);
+      result.stream.write(t.length, config.length_bits);
+    } else {
+      result.stream.write_bit(false);
+      result.stream.write_bit(t.literal);
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    const auto maxlen = static_cast<std::uint32_t>(
+        std::min<std::size_t>(config.max_match(), n - pos));
+    const std::size_t window = std::min<std::size_t>(config.window_size(), pos);
+
+    std::uint32_t best_len = 0;
+    std::uint32_t best_off = 0;
+    for (std::size_t off = 1; off <= window; ++off) {
+      const std::uint32_t len =
+          match_length(value, care, bound, pos, pos - off, maxlen);
+      if (len > best_len) {
+        best_len = len;
+        best_off = static_cast<std::uint32_t>(off);
+        if (len == maxlen) break;
+      }
+    }
+
+    if (best_len >= config.min_match()) {
+      for (std::uint32_t i = 0; i < best_len; ++i) {
+        bound.set(pos + i, bound.get(pos + i - best_off));
+      }
+      emit_token(Lz77Token{.is_match = true, .offset = best_off, .length = best_len});
+      pos += best_len;
+    } else {
+      const bool b = care.get(pos) && value.get(pos);  // X binds to 0
+      bound.set(pos, b);
+      emit_token(Lz77Token{.is_match = false, .literal = b});
+      ++pos;
+    }
+  }
+  return result;
+}
+
+bits::TritVector lz77_decode_tokens(const std::vector<Lz77Token>& tokens,
+                                    std::uint64_t original_bits) {
+  bits::TritVector out;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      if (t.offset == 0 || t.offset > out.size()) {
+        throw std::invalid_argument("lz77_decode_tokens: offset out of window");
+      }
+      for (std::uint32_t i = 0; i < t.length; ++i) {
+        out.push_back(out.get(out.size() - t.offset));
+      }
+    } else {
+      out.push_back(t.literal ? bits::Trit::One : bits::Trit::Zero);
+    }
+  }
+  if (out.size() != original_bits) {
+    throw std::invalid_argument("lz77_decode_tokens: length mismatch");
+  }
+  return out;
+}
+
+bits::TritVector lz77_decode(const bits::BitWriter& stream,
+                             std::uint64_t original_bits,
+                             const Lz77Config& config) {
+  bits::BitReader reader(stream);
+  std::vector<Lz77Token> tokens;
+  std::uint64_t produced = 0;
+  while (produced < original_bits) {
+    Lz77Token t;
+    t.is_match = reader.read_bit();
+    if (t.is_match) {
+      t.offset = static_cast<std::uint32_t>(reader.read(config.window_bits)) + 1;
+      t.length = static_cast<std::uint32_t>(reader.read(config.length_bits));
+      produced += t.length;
+    } else {
+      t.literal = reader.read_bit();
+      produced += 1;
+    }
+    tokens.push_back(t);
+  }
+  return lz77_decode_tokens(tokens, original_bits);
+}
+
+}  // namespace tdc::codec

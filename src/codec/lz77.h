@@ -1,0 +1,73 @@
+#ifndef TDC_CODEC_LZ77_H
+#define TDC_CODEC_LZ77_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitstream.h"
+#include "bits/tritvector.h"
+#include "codec/stats.h"
+
+namespace tdc::codec {
+
+/// Configuration of the don't-care-aware LZ77 (LZSS-style) baseline,
+/// modeled on Wolff & Papachristou, "Multiscan-based Test Compression and
+/// Hardware Decompression Using LZ77" (ITC 2002) — reference [8] of the
+/// reproduced paper.
+///
+/// The scan stream is compressed bit-serially. A token is either
+///   1 <offset:window_bits> <length:length_bits>   (back-reference)
+/// or
+///   0 <bit>                                       (literal).
+/// An X bit in the lookahead matches either history value and is thereby
+/// bound to the history's bit — the LZ77 analogue of the LZW paper's
+/// dynamic don't-care assignment.
+struct Lz77Config {
+  std::uint32_t window_bits = 10;  ///< offset field width; window = 2^window_bits
+  std::uint32_t length_bits = 8;   ///< length field width; max match 2^length_bits-1
+
+  std::uint32_t window_size() const { return 1u << window_bits; }
+  std::uint32_t max_match() const { return (1u << length_bits) - 1; }
+
+  /// Shortest back-reference worth emitting: a match of `L` bits costs
+  /// 1+window_bits+length_bits, the same bits as literals cost 2*L.
+  std::uint32_t min_match() const { return (1 + window_bits + length_bits) / 2 + 1; }
+};
+
+/// One decoded token, exposed for tests and the walkthrough example.
+struct Lz77Token {
+  bool is_match = false;
+  std::uint32_t offset = 0;  ///< distance back from the current position (>=1)
+  std::uint32_t length = 0;  ///< match length in bits
+  bool literal = false;      ///< literal bit value when !is_match
+};
+
+/// Result of an LZ77 compression run.
+struct Lz77Result {
+  Lz77Config config;
+  std::vector<Lz77Token> tokens;
+  bits::BitWriter stream;
+  std::uint64_t original_bits = 0;
+
+  CodecStats stats() const {
+    return CodecStats{"LZ77", original_bits, stream.bit_count()};
+  }
+};
+
+/// Compresses a ternary scan stream with X-aware greedy longest match.
+/// X bits bound by a match adopt the history value; X bits emitted as
+/// literals are bound to 0.
+Lz77Result lz77_encode(const bits::TritVector& input, const Lz77Config& config = {});
+
+/// Decompresses a token stream back into a fully specified bit vector.
+bits::TritVector lz77_decode_tokens(const std::vector<Lz77Token>& tokens,
+                                    std::uint64_t original_bits);
+
+/// Decompresses the packed bit stream (the form the tester would download).
+bits::TritVector lz77_decode(const bits::BitWriter& stream,
+                             std::uint64_t original_bits,
+                             const Lz77Config& config = {});
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_LZ77_H

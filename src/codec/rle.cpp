@@ -1,0 +1,236 @@
+#include "codec/rle.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace tdc::codec {
+
+namespace {
+
+/// Truncated-binary code for a remainder in [0, m). For power-of-two m this
+/// degenerates to plain log2(m)-bit binary (the Rice case).
+void write_remainder(bits::BitWriter& w, std::uint64_t r, std::uint64_t m) {
+  const auto b = static_cast<unsigned>(std::bit_width(m - 1));
+  const std::uint64_t cutoff = (1ULL << b) - m;  // first `cutoff` values use b-1 bits
+  if (r < cutoff) {
+    w.write(r, b - 1);
+  } else {
+    w.write(r + cutoff, b);
+  }
+}
+
+std::uint64_t read_remainder(bits::BitReader& r, std::uint64_t m) {
+  const auto b = static_cast<unsigned>(std::bit_width(m - 1));
+  const std::uint64_t cutoff = (1ULL << b) - m;
+  std::uint64_t v = b > 1 ? r.read(b - 1) : 0;
+  if (v >= cutoff) {
+    v = (v << 1) | (r.read_bit() ? 1 : 0);
+    v -= cutoff;
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_run(bits::BitWriter& w, std::uint64_t len, const RleConfig& config) {
+  switch (config.run_code) {
+    case RunCode::Golomb: {
+      const std::uint64_t m = config.golomb_m;
+      assert(m >= 2);
+      std::uint64_t q = len / m;
+      for (; q > 0; --q) w.write_bit(true);  // unary quotient: q ones
+      w.write_bit(false);                    // terminator
+      if (m > 1) write_remainder(w, len % m, m);
+      break;
+    }
+    case RunCode::Fdr: {
+      // Group k (k >= 1) covers lengths [2^k - 2, 2^(k+1) - 3]; the code is
+      // a (k-1)-ones-then-zero prefix followed by a k-bit tail.
+      unsigned k = 1;
+      while (len > (2ULL << k) - 3) ++k;
+      const std::uint64_t base = (1ULL << k) - 2;
+      for (unsigned i = 1; i < k; ++i) w.write_bit(true);
+      w.write_bit(false);
+      w.write(len - base, k);
+      break;
+    }
+  }
+}
+
+std::uint64_t read_run(bits::BitReader& r, const RleConfig& config) {
+  switch (config.run_code) {
+    case RunCode::Golomb: {
+      const std::uint64_t m = config.golomb_m;
+      std::uint64_t q = 0;
+      while (r.read_bit()) ++q;
+      const std::uint64_t rem = m > 1 ? read_remainder(r, m) : 0;
+      return q * m + rem;
+    }
+    case RunCode::Fdr: {
+      unsigned k = 1;
+      while (r.read_bit()) ++k;
+      const std::uint64_t base = (1ULL << k) - 2;
+      return base + r.read(k);
+    }
+  }
+  return 0;
+}
+
+RleResult golomb_rle_encode(const bits::TritVector& input, const RleConfig& config) {
+  const bits::TritVector filled = input.filled(bits::Trit::Zero);
+  RleResult result;
+  result.config = config;
+  result.original_bits = input.size();
+  result.name = config.run_code == RunCode::Fdr ? "FDR" : "Golomb-RLE";
+
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (filled.get(i) == bits::Trit::Zero) {
+      ++run;
+    } else {
+      result.runs.push_back(run);
+      write_run(result.stream, run, config);
+      run = 0;
+    }
+  }
+  if (run > 0) {  // trailing zeros with no terminating 1
+    result.runs.push_back(run);
+    write_run(result.stream, run, config);
+  }
+  return result;
+}
+
+bits::TritVector golomb_rle_decode(const bits::BitWriter& stream,
+                                   std::uint64_t original_bits,
+                                   const RleConfig& config) {
+  bits::BitReader reader(stream);
+  bits::TritVector out;
+  while (out.size() < original_bits) {
+    const std::uint64_t run = read_run(reader, config);
+    for (std::uint64_t i = 0; i < run && out.size() < original_bits; ++i) {
+      out.push_back(bits::Trit::Zero);
+    }
+    if (out.size() < original_bits) out.push_back(bits::Trit::One);
+  }
+  return out;
+}
+
+RleResult alternating_rle_encode(const bits::TritVector& input,
+                                 const RleConfig& config) {
+  const bits::TritVector filled = input.filled_repeat_last();
+  RleResult result;
+  result.config = config;
+  result.original_bits = input.size();
+  result.name = "Alt-RLE";
+
+  // Runs alternate 0,1,0,1,...; the leading 0-run may be empty.
+  bits::Trit expect = bits::Trit::Zero;
+  std::size_t i = 0;
+  while (i < filled.size()) {
+    std::uint64_t run = 0;
+    while (i < filled.size() && filled.get(i) == expect) {
+      ++run;
+      ++i;
+    }
+    result.runs.push_back(run);
+    write_run(result.stream, run, config);
+    expect = expect == bits::Trit::Zero ? bits::Trit::One : bits::Trit::Zero;
+  }
+  return result;
+}
+
+bits::TritVector alternating_rle_decode(const bits::BitWriter& stream,
+                                        std::uint64_t original_bits,
+                                        const RleConfig& config) {
+  bits::BitReader reader(stream);
+  bits::TritVector out;
+  bits::Trit expect = bits::Trit::Zero;
+  while (out.size() < original_bits) {
+    const std::uint64_t run = read_run(reader, config);
+    for (std::uint64_t i = 0; i < run && out.size() < original_bits; ++i) {
+      out.push_back(expect);
+    }
+    expect = expect == bits::Trit::Zero ? bits::Trit::One : bits::Trit::Zero;
+  }
+  return out;
+}
+
+RleResult golomb_tdiff_encode(const bits::TritVector& input, std::uint32_t width,
+                              const RleConfig& config) {
+  if (width == 0 || input.size() % width != 0) {
+    throw std::invalid_argument("golomb_tdiff_encode: bad pattern width");
+  }
+  // Fill each X from the same cell of the previous (filled) pattern: its
+  // difference bit becomes 0 — the fill rule the scheme is built around.
+  bits::TritVector filled(input.size(), bits::Trit::Zero);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bits::Trit t = input.get(i);
+    if (t != bits::Trit::X) {
+      filled.set(i, t);
+    } else if (i >= width) {
+      filled.set(i, filled.get(i - width));
+    }
+  }
+  bits::TritVector diff(input.size(), bits::Trit::Zero);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool cur = filled.get(i) == bits::Trit::One;
+    const bool prev = i >= width && filled.get(i - width) == bits::Trit::One;
+    diff.set(i, cur != prev ? bits::Trit::One : bits::Trit::Zero);
+  }
+  RleResult result = golomb_rle_encode(diff, config);
+  result.name = "Golomb-Tdiff";
+  return result;
+}
+
+bits::TritVector golomb_tdiff_decode(const bits::BitWriter& stream,
+                                     std::uint64_t original_bits,
+                                     std::uint32_t width, const RleConfig& config) {
+  if (width == 0 || original_bits % width != 0) {
+    throw std::invalid_argument("golomb_tdiff_decode: bad pattern width");
+  }
+  const bits::TritVector diff = golomb_rle_decode(stream, original_bits, config);
+  bits::TritVector out(original_bits, bits::Trit::Zero);
+  for (std::size_t i = 0; i < original_bits; ++i) {
+    const bool prev = i >= width && out.get(i - width) == bits::Trit::One;
+    const bool d = diff.get(i) == bits::Trit::One;
+    out.set(i, prev != d ? bits::Trit::One : bits::Trit::Zero);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename EncodeFn>
+RleResult best_over_grid(const bits::TritVector& input, EncodeFn encode) {
+  RleResult best;
+  bool have = false;
+  for (const std::uint32_t m : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    RleResult r = encode(input, RleConfig{RunCode::Golomb, m});
+    if (!have || r.stream.bit_count() < best.stream.bit_count()) {
+      best = std::move(r);
+      have = true;
+    }
+  }
+  RleResult fdr = encode(input, RleConfig{RunCode::Fdr, 0});
+  if (!have || fdr.stream.bit_count() < best.stream.bit_count()) {
+    best = std::move(fdr);
+  }
+  return best;
+}
+
+}  // namespace
+
+RleResult best_alternating_rle(const bits::TritVector& input) {
+  return best_over_grid(input, [](const bits::TritVector& in, const RleConfig& c) {
+    return alternating_rle_encode(in, c);
+  });
+}
+
+RleResult best_golomb_rle(const bits::TritVector& input) {
+  return best_over_grid(input, [](const bits::TritVector& in, const RleConfig& c) {
+    return golomb_rle_encode(in, c);
+  });
+}
+
+}  // namespace tdc::codec

@@ -1,0 +1,27 @@
+#ifndef TDC_CODEC_STATS_H
+#define TDC_CODEC_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace tdc::codec {
+
+/// Size accounting shared by every compression scheme in the comparison,
+/// using the paper's "Test Compression Ratio" definition:
+///   ratio = (1 - compressed_bits / original_bits) * 100 %.
+struct CodecStats {
+  std::string codec;
+  std::uint64_t original_bits = 0;
+  std::uint64_t compressed_bits = 0;
+
+  double ratio_percent() const {
+    if (original_bits == 0) return 0.0;
+    return (1.0 - static_cast<double>(compressed_bits) /
+                      static_cast<double>(original_bits)) *
+           100.0;
+  }
+};
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_STATS_H

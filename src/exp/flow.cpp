@@ -1,0 +1,74 @@
+#include "exp/flow.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/circuit_gen.h"
+#include "scan/testset_io.h"
+
+namespace tdc::exp {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("TDC_CACHE_DIR"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "tdc_cache";
+}
+
+namespace {
+
+std::string cache_path(const gen::CircuitProfile& profile) {
+  return cache_dir() + "/" + profile.name + ".tests";
+}
+
+std::string coverage_path(const gen::CircuitProfile& profile) {
+  return cache_dir() + "/" + profile.name + ".coverage";
+}
+
+}  // namespace
+
+PreparedCircuit prepare(const gen::CircuitProfile& profile) {
+  PreparedCircuit out;
+  out.profile = profile;
+
+  const std::string tests_file = cache_path(profile);
+  if (std::filesystem::exists(tests_file)) {
+    out.tests = scan::read_tests_file(tests_file);
+    if (std::ifstream cov(coverage_path(profile)); cov) cov >> out.fault_coverage;
+    return out;
+  }
+
+  const netlist::Netlist nl = gen::build_circuit(profile);
+  atpg::AtpgOptions options;
+  options.compaction_window = profile.compaction_window;
+  const atpg::AtpgResult result = atpg::generate_tests(nl, options);
+  out.tests = result.tests.vertically_filled(profile.fill_fraction,
+                                             profile.generator.seed ^ 0xF11Du);
+  out.fault_coverage = result.stats.fault_coverage();
+
+  std::filesystem::create_directories(cache_dir());
+  scan::write_tests_file(tests_file, out.tests);
+  std::ofstream cov(coverage_path(profile));
+  cov << out.fault_coverage << "\n";
+  return out;
+}
+
+PreparedCircuit prepare(const std::string& circuit) {
+  return prepare(gen::find_profile(circuit));
+}
+
+lzw::LzwConfig paper_lzw_config(const gen::CircuitProfile& profile) {
+  return lzw::LzwConfig{.dict_size = profile.dict_size, .char_bits = 7,
+                        .entry_bits = 63};
+}
+
+codec::Lz77Config paper_lz77_config() {
+  return codec::Lz77Config{.window_bits = 9, .length_bits = 5};
+}
+
+codec::RleConfig paper_rle_config() {
+  return codec::RleConfig{codec::RunCode::Golomb, 16};
+}
+
+}  // namespace tdc::exp

@@ -1,0 +1,43 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace tdc::exp {
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out += cell;
+      if (c + 1 < width.size()) out.append(width[c] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string pct(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, value);
+  return buf;
+}
+
+std::string num(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace tdc::exp

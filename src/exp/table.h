@@ -1,0 +1,33 @@
+#ifndef TDC_EXP_TABLE_H
+#define TDC_EXP_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tdc::exp {
+
+/// Minimal aligned ASCII table used by every table-reproduction bench, so
+/// their outputs share one look and are easy to diff against EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders with a header underline and right-padded columns.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34%" formatting used across all tables.
+std::string pct(double value, int decimals = 2);
+
+/// Fixed formatting for counts.
+std::string num(std::uint64_t value);
+
+}  // namespace tdc::exp
+
+#endif  // TDC_EXP_TABLE_H

@@ -1,0 +1,87 @@
+#include "fault/fault.h"
+
+namespace tdc::fault {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+std::string Fault::describe(const Netlist& nl) const {
+  std::string s = nl.gate_name(gate);
+  if (pin >= 0) {
+    s += ".in" + std::to_string(pin) + "(" + nl.gate_name(nl.fanins(gate)[pin]) + ")";
+  }
+  s += stuck_one ? "/sa1" : "/sa0";
+  return s;
+}
+
+std::vector<Fault> full_fault_list(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    for (const bool s1 : {false, true}) {
+      faults.push_back(Fault{g, -1, s1});
+    }
+    for (std::int32_t p = 0; p < static_cast<std::int32_t>(nl.fanins(g).size()); ++p) {
+      for (const bool s1 : {false, true}) {
+        faults.push_back(Fault{g, p, s1});
+      }
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// Is a pin fault with this stuck value equivalent to a stem fault of the
+/// same gate? Returns true and sets `out_stuck_one` accordingly.
+bool pin_equiv_to_output(GateKind kind, bool stuck_one, bool& out_stuck_one) {
+  switch (kind) {
+    case GateKind::And:
+      if (!stuck_one) { out_stuck_one = false; return true; }
+      return false;
+    case GateKind::Nand:
+      if (!stuck_one) { out_stuck_one = true; return true; }
+      return false;
+    case GateKind::Or:
+      if (stuck_one) { out_stuck_one = true; return true; }
+      return false;
+    case GateKind::Nor:
+      if (stuck_one) { out_stuck_one = false; return true; }
+      return false;
+    case GateKind::Buf:
+      out_stuck_one = stuck_one;
+      return true;
+    case GateKind::Not:
+      out_stuck_one = !stuck_one;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Fault> collapse(const Netlist& nl, const std::vector<Fault>& faults) {
+  std::vector<Fault> kept;
+  kept.reserve(faults.size());
+  for (const Fault& f : faults) {
+    if (f.pin < 0) {
+      kept.push_back(f);
+      continue;
+    }
+    // Rule 1: pin fault equivalent to this gate's own stem fault.
+    bool stem_value = false;
+    if (pin_equiv_to_output(nl.kind(f.gate), f.stuck_one, stem_value)) continue;
+    // Rule 2: pin fault on a fanout-free line is equivalent to the driver's
+    // stem fault (same single path).
+    const std::uint32_t driver = nl.fanins(f.gate)[f.pin];
+    if (nl.fanouts(driver).size() == 1) continue;
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+std::vector<Fault> collapsed_fault_list(const Netlist& nl) {
+  return collapse(nl, full_fault_list(nl));
+}
+
+}  // namespace tdc::fault

@@ -1,0 +1,137 @@
+#include "fault/fsim.h"
+
+#include <stdexcept>
+
+namespace tdc::fault {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) throw std::runtime_error("FaultSimulator: netlist not finalized");
+  observed_.assign(nl.gate_count(), 0);
+  for (const auto g : nl.outputs()) observed_[g] = 1;
+  for (const auto d : nl.dffs()) observed_[nl.fanins(d)[0]] = 1;
+  faulty_.assign(nl.gate_count(), 0);
+  epoch_of_.assign(nl.gate_count(), 0);
+  queued_.assign(nl.gate_count(), 0);
+  buckets_.resize(nl.max_level() + 2);
+}
+
+std::uint64_t FaultSimulator::detect_mask(const sim::Sim64& good, const Fault& f,
+                                          std::uint64_t valid_mask,
+                                          std::vector<ObservedDiff>* diffs) {
+  const Netlist& nl = *nl_;
+  const std::uint64_t stuck = f.stuck_one ? ~0ULL : 0ULL;
+  if (diffs != nullptr) diffs->clear();
+
+  // DFF data-pin faults are observed directly at scan-out: the scan cell
+  // captures the stuck value instead of the driver's value.
+  if (f.pin >= 0 && nl.kind(f.gate) == GateKind::Dff) {
+    const std::uint64_t d =
+        (stuck ^ good.get(nl.fanins(f.gate)[f.pin])) & valid_mask;
+    if (diffs != nullptr && d != 0) {
+      diffs->push_back(ObservedDiff{f.gate, true, d});
+    }
+    return d;
+  }
+
+  ++epoch_;
+  std::uint64_t detected = 0;
+
+  auto faulty_value = [&](std::uint32_t g) {
+    return epoch_of_[g] == epoch_ ? faulty_[g] : good.get(g);
+  };
+
+  // Seed: the first gate whose output differs under the fault — the line
+  // itself for a stem fault, the reading gate for a pin fault.
+  const std::uint32_t seed_gate = f.gate;
+  const std::uint64_t seed_val =
+      f.pin < 0 ? stuck : good.evaluate_patched(f.gate, good.data(), f.pin, stuck);
+
+  const std::uint64_t diff0 = (seed_val ^ good.get(seed_gate)) & valid_mask;
+  if (diff0 == 0) return 0;
+  faulty_[seed_gate] = seed_val;
+  epoch_of_[seed_gate] = epoch_;
+  if (observed_[seed_gate]) {
+    detected |= diff0;
+    if (diffs != nullptr) diffs->push_back(ObservedDiff{seed_gate, false, diff0});
+  }
+
+  // Level-ordered event-driven propagation through the fanout cone.
+  auto enqueue = [&](std::uint32_t g) {
+    if (queued_[g]) return;
+    queued_[g] = 1;
+    buckets_[nl.level(g)].push_back(g);
+  };
+  for (const auto s : nl.fanouts(seed_gate)) {
+    if (nl.kind(s) != GateKind::Dff) enqueue(s);
+  }
+
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const std::uint32_t g = bucket[i];
+      queued_[g] = 0;
+      // Evaluate g reading faulty values where stamped; pin faults on g
+      // itself only matter for the seed (a fault is a single site).
+      std::uint64_t inputs[64];
+      const auto& fi = nl.fanins(g);
+      for (std::size_t p = 0; p < fi.size(); ++p) inputs[p] = faulty_value(fi[p]);
+      const std::uint64_t v = [&] {
+        switch (nl.kind(g)) {
+          case GateKind::Buf: return inputs[0];
+          case GateKind::Not: return ~inputs[0];
+          case GateKind::And:
+          case GateKind::Nand: {
+            std::uint64_t x = ~0ULL;
+            for (std::size_t p = 0; p < fi.size(); ++p) x &= inputs[p];
+            return nl.kind(g) == GateKind::Nand ? ~x : x;
+          }
+          case GateKind::Or:
+          case GateKind::Nor: {
+            std::uint64_t x = 0;
+            for (std::size_t p = 0; p < fi.size(); ++p) x |= inputs[p];
+            return nl.kind(g) == GateKind::Nor ? ~x : x;
+          }
+          case GateKind::Xor:
+          case GateKind::Xnor: {
+            std::uint64_t x = 0;
+            for (std::size_t p = 0; p < fi.size(); ++p) x ^= inputs[p];
+            return nl.kind(g) == GateKind::Xnor ? ~x : x;
+          }
+          default: return good.get(g);
+        }
+      }();
+      const std::uint64_t diff = (v ^ good.get(g)) & valid_mask;
+      if (diff == 0) continue;
+      faulty_[g] = v;
+      epoch_of_[g] = epoch_;
+      if (observed_[g]) {
+        detected |= diff;
+        if (diffs != nullptr) diffs->push_back(ObservedDiff{g, false, diff});
+      }
+      for (const auto s : nl.fanouts(g)) {
+        if (nl.kind(s) != GateKind::Dff) enqueue(s);
+      }
+    }
+    bucket.clear();
+  }
+  return detected;
+}
+
+std::size_t FaultSimulator::drop_detected(const sim::Sim64& good,
+                                          const std::vector<Fault>& faults,
+                                          std::vector<bool>& dropped,
+                                          std::uint64_t valid_mask) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (dropped[i]) continue;
+    if (detect_mask(good, faults[i], valid_mask) != 0) {
+      dropped[i] = true;
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace tdc::fault

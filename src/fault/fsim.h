@@ -1,0 +1,61 @@
+#ifndef TDC_FAULT_FSIM_H
+#define TDC_FAULT_FSIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "sim/logicsim.h"
+
+namespace tdc::fault {
+
+/// Parallel-pattern single-fault-propagation (PPSFP) fault simulator.
+///
+/// Works on batches of up to 64 fully specified patterns held in a Sim64
+/// that has already been run() for the good machine. For each fault a
+/// level-ordered event-driven propagation computes the faulty words only in
+/// the fault's output cone; a fault is detected by the patterns (bit mask)
+/// whose faulty value differs from the good value at an observation point
+/// (primary output or DFF data pin — both visible to the scan tester).
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const netlist::Netlist& nl);
+
+  /// Faulty-vs-good difference at one observation point for one fault.
+  struct ObservedDiff {
+    std::uint32_t gate = 0;   ///< observation gate (PO driver or DFF D driver)
+    bool dff_capture = false; ///< true when the diff is the DFF cell's own
+                              ///< capture (a D-pin fault), keyed by the DFF
+    std::uint64_t diff = 0;   ///< per-pattern difference mask
+  };
+
+  /// Patterns (bit mask over the batch) that detect `f`, given the good
+  /// simulation in `good` (run() already called). `valid_mask` restricts
+  /// to the patterns actually loaded in the batch. When `diffs` is given,
+  /// it receives the difference word of every observation point the fault
+  /// reaches (used by the MISR response-compaction model).
+  std::uint64_t detect_mask(const sim::Sim64& good, const Fault& f,
+                            std::uint64_t valid_mask = ~0ULL,
+                            std::vector<ObservedDiff>* diffs = nullptr);
+
+  /// Simulates the batch against every fault in `faults` for which
+  /// `dropped[i]` is false; sets `dropped[i]` when detected. Returns the
+  /// number of newly dropped faults.
+  std::size_t drop_detected(const sim::Sim64& good, const std::vector<Fault>& faults,
+                            std::vector<bool>& dropped,
+                            std::uint64_t valid_mask = ~0ULL);
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint8_t> observed_;       // gate -> is observation point
+  std::vector<std::uint64_t> faulty_;        // faulty word per gate (epoch-tagged)
+  std::vector<std::uint32_t> epoch_of_;      // epoch tag per gate
+  std::uint32_t epoch_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // level-bucket queue
+  std::vector<std::uint8_t> queued_;
+};
+
+}  // namespace tdc::fault
+
+#endif  // TDC_FAULT_FSIM_H

@@ -1,0 +1,335 @@
+#include "gen/circuit_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bits/rng.h"
+
+namespace tdc::gen {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+/// Estimated one-probability of a gate's output given independent fanin
+/// probabilities — used to keep internal signals near p=0.5. Cascades of
+/// unconstrained random NAND/NOR logic otherwise collapse to constants,
+/// which floods the fault universe with redundant (untestable) faults;
+/// real synthesized circuits are probability-balanced by construction.
+double kind_prob(GateKind kind, const std::vector<double>& p) {
+  auto all = [&](bool complement) {
+    double q = 1.0;
+    for (const double x : p) q *= complement ? 1.0 - x : x;
+    return q;
+  };
+  switch (kind) {
+    case GateKind::And: return all(false);
+    case GateKind::Nand: return 1.0 - all(false);
+    case GateKind::Nor: return all(true);
+    case GateKind::Or: return 1.0 - all(true);
+    case GateKind::Not: return 1.0 - p[0];
+    case GateKind::Buf: return p[0];
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      double q = 0.0;  // running parity probability
+      for (const double x : p) q = q * (1.0 - x) + x * (1.0 - q);
+      return kind == GateKind::Xnor ? 1.0 - q : q;
+    }
+    default: return 0.5;
+  }
+}
+
+std::uint32_t pick_fanin_count(bits::Rng& rng) {
+  const std::uint64_t r = rng.below(100);
+  if (r < 14) return 1;
+  if (r < 68) return 2;
+  if (r < 90) return 3;
+  return 4;
+}
+
+/// Draws three candidate kinds for the fanin count and keeps the one whose
+/// estimated output probability is closest to 0.5.
+GateKind pick_kind(std::uint32_t fanin_count, const std::vector<double>& probs,
+                   bits::Rng& rng) {
+  if (fanin_count == 1) return rng.bit() ? GateKind::Not : GateKind::Buf;
+  static constexpr GateKind kPool[] = {GateKind::And, GateKind::Nand, GateKind::Or,
+                                       GateKind::Nor, GateKind::Xor, GateKind::Xnor};
+  GateKind best = kPool[rng.below(6)];
+  double best_d = std::abs(kind_prob(best, probs) - 0.5);
+  for (int c = 0; c < 2; ++c) {
+    const GateKind k = kPool[rng.below(6)];
+    const double d = std::abs(kind_prob(k, probs) - 0.5);
+    if (d < best_d) {
+      best = k;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorConfig& config) {
+  if (config.pis + config.ffs < 2 || config.gates == 0 ||
+      config.pos + config.ffs == 0) {
+    throw std::invalid_argument("generate_circuit: empty configuration");
+  }
+  bits::Rng rng(config.seed);
+  Netlist nl(config.name);
+
+  // Sources. PIs first, then DFF shells (scan cells).
+  std::vector<std::uint32_t> sources;
+  for (std::uint32_t i = 0; i < config.pis; ++i) {
+    sources.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<std::uint32_t> dffs;
+  for (std::uint32_t i = 0; i < config.ffs; ++i) {
+    const auto d = nl.add_dff("ff" + std::to_string(i));
+    dffs.push_back(d);
+    sources.push_back(d);
+  }
+
+  // Locality blocks over the sources. Each block owns a growing pool of
+  // signals (its sources plus the gates assigned to it); gates read mostly
+  // from their own pool, occasionally from a random foreign one.
+  const std::uint32_t block_size = std::max<std::uint32_t>(2, config.block_size);
+  const std::uint32_t blocks =
+      std::max<std::uint32_t>(1, (static_cast<std::uint32_t>(sources.size()) +
+                                  block_size - 1) / block_size);
+  // Contiguous ranges of the source order form a block — matching logic-
+  // aware scan stitching, where structurally related cells end up adjacent
+  // in the chain. A cube's care bits therefore cluster into a few
+  // contiguous stretches of the scan vector, the structure the paper's
+  // compressor exploits. (The suite's X-density calibration in
+  // gen/suite.cpp is tied to this choice.)
+  std::vector<std::vector<std::uint32_t>> pool(blocks);
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    pool[std::min<std::uint32_t>(i / block_size, blocks - 1)].push_back(sources[i]);
+  }
+  // Sources per block: pool[b] entries below this count are sources.
+  std::vector<std::uint32_t> block_sources(blocks);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    block_sources[b] = static_cast<std::uint32_t>(pool[b].size());
+  }
+
+  std::vector<std::uint32_t> fanout_count;
+  auto bump = [&fanout_count](std::uint32_t g) {
+    if (g >= fanout_count.size()) fanout_count.resize(g + 1, 0);
+    ++fanout_count[g];
+  };
+
+  // A fanin pick with provenance, so template gates can be replicated into
+  // other blocks position-for-position.
+  struct FaninRef {
+    bool cross = false;
+    std::uint32_t delta = 0;  // block distance for cross edges
+    std::uint32_t index = 0;  // position within the target pool / sources
+  };
+  auto pick_ref = [&](std::uint32_t home) {
+    FaninRef ref;
+    if (rng.chance(config.cross_block_prob)) {
+      // Cross-block edges connect to a foreign *source* (like a global
+      // enable/reset PI), adding exactly one input to the reader's cone
+      // support instead of pulling in a whole foreign cone transitively.
+      const auto b = static_cast<std::uint32_t>(rng.below(blocks));
+      ref.cross = true;
+      ref.delta = (b + blocks - home) % blocks;
+      ref.index = static_cast<std::uint32_t>(rng.below(block_sources[b]));
+      return ref;
+    }
+    const auto& p = pool[home];
+    // Mild recency bias keeps logic depth reasonable without starving
+    // early sources.
+    if (p.size() > 8 && rng.chance(0.5)) {
+      ref.index = static_cast<std::uint32_t>(p.size() - 1 - rng.below(8));
+    } else {
+      ref.index = static_cast<std::uint32_t>(rng.below(p.size()));
+    }
+    return ref;
+  };
+  auto resolve_ref = [&](const FaninRef& ref, std::uint32_t home) {
+    if (ref.cross) {
+      const std::uint32_t b = (home + ref.delta) % blocks;
+      return pool[b][std::min(ref.index, block_sources[b] - 1)];
+    }
+    const auto& p = pool[home];
+    return p[std::min<std::size_t>(ref.index, p.size() - 1)];
+  };
+  auto pick_signal = [&](std::uint32_t home) {
+    return resolve_ref(pick_ref(home), home);
+  };
+
+  // Estimated one-probability per signal, for balanced kind selection.
+  std::vector<double> prob(nl.gate_count(), 0.5);
+  auto prob_of = [&prob](std::uint32_t g) {
+    return g < prob.size() ? prob[g] : 0.5;
+  };
+  auto set_prob = [&prob](std::uint32_t g, double v) {
+    if (g >= prob.size()) prob.resize(g + 1, 0.5);
+    prob[g] = v;
+  };
+
+  // Gates are created in rounds, one per block per round, so every block's
+  // pool grows in lockstep and template gates can be replicated into other
+  // blocks position-for-position. Block 0 is the template; each other
+  // block either copies the template gate (probability `regularity`) or
+  // gets a fresh random gate of its own.
+  struct Recipe {
+    GateKind kind;
+    std::vector<FaninRef> fanins;
+  };
+  std::vector<Recipe> recipes;
+
+  std::uint32_t created = 0;
+  for (std::uint32_t round = 0; created < config.gates; ++round) {
+    for (std::uint32_t b = 0; b < blocks && created < config.gates; ++b) {
+      std::vector<std::uint32_t> fi;
+      GateKind kind;
+      const bool copy =
+          b != 0 && round < recipes.size() && rng.chance(config.regularity);
+      if (copy) {
+        const Recipe& rec = recipes[round];
+        kind = rec.kind;
+        for (const FaninRef& ref : rec.fanins) {
+          const auto s = resolve_ref(ref, b);
+          if (std::find(fi.begin(), fi.end(), s) == fi.end()) fi.push_back(s);
+        }
+      } else {
+        const std::uint32_t n = pick_fanin_count(rng);
+        std::vector<FaninRef> refs;
+        for (std::uint32_t k = 0; k < n; ++k) {
+          FaninRef ref = pick_ref(b);
+          std::uint32_t s = resolve_ref(ref, b);
+          // Avoid duplicate fanins (legal but pointless; XOR pairs cancel).
+          for (int tries = 0; tries < 4 && std::find(fi.begin(), fi.end(), s) != fi.end();
+               ++tries) {
+            ref = pick_ref(b);
+            s = resolve_ref(ref, b);
+          }
+          if (std::find(fi.begin(), fi.end(), s) == fi.end()) {
+            fi.push_back(s);
+            refs.push_back(ref);
+          }
+        }
+        std::vector<double> fp0;
+        for (const auto f : fi) fp0.push_back(prob_of(f));
+        kind = fi.size() == 1 ? pick_kind(1, fp0, rng)
+                              : pick_kind(static_cast<std::uint32_t>(fi.size()), fp0, rng);
+        if (b == 0) {
+          if (round >= recipes.size()) recipes.resize(round + 1);
+          recipes[round] = Recipe{kind, std::move(refs)};
+        }
+      }
+      // Replication clamping or dedup may have under-filled the gate.
+      const std::uint32_t min_fanin = netlist::fanin_range(kind).first;
+      int guard = 0;
+      while (fi.size() < min_fanin && guard++ < 64) {
+        const auto s = pool[b][rng.below(pool[b].size())];
+        if (std::find(fi.begin(), fi.end(), s) == fi.end()) fi.push_back(s);
+      }
+      if (fi.size() < min_fanin) {
+        kind = fi.size() == 1 ? GateKind::Buf : kind;  // degenerate tiny block
+      }
+      std::vector<double> fp;
+      for (const auto f : fi) fp.push_back(prob_of(f));
+      const auto g = nl.add_gate(kind, "g" + std::to_string(created), fi);
+      set_prob(g, kind_prob(kind, fp));
+      pool[b].push_back(g);
+      for (const auto f : fi) bump(f);
+      ++created;
+    }
+  }
+
+  // ---- Observation wiring, kept block-local. -----------------------------
+  //
+  // Every block observes its own logic: the block's DFF data pins and its
+  // share of the POs consume the block's unread signals, reduced through
+  // small in-block XOR trees when there are more signals than observation
+  // points. Keeping capture block-local is what real scan-stitched designs
+  // look like, and it is essential for the test-cube statistics: a fault
+  // test then only justifies and propagates within one block, so its care
+  // bits cluster inside that block's slice of the scan vector.
+  auto uses = [&fanout_count](std::uint32_t g) {
+    return g < fanout_count.size() ? fanout_count[g] : 0u;
+  };
+
+  // Home block of every gate created so far (sources by range, logic gates
+  // by their recorded home).
+  std::vector<std::uint32_t> home_of(nl.gate_count(), 0);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    for (const auto g : pool[b]) home_of[g] = b;
+  }
+
+  std::vector<std::vector<std::uint32_t>> unused(blocks);
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.kind(g) == GateKind::Dff) continue;  // an unread scan cell is legal
+    if (uses(g) == 0) unused[home_of[g]].push_back(g);
+  }
+
+  // Observation capacity per block: its DFFs plus a round-robin share of
+  // the primary outputs.
+  std::vector<std::vector<std::uint32_t>> block_ffs(blocks);
+  for (const auto d : dffs) block_ffs[home_of[d]].push_back(d);
+  std::vector<std::uint32_t> block_pos(blocks, 0);
+  for (std::uint32_t i = 0; i < config.pos; ++i) ++block_pos[i % blocks];
+
+  std::uint32_t sink_id = 0;
+  auto reduce_to = [&](std::uint32_t b, std::size_t target) {
+    auto& u = unused[b];
+    while (u.size() > target) {
+      const std::size_t n = std::min<std::size_t>(4, u.size() - target + 1);
+      std::vector<std::uint32_t> fi(u.end() - static_cast<std::ptrdiff_t>(n), u.end());
+      u.resize(u.size() - n);
+      // XOR reduction: balanced and transparent, never blocks observation.
+      const GateKind kind = n == 1 ? GateKind::Buf : GateKind::Xor;
+      const auto g = nl.add_gate(kind, "sink" + std::to_string(sink_id++), fi);
+      for (const auto f : fi) bump(f);
+      if (g >= home_of.size()) home_of.resize(g + 1, b);
+      home_of[g] = b;
+      u.push_back(g);
+    }
+  };
+  auto capacity_of = [&](std::uint32_t b) {
+    return block_ffs[b].size() + block_pos[b];
+  };
+
+  // A block with no observation points folds its (reduced) residue into the
+  // next capable block — one extra cross signal, still observed.
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (capacity_of(b) != 0 || unused[b].empty()) continue;
+    reduce_to(b, 1);
+    std::uint32_t nb = (b + 1) % blocks;
+    while (capacity_of(nb) == 0) nb = (nb + 1) % blocks;  // pos+ffs >= 1
+    unused[nb].push_back(unused[b].front());
+    unused[b].clear();
+  }
+
+  // Wire each block's observation points: its unread signals first, then
+  // random signals of the same block.
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    reduce_to(b, capacity_of(b));
+    std::size_t next = 0;
+    auto pick_sink_source = [&]() -> std::uint32_t {
+      if (next < unused[b].size()) return unused[b][next++];
+      return pick_signal(b);
+    };
+    for (const auto d : block_ffs[b]) {
+      const auto src = pick_sink_source();
+      nl.connect_dff(d, src);
+      bump(src);
+    }
+    for (std::uint32_t i = 0; i < block_pos[b]; ++i) {
+      const auto src = pick_sink_source();
+      nl.add_output(src);
+      bump(src);
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace tdc::gen

@@ -1,0 +1,59 @@
+#ifndef TDC_GEN_CIRCUIT_GEN_H
+#define TDC_GEN_CIRCUIT_GEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace tdc::gen {
+
+/// Parameters of the synthetic full-scan circuit generator.
+///
+/// The generator substitutes for the ISCAS89/ITC99 netlists that the paper
+/// feeds through commercial ATPG (see DESIGN.md). What matters for the
+/// compression experiments is the *statistics of the resulting test cubes*;
+/// those are controlled here:
+///
+///  * `pis`/`ffs` fix the scan-vector width (PI + scan cells), i.e. the
+///    paper's per-pattern bit count;
+///  * `gates` fixes circuit size and therefore fault count / pattern count;
+///  * `block_size` and `cross_block_prob` bound the input support of each
+///    output cone: gates mostly read signals of their own source block, so
+///    a single fault test constrains ~block_size inputs and leaves the rest
+///    X — the direct knob for the paper's 35–93 % don't-care densities.
+struct GeneratorConfig {
+  std::string name = "synth";
+  std::uint32_t pis = 32;
+  std::uint32_t pos = 32;
+  std::uint32_t ffs = 128;
+  std::uint32_t gates = 1500;
+
+  /// Sources per locality block.
+  std::uint32_t block_size = 48;
+
+  /// Probability that a fanin is drawn from a foreign block (wired to a
+  /// foreign *source*, like a global enable — keeps cone supports bounded).
+  double cross_block_prob = 0.05;
+
+  /// Structural regularity: probability that a block's gate replicates the
+  /// template block's corresponding gate (same kind, same relative wiring)
+  /// instead of being freshly random. Real designs are regular — datapaths,
+  /// repeated slices (ISCAS's s35932 is an array of identical blocks) — and
+  /// this regularity is what makes the *specified values* of test cubes
+  /// repetitive and therefore dictionary-compressible. 0 = fully random
+  /// logic, 1 = every block identical to the template.
+  double regularity = 0.85;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized, self-contained full-scan netlist:
+/// every gate output reaches some observation point (PO or DFF data pin),
+/// every source feeds some gate, and the combinational core is acyclic by
+/// construction. Deterministic in `config.seed`.
+netlist::Netlist generate_circuit(const GeneratorConfig& config);
+
+}  // namespace tdc::gen
+
+#endif  // TDC_GEN_CIRCUIT_GEN_H

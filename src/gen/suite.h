@@ -1,0 +1,60 @@
+#ifndef TDC_GEN_SUITE_H
+#define TDC_GEN_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.h"
+#include "netlist/netlist.h"
+
+namespace tdc::gen {
+
+/// One benchmark circuit of the paper's evaluation (ISCAS89 full-scan or
+/// ITC99 after test insertion), as a generator profile plus the published
+/// reference numbers we compare shapes against.
+///
+/// PI/FF counts match the published circuit statistics, so the scan-vector
+/// width — the quantity compression actually sees — is faithful. Gate
+/// counts of the largest circuits are scaled down (DESIGN.md §2) to keep
+/// single-core ATPG in seconds; `compaction_window` is calibrated so the
+/// cube sets land near the paper's reported don't-care densities.
+struct CircuitProfile {
+  std::string name;
+
+  GeneratorConfig generator;
+
+  /// ATPG static-compaction window used for this circuit.
+  std::uint32_t compaction_window = 32;
+
+  /// Vertical-fill fraction applied after compaction (see
+  /// scan::TestSet::vertically_filled) — emulates the dynamic-compaction /
+  /// fill passes whose footprint the published X densities include.
+  double fill_fraction = 0.0;
+
+  /// Dictionary size N the paper reports for this circuit (Table 3).
+  std::uint32_t dict_size = 1024;
+
+  /// Published don't-care percentage (Table 3); < 0 when unreadable in the
+  /// source text.
+  double paper_x_percent = -1.0;
+
+  /// Published LZW compression ratio in percent; < 0 when unreadable.
+  double paper_lzw_percent = -1.0;
+};
+
+/// The five circuits of the paper's Table 1/2/4/5/6 comparisons.
+const std::vector<CircuitProfile>& table1_suite();
+
+/// The full Table 3 suite (7 ISCAS89 + 5 ITC99 circuits).
+const std::vector<CircuitProfile>& table3_suite();
+
+/// Profile lookup by name across both suites; throws if unknown.
+const CircuitProfile& find_profile(const std::string& name);
+
+/// Generates the profile's netlist.
+netlist::Netlist build_circuit(const CircuitProfile& profile);
+
+}  // namespace tdc::gen
+
+#endif  // TDC_GEN_SUITE_H

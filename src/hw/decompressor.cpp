@@ -1,0 +1,110 @@
+#include "hw/decompressor.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "lzw/dictionary.h"
+
+namespace tdc::hw {
+
+HwRunResult DecompressorModel::run(const lzw::EncodeResult& encoded) const {
+  const lzw::LzwConfig& lc = config_.lzw;
+  const std::uint32_t ce = lc.code_bits();
+  const std::uint64_t k = config_.clock_ratio;
+
+  lzw::Dictionary dict(lc);
+  bits::BitReader reader(encoded.stream);
+
+  HwRunResult result;
+  result.uncompressed_tester_cycles = encoded.original_bits;
+
+  // `t` is the current internal-clock time. In pipelined mode, compressed
+  // bit b (0-based) has arrived once t >= (b+1)*k (the tester streams one
+  // bit per tester cycle into the input shifter while the FSM works). In
+  // the paper's serial architecture the FSM spends C_E tester cycles
+  // receiving each code before decoding it.
+  std::uint64_t t = 0;
+  std::uint64_t bits_consumed = 0;
+  std::uint32_t prev = lzw::kNoCode;
+  std::uint64_t emitted_bits = 0;
+
+  const std::size_t code_count = encoded.codes.size();
+  for (std::size_t idx = 0; idx < code_count; ++idx) {
+    // --- Input: wait until the full code has arrived (C_E bits, or the
+    // current dictionary-fill width in variable-width mode — the model's
+    // dictionary is in lockstep with the encoder's, so the widths agree).
+    const std::uint32_t width =
+        lc.variable_width
+            ? std::min(static_cast<std::uint32_t>(std::bit_width(dict.size())), ce)
+            : ce;
+    bits_consumed += width;
+    if (config_.pipelined) {
+      const std::uint64_t arrival = bits_consumed * k;
+      if (arrival > t) {
+        result.input_stall_cycles += arrival - t;
+        t = arrival;
+      }
+    } else {
+      result.input_stall_cycles += width * k;
+      t += static_cast<std::uint64_t>(width) * k;
+    }
+    const auto code = static_cast<std::uint32_t>(reader.read(width));
+
+    // --- Decode: literal pass-through, RAM read, or C_MLAST (KwKwK).
+    std::vector<std::uint32_t> entry;
+    std::uint64_t decode_cycles = 0;
+    if (code < lc.first_code()) {
+      if (!dict.defined(code)) throw std::invalid_argument("hw: bad literal");
+      entry = dict.expand(code);
+      decode_cycles = config_.literal_load_cycles;
+    } else if (dict.defined(code)) {
+      entry = dict.expand(code);
+      decode_cycles = config_.mem_read_cycles;
+    } else if (prev != lzw::kNoCode && code == dict.next_code() &&
+               dict.extendable(prev)) {
+      // KwKwK: the expansion is Buffer + Buffer's first character, all held
+      // in the C_MLAST register — no RAM read needed.
+      entry = dict.expand(prev);
+      entry.push_back(dict.first_char(prev));
+      decode_cycles = config_.literal_load_cycles;
+    } else {
+      throw std::invalid_argument("hw: undefined code in stream");
+    }
+    result.mem_cycles += decode_cycles;
+    t += decode_cycles;
+
+    // --- Dictionary update (mirrors lzw::Decoder), overlapped with shift.
+    std::uint64_t write_cycles = 0;
+    if (prev != lzw::kNoCode && dict.child(prev, entry.front()) == lzw::kNoCode) {
+      if (dict.add(prev, entry.front()) != lzw::kNoCode) {
+        write_cycles = config_.mem_write_cycles;
+      }
+    }
+    prev = code;
+
+    // --- Output: shift entry.size()*C_C bits into the scan chain at one
+    // bit per internal cycle; the RAM write happens under the shift.
+    const std::uint64_t shift = static_cast<std::uint64_t>(entry.size()) * lc.char_bits;
+    const std::uint64_t busy = std::max(shift, write_cycles);
+    result.shift_cycles += shift;
+    t += busy;
+
+    for (const std::uint32_t ch : entry) {
+      for (std::uint32_t b = lc.char_bits; b-- > 0;) {
+        if (emitted_bits >= encoded.original_bits) break;
+        result.scan_bits.push_back(((ch >> b) & 1u) != 0 ? bits::Trit::One
+                                                         : bits::Trit::Zero);
+        ++emitted_bits;
+      }
+    }
+  }
+
+  if (emitted_bits < encoded.original_bits) {
+    throw std::invalid_argument("hw: stream shorter than original test set");
+  }
+  result.internal_cycles = t;
+  return result;
+}
+
+}  // namespace tdc::hw

@@ -1,0 +1,57 @@
+#ifndef TDC_HW_MEMORY_H
+#define TDC_HW_MEMORY_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "lzw/config.h"
+
+namespace tdc::hw {
+
+/// Geometry and area model of the dictionary memory (paper Fig. 6).
+///
+/// Each of the N words stores a C_MLEN field (character count of the entry)
+/// next to C_MDATA bits of expanded characters. The memory is an *existing*
+/// embedded-core RAM reached through one extra mux level on the BIST path,
+/// so the added silicon is the muxing plus an output isolation buffer — the
+/// RAM itself is reused. The model reports both the reused bit count and the
+/// added control overhead.
+struct DictionaryMemoryModel {
+  explicit DictionaryMemoryModel(const lzw::LzwConfig& config) : config_(config) {}
+
+  /// Number of memory words (the paper reports geometries like "1024x49").
+  std::uint32_t words() const { return config_.dict_size; }
+
+  /// Width of the C_MLEN field: enough to count up to max_entry_chars.
+  std::uint32_t len_field_bits() const {
+    return static_cast<std::uint32_t>(std::bit_width(config_.max_entry_chars()));
+  }
+
+  /// Word width: C_MLEN field plus C_MDATA data bits.
+  std::uint32_t word_bits() const { return len_field_bits() + config_.entry_bits; }
+
+  /// Total reused storage in bits.
+  std::uint64_t total_bits() const {
+    return static_cast<std::uint64_t>(words()) * word_bits();
+  }
+
+  /// Geometry string in the paper's "NxW" form, e.g. "1024x49".
+  std::string geometry() const {
+    return std::to_string(words()) + "x" + std::to_string(word_bits());
+  }
+
+  /// Added 2:1 mux bits on the write path (address + data + control), i.e.
+  /// the Fig. 6 "LZW select" level in front of the BIST muxes.
+  std::uint64_t mux_overhead_bits() const {
+    const std::uint32_t addr = config_.code_bits();
+    return addr + word_bits() + 2;  // address, data, write-enable + select
+  }
+
+ private:
+  lzw::LzwConfig config_;
+};
+
+}  // namespace tdc::hw
+
+#endif  // TDC_HW_MEMORY_H

@@ -1,0 +1,53 @@
+#ifndef TDC_HW_MISR_H
+#define TDC_HW_MISR_H
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace tdc::hw {
+
+/// Multiple-input signature register — the response-compaction half of the
+/// BIST infrastructure whose memory the paper's decompressor reuses
+/// (Fig. 6). A type-2 LFSR: each clock shifts the state left, feeds back
+/// the parity of the tapped bits into bit 0, and XORs a parallel response
+/// word across the register.
+class Misr {
+ public:
+  /// `width` in [1,64]; `polynomial` holds the feedback taps (bit i set =
+  /// state bit i participates in feedback). The default is the CRC-32
+  /// polynomial truncated to the width.
+  explicit Misr(std::uint32_t width = 32, std::uint64_t polynomial = 0x04C11DB7u)
+      : width_(width), mask_(width >= 64 ? ~0ULL : (1ULL << width) - 1),
+        poly_(polynomial & mask_) {
+    if (width == 0 || width > 64) {
+      throw std::invalid_argument("Misr: width must be in [1,64]");
+    }
+  }
+
+  std::uint32_t width() const { return width_; }
+
+  /// One clock with a parallel response word (low `width` bits used).
+  /// Internal-XOR LFSR step: the shifted-out MSB feeds back through the
+  /// polynomial taps. With a polynomial whose constant term is 1 (bit 0
+  /// set) the state map is invertible, so an injected error can never
+  /// silently vanish — only cancel against a later error (true aliasing).
+  void clock(std::uint64_t inputs) {
+    const bool out = ((state_ >> (width_ - 1)) & 1ULL) != 0;
+    state_ = ((state_ << 1) ^ (out ? poly_ : 0) ^ inputs) & mask_;
+  }
+
+  /// Current signature.
+  std::uint64_t signature() const { return state_; }
+
+  void reset(std::uint64_t seed = 0) { state_ = seed & mask_; }
+
+ private:
+  std::uint32_t width_;
+  std::uint64_t mask_;
+  std::uint64_t poly_;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace tdc::hw
+
+#endif  // TDC_HW_MISR_H

@@ -1,0 +1,161 @@
+#include "hw/test_session.h"
+
+#include <stdexcept>
+
+#include "fault/fsim.h"
+#include "scan/testset.h"
+#include "sim/logicsim.h"
+
+namespace tdc::hw {
+
+using netlist::Netlist;
+
+namespace {
+
+/// Loads up to 64 patterns into the simulator (ScanView source order).
+std::uint64_t load_batch(sim::Sim64& sim, const scan::ScanView& view,
+                         const std::vector<bits::TritVector>& patterns,
+                         std::size_t first, std::size_t count) {
+  for (std::uint32_t pos = 0; pos < view.width(); ++pos) {
+    std::uint64_t word = 0;
+    for (std::size_t p = 0; p < count; ++p) {
+      if (patterns[first + p].get(pos) == bits::Trit::One) word |= 1ULL << p;
+    }
+    sim.set(view.source(pos), word);
+  }
+  sim.run();
+  return count == 64 ? ~0ULL : (1ULL << count) - 1;
+}
+
+}  // namespace
+
+TestSession::TestSession(const Netlist& nl, TestSessionConfig config)
+    : nl_(&nl), config_(config) {
+  if (!nl.finalized()) throw std::runtime_error("TestSession: netlist not finalized");
+}
+
+std::uint32_t TestSession::response_width() const {
+  return static_cast<std::uint32_t>(nl_->outputs().size() + nl_->dffs().size());
+}
+
+void TestSession::compute_good_responses(
+    const std::vector<bits::TritVector>& patterns) {
+  if (patterns == cached_patterns_) return;
+  const Netlist& nl = *nl_;
+  const scan::ScanView view(nl);
+  sim::Sim64 sim(nl);
+
+  const std::uint32_t slots = response_width();
+  const std::uint32_t mw = config_.misr_width;
+  const std::uint32_t words = (slots + mw - 1) / mw;
+
+  good_words_.assign(patterns.size(), std::vector<std::uint64_t>(words, 0));
+  for (std::size_t first = 0; first < patterns.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
+    load_batch(sim, view, patterns, first, count);
+    std::uint32_t slot = 0;
+    auto fill_slot = [&](std::uint64_t value_word) {
+      for (std::size_t p = 0; p < count; ++p) {
+        if ((value_word >> p) & 1ULL) {
+          good_words_[first + p][slot / mw] |= 1ULL << (slot % mw);
+        }
+      }
+      ++slot;
+    };
+    for (const auto o : nl.outputs()) fill_slot(sim.get(o));
+    for (const auto d : nl.dffs()) fill_slot(sim.get(nl.fanins(d)[0]));
+  }
+  cached_patterns_ = patterns;
+}
+
+std::uint64_t TestSession::good_signature(
+    const std::vector<bits::TritVector>& patterns) {
+  compute_good_responses(patterns);
+  Misr misr(config_.misr_width, config_.misr_polynomial);
+  for (const auto& words : good_words_) {
+    for (const auto w : words) misr.clock(w);
+  }
+  return misr.signature();
+}
+
+std::uint64_t TestSession::faulty_signature(
+    const std::vector<bits::TritVector>& patterns, const fault::Fault& fault) {
+  compute_good_responses(patterns);
+  const Netlist& nl = *nl_;
+  const scan::ScanView view(nl);
+  sim::Sim64 sim(nl);
+  fault::FaultSimulator fsim(nl);
+
+  // Slot mapping: gate -> response slots it drives.
+  const std::uint32_t mw = config_.misr_width;
+  std::vector<std::vector<std::uint32_t>> slots_of(nl.gate_count());
+  std::uint32_t slot = 0;
+  for (const auto o : nl.outputs()) slots_of[o].push_back(slot++);
+  std::vector<std::uint32_t> dff_slot(nl.gate_count(), 0);
+  for (const auto d : nl.dffs()) {
+    slots_of[nl.fanins(d)[0]].push_back(slot);
+    dff_slot[d] = slot++;
+  }
+
+  std::vector<std::vector<std::uint64_t>> words = good_words_;
+  std::vector<fault::FaultSimulator::ObservedDiff> diffs;
+  for (std::size_t first = 0; first < patterns.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
+    const std::uint64_t mask = load_batch(sim, view, patterns, first, count);
+    fsim.detect_mask(sim, fault, mask, &diffs);
+    for (const auto& d : diffs) {
+      for (std::size_t p = 0; p < count; ++p) {
+        if (((d.diff >> p) & 1ULL) == 0) continue;
+        if (d.dff_capture) {
+          const std::uint32_t s = dff_slot[d.gate];
+          words[first + p][s / mw] ^= 1ULL << (s % mw);
+        } else {
+          for (const auto s : slots_of[d.gate]) {
+            words[first + p][s / mw] ^= 1ULL << (s % mw);
+          }
+        }
+      }
+    }
+  }
+
+  Misr misr(config_.misr_width, config_.misr_polynomial);
+  for (const auto& w : words) {
+    for (const auto v : w) misr.clock(v);
+  }
+  return misr.signature();
+}
+
+SignatureCoverage TestSession::signature_coverage(
+    const std::vector<bits::TritVector>& patterns,
+    const std::vector<fault::Fault>& faults) {
+  compute_good_responses(patterns);
+  const std::uint64_t good = good_signature(patterns);
+
+  SignatureCoverage out;
+  out.faults = faults.size();
+  const Netlist& nl = *nl_;
+  sim::Sim64 probe(nl);
+  fault::FaultSimulator fsim(nl);
+  const scan::ScanView view(nl);
+
+  for (const auto& f : faults) {
+    // Exact-comparison detection first (cheap): any batch with a diff.
+    bool scan_detected = false;
+    for (std::size_t first = 0; first < patterns.size() && !scan_detected;
+         first += 64) {
+      const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
+      const std::uint64_t mask = load_batch(probe, view, patterns, first, count);
+      scan_detected = fsim.detect_mask(probe, f, mask) != 0;
+    }
+    if (!scan_detected) continue;
+    ++out.scan_detected;
+    if (faulty_signature(patterns, f) != good) {
+      ++out.misr_detected;
+    } else {
+      ++out.aliased;
+    }
+  }
+  return out;
+}
+
+}  // namespace tdc::hw

@@ -1,0 +1,74 @@
+#ifndef TDC_HW_TEST_SESSION_H
+#define TDC_HW_TEST_SESSION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "fault/fault.h"
+#include "hw/misr.h"
+#include "netlist/netlist.h"
+
+namespace tdc::hw {
+
+/// Signature-based test-response evaluation: the full-scan responses of
+/// every pattern (primary outputs, then the values captured into the scan
+/// cells) are compacted into one MISR signature, the way a BIST-style
+/// tester interface would check them. This models the paper's surrounding
+/// BIST-reuse infrastructure and quantifies the aliasing cost of replacing
+/// per-bit response comparison with a signature.
+struct TestSessionConfig {
+  std::uint32_t misr_width = 32;
+  std::uint64_t misr_polynomial = 0x04C11DB7u;
+};
+
+/// Signature-coverage summary over a fault list.
+struct SignatureCoverage {
+  std::size_t faults = 0;           ///< faults evaluated
+  std::size_t scan_detected = 0;    ///< detected by per-bit comparison
+  std::size_t misr_detected = 0;    ///< detected by signature mismatch
+  std::size_t aliased = 0;          ///< scan-detected but signature-masked
+
+  double scan_percent() const {
+    return faults == 0 ? 0.0 : 100.0 * static_cast<double>(scan_detected) / faults;
+  }
+  double misr_percent() const {
+    return faults == 0 ? 0.0 : 100.0 * static_cast<double>(misr_detected) / faults;
+  }
+};
+
+class TestSession {
+ public:
+  explicit TestSession(const netlist::Netlist& nl, TestSessionConfig config = {});
+
+  /// Good-machine signature of a fully specified pattern set.
+  std::uint64_t good_signature(const std::vector<bits::TritVector>& patterns);
+
+  /// Signature with `fault` injected.
+  std::uint64_t faulty_signature(const std::vector<bits::TritVector>& patterns,
+                                 const fault::Fault& fault);
+
+  /// Evaluates every fault: is it detected by exact response comparison,
+  /// and does its faulty signature differ from the good one (aliasing)?
+  SignatureCoverage signature_coverage(const std::vector<bits::TritVector>& patterns,
+                                       const std::vector<fault::Fault>& faults);
+
+  /// Response bits per pattern: |PO| + |scan cells|.
+  std::uint32_t response_width() const;
+
+ private:
+  /// Good response words per pattern (slot-major packing), cached.
+  void compute_good_responses(const std::vector<bits::TritVector>& patterns);
+
+  const netlist::Netlist* nl_;
+  TestSessionConfig config_;
+
+  // Cached per-pattern good responses, one bit vector per pattern packed
+  // into words of misr_width for direct MISR clocking.
+  std::vector<std::vector<std::uint64_t>> good_words_;
+  std::vector<bits::TritVector> cached_patterns_;
+};
+
+}  // namespace tdc::hw
+
+#endif  // TDC_HW_TEST_SESSION_H

@@ -1,0 +1,92 @@
+#include "hw/vcd.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace tdc::hw {
+
+namespace {
+
+/// Compact printable identifier for signal n (base-94 over '!'..'~').
+std::string vcd_id(std::size_t n) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, std::string module, std::string timescale)
+    : out_(&out), module_(std::move(module)) {
+  *out_ << "$timescale " << timescale << " $end\n";
+}
+
+std::size_t VcdWriter::add_signal(const std::string& name, std::uint32_t width) {
+  if (begun_) throw std::runtime_error("VcdWriter: declaration after begin()");
+  if (width == 0 || width > 64) throw std::runtime_error("VcdWriter: bad width");
+  Signal s;
+  s.name = name;
+  s.id = vcd_id(signals_.size());
+  s.width = width;
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+void VcdWriter::begin() {
+  if (begun_) return;
+  *out_ << "$scope module " << module_ << " $end\n";
+  for (const Signal& s : signals_) {
+    *out_ << "$var wire " << s.width << " " << s.id << " " << s.name << " $end\n";
+  }
+  *out_ << "$upscope $end\n$enddefinitions $end\n";
+  *out_ << "#0\n$dumpvars\n";
+  for (Signal& s : signals_) {
+    emit(s, 0);
+    s.dumped = true;
+  }
+  *out_ << "$end\n";
+  time_written_ = true;
+  begun_ = true;
+}
+
+void VcdWriter::advance(std::uint64_t time) {
+  if (!begun_) throw std::runtime_error("VcdWriter: advance before begin()");
+  if (time < time_) throw std::runtime_error("VcdWriter: time moved backwards");
+  if (time != time_) {
+    time_ = time;
+    time_written_ = false;
+  }
+}
+
+void VcdWriter::change(std::size_t signal, std::uint64_t value) {
+  Signal& s = signals_.at(signal);
+  if (s.width < 64) value &= (1ULL << s.width) - 1;
+  if (s.dumped && value == s.last) return;
+  if (!time_written_) {
+    *out_ << "#" << time_ << "\n";
+    time_written_ = true;
+  }
+  emit(s, value);
+  s.last = value;
+  s.dumped = true;
+}
+
+void VcdWriter::emit(const Signal& s, std::uint64_t value) {
+  if (s.width == 1) {
+    *out_ << (value ? '1' : '0') << s.id << "\n";
+    return;
+  }
+  *out_ << "b";
+  bool leading = true;
+  for (std::uint32_t b = s.width; b-- > 0;) {
+    const bool bit = (value >> b) & 1ULL;
+    if (bit) leading = false;
+    if (!leading || b == 0) *out_ << (bit ? '1' : '0');
+  }
+  *out_ << " " << s.id << "\n";
+}
+
+}  // namespace tdc::hw

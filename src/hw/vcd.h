@@ -1,0 +1,53 @@
+#ifndef TDC_HW_VCD_H
+#define TDC_HW_VCD_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tdc::hw {
+
+/// Minimal IEEE-1364 VCD (value-change dump) writer, enough for GTKWave:
+/// declare signals, then advance time and record changes. Only changed
+/// values are emitted, per the format's contract.
+class VcdWriter {
+ public:
+  /// `timescale` per VCD syntax, e.g. "1ns".
+  explicit VcdWriter(std::ostream& out, std::string module = "top",
+                     std::string timescale = "1ns");
+
+  /// Declares a signal (before begin()). Returns its handle.
+  std::size_t add_signal(const std::string& name, std::uint32_t width);
+
+  /// Ends the declaration section and dumps initial values (all 0).
+  void begin();
+
+  /// Advances simulation time (monotonically non-decreasing).
+  void advance(std::uint64_t time);
+
+  /// Records a value change at the current time (no-op if unchanged).
+  void change(std::size_t signal, std::uint64_t value);
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;
+    std::uint32_t width;
+    std::uint64_t last = 0;
+    bool dumped = false;
+  };
+
+  void emit(const Signal& s, std::uint64_t value);
+
+  std::ostream* out_;
+  std::string module_;
+  std::vector<Signal> signals_;
+  std::uint64_t time_ = 0;
+  bool time_written_ = false;
+  bool begun_ = false;
+};
+
+}  // namespace tdc::hw
+
+#endif  // TDC_HW_VCD_H

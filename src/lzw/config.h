@@ -1,0 +1,83 @@
+#ifndef TDC_LZW_CONFIG_H
+#define TDC_LZW_CONFIG_H
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tdc::lzw {
+
+/// Static configuration of the LZW codec, mirroring the paper's
+/// "configurator block" (§3): everything here is agreed between the
+/// compression tool and the on-chip decompressor before any data is sent.
+///
+/// Terminology follows the paper:
+///   * `dict_size`  — N, total number of codes (literals + dictionary entries)
+///   * `char_bits`  — C_C, width of one uncompressed character
+///   * `entry_bits` — C_MDATA, width of the dictionary memory's data field,
+///                    i.e. the maximum uncompressed expansion of any code
+/// Derived:
+///   * code_bits()  — C_E = ceil(log2 N), width of one compressed character
+///   * literal_count() — 2^C_C; codes [0, 2^C_C) are implicit literals
+///   * max_entry_chars() — floor(C_MDATA / C_C), entry cap in characters
+struct LzwConfig {
+  std::uint32_t dict_size = 1024;
+  std::uint32_t char_bits = 7;
+  std::uint32_t entry_bits = 63;
+
+  /// false (the paper's hardware): every code is a fixed C_E bits. true:
+  /// classic software LZW code growth — a code is transmitted in just
+  /// enough bits to address the dictionary codes defined at that moment,
+  /// growing toward C_E as the dictionary fills. Saves a few percent early
+  /// in the stream at the cost of a variable-width input shifter
+  /// (quantified by bench/ablation_codewidth).
+  bool variable_width = false;
+
+  /// C_E: number of bits per compressed code (the maximum, when
+  /// variable_width is set).
+  std::uint32_t code_bits() const {
+    return dict_size <= 1 ? 1u : static_cast<std::uint32_t>(std::bit_width(dict_size - 1u));
+  }
+
+  /// Number of literal codes (one per possible uncompressed character).
+  std::uint32_t literal_count() const { return 1u << char_bits; }
+
+  /// First code index available for dictionary entries.
+  std::uint32_t first_code() const { return literal_count(); }
+
+  /// Maximum characters a single dictionary entry may expand to
+  /// (bounded by the embedded-memory word width C_MDATA).
+  std::uint32_t max_entry_chars() const { return entry_bits / char_bits; }
+
+  /// True when the configuration leaves no room for dictionary codes —
+  /// the degenerate "code exhaustion" regime of paper Table 4 (large C_C).
+  bool degenerate() const {
+    return dict_size <= literal_count() || max_entry_chars() < 2;
+  }
+
+  /// Throws std::invalid_argument if the configuration is not realizable.
+  void validate() const {
+    if (char_bits == 0 || char_bits > 16) {
+      throw std::invalid_argument("LzwConfig: char_bits must be in [1,16]");
+    }
+    if (dict_size < literal_count()) {
+      throw std::invalid_argument(
+          "LzwConfig: dict_size must cover all 2^char_bits literals");
+    }
+    if (entry_bits < char_bits) {
+      throw std::invalid_argument(
+          "LzwConfig: entry_bits must hold at least one character");
+    }
+  }
+
+  std::string describe() const {
+    return "N=" + std::to_string(dict_size) + " C_C=" + std::to_string(char_bits) +
+           " C_MDATA=" + std::to_string(entry_bits) +
+           " C_E=" + std::to_string(code_bits());
+  }
+};
+
+}  // namespace tdc::lzw
+
+#endif  // TDC_LZW_CONFIG_H

@@ -1,0 +1,78 @@
+#include "lzw/decoder.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace tdc::lzw {
+
+DecodeResult Decoder::decode(const std::vector<std::uint32_t>& codes,
+                             std::uint64_t original_bits) const {
+  std::size_t i = 0;
+  return decode_impl([&](std::uint32_t) { return codes[i++]; }, codes.size(),
+                     original_bits);
+}
+
+DecodeResult Decoder::decode_impl(
+    const std::function<std::uint32_t(std::uint32_t)>& next_code,
+    std::size_t code_count, std::uint64_t original_bits) const {
+  Dictionary dict(config_);
+  DecodeResult result;
+
+  std::uint32_t prev = kNoCode;
+  for (std::size_t idx = 0; idx < code_count; ++idx) {
+    const std::uint32_t width =
+        config_.variable_width
+            ? std::min(static_cast<std::uint32_t>(std::bit_width(dict.size())),
+                       config_.code_bits())
+            : config_.code_bits();
+    const std::uint32_t code = next_code(width);
+    std::vector<std::uint32_t> entry;
+    if (dict.defined(code)) {
+      entry = dict.expand(code);
+    } else if (prev != kNoCode && code == dict.next_code() && dict.extendable(prev)) {
+      // KwKwK (paper Fig. 4f): the code references the entry that is being
+      // created right now — its expansion is Buffer plus Buffer's first char.
+      entry = dict.expand(prev);
+      entry.push_back(dict.first_char(prev));
+    } else {
+      throw std::invalid_argument("Decoder: undefined code in stream");
+    }
+
+    if (prev != kNoCode) {
+      // Mirror of the encoder's dictionary insertion; Dictionary::add
+      // enforces the identical freeze (capacity) and C_MDATA (width) rules.
+      if (dict.child(prev, entry.front()) == kNoCode) {
+        dict.add(prev, entry.front());
+      }
+    }
+
+    result.chars.insert(result.chars.end(), entry.begin(), entry.end());
+    prev = code;
+  }
+
+  for (const std::uint32_t ch : result.chars) {
+    for (std::uint32_t b = config_.char_bits; b-- > 0;) {
+      if (result.bits.size() == original_bits) break;
+      result.bits.push_back(((ch >> b) & 1u) != 0 ? bits::Trit::One
+                                                  : bits::Trit::Zero);
+    }
+  }
+  if (result.bits.size() < original_bits) {
+    throw std::invalid_argument("Decoder: stream shorter than original_bits");
+  }
+
+  result.dict_codes_used = dict.size();
+  return result;
+}
+
+DecodeResult Decoder::decode_stream(bits::BitReader& reader, std::size_t code_count,
+                                    std::uint64_t original_bits) const {
+  return decode_impl(
+      [&reader](std::uint32_t width) {
+        return static_cast<std::uint32_t>(reader.read(width));
+      },
+      code_count, original_bits);
+}
+
+}  // namespace tdc::lzw

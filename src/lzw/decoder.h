@@ -1,0 +1,62 @@
+#ifndef TDC_LZW_DECODER_H
+#define TDC_LZW_DECODER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bits/bitstream.h"
+#include "bits/tritvector.h"
+#include "lzw/config.h"
+#include "lzw/dictionary.h"
+
+namespace tdc::lzw {
+
+/// Output of a decompression run.
+struct DecodeResult {
+  /// The reconstructed, fully specified scan stream, truncated to the
+  /// original (unpadded) bit count.
+  bits::TritVector bits;
+
+  /// Decoded characters before truncation (one per C_C output bits).
+  std::vector<std::uint32_t> chars;
+
+  /// Codes defined in the dictionary at the end (including literals);
+  /// equals the encoder's count, or exceeds it by one trailing entry
+  /// (the decoder also learns from the final code).
+  std::uint32_t dict_codes_used = 0;
+};
+
+/// Software reference model of the LZW decompressor (paper §4 / Fig. 4),
+/// including the classic "code not yet defined" (KwKwK) special case and the
+/// same dictionary-limit and entry-width freeze rules as the encoder, so the
+/// two dictionaries evolve in lockstep.
+class Decoder {
+ public:
+  explicit Decoder(const LzwConfig& config) : config_(config) { config_.validate(); }
+
+  /// Decodes an explicit code sequence. `original_bits` trims the X padding
+  /// the encoder added to the final character.
+  /// Throws std::invalid_argument on a corrupt stream (undefined code).
+  DecodeResult decode(const std::vector<std::uint32_t>& codes,
+                      std::uint64_t original_bits) const;
+
+  /// Decodes `code_count` codes from a tester bit stream — fixed C_E-bit
+  /// codes, or growing-width codes when config.variable_width is set (the
+  /// width follows the dictionary fill level, in lockstep with the
+  /// encoder).
+  DecodeResult decode_stream(bits::BitReader& reader, std::size_t code_count,
+                             std::uint64_t original_bits) const;
+
+ private:
+  /// Shared decode loop; `next_code(width)` supplies the next code, where
+  /// `width` is the bit width a stream reader must consume.
+  DecodeResult decode_impl(const std::function<std::uint32_t(std::uint32_t)>& next_code,
+                           std::size_t code_count, std::uint64_t original_bits) const;
+
+  LzwConfig config_;
+};
+
+}  // namespace tdc::lzw
+
+#endif  // TDC_LZW_DECODER_H

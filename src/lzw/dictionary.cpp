@@ -1,0 +1,65 @@
+#include "lzw/dictionary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tdc::lzw {
+
+Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
+  config_.validate();
+  nodes_.reserve(config_.dict_size);
+  // Literal codes: one root per possible uncompressed character.
+  for (std::uint32_t c = 0; c < config_.literal_count(); ++c) {
+    Node n;
+    n.parent = kNoCode;
+    n.ch = c;
+    n.length = 1;
+    nodes_.push_back(std::move(n));
+  }
+  next_code_ = config_.literal_count();
+  longest_bits_ = config_.char_bits;
+}
+
+std::uint32_t Dictionary::first_char(std::uint32_t code) const {
+  assert(defined(code));
+  while (nodes_[code].parent != kNoCode) code = nodes_[code].parent;
+  return nodes_[code].ch;
+}
+
+std::vector<std::uint32_t> Dictionary::expand(std::uint32_t code) const {
+  assert(defined(code));
+  std::vector<std::uint32_t> out;
+  out.reserve(length(code));
+  for (std::uint32_t c = code; c != kNoCode; c = nodes_[c].parent) {
+    out.push_back(nodes_[c].ch);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint32_t Dictionary::child(std::uint32_t code, std::uint32_t ch) const {
+  assert(defined(code));
+  for (const auto& [c, child_code] : nodes_[code].children) {
+    if (c == ch) return child_code;
+  }
+  return kNoCode;
+}
+
+std::uint32_t Dictionary::add(std::uint32_t parent, std::uint32_t ch) {
+  assert(defined(parent));
+  assert(ch < config_.literal_count());
+  assert(child(parent, ch) == kNoCode);
+  if (full() || !extendable(parent)) return kNoCode;
+  const std::uint32_t code = next_code_++;
+  Node n;
+  n.parent = parent;
+  n.ch = ch;
+  n.length = nodes_[parent].length + 1;
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.emplace_back(ch, code);
+  longest_bits_ = std::max<std::uint64_t>(
+      longest_bits_, static_cast<std::uint64_t>(n.length) * config_.char_bits);
+  return code;
+}
+
+}  // namespace tdc::lzw

@@ -1,0 +1,107 @@
+#ifndef TDC_LZW_DICTIONARY_H
+#define TDC_LZW_DICTIONARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "lzw/config.h"
+
+namespace tdc::lzw {
+
+/// Sentinel meaning "no code".
+inline constexpr std::uint32_t kNoCode = 0xffffffffu;
+
+/// The LZW dictionary, shared in structure between compressor and
+/// decompressor so the two stay in lockstep (the paper's central
+/// requirement: "the same algorithm is used for both compression and
+/// decompression").
+///
+/// Codes [0, 2^C_C) are implicit literals. Every explicit entry is a
+/// (parent code, appended character) pair; its uncompressed expansion is the
+/// parent's expansion followed by the character. Entry expansions are capped
+/// at max_entry_chars() characters — the embedded-memory word bound that the
+/// paper introduces so the hardware can fetch a whole expansion in one read.
+///
+/// The structure is a trie: each code keeps a list of (character, child)
+/// pairs. Child lists make the don't-care-aware match ("which children are
+/// compatible with this ternary character?") an O(#children) scan instead of
+/// a 2^X enumeration.
+class Dictionary {
+ public:
+  explicit Dictionary(const LzwConfig& config);
+
+  const LzwConfig& config() const { return config_; }
+
+  /// Total codes currently defined (literals + entries).
+  std::uint32_t size() const { return next_code_; }
+
+  /// Next code index that add() would define, or kNoCode when full.
+  std::uint32_t next_code() const { return full() ? kNoCode : next_code_; }
+
+  /// True when all N codes are defined (dictionary freeze).
+  bool full() const { return next_code_ >= config_.dict_size; }
+
+  /// True iff `code` is currently defined.
+  bool defined(std::uint32_t code) const { return code < next_code_; }
+
+  /// Expansion length of `code` in characters (1 for literals).
+  std::uint32_t length(std::uint32_t code) const { return nodes_[code].length; }
+
+  /// Expansion length of `code` in bits.
+  std::uint64_t length_bits(std::uint32_t code) const {
+    return static_cast<std::uint64_t>(length(code)) * config_.char_bits;
+  }
+
+  /// Parent of `code` (kNoCode for literals).
+  std::uint32_t parent(std::uint32_t code) const { return nodes_[code].parent; }
+
+  /// Last character of `code`'s expansion (the literal value for literals).
+  std::uint32_t last_char(std::uint32_t code) const { return nodes_[code].ch; }
+
+  /// First character of `code`'s expansion (walks the parent chain).
+  std::uint32_t first_char(std::uint32_t code) const;
+
+  /// Full expansion of `code`, first character first.
+  std::vector<std::uint32_t> expand(std::uint32_t code) const;
+
+  /// Child of `code` along exactly character `ch`, or kNoCode.
+  std::uint32_t child(std::uint32_t code, std::uint32_t ch) const;
+
+  /// All (character, child code) pairs under `code`, in insertion order.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& children(
+      std::uint32_t code) const {
+    return nodes_[code].children;
+  }
+
+  /// True when appending one character to `code` would still fit in a
+  /// dictionary entry (the C_MDATA bound).
+  bool extendable(std::uint32_t code) const {
+    return length(code) + 1 <= config_.max_entry_chars();
+  }
+
+  /// Defines the next code as (parent, ch) if the dictionary is not full and
+  /// the entry fits the C_MDATA bound. Returns the new code or kNoCode when
+  /// nothing was added. Precondition: defined(parent), no existing
+  /// (parent, ch) child, ch < 2^C_C.
+  std::uint32_t add(std::uint32_t parent, std::uint32_t ch);
+
+  /// Longest expansion (in bits) over all currently defined codes.
+  std::uint64_t longest_entry_bits() const { return longest_bits_; }
+
+ private:
+  struct Node {
+    std::uint32_t parent = kNoCode;
+    std::uint32_t ch = 0;       // character appended by this node
+    std::uint32_t length = 0;   // expansion length in characters
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> children;
+  };
+
+  LzwConfig config_;
+  std::vector<Node> nodes_;
+  std::uint32_t next_code_ = 0;
+  std::uint64_t longest_bits_ = 0;
+};
+
+}  // namespace tdc::lzw
+
+#endif  // TDC_LZW_DICTIONARY_H

@@ -1,0 +1,181 @@
+#include "lzw/encoder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "bits/rng.h"
+
+namespace tdc::lzw {
+
+namespace {
+
+/// Applies a pre-fill mode, turning the ternary input into a fully
+/// specified vector (identity for Dynamic).
+bits::TritVector prefill(const bits::TritVector& input, XAssignMode mode,
+                         std::uint64_t rng_seed) {
+  switch (mode) {
+    case XAssignMode::Dynamic:
+      return input;
+    case XAssignMode::ZeroFill:
+      return input.filled(bits::Trit::Zero);
+    case XAssignMode::OneFill:
+      return input.filled(bits::Trit::One);
+    case XAssignMode::RepeatFill:
+      return input.filled_repeat_last();
+    case XAssignMode::RandomFill: {
+      bits::Rng rng(rng_seed);
+      return input.filled_random(rng);
+    }
+  }
+  return input;
+}
+
+}  // namespace
+
+std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
+                                  std::uint64_t value, std::uint64_t care,
+                                  const bits::TritVector& input,
+                                  std::uint64_t char_index,
+                                  std::uint64_t input_chars) const {
+  // How many of the next input characters `code`'s subtree can keep
+  // matching (greedy, first compatible grandchild) — the Lookahead score.
+  const auto lookahead_score = [&](std::uint32_t code) {
+    constexpr int kDepth = 2;
+    int score = 0;
+    std::uint32_t cur = code;
+    for (int d = 1; d <= kDepth && char_index + d < input_chars; ++d) {
+      const std::uint64_t pos = (char_index + d) * config_.char_bits;
+      const std::uint64_t nv = input.word(pos, config_.char_bits);
+      const std::uint64_t nc = input.care_word(pos, config_.char_bits);
+      std::uint32_t next = kNoCode;
+      for (const auto& [ch, child] : dict.children(cur)) {
+        if (((static_cast<std::uint64_t>(ch) ^ nv) & nc) == 0) {
+          next = child;
+          break;
+        }
+      }
+      if (next == kNoCode) break;
+      ++score;
+      cur = next;
+    }
+    return score;
+  };
+
+  std::uint32_t best = kNoCode;
+  std::size_t best_children = 0;
+  int best_score = -1;
+  for (const auto& [ch, child] : dict.children(buffer)) {
+    if (((static_cast<std::uint64_t>(ch) ^ value) & care) != 0) continue;
+    switch (tiebreak_) {
+      case Tiebreak::First:
+        return child;  // insertion order: first compatible wins
+      case Tiebreak::LowestChar:
+        if (best == kNoCode || ch < dict.last_char(best)) best = child;
+        break;
+      case Tiebreak::MostRecent:
+        if (best == kNoCode || child > best) best = child;
+        break;
+      case Tiebreak::MostChildren: {
+        const std::size_t n = dict.children(child).size();
+        if (best == kNoCode || n > best_children) {
+          best = child;
+          best_children = n;
+        }
+        break;
+      }
+      case Tiebreak::Lookahead: {
+        const int score = lookahead_score(child);
+        if (score > best_score) {
+          best = child;
+          best_score = score;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode,
+                             std::uint64_t rng_seed,
+                             const StepObserver& observer) const {
+  const bits::TritVector input = prefill(raw_input, mode, rng_seed);
+  const std::uint32_t cc = config_.char_bits;
+
+  EncodeResult result;
+  result.config = config_;
+  result.original_bits = input.size();
+  result.input_chars = (input.size() + cc - 1) / cc;
+
+  Dictionary dict(config_);
+
+  // Variable-width basis: the decoder's dictionary lags the encoder's by
+  // exactly one insertion when it reads a code (it learns the entry for
+  // emission k only while processing emission k+1), so each code must be
+  // sized by the dictionary state *before* the encoder's latest add —
+  // the classic LZW width-change timing.
+  std::uint32_t width_basis = dict.size();
+  auto emit = [&](std::uint32_t code) {
+    result.codes.push_back(code);
+    result.code_lengths.push_back(dict.length(code));
+    // Clamp at C_E: once the dictionary is full, codes stay below N even
+    // though bit_width(N) would be one wider.
+    const std::uint32_t width =
+        config_.variable_width
+            ? std::min(static_cast<std::uint32_t>(std::bit_width(width_basis)),
+                       config_.code_bits())
+            : config_.code_bits();
+    result.stream.write(code, width);
+    result.longest_match_bits =
+        std::max(result.longest_match_bits, dict.length_bits(code));
+  };
+
+  std::uint32_t buffer = kNoCode;
+  for (std::uint64_t i = 0; i < result.input_chars; ++i) {
+    const std::uint64_t pos = i * cc;
+    const std::uint64_t value = input.word(pos, cc);
+    const std::uint64_t care = input.care_word(pos, cc);
+    EncoderStep step{.char_index = i, .char_value = value, .char_care = care,
+                     .buffer_before = buffer};
+
+    if (buffer == kNoCode) {
+      // First character of the message: bind its X bits (to 0) and start
+      // the match at the corresponding literal root.
+      buffer = static_cast<std::uint32_t>(value & care);
+    } else if (const std::uint32_t child =
+                   pick_child(dict, buffer, value, care, input, i, result.input_chars);
+               child != kNoCode) {
+      // The (Buffer, Input) pair exists (for some legal X binding): keep
+      // matching. The X bits are hereby bound to the child's character.
+      buffer = child;
+    } else {
+      // No compatible child: emit Buffer, create the (Buffer, Input) entry
+      // with a concrete binding of the X bits, and restart the match there.
+      emit(buffer);
+      step.emitted = buffer;
+      const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0
+      width_basis = dict.size();
+      step.new_entry = dict.add(buffer, ch);
+      buffer = ch;
+    }
+    if (observer) {
+      step.buffer_after = buffer;
+      observer(step);
+    }
+  }
+  if (buffer != kNoCode) {
+    emit(buffer);
+    if (observer) {
+      observer(EncoderStep{.char_index = result.input_chars,
+                           .buffer_before = buffer, .buffer_after = kNoCode,
+                           .emitted = buffer});
+    }
+  }
+
+  result.dict_codes_used = dict.size();
+  result.longest_entry_bits = dict.longest_entry_bits();
+  return result;
+}
+
+}  // namespace tdc::lzw

@@ -1,0 +1,98 @@
+#include "lzw/stream_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tdc::lzw {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'D', 'C', 'L', 'Z', 'W', '1', '\0'};
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> b;
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b.data(), 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> b;
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b.data(), 8);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::array<unsigned char, 4> b;
+  in.read(reinterpret_cast<char*>(b.data()), 4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::array<unsigned char, 8> b;
+  in.read(reinterpret_cast<char*>(b.data()), 8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+}  // namespace
+
+void write_image(std::ostream& out, const EncodeResult& encoded) {
+  out.write(kMagic, sizeof kMagic);
+  put_u32(out, encoded.config.dict_size);
+  put_u32(out, encoded.config.char_bits);
+  put_u32(out, encoded.config.entry_bits);
+  put_u32(out, encoded.config.variable_width ? 1u : 0u);
+  put_u64(out, encoded.original_bits);
+  put_u64(out, encoded.codes.size());
+  put_u64(out, encoded.stream.bit_count());
+  const auto& bytes = encoded.stream.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write_image: stream error");
+}
+
+CompressedImage read_image(std::istream& in) {
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("read_image: bad magic (not a TDCLZW1 file)");
+  }
+  CompressedImage image;
+  image.config.dict_size = get_u32(in);
+  image.config.char_bits = get_u32(in);
+  image.config.entry_bits = get_u32(in);
+  image.config.variable_width = get_u32(in) != 0;
+  image.original_bits = get_u64(in);
+  image.code_count = get_u64(in);
+  const std::uint64_t payload_bits = get_u64(in);
+  if (!in) throw std::runtime_error("read_image: truncated header");
+  image.config.validate();
+
+  const std::uint64_t bytes = (payload_bits + 7) / 8;
+  std::vector<char> buf(bytes);
+  in.read(buf.data(), static_cast<std::streamsize>(bytes));
+  if (!in) throw std::runtime_error("read_image: truncated payload");
+  for (std::uint64_t i = 0; i < payload_bits; ++i) {
+    image.stream.write_bit((static_cast<unsigned char>(buf[i / 8]) >> (7 - i % 8)) & 1);
+  }
+  return image;
+}
+
+void write_image_file(const std::string& path, const EncodeResult& encoded) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_image_file: cannot open " + path);
+  write_image(out, encoded);
+}
+
+CompressedImage read_image_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_image_file: cannot open " + path);
+  return read_image(in);
+}
+
+}  // namespace tdc::lzw

@@ -1,0 +1,39 @@
+#ifndef TDC_LZW_STREAM_IO_H
+#define TDC_LZW_STREAM_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "lzw/decoder.h"
+#include "lzw/encoder.h"
+
+namespace tdc::lzw {
+
+/// A compressed test-data image as stored on disk: the configurator state
+/// (LzwConfig — out-of-band, exactly like the paper's configurator block)
+/// plus the packed code stream the tester downloads.
+struct CompressedImage {
+  LzwConfig config;
+  std::uint64_t original_bits = 0;
+  std::uint64_t code_count = 0;
+  bits::BitWriter stream;
+
+  /// Decodes back into the fully specified scan stream.
+  DecodeResult decode() const {
+    bits::BitReader reader(stream);
+    return Decoder(config).decode_stream(reader, code_count, original_bits);
+  }
+};
+
+/// Binary format "TDCLZW1": little-endian header (dict_size, char_bits,
+/// entry_bits, flags, original_bits, code_count, payload_bits) followed by
+/// the payload bytes.
+void write_image(std::ostream& out, const EncodeResult& encoded);
+CompressedImage read_image(std::istream& in);
+
+void write_image_file(const std::string& path, const EncodeResult& encoded);
+CompressedImage read_image_file(const std::string& path);
+
+}  // namespace tdc::lzw
+
+#endif  // TDC_LZW_STREAM_IO_H

@@ -1,0 +1,58 @@
+#include "lzw/verify.h"
+
+#include <stdexcept>
+
+namespace tdc::lzw {
+
+VerifyReport verify_roundtrip(const bits::TritVector& input,
+                              const EncodeResult& encoded) {
+  VerifyReport report;
+  Decoder decoder(encoded.config);
+
+  DecodeResult from_codes;
+  try {
+    from_codes = decoder.decode(encoded.codes, encoded.original_bits);
+  } catch (const std::exception& e) {
+    report.error = std::string("decode failed: ") + e.what();
+    return report;
+  }
+
+  if (from_codes.bits.size() != input.size()) {
+    report.error = "decoded length mismatch";
+    return report;
+  }
+  if (!input.covered_by(from_codes.bits)) {
+    report.error = "decoded stream violates a care bit of the input";
+    return report;
+  }
+  if (!from_codes.bits.fully_specified()) {
+    report.error = "decoded stream contains X";
+    return report;
+  }
+
+  // The packed tester stream must decode identically to the code list.
+  bits::BitReader reader(encoded.stream);
+  try {
+    const DecodeResult from_stream =
+        decoder.decode_stream(reader, encoded.codes.size(), encoded.original_bits);
+    if (from_stream.bits != from_codes.bits) {
+      report.error = "bit-stream decode differs from code-list decode";
+      return report;
+    }
+  } catch (const std::exception& e) {
+    report.error = std::string("stream decode failed: ") + e.what();
+    return report;
+  }
+
+  report.ok = true;
+  return report;
+}
+
+VerifyReport encode_and_verify(const LzwConfig& config,
+                               const bits::TritVector& input, XAssignMode mode,
+                               Tiebreak tiebreak) {
+  const Encoder encoder(config, tiebreak);
+  return verify_roundtrip(input, encoder.encode(input, mode));
+}
+
+}  // namespace tdc::lzw

@@ -1,0 +1,218 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdc::netlist {
+
+namespace {
+
+struct PendingGate {
+  GateKind kind;
+  std::string name;
+  std::vector<std::string> fanin_names;
+  std::size_t line;
+};
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+GateKind kind_from_name(const std::string& s, std::size_t line) {
+  static const std::map<std::string, GateKind> kMap = {
+      {"DFF", GateKind::Dff},     {"AND", GateKind::And},
+      {"NAND", GateKind::Nand},   {"OR", GateKind::Or},
+      {"NOR", GateKind::Nor},     {"XOR", GateKind::Xor},
+      {"XNOR", GateKind::Xnor},   {"NOT", GateKind::Not},
+      {"INV", GateKind::Not},     {"BUF", GateKind::Buf},
+      {"BUFF", GateKind::Buf},    {"CONST0", GateKind::Const0},
+      {"CONST1", GateKind::Const1}};
+  const auto it = kMap.find(upper(s));
+  if (it == kMap.end()) {
+    throw std::runtime_error("bench: unknown gate type '" + s + "' at line " +
+                             std::to_string(line));
+  }
+  return it->second;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("bench: " + what + " at line " + std::to_string(line));
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& name) {
+  Netlist nl(name);
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> gates;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(lineno, "expected INPUT(...)/OUTPUT(...)");
+      }
+      const std::string head = upper(trim(line.substr(0, open)));
+      const std::string arg = trim(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) fail(lineno, "empty signal name");
+      if (head == "INPUT") {
+        input_names.push_back(arg);
+      } else if (head == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        fail(lineno, "expected INPUT or OUTPUT, got '" + head + "'");
+      }
+      continue;
+    }
+
+    // name = KIND(a, b, ...)
+    PendingGate g;
+    g.line = lineno;
+    g.name = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (g.name.empty() || open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(lineno, "expected 'name = KIND(a, b)'");
+    }
+    g.kind = kind_from_name(trim(rhs.substr(0, open)), lineno);
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok = trim(tok);
+      if (tok.empty()) fail(lineno, "empty fanin name");
+      g.fanin_names.push_back(tok);
+    }
+    gates.push_back(std::move(g));
+  }
+
+  for (const auto& n : input_names) nl.add_input(n);
+
+  std::map<std::string, const PendingGate*> by_name;
+  for (const auto& g : gates) {
+    if (by_name.count(g.name)) fail(g.line, "duplicate definition of " + g.name);
+    by_name[g.name] = &g;
+  }
+  for (const auto& n : output_names) {
+    if (nl.find(n) == Netlist::kNoGate && by_name.count(n) == 0) {
+      fail(1, "OUTPUT(" + n + ") never defined");
+    }
+  }
+
+  // Creation order: inputs, then DFF shells (their outputs are sources and
+  // may be referenced by any combinational gate, including their own fanin
+  // cone), then combinational gates in dependency rounds — guaranteed to
+  // make progress because combinational logic is acyclic once DFF outputs
+  // exist — and finally the deferred DFF data pins.
+  std::vector<const PendingGate*> todo;
+  for (const auto& g : gates) {
+    if (g.kind == GateKind::Dff) {
+      if (g.fanin_names.size() != 1) fail(g.line, "DFF takes exactly one fanin");
+      nl.add_dff(g.name);
+    } else {
+      todo.push_back(&g);
+    }
+  }
+  while (!todo.empty()) {
+    std::vector<const PendingGate*> next;
+    for (const PendingGate* g : todo) {
+      bool ready = true;
+      std::vector<std::uint32_t> ids;
+      ids.reserve(g->fanin_names.size());
+      for (const auto& fn : g->fanin_names) {
+        const auto id = nl.find(fn);
+        if (id == Netlist::kNoGate) {
+          if (by_name.count(fn) == 0) fail(g->line, "undefined signal " + fn);
+          ready = false;
+          break;
+        }
+        ids.push_back(id);
+      }
+      if (ready) {
+        nl.add_gate(g->kind, g->name, ids);
+      } else {
+        next.push_back(g);
+      }
+    }
+    if (next.size() == todo.size()) {
+      fail(next.front()->line,
+           "combinational cycle involving " + next.front()->name);
+    }
+    todo = std::move(next);
+  }
+  for (const auto& g : gates) {
+    if (g.kind != GateKind::Dff) continue;
+    const auto d = nl.find(g.fanin_names.front());
+    if (d == Netlist::kNoGate) fail(g.line, "undefined signal " + g.fanin_names.front());
+    nl.connect_dff(nl.find(g.name), d);
+  }
+
+  for (const auto& n : output_names) nl.add_output(nl.find(n));
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return parse_bench(in, name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench: cannot open " + path);
+  auto base = path;
+  const auto slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return parse_bench(in, base);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by opentdc\n";
+  for (const auto g : nl.inputs()) out << "INPUT(" << nl.gate_name(g) << ")\n";
+  for (const auto g : nl.outputs()) out << "OUTPUT(" << nl.gate_name(g) << ")\n";
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.kind(g) == GateKind::Input) continue;
+    out << nl.gate_name(g) << " = " << to_string(nl.kind(g)) << "(";
+    const auto& fi = nl.fanins(g);
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.gate_name(fi[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace tdc::netlist

@@ -1,0 +1,39 @@
+#ifndef TDC_NETLIST_BENCH_IO_H
+#define TDC_NETLIST_BENCH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace tdc::netlist {
+
+/// Parses an ISCAS89-style `.bench` description, e.g.
+///
+///     # s27 fragment
+///     INPUT(G0)
+///     OUTPUT(G17)
+///     G10 = DFF(G14)
+///     G17 = NOT(G11)
+///     G11 = NAND(G0, G10)
+///
+/// Gates may be referenced before their defining line (two-pass resolve).
+/// The returned netlist is finalized. Throws std::runtime_error with a line
+/// number on any syntax or structural error.
+Netlist parse_bench(std::istream& in, const std::string& name = "bench");
+
+/// Convenience overload over a string.
+Netlist parse_bench_string(const std::string& text, const std::string& name = "bench");
+
+/// Parses a `.bench` file from disk.
+Netlist parse_bench_file(const std::string& path);
+
+/// Writes a netlist in `.bench` form (inverse of parse_bench).
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// Renders write_bench into a string.
+std::string to_bench_string(const Netlist& nl);
+
+}  // namespace tdc::netlist
+
+#endif  // TDC_NETLIST_BENCH_IO_H

@@ -1,0 +1,175 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tdc::netlist {
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input: return "INPUT";
+    case GateKind::Dff: return "DFF";
+    case GateKind::And: return "AND";
+    case GateKind::Nand: return "NAND";
+    case GateKind::Or: return "OR";
+    case GateKind::Nor: return "NOR";
+    case GateKind::Xor: return "XOR";
+    case GateKind::Xnor: return "XNOR";
+    case GateKind::Not: return "NOT";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Const0: return "CONST0";
+    case GateKind::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+std::pair<std::uint32_t, std::uint32_t> fanin_range(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input:
+    case GateKind::Const0:
+    case GateKind::Const1:
+      return {0, 0};
+    case GateKind::Dff:
+    case GateKind::Not:
+    case GateKind::Buf:
+      return {1, 1};
+    case GateKind::Xor:
+    case GateKind::Xnor:
+      return {2, 16};  // n-ary XOR is parity, as in .bench practice
+    default:
+      return {2, 64};
+  }
+}
+
+bool inverting(GateKind kind) {
+  return kind == GateKind::Nand || kind == GateKind::Nor ||
+         kind == GateKind::Not || kind == GateKind::Xnor;
+}
+
+std::uint32_t Netlist::add_node(GateKind kind, const std::string& name,
+                                std::vector<std::uint32_t> fanins) {
+  if (finalized_) throw std::runtime_error("Netlist: modified after finalize");
+  if (by_name_.count(name) != 0) {
+    throw std::runtime_error("Netlist: duplicate gate name " + name);
+  }
+  const auto [lo, hi] = fanin_range(kind);
+  const auto n = static_cast<std::uint32_t>(fanins.size());
+  if (n < lo || (hi != 0 && n > hi)) {
+    throw std::runtime_error(std::string("Netlist: bad fanin count for ") +
+                             to_string(kind) + " gate " + name);
+  }
+  for (const std::uint32_t f : fanins) {
+    if (f >= gate_count()) throw std::runtime_error("Netlist: fanin id out of range");
+  }
+  const auto id = gate_count();
+  kinds_.push_back(kind);
+  names_.push_back(name);
+  fanins_.push_back(std::move(fanins));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t Netlist::add_input(const std::string& name) {
+  const auto id = add_node(GateKind::Input, name, {});
+  inputs_.push_back(id);
+  return id;
+}
+
+std::uint32_t Netlist::add_gate(GateKind kind, const std::string& name,
+                                const std::vector<std::uint32_t>& fanins) {
+  if (kind == GateKind::Input) {
+    throw std::runtime_error("Netlist: use add_input for primary inputs");
+  }
+  const auto id = add_node(kind, name, fanins);
+  if (kind == GateKind::Dff) dffs_.push_back(id);
+  return id;
+}
+
+std::uint32_t Netlist::add_dff(const std::string& name) {
+  if (finalized_) throw std::runtime_error("Netlist: modified after finalize");
+  if (by_name_.count(name) != 0) {
+    throw std::runtime_error("Netlist: duplicate gate name " + name);
+  }
+  const auto id = gate_count();
+  kinds_.push_back(GateKind::Dff);
+  names_.push_back(name);
+  fanins_.emplace_back();  // D pin connected later
+  by_name_.emplace(name, id);
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_dff(std::uint32_t dff, std::uint32_t fanin) {
+  if (finalized_) throw std::runtime_error("Netlist: modified after finalize");
+  if (dff >= gate_count() || kinds_[dff] != GateKind::Dff || !fanins_[dff].empty()) {
+    throw std::runtime_error("Netlist: connect_dff target is not an open DFF");
+  }
+  if (fanin >= gate_count()) throw std::runtime_error("Netlist: fanin id out of range");
+  fanins_[dff].push_back(fanin);
+}
+
+void Netlist::add_output(std::uint32_t gate) {
+  if (gate >= gate_count()) throw std::runtime_error("Netlist: output id out of range");
+  outputs_.push_back(gate);
+}
+
+std::uint32_t Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+void Netlist::finalize() {
+  if (finalized_) return;
+
+  for (const std::uint32_t d : dffs_) {
+    if (fanins_[d].empty()) {
+      throw std::runtime_error("Netlist: DFF " + names_[d] + " has no data fanin");
+    }
+  }
+
+  fanouts_.assign(gate_count(), {});
+  for (std::uint32_t g = 0; g < gate_count(); ++g) {
+    for (const std::uint32_t f : fanins_[g]) fanouts_[f].push_back(g);
+  }
+
+  // Kahn levelization of the combinational core. DFF gates are sequential
+  // boundaries: their *output* is a source, their fanin edge is not part of
+  // the combinational dependency graph.
+  levels_.assign(gate_count(), 0);
+  std::vector<std::uint32_t> pending(gate_count(), 0);
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t g = 0; g < gate_count(); ++g) {
+    if (is_source(g) || fanins_[g].empty()) {
+      ready.push_back(g);
+    } else {
+      pending[g] = static_cast<std::uint32_t>(fanins_[g].size());
+    }
+  }
+
+  topo_.clear();
+  topo_.reserve(gate_count());
+  std::size_t head = 0;
+  std::vector<std::uint32_t> order = ready;
+  while (head < order.size()) {
+    const std::uint32_t g = order[head++];
+    if (!is_source(g)) topo_.push_back(g);
+    for (const std::uint32_t s : fanouts_[g]) {
+      if (kinds_[s] == GateKind::Dff) continue;  // sequential edge
+      levels_[s] = std::max(levels_[s], levels_[g] + 1);
+      if (--pending[s] == 0) order.push_back(s);
+    }
+  }
+
+  std::uint32_t combinational = 0;
+  for (std::uint32_t g = 0; g < gate_count(); ++g) {
+    if (!is_source(g)) ++combinational;
+  }
+  if (static_cast<std::uint32_t>(topo_.size()) != combinational) {
+    throw std::runtime_error("Netlist: combinational cycle detected in " + name_);
+  }
+  max_level_ = 0;
+  for (const std::uint32_t l : levels_) max_level_ = std::max(max_level_, l);
+  finalized_ = true;
+}
+
+}  // namespace tdc::netlist

@@ -1,0 +1,135 @@
+#ifndef TDC_NETLIST_NETLIST_H
+#define TDC_NETLIST_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tdc::netlist {
+
+/// Gate primitives of the ISCAS89 `.bench` netlist format, plus constants.
+enum class GateKind : std::uint8_t {
+  Input,  ///< primary input (no fanin)
+  Dff,    ///< D flip-flop; its output is a pseudo-primary input of the
+          ///< combinational core, its single fanin a pseudo-primary output
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Not,
+  Buf,
+  Const0,
+  Const1,
+};
+
+/// Name of a gate kind as it appears in `.bench` files.
+const char* to_string(GateKind kind);
+
+/// Allowed fanin count range for a kind (min, max); max of 0 means unbounded.
+std::pair<std::uint32_t, std::uint32_t> fanin_range(GateKind kind);
+
+/// True for kinds whose output inverts the "natural" backtrace value.
+bool inverting(GateKind kind);
+
+/// A flat, index-based gate-level netlist.
+///
+/// Gates are identified by dense `std::uint32_t` ids in creation order.
+/// Primary outputs are *references* to driving gates (as in `.bench`:
+/// `OUTPUT(G17)` does not create a gate). After construction, `finalize()`
+/// builds fanout lists and a topological order of the combinational core
+/// (DFF outputs are sources, DFF data inputs are sinks), validating that the
+/// core is acyclic.
+class Netlist {
+ public:
+  static constexpr std::uint32_t kNoGate = 0xffffffffu;
+
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ------------------------------------------------------------- building
+
+  /// Adds a primary input. Throws on duplicate name.
+  std::uint32_t add_input(const std::string& name);
+
+  /// Adds a gate of `kind` driven by `fanins`. Throws on duplicate name or
+  /// fanin-count violation. Fanin ids must already exist.
+  std::uint32_t add_gate(GateKind kind, const std::string& name,
+                         const std::vector<std::uint32_t>& fanins);
+
+  /// Adds a DFF whose data fanin is connected later via connect_dff().
+  /// A DFF's D pin routinely depends (combinationally) on the DFF's own
+  /// output, so parsers and generators need the shell before the wiring.
+  std::uint32_t add_dff(const std::string& name);
+
+  /// Connects the single data fanin of a DFF created by add_dff().
+  /// Throws if `dff` is not an unconnected DFF.
+  void connect_dff(std::uint32_t dff, std::uint32_t fanin);
+
+  /// Declares gate `gate` as a primary output (may be repeated per .bench).
+  void add_output(std::uint32_t gate);
+
+  /// Builds fanouts + levelization; must be called once after construction.
+  /// Throws std::runtime_error on a combinational cycle or dangling input.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ------------------------------------------------------------- queries
+
+  std::uint32_t gate_count() const { return static_cast<std::uint32_t>(kinds_.size()); }
+  GateKind kind(std::uint32_t g) const { return kinds_[g]; }
+  const std::string& gate_name(std::uint32_t g) const { return names_[g]; }
+  const std::vector<std::uint32_t>& fanins(std::uint32_t g) const { return fanins_[g]; }
+  const std::vector<std::uint32_t>& fanouts(std::uint32_t g) const { return fanouts_[g]; }
+
+  /// Id lookup by name; kNoGate if absent.
+  std::uint32_t find(const std::string& name) const;
+
+  const std::vector<std::uint32_t>& inputs() const { return inputs_; }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+  const std::vector<std::uint32_t>& dffs() const { return dffs_; }
+
+  /// Combinational evaluation order (excludes Input/Dff gates, which are
+  /// sources). Valid after finalize().
+  const std::vector<std::uint32_t>& topo_order() const { return topo_; }
+
+  /// Logic level of each gate (sources are level 0). Valid after finalize().
+  std::uint32_t level(std::uint32_t g) const { return levels_[g]; }
+  std::uint32_t max_level() const { return max_level_; }
+
+  /// Width of a full-scan test vector: primary inputs plus scan cells.
+  std::uint32_t scan_vector_width() const {
+    return static_cast<std::uint32_t>(inputs_.size() + dffs_.size());
+  }
+
+  /// True if `g` is a source of the combinational core (PI or DFF output).
+  bool is_source(std::uint32_t g) const {
+    return kinds_[g] == GateKind::Input || kinds_[g] == GateKind::Dff;
+  }
+
+ private:
+  std::uint32_t add_node(GateKind kind, const std::string& name,
+                         std::vector<std::uint32_t> fanins);
+
+  std::string name_;
+  std::vector<GateKind> kinds_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::uint32_t>> fanins_;
+  std::vector<std::vector<std::uint32_t>> fanouts_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<std::uint32_t> outputs_;
+  std::vector<std::uint32_t> dffs_;
+  std::vector<std::uint32_t> topo_;
+  std::vector<std::uint32_t> levels_;
+  std::uint32_t max_level_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tdc::netlist
+
+#endif  // TDC_NETLIST_NETLIST_H

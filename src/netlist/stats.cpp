@@ -1,0 +1,59 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdc::netlist {
+
+NetlistStats analyze(const Netlist& nl) {
+  if (!nl.finalized()) throw std::runtime_error("analyze: netlist not finalized");
+  NetlistStats s;
+  s.name = nl.name();
+  s.gates = nl.gate_count();
+  s.primary_inputs = static_cast<std::uint32_t>(nl.inputs().size());
+  s.primary_outputs = static_cast<std::uint32_t>(nl.outputs().size());
+  s.scan_cells = static_cast<std::uint32_t>(nl.dffs().size());
+  s.scan_vector_width = nl.scan_vector_width();
+  s.logic_depth = nl.max_level();
+
+  std::uint64_t fanin_sum = 0;
+  std::uint64_t fanout_sum = 0;
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    ++s.by_kind[nl.kind(g)];
+    const auto fo = static_cast<std::uint32_t>(nl.fanouts(g).size());
+    s.max_fanout = std::max(s.max_fanout, fo);
+    fanout_sum += fo;
+    if (nl.is_source(g)) continue;
+    ++s.combinational;
+    const auto fi = static_cast<std::uint32_t>(nl.fanins(g).size());
+    s.max_fanin = std::max(s.max_fanin, fi);
+    fanin_sum += fi;
+  }
+  if (s.combinational > 0) {
+    s.avg_fanin = static_cast<double>(fanin_sum) / s.combinational;
+  }
+  if (s.gates > 0) {
+    s.avg_fanout = static_cast<double>(fanout_sum) / s.gates;
+  }
+  return s;
+}
+
+std::string NetlistStats::report() const {
+  std::ostringstream out;
+  out << name << ": " << gates << " nodes (" << combinational
+      << " combinational), " << primary_inputs << " PI, " << primary_outputs
+      << " PO, " << scan_cells << " scan cells\n";
+  out << "  scan vector width " << scan_vector_width << ", logic depth "
+      << logic_depth << "\n";
+  out << "  fanin avg " << avg_fanin << " max " << max_fanin << "; fanout avg "
+      << avg_fanout << " max " << max_fanout << "\n";
+  out << "  kinds:";
+  for (const auto& [kind, count] : by_kind) {
+    out << " " << to_string(kind) << "=" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace tdc::netlist

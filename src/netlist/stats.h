@@ -1,0 +1,39 @@
+#ifndef TDC_NETLIST_STATS_H
+#define TDC_NETLIST_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace tdc::netlist {
+
+/// Structural summary of a netlist — the numbers a DFT engineer checks
+/// before test insertion (and the quantities our synthetic-profile
+/// calibration is matched against).
+struct NetlistStats {
+  std::string name;
+  std::uint32_t gates = 0;         ///< all nodes, sources included
+  std::uint32_t primary_inputs = 0;
+  std::uint32_t primary_outputs = 0;
+  std::uint32_t scan_cells = 0;    ///< DFFs
+  std::uint32_t combinational = 0; ///< logic gates (non-source, non-DFF)
+  std::map<GateKind, std::uint32_t> by_kind;
+  std::uint32_t max_fanin = 0;
+  double avg_fanin = 0.0;          ///< over combinational gates
+  std::uint32_t max_fanout = 0;
+  double avg_fanout = 0.0;
+  std::uint32_t logic_depth = 0;   ///< max combinational level
+  std::uint32_t scan_vector_width = 0;
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+/// Computes the summary (netlist must be finalized).
+NetlistStats analyze(const Netlist& nl);
+
+}  // namespace tdc::netlist
+
+#endif  // TDC_NETLIST_STATS_H

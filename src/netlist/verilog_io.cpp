@@ -1,0 +1,400 @@
+#include "netlist/verilog_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tdc::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("verilog: " + what + " at line " + std::to_string(line));
+}
+
+/// Splits the input into identifiers/numbers and single-char punctuation,
+/// stripping // and /* */ comments.
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' ||
+           c == '.' || c == '[' || c == ']';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(line, "unterminated block comment");
+      i += 2;
+    } else if (is_ident(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident(text[j])) ++j;
+      tokens.push_back(Token{text.substr(i, j - i), line});
+      i = j;
+    } else {
+      tokens.push_back(Token{std::string(1, c), line});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+bool is_clockish(const std::string& net) {
+  std::string s = net;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s == "clk" || s == "clock" || s == "reset" || s == "rst";
+}
+
+const std::map<std::string, GateKind>& primitive_map() {
+  static const std::map<std::string, GateKind> kMap = {
+      {"and", GateKind::And},   {"nand", GateKind::Nand}, {"or", GateKind::Or},
+      {"nor", GateKind::Nor},   {"xor", GateKind::Xor},   {"xnor", GateKind::Xnor},
+      {"not", GateKind::Not},   {"buf", GateKind::Buf},   {"dff", GateKind::Dff},
+      {"DFF", GateKind::Dff},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& in, const std::string& name) {
+  const auto tokens = tokenize(in);
+  std::size_t i = 0;
+  auto peek = [&]() -> const Token& {
+    static const Token kEof{"<eof>", 0};
+    return i < tokens.size() ? tokens[i] : kEof;
+  };
+  auto next = [&]() -> const Token& {
+    if (i >= tokens.size()) fail(tokens.empty() ? 0 : tokens.back().line,
+                                 "unexpected end of file");
+    return tokens[i++];
+  };
+  auto expect = [&](const std::string& t) {
+    const Token& tok = next();
+    if (tok.text != t) fail(tok.line, "expected '" + t + "', got '" + tok.text + "'");
+  };
+
+  if (next().text != "module") fail(1, "expected 'module'");
+  const std::string module_name = next().text;
+  // Port list (names only; ANSI-style decls are not supported).
+  if (peek().text == "(") {
+    next();
+    while (peek().text != ")") {
+      next();  // port name; direction comes from input/output declarations
+      if (peek().text == ",") next();
+    }
+    expect(")");
+  }
+  expect(";");
+
+  std::vector<std::pair<std::string, std::size_t>> input_names;
+  std::vector<std::pair<std::string, std::size_t>> output_names;
+  struct Instance {
+    GateKind kind;
+    std::string out;
+    std::vector<std::string> ins;
+    std::size_t line;
+  };
+  std::vector<Instance> instances;
+  std::size_t assign_temp = 0;
+
+  // Recursive-descent for `assign LHS = expr;` right-hand sides: |, ^, &
+  // (in increasing precedence), unary ~, parentheses, identifiers. Each
+  // operator lowers to a primitive instance; sub-expressions get synthetic
+  // net names.
+  auto emit_gate = [&](GateKind kind, std::vector<std::string> ins,
+                       std::size_t line) {
+    Instance g;
+    g.kind = kind;
+    g.out = "$assign" + std::to_string(assign_temp++);
+    g.ins = std::move(ins);
+    g.line = line;
+    instances.push_back(g);
+    return instances.back().out;
+  };
+  std::function<std::string()> parse_expr_or;
+  std::function<std::string()> parse_expr_and;
+  std::function<std::string()> parse_expr_unary;
+  parse_expr_unary = [&]() -> std::string {
+    const Token tok = next();
+    if (tok.text == "~") {
+      return emit_gate(GateKind::Not, {parse_expr_unary()}, tok.line);
+    }
+    if (tok.text == "(") {
+      const std::string inner = parse_expr_or();
+      expect(")");
+      return inner;
+    }
+    return tok.text;  // identifier
+  };
+  parse_expr_and = [&]() -> std::string {
+    std::string lhs = parse_expr_unary();
+    while (peek().text == "&") {
+      const std::size_t line = next().line;
+      lhs = emit_gate(GateKind::And, {lhs, parse_expr_unary()}, line);
+    }
+    return lhs;
+  };
+  parse_expr_or = [&]() -> std::string {
+    std::string lhs = parse_expr_and();
+    while (peek().text == "|" || peek().text == "^") {
+      const Token op = next();
+      lhs = emit_gate(op.text == "|" ? GateKind::Or : GateKind::Xor,
+                      {lhs, parse_expr_and()}, op.line);
+    }
+    return lhs;
+  };
+
+  while (peek().text != "endmodule") {
+    const Token head = next();
+    if (head.text == "assign") {
+      const Token lhs = next();
+      expect("=");
+      const std::string rhs = parse_expr_or();
+      expect(";");
+      // Name the expression's top gate after the LHS net. A bare-identifier
+      // RHS (`assign y = a;`) lowers to a buffer.
+      if (!instances.empty() && instances.back().out == rhs &&
+          rhs.rfind("$assign", 0) == 0) {
+        instances.back().out = lhs.text;
+      } else {
+        Instance buf;
+        buf.kind = GateKind::Buf;
+        buf.out = lhs.text;
+        buf.ins = {rhs};
+        buf.line = lhs.line;
+        instances.push_back(std::move(buf));
+      }
+      continue;
+    }
+    if (head.text == "input" || head.text == "output" || head.text == "wire") {
+      while (true) {
+        const Token tok = next();
+        if (tok.text == "[") fail(tok.line, "vector nets are not supported");
+        if (head.text == "input") {
+          input_names.emplace_back(tok.text, tok.line);
+        } else if (head.text == "output") {
+          output_names.emplace_back(tok.text, tok.line);
+        }
+        // wires need no action: nets materialize from their drivers
+        const Token sep = next();
+        if (sep.text == ";") break;
+        if (sep.text != ",") fail(sep.line, "expected ',' or ';'");
+      }
+      continue;
+    }
+    const auto it = primitive_map().find(head.text);
+    if (it == primitive_map().end()) {
+      fail(head.line, "unsupported construct '" + head.text +
+                          "' (structural gate netlists only)");
+    }
+    Instance inst;
+    inst.kind = it->second;
+    inst.line = head.line;
+    Token tok = next();  // optional instance name
+    if (tok.text != "(") {
+      tok = next();
+      if (tok.text != "(") fail(tok.line, "expected '(' after instance name");
+    }
+    std::vector<std::string> terminals;
+    while (true) {
+      const Token term = next();
+      if (term.text == ")") break;
+      if (term.text == ",") continue;
+      terminals.push_back(term.text);
+    }
+    expect(";");
+    if (terminals.size() < 2) fail(inst.line, "instance needs >= 2 terminals");
+    inst.out = terminals.front();
+    inst.ins.assign(terminals.begin() + 1, terminals.end());
+    // Drop implicit clock/reset terminals on sequential cells.
+    if (inst.kind == GateKind::Dff) {
+      std::erase_if(inst.ins, [](const std::string& t) { return is_clockish(t); });
+      if (inst.ins.size() != 1) fail(inst.line, "dff takes terminals (Q, D)");
+    }
+    instances.push_back(std::move(inst));
+  }
+
+  // ---- Build the netlist: inputs, DFF shells, combinational gates in
+  // dependency rounds, then DFF data pins (same strategy as the .bench
+  // parser; DFF feedback is the normal case).
+  Netlist nl(module_name.empty() ? name : module_name);
+  for (const auto& [n2, line] : input_names) {
+    if (is_clockish(n2)) continue;
+    if (nl.find(n2) != Netlist::kNoGate) fail(line, "duplicate input " + n2);
+    nl.add_input(n2);
+  }
+
+  std::map<std::string, const Instance*> driver_of;
+  for (const auto& inst : instances) {
+    if (driver_of.count(inst.out) != 0) {
+      fail(inst.line, "net " + inst.out + " has multiple drivers");
+    }
+    driver_of[inst.out] = &inst;
+  }
+
+  for (const auto& inst : instances) {
+    if (inst.kind == GateKind::Dff) nl.add_dff(inst.out);
+  }
+
+  std::vector<const Instance*> todo;
+  for (const auto& inst : instances) {
+    if (inst.kind != GateKind::Dff) todo.push_back(&inst);
+  }
+  while (!todo.empty()) {
+    std::vector<const Instance*> deferred;
+    for (const Instance* inst : todo) {
+      bool ready = true;
+      std::vector<std::uint32_t> ids;
+      for (const auto& net : inst->ins) {
+        const auto id = nl.find(net);
+        if (id == Netlist::kNoGate) {
+          if (driver_of.count(net) == 0) {
+            fail(inst->line, "net " + net + " has no driver and is not an input");
+          }
+          ready = false;
+          break;
+        }
+        ids.push_back(id);
+      }
+      if (ready) {
+        nl.add_gate(inst->kind, inst->out, ids);
+      } else {
+        deferred.push_back(inst);
+      }
+    }
+    if (deferred.size() == todo.size()) {
+      fail(deferred.front()->line,
+           "combinational cycle involving " + deferred.front()->out);
+    }
+    todo = std::move(deferred);
+  }
+  for (const auto& inst : instances) {
+    if (inst.kind != GateKind::Dff) continue;
+    const auto d = nl.find(inst.ins.front());
+    if (d == Netlist::kNoGate) {
+      fail(inst.line, "net " + inst.ins.front() + " has no driver");
+    }
+    nl.connect_dff(nl.find(inst.out), d);
+  }
+
+  for (const auto& [n2, line] : output_names) {
+    if (is_clockish(n2)) continue;
+    const auto id = nl.find(n2);
+    if (id == Netlist::kNoGate) fail(line, "output " + n2 + " has no driver");
+    nl.add_output(id);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_verilog_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return parse_verilog(in, name);
+}
+
+Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("verilog: cannot open " + path);
+  auto base = path;
+  const auto slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  return parse_verilog(in, base);
+}
+
+void write_verilog(std::ostream& out, const Netlist& nl) {
+  out << "// " << nl.name() << " — written by opentdc\n";
+  out << "module " << nl.name() << " (";
+  bool first = true;
+  for (const auto g : nl.inputs()) {
+    out << (first ? "" : ", ") << nl.gate_name(g);
+    first = false;
+  }
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+    out << (first ? "" : ", ") << "po" << o;
+    first = false;
+  }
+  out << ");\n";
+  if (!nl.inputs().empty()) {
+    out << "  input";
+    for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
+      out << (k ? ", " : " ") << nl.gate_name(nl.inputs()[k]);
+    }
+    out << ";\n";
+  }
+  if (!nl.outputs().empty()) {
+    out << "  output";
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      out << (o ? ", " : " ") << "po" << o;
+    }
+    out << ";\n";
+  }
+  // Internal nets.
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.kind(g) == GateKind::Input) continue;
+    out << "  wire " << nl.gate_name(g) << ";\n";
+  }
+  std::size_t inst = 0;
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.kind(g) == GateKind::Input) continue;
+    std::string prim;
+    switch (nl.kind(g)) {
+      case GateKind::Dff: prim = "dff"; break;
+      case GateKind::And: prim = "and"; break;
+      case GateKind::Nand: prim = "nand"; break;
+      case GateKind::Or: prim = "or"; break;
+      case GateKind::Nor: prim = "nor"; break;
+      case GateKind::Xor: prim = "xor"; break;
+      case GateKind::Xnor: prim = "xnor"; break;
+      case GateKind::Not: prim = "not"; break;
+      case GateKind::Buf: prim = "buf"; break;
+      default:
+        throw std::runtime_error("write_verilog: no primitive for gate kind");
+    }
+    out << "  " << prim << " u" << inst++ << " (" << nl.gate_name(g);
+    for (const auto f : nl.fanins(g)) out << ", " << nl.gate_name(f);
+    out << ");\n";
+  }
+  // Output buffers bind the po* port names to their driving nets.
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+    out << "  buf u" << inst++ << " (po" << o << ", "
+        << nl.gate_name(nl.outputs()[o]) << ");\n";
+  }
+  out << "endmodule\n";
+}
+
+std::string to_verilog_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_verilog(out, nl);
+  return out.str();
+}
+
+}  // namespace tdc::netlist

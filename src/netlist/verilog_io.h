@@ -1,0 +1,47 @@
+#ifndef TDC_NETLIST_VERILOG_IO_H
+#define TDC_NETLIST_VERILOG_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace tdc::netlist {
+
+/// Parses a single-module structural Verilog netlist of gate primitives,
+/// the form the ITC99 circuits take after synthesis:
+///
+///     // comments and /* block comments */ are accepted
+///     module top (a, b, clk, y);
+///       input a, b, clk;
+///       output y;
+///       wire w1;
+///       nand g1 (w1, a, b);   // first terminal is the output
+///       not  g2 (y, w1);
+///       dff  r1 (q, w1);      // sequential element: (Q, D); clk implicit
+///     endmodule
+///
+/// Supported primitives: and/nand/or/nor/xor/xnor/not/buf and a `dff`
+/// cell (Q, D) — clock/reset pins, vectors and behavioral constructs are
+/// out of scope and rejected with a line-numbered error. Nets named `clk`,
+/// `clock`, `reset`, or `rst` in the port/input lists are ignored (the
+/// full-scan model abstracts them), matching common ITC99 wrappers.
+/// Undeclared nets used by instances become implicit wires, per Verilog.
+/// The returned netlist is finalized.
+Netlist parse_verilog(std::istream& in, const std::string& name = "verilog");
+
+Netlist parse_verilog_string(const std::string& text,
+                             const std::string& name = "verilog");
+
+Netlist parse_verilog_file(const std::string& path);
+
+/// Writes a netlist as a single structural Verilog module (inverse of
+/// parse_verilog; n-ary gates are emitted directly since Verilog gate
+/// primitives are variadic).
+void write_verilog(std::ostream& out, const Netlist& nl);
+
+std::string to_verilog_string(const Netlist& nl);
+
+}  // namespace tdc::netlist
+
+#endif  // TDC_NETLIST_VERILOG_IO_H

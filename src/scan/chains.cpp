@@ -1,0 +1,68 @@
+#include "scan/chains.h"
+
+#include <stdexcept>
+
+namespace tdc::scan {
+
+MultiScan::MultiScan(std::uint32_t width, std::uint32_t chains)
+    : width_(width), chains_(chains) {
+  if (chains == 0) throw std::invalid_argument("MultiScan: chains must be >= 1");
+  if (width == 0) throw std::invalid_argument("MultiScan: empty vector");
+  depth_ = (width + chains - 1) / chains;
+  // Balanced contiguous split: the first `width % chains` chains get the
+  // extra bit when width doesn't divide evenly.
+  chain_start_.resize(chains);
+  chain_len_.resize(chains);
+  const std::uint32_t base = width / chains;
+  const std::uint32_t extra = width % chains;
+  std::uint32_t pos = 0;
+  for (std::uint32_t c = 0; c < chains; ++c) {
+    chain_start_[c] = pos;
+    chain_len_[c] = base + (c < extra ? 1 : 0);
+    pos += chain_len_[c];
+  }
+}
+
+std::uint32_t MultiScan::position(std::uint32_t chain, std::uint32_t slice) const {
+  if (chain >= chains_ || slice >= chain_len_[chain]) return kNoPosition;
+  return chain_start_[chain] + slice;
+}
+
+bits::TritVector MultiScan::serialize(const TestSet& tests) const {
+  if (tests.width != width_) {
+    throw std::invalid_argument("MultiScan::serialize: width mismatch");
+  }
+  bits::TritVector out;
+  for (const auto& cube : tests.cubes) {
+    for (std::uint32_t d = 0; d < depth_; ++d) {
+      for (std::uint32_t c = 0; c < chains_; ++c) {
+        const std::uint32_t p = position(c, d);
+        out.push_back(p == kNoPosition ? bits::Trit::X : cube.get(p));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<bits::TritVector> MultiScan::deserialize(
+    const bits::TritVector& stream, std::uint64_t pattern_count) const {
+  if (stream.size() != pattern_count * pattern_stream_bits()) {
+    throw std::invalid_argument("MultiScan::deserialize: length mismatch");
+  }
+  std::vector<bits::TritVector> out;
+  out.reserve(pattern_count);
+  std::size_t cursor = 0;
+  for (std::uint64_t p = 0; p < pattern_count; ++p) {
+    bits::TritVector v(width_);
+    for (std::uint32_t d = 0; d < depth_; ++d) {
+      for (std::uint32_t c = 0; c < chains_; ++c, ++cursor) {
+        const std::uint32_t pos = position(c, d);
+        if (pos != kNoPosition) v.set(pos, stream.get(cursor));
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace tdc::scan

@@ -1,0 +1,60 @@
+#ifndef TDC_SCAN_CHAINS_H
+#define TDC_SCAN_CHAINS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "scan/testset.h"
+
+namespace tdc::scan {
+
+/// Multi-chain scan architecture (the "multiscan" setting of the paper's
+/// LZ77 predecessor, ITC'02). The scan vector is split into `chain_count`
+/// balanced chains loaded in parallel: every tester/decompressor cycle
+/// delivers one *slice* — one bit per chain — so a pattern loads in
+/// ceil(width / chains) cycles instead of `width`.
+///
+/// For compression, the download stream is serialized slice-major (slice 0
+/// of all chains, slice 1, ...), which is the order the decompressor's
+/// output shifter would feed the parallel chains.
+class MultiScan {
+ public:
+  /// Splits `width` positions into `chains` contiguous, balanced chains.
+  /// Precondition: chains >= 1.
+  MultiScan(std::uint32_t width, std::uint32_t chains);
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t chain_count() const { return chains_; }
+
+  /// Cycles to load one pattern (= longest chain).
+  std::uint32_t depth() const { return depth_; }
+
+  /// Vector position loaded into chain `c` at slice `d`, or kNoPosition
+  /// when that chain is shorter than d+1.
+  static constexpr std::uint32_t kNoPosition = 0xffffffffu;
+  std::uint32_t position(std::uint32_t chain, std::uint32_t slice) const;
+
+  /// Bits in one serialized pattern (depth * chains; includes padding of
+  /// the shorter chains, which the compressor sees as X).
+  std::uint32_t pattern_stream_bits() const { return depth_ * chains_; }
+
+  /// Slice-major download stream of a whole test set.
+  bits::TritVector serialize(const TestSet& tests) const;
+
+  /// Splits a (decompressed, fully specified) slice-major stream back into
+  /// per-pattern vectors of `width` bits. Throws on length mismatch.
+  std::vector<bits::TritVector> deserialize(const bits::TritVector& stream,
+                                            std::uint64_t pattern_count) const;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t chains_;
+  std::uint32_t depth_;
+  std::vector<std::uint32_t> chain_start_;  // first position of each chain
+  std::vector<std::uint32_t> chain_len_;
+};
+
+}  // namespace tdc::scan
+
+#endif  // TDC_SCAN_CHAINS_H

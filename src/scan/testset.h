@@ -1,0 +1,85 @@
+#ifndef TDC_SCAN_TESTSET_H
+#define TDC_SCAN_TESTSET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "netlist/netlist.h"
+
+namespace tdc::scan {
+
+/// Canonical full-scan view of a netlist: test vectors index primary inputs
+/// first, then scan cells (DFFs) in creation order — the order in which bits
+/// are shifted down the single scan chain of the paper's evaluation.
+class ScanView {
+ public:
+  explicit ScanView(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Test-vector width: |PI| + |scan cells|.
+  std::uint32_t width() const { return static_cast<std::uint32_t>(sources_.size()); }
+
+  /// Gate id of vector position `i`.
+  std::uint32_t source(std::uint32_t i) const { return sources_[i]; }
+
+  /// Vector position of source gate `g`, or kNoPos.
+  static constexpr std::uint32_t kNoPos = 0xffffffffu;
+  std::uint32_t position_of(std::uint32_t gate) const { return position_[gate]; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint32_t> sources_;
+  std::vector<std::uint32_t> position_;
+};
+
+/// An ordered set of test cubes for one circuit.
+///
+/// Each cube is a ternary vector over the ScanView ordering; don't-care
+/// positions are inputs the generating fault test does not constrain. The
+/// set serializes to the single uncompressed scan stream that the paper's
+/// compressor consumes ("Orig. Size" = cube count * vector width).
+struct TestSet {
+  std::string circuit;
+  std::uint32_t width = 0;
+  std::vector<bits::TritVector> cubes;
+
+  std::uint64_t pattern_count() const { return cubes.size(); }
+
+  /// Total uncompressed test-data volume in bits.
+  std::uint64_t total_bits() const {
+    return static_cast<std::uint64_t>(width) * cubes.size();
+  }
+
+  /// Fraction of don't-care bits across the whole set.
+  double x_density() const;
+
+  /// Concatenates all cubes into the single-scan-chain download stream.
+  bits::TritVector serialize() const;
+
+  /// Splits a serialized (possibly decompressed, fully specified) stream
+  /// back into per-pattern vectors. Throws if the length is not a whole
+  /// number of patterns of this set's width.
+  std::vector<bits::TritVector> deserialize(const bits::TritVector& stream) const;
+
+  /// Greedy static compaction: each cube is merged into the first
+  /// compatible cube among the previous `window` survivors. Returns the
+  /// compacted set (order preserved). window = 0 disables merging.
+  TestSet compacted(std::uint32_t window) const;
+
+  /// Partial vertical fill: each X position is, with probability
+  /// `fraction`, bound to the value the *previous* pattern holds at the
+  /// same scan cell (0 for the first pattern or when the previous bit is
+  /// still X). Emulates the dynamic-compaction / fill passes of commercial
+  /// ATPG, which leave per-cell dominant values repeating down the pattern
+  /// set — this is why industrial test sets with low X densities are still
+  /// quite compressible. fraction = 0 is the identity; deterministic in
+  /// `seed`.
+  TestSet vertically_filled(double fraction, std::uint64_t seed) const;
+};
+
+}  // namespace tdc::scan
+
+#endif  // TDC_SCAN_TESTSET_H

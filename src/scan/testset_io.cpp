@@ -1,0 +1,64 @@
+#include "scan/testset_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdc::scan {
+
+void write_tests(std::ostream& out, const TestSet& tests) {
+  out << "# opentdc test set\n";
+  out << "circuit " << tests.circuit << "\n";
+  out << "width " << tests.width << "\n";
+  out << "patterns " << tests.cubes.size() << "\n";
+  for (const auto& c : tests.cubes) out << c.to_string() << "\n";
+}
+
+TestSet read_tests(std::istream& in) {
+  TestSet ts;
+  std::string line;
+  std::size_t expected = 0;
+  bool header_done = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_done) {
+      std::istringstream ss(line);
+      std::string key;
+      ss >> key;
+      if (key == "circuit") {
+        ss >> ts.circuit;
+      } else if (key == "width") {
+        ss >> ts.width;
+      } else if (key == "patterns") {
+        ss >> expected;
+        header_done = true;
+      } else {
+        throw std::runtime_error("read_tests: unexpected header line: " + line);
+      }
+      continue;
+    }
+    bits::TritVector cube = bits::TritVector::from_string(line);
+    if (cube.size() != ts.width) {
+      throw std::runtime_error("read_tests: cube width mismatch");
+    }
+    ts.cubes.push_back(std::move(cube));
+  }
+  if (ts.cubes.size() != expected) {
+    throw std::runtime_error("read_tests: pattern count mismatch");
+  }
+  return ts;
+}
+
+void write_tests_file(const std::string& path, const TestSet& tests) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_tests_file: cannot open " + path);
+  write_tests(out, tests);
+}
+
+TestSet read_tests_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_tests_file: cannot open " + path);
+  return read_tests(in);
+}
+
+}  // namespace tdc::scan

@@ -1,0 +1,30 @@
+#ifndef TDC_SCAN_TESTSET_IO_H
+#define TDC_SCAN_TESTSET_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "scan/testset.h"
+
+namespace tdc::scan {
+
+/// Plain-text test-cube format (one '0'/'1'/'X' cube per line):
+///
+///     # opentdc test set
+///     circuit s9234f
+///     width 247
+///     patterns 153
+///     01XX...X
+///     ...
+///
+/// The experiment drivers cache ATPG output in this format so every bench
+/// binary sees identical cube sets without re-running test generation.
+void write_tests(std::ostream& out, const TestSet& tests);
+TestSet read_tests(std::istream& in);
+
+void write_tests_file(const std::string& path, const TestSet& tests);
+TestSet read_tests_file(const std::string& path);
+
+}  // namespace tdc::scan
+
+#endif  // TDC_SCAN_TESTSET_IO_H

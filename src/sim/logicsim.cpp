@@ -1,0 +1,166 @@
+#include "sim/logicsim.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tdc::sim {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+Sim64::Sim64(const Netlist& nl) : nl_(&nl), values_(nl.gate_count(), 0) {
+  if (!nl.finalized()) throw std::runtime_error("Sim64: netlist not finalized");
+}
+
+std::uint64_t Sim64::evaluate_patched(std::uint32_t gate, const std::uint64_t* words,
+                                      std::int32_t pin, std::uint64_t patched) const {
+  const auto& fi = nl_->fanins(gate);
+  const auto in = [&](std::size_t i) {
+    return static_cast<std::int32_t>(i) == pin ? patched : words[fi[i]];
+  };
+  switch (nl_->kind(gate)) {
+    case GateKind::Input:
+    case GateKind::Dff:
+      return words[gate];  // sources hold caller-provided values
+    case GateKind::Const0:
+      return 0;
+    case GateKind::Const1:
+      return ~0ULL;
+    case GateKind::Buf:
+      return in(0);
+    case GateKind::Not:
+      return ~in(0);
+    case GateKind::And:
+    case GateKind::Nand: {
+      std::uint64_t v = ~0ULL;
+      for (std::size_t i = 0; i < fi.size(); ++i) v &= in(i);
+      return nl_->kind(gate) == GateKind::Nand ? ~v : v;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < fi.size(); ++i) v |= in(i);
+      return nl_->kind(gate) == GateKind::Nor ? ~v : v;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < fi.size(); ++i) v ^= in(i);
+      return nl_->kind(gate) == GateKind::Xnor ? ~v : v;
+    }
+  }
+  return 0;
+}
+
+void Sim64::run() {
+  for (const std::uint32_t g : nl_->topo_order()) {
+    values_[g] = evaluate_with(g, values_.data());
+  }
+}
+
+Sim3::Sim3(const Netlist& nl)
+    : nl_(&nl), value_(nl.gate_count(), 0), care_(nl.gate_count(), 0) {
+  if (!nl.finalized()) throw std::runtime_error("Sim3: netlist not finalized");
+}
+
+void Sim3::set(std::uint32_t gate, bits::Trit t) {
+  if (t == bits::Trit::X) {
+    care_[gate] = 0;
+    value_[gate] = 0;
+  } else {
+    care_[gate] = 1;
+    value_[gate] = t == bits::Trit::One ? 1 : 0;
+  }
+}
+
+bits::Trit Sim3::get(std::uint32_t gate) const {
+  if (!care_[gate]) return bits::Trit::X;
+  return value_[gate] ? bits::Trit::One : bits::Trit::Zero;
+}
+
+void Sim3::clear_sources() {
+  for (const auto g : nl_->inputs()) set(g, bits::Trit::X);
+  for (const auto g : nl_->dffs()) set(g, bits::Trit::X);
+}
+
+void Sim3::run() {
+  for (const std::uint32_t g : nl_->topo_order()) {
+    const auto& fi = nl_->fanins(g);
+    std::uint8_t v = 0;
+    std::uint8_t c = 0;
+    switch (nl_->kind(g)) {
+      case GateKind::Input:
+      case GateKind::Dff:
+        continue;
+      case GateKind::Const0:
+        v = 0;
+        c = 1;
+        break;
+      case GateKind::Const1:
+        v = 1;
+        c = 1;
+        break;
+      case GateKind::Buf:
+      case GateKind::Not: {
+        c = care_[fi[0]];
+        v = nl_->kind(g) == GateKind::Not ? static_cast<std::uint8_t>(c & (1 ^ value_[fi[0]]))
+                                          : value_[fi[0]];
+        break;
+      }
+      case GateKind::And:
+      case GateKind::Nand: {
+        bool any_zero = false;
+        bool all_one = true;
+        for (const auto f : fi) {
+          if (care_[f] && !value_[f]) any_zero = true;
+          if (!(care_[f] && value_[f])) all_one = false;
+        }
+        if (any_zero) {
+          c = 1;
+          v = 0;
+        } else if (all_one) {
+          c = 1;
+          v = 1;
+        }
+        if (c && nl_->kind(g) == GateKind::Nand) v ^= 1;
+        break;
+      }
+      case GateKind::Or:
+      case GateKind::Nor: {
+        bool any_one = false;
+        bool all_zero = true;
+        for (const auto f : fi) {
+          if (care_[f] && value_[f]) any_one = true;
+          if (!(care_[f] && !value_[f])) all_zero = false;
+        }
+        if (any_one) {
+          c = 1;
+          v = 1;
+        } else if (all_zero) {
+          c = 1;
+          v = 0;
+        }
+        if (c && nl_->kind(g) == GateKind::Nor) v ^= 1;
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        c = 1;
+        for (const auto f : fi) {
+          if (!care_[f]) {
+            c = 0;
+            break;
+          }
+          v ^= value_[f];
+        }
+        if (!c) v = 0;
+        if (c && nl_->kind(g) == GateKind::Xnor) v ^= 1;
+        break;
+      }
+    }
+    value_[g] = v;
+    care_[g] = c;
+  }
+}
+
+}  // namespace tdc::sim

@@ -1,0 +1,90 @@
+#ifndef TDC_SIM_LOGICSIM_H
+#define TDC_SIM_LOGICSIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/trit.h"
+#include "netlist/netlist.h"
+
+namespace tdc::sim {
+
+/// 64-way bit-parallel two-valued simulator over the combinational core of
+/// a finalized netlist: bit i of every word belongs to pattern i, so one
+/// run() evaluates 64 patterns (the PPSFP idiom).
+///
+/// Sources (primary inputs and DFF outputs) are set by the caller; run()
+/// evaluates every combinational gate in topological order.
+class Sim64 {
+ public:
+  explicit Sim64(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Sets the 64-pattern word of a source gate (or any gate; run()
+  /// overwrites non-sources).
+  void set(std::uint32_t gate, std::uint64_t word) { values_[gate] = word; }
+
+  /// Word of `gate` after run().
+  std::uint64_t get(std::uint32_t gate) const { return values_[gate]; }
+
+  /// Flat word array indexed by gate id (for evaluate_patched callers).
+  const std::uint64_t* data() const { return values_.data(); }
+
+  /// Evaluates all combinational gates in topological order.
+  void run();
+
+  /// Evaluates a single gate from its current fanin words (exposed for the
+  /// fault simulator's event-driven propagation).
+  std::uint64_t evaluate(std::uint32_t gate) const {
+    return evaluate_with(gate, values_.data());
+  }
+
+  /// Evaluates `gate` reading fanin words from `words` (any array indexed
+  /// by gate id).
+  std::uint64_t evaluate_with(std::uint32_t gate, const std::uint64_t* words) const {
+    return evaluate_patched(gate, words, -1, 0);
+  }
+
+  /// Like evaluate_with, but fanin pin `pin` (if >= 0) reads `patched`
+  /// instead of its driver's word — the mechanism for injecting gate-input
+  /// stuck-at faults without touching the driver's other fanouts.
+  std::uint64_t evaluate_patched(std::uint32_t gate, const std::uint64_t* words,
+                                 std::int32_t pin, std::uint64_t patched) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint64_t> values_;
+};
+
+/// Three-valued (01X) simulator over the combinational core, used to lift
+/// partially specified test cubes through the circuit and to check which
+/// outputs a cube actually determines.
+///
+/// Representation: per gate a (value, care) word pair in normal form
+/// (value = 0 wherever care = 0); X is care = 0.
+class Sim3 {
+ public:
+  explicit Sim3(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  void set(std::uint32_t gate, bits::Trit t);
+  bits::Trit get(std::uint32_t gate) const;
+
+  /// Sets every source gate to X (does not touch non-sources; run()
+  /// recomputes them anyway).
+  void clear_sources();
+
+  /// Evaluates all combinational gates in topological order.
+  void run();
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint8_t> value_;  // 0/1, meaningful when care
+  std::vector<std::uint8_t> care_;   // 1 = specified
+};
+
+}  // namespace tdc::sim
+
+#endif  // TDC_SIM_LOGICSIM_H

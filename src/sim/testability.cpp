@@ -1,0 +1,148 @@
+#include "sim/testability.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tdc::sim {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+namespace {
+
+std::uint32_t add_cap(std::uint32_t a, std::uint32_t b) {
+  return std::min(Testability::kCap, a + std::min(Testability::kCap, b));
+}
+
+}  // namespace
+
+Testability::Testability(const Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) throw std::runtime_error("Testability: netlist not finalized");
+  constexpr std::uint32_t cap = kCap;
+
+  // ---- Controllabilities, sources first, then topological order.
+  cc0_.assign(nl.gate_count(), 1);
+  cc1_.assign(nl.gate_count(), 1);
+  for (const std::uint32_t g : nl.topo_order()) {
+    const auto& fi = nl.fanins(g);
+    std::uint32_t min0 = cap, min1 = cap, sum0 = 0, sum1 = 0;
+    for (const auto f : fi) {
+      min0 = std::min(min0, cc0_[f]);
+      min1 = std::min(min1, cc1_[f]);
+      sum0 = add_cap(sum0, cc0_[f]);
+      sum1 = add_cap(sum1, cc1_[f]);
+    }
+    switch (nl.kind(g)) {
+      case GateKind::And:
+        cc1_[g] = add_cap(sum1, 1);
+        cc0_[g] = add_cap(min0, 1);
+        break;
+      case GateKind::Nand:
+        cc0_[g] = add_cap(sum1, 1);
+        cc1_[g] = add_cap(min0, 1);
+        break;
+      case GateKind::Or:
+        cc0_[g] = add_cap(sum0, 1);
+        cc1_[g] = add_cap(min1, 1);
+        break;
+      case GateKind::Nor:
+        cc1_[g] = add_cap(sum0, 1);
+        cc0_[g] = add_cap(min1, 1);
+        break;
+      case GateKind::Not:
+        cc0_[g] = add_cap(cc1_[fi[0]], 1);
+        cc1_[g] = add_cap(cc0_[fi[0]], 1);
+        break;
+      case GateKind::Buf:
+        cc0_[g] = add_cap(cc0_[fi[0]], 1);
+        cc1_[g] = add_cap(cc1_[fi[0]], 1);
+        break;
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        // Pairwise fold of the two-input XOR SCOAP rule.
+        std::uint32_t c0 = cc0_[fi[0]], c1 = cc1_[fi[0]];
+        for (std::size_t i = 1; i < fi.size(); ++i) {
+          const std::uint32_t b0 = cc0_[fi[i]], b1 = cc1_[fi[i]];
+          const std::uint32_t n0 = std::min(add_cap(c0, b0), add_cap(c1, b1));
+          const std::uint32_t n1 = std::min(add_cap(c0, b1), add_cap(c1, b0));
+          c0 = n0;
+          c1 = n1;
+        }
+        if (nl.kind(g) == GateKind::Xnor) std::swap(c0, c1);
+        cc0_[g] = add_cap(c0, 1);
+        cc1_[g] = add_cap(c1, 1);
+        break;
+      }
+      case GateKind::Const0:
+        cc0_[g] = 1;
+        cc1_[g] = cap;
+        break;
+      case GateKind::Const1:
+        cc1_[g] = 1;
+        cc0_[g] = cap;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ---- Observabilities, reverse topological order. Observation points
+  // (POs and DFF data pins) cost 0; a line's CO through a gate adds the
+  // cost of holding the side inputs non-controlling.
+  co_.assign(nl.gate_count(), cap);
+  for (const auto g : nl.outputs()) co_[g] = 0;
+  for (const auto d : nl.dffs()) co_[nl.fanins(d)[0]] = 0;
+
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::uint32_t g = *it;
+    const auto& fi = nl.fanins(g);
+    if (co_[g] >= cap) continue;  // not observable, nothing to push back
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      std::uint32_t side = 0;  // cost of sensitizing past the other inputs
+      switch (nl.kind(g)) {
+        case GateKind::And:
+        case GateKind::Nand:
+          for (std::size_t j = 0; j < fi.size(); ++j) {
+            if (j != i) side = add_cap(side, cc1_[fi[j]]);
+          }
+          break;
+        case GateKind::Or:
+        case GateKind::Nor:
+          for (std::size_t j = 0; j < fi.size(); ++j) {
+            if (j != i) side = add_cap(side, cc0_[fi[j]]);
+          }
+          break;
+        case GateKind::Xor:
+        case GateKind::Xnor:
+          for (std::size_t j = 0; j < fi.size(); ++j) {
+            if (j != i) side = add_cap(side, std::min(cc0_[fi[j]], cc1_[fi[j]]));
+          }
+          break;
+        case GateKind::Not:
+        case GateKind::Buf:
+          break;
+        default:
+          side = cap;
+          break;
+      }
+      const std::uint32_t through = add_cap(add_cap(co_[g], side), 1);
+      co_[fi[i]] = std::min(co_[fi[i]], through);
+    }
+  }
+}
+
+std::vector<std::uint32_t> Testability::hardest(std::size_t count) const {
+  std::vector<std::uint32_t> order(nl_->gate_count());
+  std::iota(order.begin(), order.end(), 0u);
+  const auto score = [this](std::uint32_t g) {
+    return static_cast<std::uint64_t>(cc0_[g]) + cc1_[g] + co_[g];
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return score(a) > score(b); });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace tdc::sim

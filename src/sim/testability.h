@@ -1,0 +1,49 @@
+#ifndef TDC_SIM_TESTABILITY_H
+#define TDC_SIM_TESTABILITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace tdc::sim {
+
+/// SCOAP testability measures (Goldstein 1979) over the combinational
+/// core of a full-scan netlist:
+///   * cc0/cc1 — combinational 0-/1-controllability: a proxy for how many
+///     input assignments it takes to force the line to 0/1 (sources cost 1),
+///   * co     — combinational observability: how hard it is to propagate
+///     the line's value to a primary output or scan-cell capture (those
+///     observation points cost 0).
+/// PODEM's backtrace and D-frontier heuristics consume these; the stats
+/// report exposes them to users hunting hard-to-test logic.
+class Testability {
+ public:
+  explicit Testability(const netlist::Netlist& nl);
+
+  std::uint32_t cc0(std::uint32_t gate) const { return cc0_[gate]; }
+  std::uint32_t cc1(std::uint32_t gate) const { return cc1_[gate]; }
+  std::uint32_t co(std::uint32_t gate) const { return co_[gate]; }
+
+  /// Controllability of `gate` toward `value`.
+  std::uint32_t cc(std::uint32_t gate, bool value) const {
+    return value ? cc1_[gate] : cc0_[gate];
+  }
+
+  /// Cost ceiling used for unreachable values (constants' opposite side).
+  static constexpr std::uint32_t kCap = 1u << 28;
+
+  /// Overall hardest-to-test lines: indices of the `count` gates with the
+  /// largest cc0+cc1+co, hardest first.
+  std::vector<std::uint32_t> hardest(std::size_t count) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::uint32_t> cc0_;
+  std::vector<std::uint32_t> cc1_;
+  std::vector<std::uint32_t> co_;
+};
+
+}  // namespace tdc::sim
+
+#endif  // TDC_SIM_TESTABILITY_H

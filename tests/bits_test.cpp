@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "bits/bitstream.h"
+#include "bits/rng.h"
+#include "bits/trit.h"
+#include "bits/tritvector.h"
+
+namespace tdc::bits {
+namespace {
+
+// ---------------------------------------------------------------- Trit
+
+TEST(TritTest, CharRoundTrip) {
+  EXPECT_EQ(to_char(Trit::Zero), '0');
+  EXPECT_EQ(to_char(Trit::One), '1');
+  EXPECT_EQ(to_char(Trit::X), 'X');
+  EXPECT_EQ(trit_from_char('0'), Trit::Zero);
+  EXPECT_EQ(trit_from_char('1'), Trit::One);
+  EXPECT_EQ(trit_from_char('X'), Trit::X);
+  EXPECT_EQ(trit_from_char('x'), Trit::X);
+  EXPECT_EQ(trit_from_char('-'), Trit::X);
+}
+
+TEST(TritTest, ValidChars) {
+  EXPECT_TRUE(is_trit_char('0'));
+  EXPECT_TRUE(is_trit_char('1'));
+  EXPECT_TRUE(is_trit_char('x'));
+  EXPECT_TRUE(is_trit_char('X'));
+  EXPECT_TRUE(is_trit_char('-'));
+  EXPECT_FALSE(is_trit_char('2'));
+  EXPECT_FALSE(is_trit_char(' '));
+}
+
+TEST(TritTest, Compatibility) {
+  EXPECT_TRUE(compatible(Trit::Zero, Trit::Zero));
+  EXPECT_TRUE(compatible(Trit::One, Trit::One));
+  EXPECT_FALSE(compatible(Trit::Zero, Trit::One));
+  EXPECT_TRUE(compatible(Trit::X, Trit::Zero));
+  EXPECT_TRUE(compatible(Trit::One, Trit::X));
+  EXPECT_TRUE(compatible(Trit::X, Trit::X));
+}
+
+TEST(TritTest, Merge) {
+  EXPECT_EQ(merge(Trit::X, Trit::One), Trit::One);
+  EXPECT_EQ(merge(Trit::Zero, Trit::X), Trit::Zero);
+  EXPECT_EQ(merge(Trit::X, Trit::X), Trit::X);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(RngTest, RealInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------------- BitWriter / BitReader
+
+TEST(BitstreamTest, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  EXPECT_TRUE(w.bit_at(0));
+  EXPECT_FALSE(w.bit_at(1));
+  EXPECT_TRUE(w.bit_at(2));
+}
+
+TEST(BitstreamTest, MsbFirstByteLayout) {
+  BitWriter w;
+  w.write(0b10110001, 8);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10110001);
+}
+
+TEST(BitstreamTest, UnalignedValuesRoundTrip) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0b0110110, 7);
+  w.write(0x3FF, 10);
+  w.write(1, 1);
+  BitReader r(w);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(7), 0b0110110u);
+  EXPECT_EQ(r.read(10), 0x3FFu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitstreamTest, WideValues) {
+  BitWriter w;
+  const std::uint64_t v = 0xdeadbeefcafef00dULL;
+  w.write(v, 64);
+  BitReader r(w);
+  EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitstreamTest, RemainingAndPosition) {
+  BitWriter w;
+  w.write(0xab, 8);
+  BitReader r(w);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read(3);
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_EQ(r.remaining(), 5u);
+}
+
+TEST(BitstreamTest, RandomizedRoundTrip) {
+  Rng rng(123);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned width = 1 + static_cast<unsigned>(rng.below(32));
+    const std::uint64_t value = rng.next_u64() & ((width == 64) ? ~0ULL : ((1ULL << width) - 1));
+    items.emplace_back(value, width);
+    w.write(value, width);
+  }
+  BitReader r(w);
+  for (const auto& [value, width] : items) {
+    ASSERT_EQ(r.read(width), value);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+// ---------------------------------------------------------------- TritVector
+
+TEST(TritVectorTest, ConstructFilled) {
+  TritVector v(130, Trit::One);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.fully_specified());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), Trit::One);
+}
+
+TEST(TritVectorTest, ConstructDefaultAllX) {
+  TritVector v(70);
+  EXPECT_EQ(v.care_count(), 0u);
+  EXPECT_EQ(v.x_count(), 70u);
+  EXPECT_DOUBLE_EQ(v.x_density(), 1.0);
+}
+
+TEST(TritVectorTest, FromStringAndBack) {
+  const std::string s = "01XX10x-01";
+  const TritVector v = TritVector::from_string(s);
+  EXPECT_EQ(v.to_string(), "01XX10XX01");
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.care_count(), 6u);
+}
+
+TEST(TritVectorTest, FromStringRejectsBadChars) {
+  EXPECT_THROW(TritVector::from_string("012"), std::invalid_argument);
+}
+
+TEST(TritVectorTest, SetGetAcrossWordBoundary) {
+  TritVector v(200);
+  v.set(63, Trit::One);
+  v.set(64, Trit::Zero);
+  v.set(127, Trit::One);
+  v.set(128, Trit::X);
+  EXPECT_EQ(v.get(63), Trit::One);
+  EXPECT_EQ(v.get(64), Trit::Zero);
+  EXPECT_EQ(v.get(127), Trit::One);
+  EXPECT_EQ(v.get(128), Trit::X);
+}
+
+TEST(TritVectorTest, SetXClearsValuePlane) {
+  TritVector v(4, Trit::One);
+  v.set(2, Trit::X);
+  // Normal form: an X position must not retain a stale value bit.
+  EXPECT_EQ(v.word(0, 4), 0b1101u);
+}
+
+TEST(TritVectorTest, PushBackAndAppend) {
+  TritVector a;
+  a.push_back(Trit::One);
+  a.push_back(Trit::X);
+  TritVector b = TritVector::from_string("01");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "1X01");
+}
+
+TEST(TritVectorTest, CompatibilityPredicate) {
+  const auto a = TritVector::from_string("0X1X");
+  const auto b = TritVector::from_string("011X");
+  const auto c = TritVector::from_string("1X1X");
+  EXPECT_TRUE(a.compatible_with(b));
+  EXPECT_TRUE(b.compatible_with(a));
+  EXPECT_FALSE(a.compatible_with(c));
+  EXPECT_FALSE(a.compatible_with(TritVector::from_string("0X1")));  // size
+}
+
+TEST(TritVectorTest, CoveredBy) {
+  const auto cube = TritVector::from_string("0X1X");
+  const auto full = TritVector::from_string("0011");
+  EXPECT_TRUE(cube.covered_by(full));
+  EXPECT_FALSE(full.covered_by(cube));  // full specifies bits cube lacks
+  EXPECT_FALSE(cube.covered_by(TritVector::from_string("0001")));
+}
+
+TEST(TritVectorTest, MergeIn) {
+  auto a = TritVector::from_string("0XX1");
+  const auto b = TritVector::from_string("0X01");
+  a.merge_in(b);
+  EXPECT_EQ(a.to_string(), "0X01");
+}
+
+TEST(TritVectorTest, Slice) {
+  const auto v = TritVector::from_string("01XX10");
+  EXPECT_EQ(v.slice(1, 4).to_string(), "1XX1");
+  EXPECT_EQ(v.slice(0, 0).size(), 0u);
+}
+
+TEST(TritVectorTest, FilledModes) {
+  const auto v = TritVector::from_string("0XX1");
+  EXPECT_EQ(v.filled(Trit::Zero).to_string(), "0001");
+  EXPECT_EQ(v.filled(Trit::One).to_string(), "0111");
+  EXPECT_EQ(v.filled_repeat_last().to_string(), "0001");
+  EXPECT_EQ(TritVector::from_string("X1XX0X").filled_repeat_last().to_string(),
+            "011100");
+}
+
+TEST(TritVectorTest, FilledRandomIsSpecifiedAndCompatible) {
+  Rng rng(77);
+  TritVector v(500);
+  for (std::size_t i = 0; i < v.size(); i += 3) v.set(i, Trit::One);
+  const TritVector f = v.filled_random(rng);
+  EXPECT_TRUE(f.fully_specified());
+  EXPECT_TRUE(v.covered_by(f));
+}
+
+TEST(TritVectorTest, FilledPreservesTailInvariant) {
+  // filled() must not set bits past size(), or word-parallel ops would break.
+  TritVector v(65);
+  const TritVector f = v.filled(Trit::One);
+  TritVector g = f;
+  g.push_back(Trit::X);
+  EXPECT_EQ(g.get(65), Trit::X);
+  EXPECT_EQ(f.care_count(), 65u);
+}
+
+TEST(TritVectorTest, WordAndCareWord) {
+  const auto v = TritVector::from_string("1X01");
+  EXPECT_EQ(v.word(0, 4), 0b1001u);       // X reads 0
+  EXPECT_EQ(v.care_word(0, 4), 0b1011u);  // X position unmasked
+  // Reading past the end behaves as implicit X padding.
+  EXPECT_EQ(v.word(2, 4), 0b0100u);
+  EXPECT_EQ(v.care_word(2, 4), 0b1100u);
+}
+
+TEST(TritVectorTest, EqualityIsExact) {
+  const auto a = TritVector::from_string("0X1");
+  const auto b = TritVector::from_string("0X1");
+  const auto c = TritVector::from_string("001");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // X != 0 even though compatible
+}
+
+TEST(TritVectorTest, DensityStats) {
+  const auto v = TritVector::from_string("XX01XXXX10");
+  EXPECT_EQ(v.care_count(), 4u);
+  EXPECT_EQ(v.x_count(), 6u);
+  EXPECT_DOUBLE_EQ(v.x_density(), 0.6);
+}
+
+// Property: random set/get sequences behave like a reference vector.
+TEST(TritVectorTest, PropertyMatchesReferenceModel) {
+  Rng rng(2024);
+  TritVector v(300);
+  std::vector<Trit> ref(300, Trit::X);
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t i = rng.below(300);
+    const Trit t = static_cast<Trit>(rng.below(3));
+    v.set(i, t);
+    ref[i] = t;
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(v.get(i), ref[i]);
+  std::size_t care = 0;
+  for (const Trit t : ref) care += is_care(t);
+  EXPECT_EQ(v.care_count(), care);
+}
+
+}  // namespace
+}  // namespace tdc::bits

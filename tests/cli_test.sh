@@ -1,0 +1,41 @@
+#!/bin/sh
+# End-to-end exercise of the tdc_cli toolchain: generate cubes for a small
+# suite circuit, compress, inspect, decompress, dump a waveform, and round-
+# trip a netlist through both textual formats.
+set -e
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+export TDC_CACHE_DIR="$WORK/cache"
+
+"$CLI" gen itc_b09f "$WORK/c.tests"
+"$CLI" info "$WORK/c.tests" | grep -q "patterns"
+"$CLI" compress "$WORK/c.tests" "$WORK/c.tdclzw" --dict 256
+"$CLI" info "$WORK/c.tdclzw" | grep -q "TDCLZW1"
+"$CLI" decompress "$WORK/c.tdclzw" "$WORK/full.tests"
+"$CLI" info "$WORK/full.tests" | grep -q "0.0% don't-cares"
+"$CLI" wave "$WORK/c.tdclzw" "$WORK/c.vcd" 4
+grep -q '$enddefinitions' "$WORK/c.vcd"
+grep -q "fsm_state" "$WORK/c.vcd"
+
+# Netlist format round trip: .bench -> .v -> .bench, stats at each step.
+cat > "$WORK/mini.bench" <<'EOF'
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+f = DFF(w)
+w = NAND(a, f)
+y = XOR(w, b)
+EOF
+"$CLI" stats "$WORK/mini.bench" | grep -q "scan vector width 3"
+"$CLI" convert "$WORK/mini.bench" "$WORK/mini.v"
+grep -q "module" "$WORK/mini.v"
+"$CLI" convert "$WORK/mini.v" "$WORK/mini2.bench"
+"$CLI" stats "$WORK/mini2.bench" | grep -q "scan vector width 3"
+
+# Variable-width image round trip.
+"$CLI" compress "$WORK/c.tests" "$WORK/cv.tdclzw" --dict 256 --variable
+"$CLI" info "$WORK/cv.tdclzw" | grep -q "variable-width"
+
+echo "cli_test OK"

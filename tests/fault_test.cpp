@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bits/rng.h"
+#include "fault/fault.h"
+#include "fault/fsim.h"
+#include "gen/circuit_gen.h"
+#include "netlist/bench_io.h"
+#include "sim/logicsim.h"
+
+namespace tdc::fault {
+namespace {
+
+using netlist::GateKind;
+using netlist::Netlist;
+
+Netlist and_chain() {
+  // y = AND(a, b); z = OR(y, c); outputs y (via z only).
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+y = AND(a, b)
+z = OR(y, c)
+)";
+  return netlist::parse_bench_string(txt, "chain");
+}
+
+TEST(FaultListTest, FullUniverseSize) {
+  const Netlist nl = and_chain();
+  const auto faults = full_fault_list(nl);
+  // Gates: a, b, c (0 fanins), y (2), z (2). Faults = 2*(5 outputs + 4 pins).
+  EXPECT_EQ(faults.size(), 2u * (5u + 4u));
+}
+
+TEST(FaultListTest, CollapseDropsEquivalents) {
+  const Netlist nl = and_chain();
+  const auto all = full_fault_list(nl);
+  const auto kept = collapse(nl, all);
+  EXPECT_LT(kept.size(), all.size());
+  // AND input sa0 collapses into output sa0; all lines here are fanout-free
+  // so pin faults vanish entirely.
+  for (const auto& f : kept) EXPECT_EQ(f.pin, -1);
+}
+
+TEST(FaultListTest, FanoutBranchesSurviveCollapse) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(a, b)
+z = OR(a, b)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const auto kept = collapsed_fault_list(nl);
+  // `a` fans out to AND and OR: the AND.in sa1 and OR.in sa0 branch faults
+  // must survive (sa0 on AND pin and sa1 on OR pin collapse into stems).
+  const auto y = nl.find("y");
+  const auto z = nl.find("z");
+  EXPECT_TRUE(std::any_of(kept.begin(), kept.end(), [&](const Fault& f) {
+    return f.gate == y && f.pin >= 0 && f.stuck_one;
+  }));
+  EXPECT_TRUE(std::any_of(kept.begin(), kept.end(), [&](const Fault& f) {
+    return f.gate == z && f.pin >= 0 && !f.stuck_one;
+  }));
+  EXPECT_FALSE(std::any_of(kept.begin(), kept.end(), [&](const Fault& f) {
+    return f.gate == y && f.pin >= 0 && !f.stuck_one;
+  }));
+}
+
+TEST(FaultTest, Describe) {
+  const Netlist nl = and_chain();
+  const Fault stem{nl.find("y"), -1, true};
+  EXPECT_EQ(stem.describe(nl), "y/sa1");
+  const Fault pin{nl.find("z"), 0, false};
+  EXPECT_EQ(pin.describe(nl), "z.in0(y)/sa0");
+}
+
+TEST(FaultSimTest, HandComputedDetection) {
+  const Netlist nl = and_chain();
+  sim::Sim64 sim(nl);
+  // Pattern 0: a=1 b=1 c=0 -> z=1. Under y/sa0, z=0: detected.
+  // Pattern 1: a=1 b=1 c=1 -> z=1 either way: masked by c.
+  // Pattern 2: a=0 b=1 c=0 -> y=0 already: not excited.
+  sim.set(nl.find("a"), 0b011);
+  sim.set(nl.find("b"), 0b111);
+  sim.set(nl.find("c"), 0b010);
+  sim.run();
+  FaultSimulator fsim(nl);
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("y"), -1, false}, 0b111), 0b001u);
+  // y/sa1 detected by pattern 2 (y would rise, c=0 so z flips).
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("y"), -1, true}, 0b111), 0b100u);
+  // c input of z stuck-1 forces z=1 always; z should be 0 only on
+  // pattern 2 (y=0, c=0).
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("z"), 1, true}, 0b111), 0b100u);
+}
+
+TEST(FaultSimTest, PinFaultOnlyAffectsOneBranch) {
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(y)
+OUTPUT(z)
+y = BUF(a)
+z = BUF(a)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  sim::Sim64 sim(nl);
+  sim.set(nl.find("a"), 0b1);
+  sim.run();
+  FaultSimulator fsim(nl);
+  // Branch fault into y only: z unaffected, detection only via y.
+  const auto mask = fsim.detect_mask(sim, Fault{nl.find("y"), 0, false}, 0b1);
+  EXPECT_EQ(mask, 0b1u);
+  // The good value of z is untouched by the branch fault (checked
+  // indirectly: a stem fault at `a` is also detected, and yields the same
+  // mask through either branch).
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("a"), -1, false}, 0b1), 0b1u);
+}
+
+TEST(FaultSimTest, DffPinFaultObservedAtScanOut) {
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(f)
+f = DFF(y)
+y = NOT(a)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  sim::Sim64 sim(nl);
+  sim.set(nl.find("a"), 0b01);  // y = 10
+  sim.set(nl.find("f"), 0b00);
+  sim.run();
+  FaultSimulator fsim(nl);
+  // D-pin stuck-0: scan cell captures 0 instead of y; detected where y=1.
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("f"), 0, false}, 0b11), 0b10u);
+}
+
+TEST(FaultSimTest, ValidMaskRestricts) {
+  const Netlist nl = and_chain();
+  sim::Sim64 sim(nl);
+  sim.set(nl.find("a"), ~0ULL);
+  sim.set(nl.find("b"), ~0ULL);
+  sim.set(nl.find("c"), 0);
+  sim.run();
+  FaultSimulator fsim(nl);
+  EXPECT_EQ(fsim.detect_mask(sim, Fault{nl.find("y"), -1, false}, 0b1), 0b1u);
+}
+
+// Cross-validation property: on random circuits with random patterns, the
+// event-driven PPSFP result must equal a brute-force full resimulation with
+// the fault injected.
+TEST(FaultSimTest, PropertyMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    gen::GeneratorConfig cfg;
+    cfg.name = "rnd";
+    cfg.pis = 12;
+    cfg.pos = 6;
+    cfg.ffs = 10;
+    cfg.gates = 120;
+    cfg.block_size = 8;
+    cfg.seed = seed * 1234567;
+    const Netlist nl = gen::generate_circuit(cfg);
+
+    sim::Sim64 good(nl);
+    bits::Rng rng(seed);
+    for (const auto g : nl.inputs()) good.set(g, rng.next_u64());
+    for (const auto g : nl.dffs()) good.set(g, rng.next_u64());
+    std::vector<std::uint64_t> source_words(nl.gate_count(), 0);
+    for (const auto g : nl.inputs()) source_words[g] = good.get(g);
+    for (const auto g : nl.dffs()) source_words[g] = good.get(g);
+    good.run();
+
+    FaultSimulator fsim(nl);
+    const auto faults = collapsed_fault_list(nl);
+    for (const auto& f : faults) {
+      // Brute force: full faulty resim.
+      std::uint64_t brute = 0;
+      if (f.pin >= 0 && nl.kind(f.gate) == GateKind::Dff) {
+        brute = (f.stuck_one ? ~0ULL : 0ULL) ^ good.get(nl.fanins(f.gate)[0]);
+      } else {
+        sim::Sim64 bad(nl);
+        for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+          if (nl.is_source(g)) bad.set(g, source_words[g]);
+        }
+        if (f.pin < 0 && nl.is_source(f.gate)) {
+          bad.set(f.gate, f.stuck_one ? ~0ULL : 0ULL);
+        }
+        for (const std::uint32_t g : nl.topo_order()) {
+          std::uint64_t v;
+          if (f.pin >= 0 && g == f.gate) {
+            v = bad.evaluate_patched(g, bad.data(), f.pin, f.stuck_one ? ~0ULL : 0ULL);
+          } else {
+            v = bad.evaluate_with(g, bad.data());
+          }
+          if (f.pin < 0 && g == f.gate) v = f.stuck_one ? ~0ULL : 0ULL;
+          bad.set(g, v);
+        }
+        for (const auto o : nl.outputs()) brute |= bad.get(o) ^ good.get(o);
+        for (const auto d : nl.dffs()) {
+          brute |= bad.get(nl.fanins(d)[0]) ^ good.get(nl.fanins(d)[0]);
+        }
+      }
+      const auto fast = fsim.detect_mask(good, f);
+      ASSERT_EQ(fast, brute) << f.describe(nl) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdc::fault

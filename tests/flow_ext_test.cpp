@@ -1,0 +1,172 @@
+// Tests for the later flow extensions: reverse-order pattern compaction,
+// difference-vector Golomb coding, and the netlist statistics report.
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.h"
+#include "bits/rng.h"
+#include "codec/rle.h"
+#include "fault/fault.h"
+#include "gen/circuit_gen.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+
+namespace tdc {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+using netlist::Netlist;
+
+// ------------------------------------------------- reverse-order compaction
+
+Netlist flow_circuit(std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 14;
+  cfg.pos = 7;
+  cfg.ffs = 20;
+  cfg.gates = 250;
+  cfg.block_size = 10;
+  cfg.seed = seed;
+  return gen::generate_circuit(cfg);
+}
+
+TEST(ReverseOrderCompactTest, DropsPatternsWithoutLosingCoverage) {
+  const Netlist nl = flow_circuit(101);
+  atpg::AtpgOptions opt;
+  opt.compaction_window = 0;  // verbose set: plenty to drop
+  const auto result = atpg::generate_tests(nl, opt);
+  const auto compacted = atpg::reverse_order_compact(nl, result.tests);
+
+  EXPECT_LT(compacted.cubes.size(), result.tests.cubes.size());
+  EXPECT_GT(compacted.cubes.size(), 0u);
+
+  const auto faults = fault::collapsed_fault_list(nl);
+  auto filled = [](const scan::TestSet& ts) {
+    std::vector<TritVector> out;
+    for (const auto& c : ts.cubes) out.push_back(c.filled(Trit::Zero));
+    return out;
+  };
+  const double before = atpg::fault_coverage(nl, faults, filled(result.tests));
+  const double after = atpg::fault_coverage(nl, faults, filled(compacted));
+  EXPECT_NEAR(after, before, 1e-9);  // 0-fill coverage exactly preserved
+}
+
+TEST(ReverseOrderCompactTest, PreservesOrderAndIsIdempotent) {
+  const Netlist nl = flow_circuit(102);
+  atpg::AtpgOptions opt;
+  opt.compaction_window = 0;
+  const auto result = atpg::generate_tests(nl, opt);
+  const auto once = atpg::reverse_order_compact(nl, result.tests);
+
+  // Survivors appear in original relative order.
+  std::size_t cursor = 0;
+  for (const auto& cube : once.cubes) {
+    bool found = false;
+    for (; cursor < result.tests.cubes.size(); ++cursor) {
+      if (result.tests.cubes[cursor] == cube) {
+        found = true;
+        ++cursor;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+
+  const auto twice = atpg::reverse_order_compact(nl, once);
+  EXPECT_EQ(twice.cubes.size(), once.cubes.size());
+}
+
+TEST(ReverseOrderCompactTest, EmptySetStaysEmpty) {
+  const Netlist nl = flow_circuit(103);
+  scan::TestSet empty;
+  empty.width = nl.scan_vector_width();
+  EXPECT_TRUE(atpg::reverse_order_compact(nl, empty).cubes.empty());
+}
+
+// ------------------------------------------------- Tdiff Golomb
+
+TEST(TdiffTest, RepetitivePatternsCompressHarderThanPlainGolomb) {
+  // Nearly identical consecutive patterns: differences are almost all 0.
+  Rng rng(7);
+  const std::uint32_t width = 96;
+  TritVector base(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    base.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  TritVector stream;
+  for (int p = 0; p < 50; ++p) {
+    TritVector v = base;
+    v.set(rng.below(width), rng.bit() ? Trit::One : Trit::Zero);  // one mutation
+    stream.append(v);
+  }
+  const codec::RleConfig cfg{codec::RunCode::Golomb, 16};
+  const auto plain = codec::golomb_rle_encode(stream, cfg);
+  const auto tdiff = codec::golomb_tdiff_encode(stream, width, cfg);
+  EXPECT_GT(tdiff.stats().ratio_percent(), plain.stats().ratio_percent());
+  EXPECT_GT(tdiff.stats().ratio_percent(), 70.0);
+}
+
+TEST(TdiffTest, RoundTripCoversCareBits) {
+  Rng rng(9);
+  const std::uint32_t width = 53;
+  TritVector stream(width * 30);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!rng.chance(0.8)) stream.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  for (const auto code : {codec::RunCode::Golomb, codec::RunCode::Fdr}) {
+    const codec::RleConfig cfg{code, 8};
+    const auto enc = codec::golomb_tdiff_encode(stream, width, cfg);
+    const auto dec =
+        codec::golomb_tdiff_decode(enc.stream, stream.size(), width, cfg);
+    ASSERT_TRUE(stream.covered_by(dec));
+  }
+}
+
+TEST(TdiffTest, RejectsBadWidth) {
+  EXPECT_THROW(codec::golomb_tdiff_encode(TritVector(10), 3), std::invalid_argument);
+  EXPECT_THROW(codec::golomb_tdiff_encode(TritVector(10), 0), std::invalid_argument);
+}
+
+// ------------------------------------------------- netlist stats
+
+TEST(NetlistStatsTest, CountsMatchHandCircuit) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+f = DFF(w)
+w = NAND(a, b, f)
+y = NOT(w)
+z = OR(w, a)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt, "hand");
+  const auto s = netlist::analyze(nl);
+  EXPECT_EQ(s.gates, 6u);
+  EXPECT_EQ(s.primary_inputs, 2u);
+  EXPECT_EQ(s.primary_outputs, 2u);
+  EXPECT_EQ(s.scan_cells, 1u);
+  EXPECT_EQ(s.combinational, 3u);
+  EXPECT_EQ(s.by_kind.at(netlist::GateKind::Nand), 1u);
+  EXPECT_EQ(s.max_fanin, 3u);
+  EXPECT_EQ(s.scan_vector_width, 3u);
+  EXPECT_EQ(s.logic_depth, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_fanin, (3.0 + 1.0 + 2.0) / 3.0);
+  const std::string report = s.report();
+  EXPECT_NE(report.find("hand"), std::string::npos);
+  EXPECT_NE(report.find("NAND=1"), std::string::npos);
+}
+
+TEST(NetlistStatsTest, GeneratedCircuitIsPlausible) {
+  const Netlist nl = flow_circuit(104);
+  const auto s = netlist::analyze(nl);
+  EXPECT_EQ(s.primary_inputs, 14u);
+  EXPECT_EQ(s.scan_cells, 20u);
+  EXPECT_GT(s.logic_depth, 2u);
+  EXPECT_GT(s.avg_fanin, 1.0);
+  EXPECT_GE(s.max_fanout, 1u);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "bits/gf2.h"
+#include "bits/rng.h"
+#include "codec/lfsr_reseed.h"
+
+namespace tdc {
+namespace {
+
+using bits::Gf2Row;
+using bits::Gf2Solver;
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+
+// ---------------------------------------------------------------- Gf2Row
+
+TEST(Gf2RowTest, SetGetFlipAcrossWords) {
+  Gf2Row r(130);
+  r.set(0, true);
+  r.set(64, true);
+  r.set(129, true);
+  EXPECT_TRUE(r.get(0));
+  EXPECT_TRUE(r.get(64));
+  EXPECT_TRUE(r.get(129));
+  EXPECT_FALSE(r.get(63));
+  r.flip(64);
+  EXPECT_FALSE(r.get(64));
+  EXPECT_EQ(r.lowest_set(), 0u);
+  r.set(0, false);
+  EXPECT_EQ(r.lowest_set(), 129u);
+}
+
+TEST(Gf2RowTest, AddIsXor) {
+  Gf2Row a(70), b(70);
+  a.set(3, true);
+  a.set(69, true);
+  b.set(3, true);
+  b.set(10, true);
+  a.add(b);
+  EXPECT_FALSE(a.get(3));
+  EXPECT_TRUE(a.get(10));
+  EXPECT_TRUE(a.get(69));
+}
+
+TEST(Gf2RowTest, DotProduct) {
+  Gf2Row row(8), x(8);
+  row.set(1, true);
+  row.set(4, true);
+  row.set(7, true);
+  x.set(1, true);
+  x.set(7, true);
+  EXPECT_FALSE(row.dot(x));  // parity of 2 hits
+  x.set(4, true);
+  EXPECT_TRUE(row.dot(x));
+}
+
+TEST(Gf2RowTest, EmptyRowHasNoLowestSet) {
+  EXPECT_EQ(Gf2Row(50).lowest_set(), Gf2Row::npos);
+  EXPECT_FALSE(Gf2Row(50).any());
+}
+
+// ---------------------------------------------------------------- Gf2Solver
+
+Gf2Row make_row(std::size_t vars, std::initializer_list<std::size_t> bits) {
+  Gf2Row r(vars);
+  for (const auto b : bits) r.set(b, true);
+  return r;
+}
+
+TEST(Gf2SolverTest, SolvesSmallSystem) {
+  // x0 ^ x1 = 1; x1 ^ x2 = 0; x0 = 1  ->  x = (1, 0, 0).
+  Gf2Solver s(3);
+  EXPECT_TRUE(s.add(make_row(3, {0, 1}), true));
+  EXPECT_TRUE(s.add(make_row(3, {1, 2}), false));
+  EXPECT_TRUE(s.add(make_row(3, {0}), true));
+  const Gf2Row x = s.solution();
+  EXPECT_TRUE(x.get(0));
+  EXPECT_FALSE(x.get(1));
+  EXPECT_FALSE(x.get(2));
+}
+
+TEST(Gf2SolverTest, DetectsContradiction) {
+  Gf2Solver s(2);
+  EXPECT_TRUE(s.add(make_row(2, {0, 1}), true));
+  EXPECT_TRUE(s.add(make_row(2, {0}), false));
+  // Implies x1 = 1; adding x1 = 0 must fail and leave the system usable.
+  EXPECT_FALSE(s.add(make_row(2, {1}), false));
+  EXPECT_TRUE(s.add(make_row(2, {1}), true));  // consistent restatement
+  const Gf2Row x = s.solution();
+  EXPECT_FALSE(x.get(0));
+  EXPECT_TRUE(x.get(1));
+}
+
+TEST(Gf2SolverTest, RedundantRowsAccepted) {
+  Gf2Solver s(3);
+  EXPECT_TRUE(s.add(make_row(3, {0, 1}), true));
+  EXPECT_TRUE(s.add(make_row(3, {0, 1}), true));  // duplicate
+  EXPECT_TRUE(s.add(make_row(3, {}), false));     // 0 = 0
+  EXPECT_FALSE(s.add(make_row(3, {}), true));     // 0 = 1
+  EXPECT_EQ(s.rank(), 1u);
+}
+
+// Property: random consistent systems are solved; the solution satisfies
+// every added row (verified against the original rows, pre-reduction).
+TEST(Gf2SolverTest, PropertySolutionSatisfiesSystem) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t vars = 20 + rng.below(100);
+    // Hidden assignment.
+    Gf2Row hidden(vars);
+    for (std::size_t i = 0; i < vars; ++i) hidden.set(i, rng.bit());
+
+    Gf2Solver solver(vars);
+    std::vector<std::pair<Gf2Row, bool>> original;
+    for (int k = 0; k < 60; ++k) {
+      Gf2Row row(vars);
+      for (std::size_t i = 0; i < vars; ++i) row.set(i, rng.chance(0.3));
+      const bool rhs = row.dot(hidden);
+      ASSERT_TRUE(solver.add(row, rhs));  // consistent by construction
+      original.emplace_back(std::move(row), rhs);
+    }
+    const Gf2Row x = solver.solution();
+    for (const auto& [row, rhs] : original) {
+      ASSERT_EQ(row.dot(x), rhs) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- reseeding
+
+std::vector<TritVector> random_cubes(std::size_t n, std::uint32_t width,
+                                     std::uint32_t care, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TritVector> out;
+  for (std::size_t p = 0; p < n; ++p) {
+    TritVector v(width);
+    for (std::uint32_t k = 0; k < care; ++k) {
+      v.set(rng.below(width), rng.bit() ? Trit::One : Trit::Zero);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(LfsrReseedTest, EmptyInput) {
+  const auto r = codec::lfsr_reseed_encode({});
+  EXPECT_EQ(r.compressed_bits(), 0u);
+  EXPECT_TRUE(lfsr_reseed_expand(r).empty());
+}
+
+TEST(LfsrReseedTest, RoundTripCoversCareBits) {
+  const auto cubes = random_cubes(50, 200, 18, 7);
+  const auto encoded = codec::lfsr_reseed_encode(cubes);
+  const auto expanded = codec::lfsr_reseed_expand(encoded);
+  ASSERT_EQ(expanded.size(), cubes.size());
+  for (std::size_t p = 0; p < cubes.size(); ++p) {
+    EXPECT_TRUE(expanded[p].fully_specified());
+    EXPECT_TRUE(cubes[p].covered_by(expanded[p])) << "pattern " << p;
+  }
+}
+
+TEST(LfsrReseedTest, AutoSizeFollowsMaxCare) {
+  const auto cubes = random_cubes(20, 300, 25, 11);
+  codec::LfsrReseedConfig cfg;
+  cfg.margin = 20;
+  const auto encoded = codec::lfsr_reseed_encode(cubes, cfg);
+  std::size_t max_care = 0;
+  for (const auto& c : cubes) max_care = std::max(max_care, c.care_count());
+  EXPECT_EQ(encoded.seed_bits, max_care + 20);
+}
+
+TEST(LfsrReseedTest, CompressionScalesWithCareDensity) {
+  // 600-bit patterns with ~25 care bits: seeds of ~45 bits -> >90 % ratio.
+  const auto cubes = random_cubes(60, 600, 25, 13);
+  const auto encoded = codec::lfsr_reseed_encode(cubes);
+  EXPECT_GT(encoded.stats().ratio_percent(), 85.0);
+  const auto expanded = codec::lfsr_reseed_expand(encoded);
+  for (std::size_t p = 0; p < cubes.size(); ++p) {
+    EXPECT_TRUE(cubes[p].covered_by(expanded[p]));
+  }
+}
+
+TEST(LfsrReseedTest, OverconstrainedCubesEscapeButRoundTrip) {
+  // Force tiny seeds: most cubes cannot fit and must ship raw.
+  const auto cubes = random_cubes(20, 100, 40, 17);
+  codec::LfsrReseedConfig cfg;
+  cfg.seed_bits = 8;
+  const auto encoded = codec::lfsr_reseed_encode(cubes, cfg);
+  std::size_t escapes = 0;
+  for (const auto e : encoded.escaped) escapes += e;
+  EXPECT_GT(escapes, 0u);
+  const auto expanded = codec::lfsr_reseed_expand(encoded);
+  for (std::size_t p = 0; p < cubes.size(); ++p) {
+    EXPECT_TRUE(cubes[p].covered_by(expanded[p])) << "pattern " << p;
+  }
+}
+
+TEST(LfsrReseedTest, FullySpecifiedCubesNeedWidthSizedSeeds) {
+  const auto cubes = random_cubes(5, 64, 64, 19);  // care everywhere
+  const auto encoded = codec::lfsr_reseed_encode(cubes);
+  const auto expanded = codec::lfsr_reseed_expand(encoded);
+  for (std::size_t p = 0; p < cubes.size(); ++p) {
+    EXPECT_TRUE(cubes[p].covered_by(expanded[p]));
+  }
+  // No compression possible (seed ~ width + margin), ratio <= 0.
+  EXPECT_LE(encoded.stats().ratio_percent(), 0.0);
+}
+
+TEST(LfsrReseedTest, WidthMismatchRejected) {
+  std::vector<TritVector> cubes{TritVector(8), TritVector(9)};
+  EXPECT_THROW(codec::lfsr_reseed_encode(cubes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdc

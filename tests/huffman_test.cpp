@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "bits/rng.h"
+#include "codec/huffman.h"
+
+namespace tdc::codec {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+
+TritVector random_cube(std::size_t n, double x_density, std::uint64_t seed) {
+  Rng rng(seed);
+  TritVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(x_density)) v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+TEST(HuffmanTest, ConfigValidation) {
+  EXPECT_THROW(huffman_encode(TritVector(8), HuffmanConfig{0, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(huffman_encode(TritVector(8), HuffmanConfig{40, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(huffman_encode(TritVector(8), HuffmanConfig{8, 0}),
+               std::invalid_argument);
+}
+
+TEST(HuffmanTest, EmptyInput) {
+  const auto r = huffman_encode(TritVector{});
+  EXPECT_EQ(r.stream.bit_count(), 0u);
+  EXPECT_EQ(huffman_decode(r).size(), 0u);
+}
+
+TEST(HuffmanTest, RepetitiveBlocksGetShortCodes) {
+  // 60 copies of one 8-bit block + 4 odd blocks: the dominant pattern must
+  // be coded (not escaped) and the total must shrink.
+  TritVector input;
+  for (int i = 0; i < 60; ++i) input.append(TritVector::from_string("11001010"));
+  for (int i = 0; i < 4; ++i) {
+    input.append(random_cube(8, 0.0, 100 + i));
+  }
+  const auto r = huffman_encode(input, HuffmanConfig{8, 4});
+  EXPECT_GT(r.coded_blocks, 59u);
+  EXPECT_GT(r.stats().ratio_percent(), 50.0);
+  EXPECT_TRUE(input.covered_by(huffman_decode(r)));
+}
+
+TEST(HuffmanTest, XBlocksMatchCodebookPatterns) {
+  // Blocks of pure X must always ride an existing codebook pattern.
+  TritVector input;
+  for (int i = 0; i < 20; ++i) {
+    input.append(TritVector::from_string("1010"));
+    input.append(TritVector(4));  // all X
+  }
+  const auto r = huffman_encode(input, HuffmanConfig{4, 2});
+  EXPECT_EQ(r.escaped_blocks, 0u);
+  EXPECT_TRUE(input.covered_by(huffman_decode(r)));
+}
+
+TEST(HuffmanTest, EscapePathRoundTrips) {
+  // High-entropy fully specified input: most blocks escape, the stream
+  // expands, but decode must still be exact.
+  const auto input = random_cube(2048, 0.0, 7);
+  const auto r = huffman_encode(input, HuffmanConfig{16, 8});
+  EXPECT_GT(r.escaped_blocks, 0u);
+  EXPECT_EQ(huffman_decode(r), input);
+}
+
+TEST(HuffmanTest, PartialTailBlock) {
+  const auto input = random_cube(101, 0.5, 3);  // 101 % 8 != 0
+  const auto r = huffman_encode(input, HuffmanConfig{8, 8});
+  const auto d = huffman_decode(r);
+  EXPECT_EQ(d.size(), 101u);
+  EXPECT_TRUE(input.covered_by(d));
+}
+
+struct HuffParam {
+  std::uint32_t block_bits;
+  std::uint32_t codebook;
+  double x_density;
+  std::size_t bits;
+};
+
+class HuffmanProperty : public ::testing::TestWithParam<HuffParam> {};
+
+TEST_P(HuffmanProperty, RoundTripCoversInput) {
+  const auto p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto input = random_cube(p.bits, p.x_density, seed * 131);
+    const auto r = huffman_encode(input, HuffmanConfig{p.block_bits, p.codebook});
+    const auto d = huffman_decode(r);
+    ASSERT_EQ(d.size(), input.size());
+    ASSERT_TRUE(d.fully_specified());
+    ASSERT_TRUE(input.covered_by(d)) << "seed " << seed;
+    ASSERT_EQ(r.coded_blocks + r.escaped_blocks,
+              (p.bits + p.block_bits - 1) / p.block_bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HuffmanProperty,
+                         ::testing::Values(HuffParam{4, 2, 0.5, 1000},
+                                           HuffParam{8, 16, 0.9, 4000},
+                                           HuffParam{8, 16, 0.0, 4000},
+                                           HuffParam{12, 32, 0.8, 6000},
+                                           HuffParam{16, 64, 0.95, 8000},
+                                           HuffParam{32, 8, 0.7, 4000}));
+
+TEST(HuffmanTest, HighXCompressesWell) {
+  const auto input = random_cube(16000, 0.95, 11);
+  const auto r = huffman_encode(input, HuffmanConfig{8, 16});
+  EXPECT_GT(r.stats().ratio_percent(), 40.0);
+}
+
+}  // namespace
+}  // namespace tdc::codec

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "bits/rng.h"
+#include "bits/tritvector.h"
+#include "lzw/config.h"
+#include "lzw/decoder.h"
+#include "lzw/dictionary.h"
+#include "lzw/encoder.h"
+#include "lzw/verify.h"
+
+namespace tdc::lzw {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+
+/// Random ternary vector with the given X density.
+TritVector random_cube(std::size_t n, double x_density, std::uint64_t seed) {
+  Rng rng(seed);
+  TritVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(x_density)) v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- LzwConfig
+
+TEST(LzwConfigTest, DerivedQuantities) {
+  LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  EXPECT_EQ(c.code_bits(), 10u);
+  EXPECT_EQ(c.literal_count(), 128u);
+  EXPECT_EQ(c.first_code(), 128u);
+  EXPECT_EQ(c.max_entry_chars(), 9u);
+  EXPECT_FALSE(c.degenerate());
+}
+
+TEST(LzwConfigTest, NonPowerOfTwoDictSize) {
+  LzwConfig c{.dict_size = 1000, .char_bits = 7, .entry_bits = 63};
+  EXPECT_EQ(c.code_bits(), 10u);  // still needs 10 bits for code 999
+}
+
+TEST(LzwConfigTest, DegenerateWhenLiteralsFillDictionary) {
+  // Paper Table 4: at C_C = 10 with N = 1024 "there are no more compress
+  // codes available" — every code is a literal.
+  LzwConfig c{.dict_size = 1024, .char_bits = 10, .entry_bits = 63};
+  EXPECT_TRUE(c.degenerate());
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(LzwConfigTest, ValidationRejectsBadShapes) {
+  EXPECT_THROW((LzwConfig{.dict_size = 64, .char_bits = 7, .entry_bits = 63}.validate()),
+               std::invalid_argument);  // dict smaller than literal set
+  EXPECT_THROW((LzwConfig{.dict_size = 1024, .char_bits = 0, .entry_bits = 63}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((LzwConfig{.dict_size = 1024, .char_bits = 7, .entry_bits = 3}.validate()),
+               std::invalid_argument);  // entry narrower than one char
+}
+
+// ---------------------------------------------------------------- Dictionary
+
+LzwConfig tiny_config() {
+  // 1-bit characters as in the paper's Fig. 3/4 walkthrough.
+  return LzwConfig{.dict_size = 8, .char_bits = 1, .entry_bits = 8};
+}
+
+TEST(DictionaryTest, LiteralsPredefined) {
+  Dictionary d(tiny_config());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.next_code(), 2u);
+  EXPECT_TRUE(d.defined(0));
+  EXPECT_TRUE(d.defined(1));
+  EXPECT_FALSE(d.defined(2));
+  EXPECT_EQ(d.length(0), 1u);
+  EXPECT_EQ(d.expand(1), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(DictionaryTest, AddAndExpandChain) {
+  Dictionary d(tiny_config());
+  const auto c2 = d.add(1, 0);  // "10"
+  const auto c3 = d.add(c2, 1);  // "101"
+  EXPECT_EQ(c2, 2u);
+  EXPECT_EQ(c3, 3u);
+  EXPECT_EQ(d.expand(c3), (std::vector<std::uint32_t>{1, 0, 1}));
+  EXPECT_EQ(d.first_char(c3), 1u);
+  EXPECT_EQ(d.last_char(c3), 1u);
+  EXPECT_EQ(d.parent(c3), c2);
+  EXPECT_EQ(d.length(c3), 3u);
+  EXPECT_EQ(d.length_bits(c3), 3u);
+}
+
+TEST(DictionaryTest, ChildLookup) {
+  Dictionary d(tiny_config());
+  const auto c2 = d.add(0, 0);
+  EXPECT_EQ(d.child(0, 0), c2);
+  EXPECT_EQ(d.child(0, 1), kNoCode);
+  EXPECT_EQ(d.children(0).size(), 1u);
+}
+
+TEST(DictionaryTest, FreezesAtCapacity) {
+  Dictionary d(tiny_config());  // N=8, 2 literals -> 6 entries available
+  std::uint32_t parent = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto c = d.add(parent, 1);
+    ASSERT_NE(c, kNoCode);
+    parent = c;
+  }
+  EXPECT_TRUE(d.full());
+  EXPECT_EQ(d.next_code(), kNoCode);
+  EXPECT_EQ(d.add(0, 0), kNoCode);  // frozen
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST(DictionaryTest, EntryWidthCapEnforced) {
+  // entry_bits=3, char_bits=1 -> max 3 characters per entry.
+  LzwConfig c{.dict_size = 64, .char_bits = 1, .entry_bits = 3};
+  Dictionary d(c);
+  const auto c2 = d.add(1, 1);            // len 2
+  const auto c3 = d.add(c2, 1);           // len 3 == cap
+  ASSERT_NE(c3, kNoCode);
+  EXPECT_FALSE(d.extendable(c3));
+  EXPECT_EQ(d.add(c3, 1), kNoCode);       // would exceed C_MDATA
+  EXPECT_EQ(d.longest_entry_bits(), 3u);
+}
+
+// ---------------------------------------------------------------- Encoder worked examples
+
+TEST(EncoderTest, HandComputedExample) {
+  // Input 101010 with 1-bit characters:
+  //   emit 1 (add 2="10"), emit 0 (add 3="01"), match "10" -> emit 2
+  //   (add 4="101"), match "10" -> flush emit 2.
+  const Encoder enc(tiny_config());
+  const auto r = enc.encode(TritVector::from_string("101010"));
+  EXPECT_EQ(r.codes, (std::vector<std::uint32_t>{1, 0, 2, 2}));
+  EXPECT_EQ(r.code_lengths, (std::vector<std::uint32_t>{1, 1, 2, 2}));
+  EXPECT_EQ(r.original_bits, 6u);
+  EXPECT_EQ(r.input_chars, 6u);
+  EXPECT_EQ(r.compressed_bits(), 4u * 3u);  // C_E = 3
+}
+
+TEST(EncoderTest, KwKwKPattern) {
+  // 11111 -> codes 1, 2, 2 where the first "2" is emitted before the decoder
+  // has seen entry 2 defined (paper Fig. 4f special case).
+  const Encoder enc(tiny_config());
+  const auto r = enc.encode(TritVector::from_string("11111"));
+  EXPECT_EQ(r.codes, (std::vector<std::uint32_t>{1, 2, 2}));
+  const Decoder dec(tiny_config());
+  const auto d = dec.decode(r.codes, 5);
+  EXPECT_EQ(d.bits.to_string(), "11111");
+}
+
+TEST(EncoderTest, DynamicXBindingFollowsDictionary) {
+  // 1X1X1X: the X bits must be bound so the stream matches dictionary
+  // entries; the result equals the fully-specified 101010 run above.
+  const Encoder enc(tiny_config());
+  const auto r = enc.encode(TritVector::from_string("1X1X1X"));
+  EXPECT_EQ(r.codes, (std::vector<std::uint32_t>{1, 0, 2, 2}));
+  const auto rep = verify_roundtrip(TritVector::from_string("1X1X1X"), r);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(EncoderTest, AllXCompressesHard) {
+  const Encoder enc(LzwConfig{.dict_size = 1024, .char_bits = 7, .entry_bits = 63});
+  TritVector v(7000);  // all X
+  const auto r = enc.encode(v);
+  EXPECT_GT(r.ratio_percent(), 80.0);
+  EXPECT_TRUE(verify_roundtrip(v, r).ok);
+}
+
+TEST(EncoderTest, EmptyInput) {
+  const Encoder enc(tiny_config());
+  const auto r = enc.encode(TritVector{});
+  EXPECT_TRUE(r.codes.empty());
+  EXPECT_EQ(r.original_bits, 0u);
+  const Decoder dec(tiny_config());
+  EXPECT_EQ(dec.decode(r.codes, 0).bits.size(), 0u);
+}
+
+TEST(EncoderTest, SingleCharInput) {
+  const Encoder enc(tiny_config());
+  const auto r = enc.encode(TritVector::from_string("1"));
+  EXPECT_EQ(r.codes, (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(verify_roundtrip(TritVector::from_string("1"), r).ok);
+}
+
+TEST(EncoderTest, PartialTailCharacterIsPadded) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const Encoder enc(c);
+  const auto input = random_cube(100, 0.5, 99);  // 100 % 7 != 0
+  const auto r = enc.encode(input);
+  EXPECT_EQ(r.input_chars, (100u + 6u) / 7u);
+  EXPECT_EQ(r.original_bits, 100u);
+  EXPECT_TRUE(verify_roundtrip(input, r).ok);
+}
+
+TEST(EncoderTest, StreamPackingMatchesCodeCount) {
+  const LzwConfig c{.dict_size = 2048, .char_bits = 7, .entry_bits = 63};
+  const Encoder enc(c);
+  const auto r = enc.encode(random_cube(5000, 0.8, 5));
+  EXPECT_EQ(r.stream.bit_count(), r.codes.size() * c.code_bits());
+}
+
+TEST(EncoderTest, DegenerateConfigEmitsLiteralsOnly) {
+  // N == 2^C_C: every code is a literal, no compression possible.
+  const LzwConfig c{.dict_size = 256, .char_bits = 8, .entry_bits = 64};
+  const Encoder enc(c);
+  const auto input = random_cube(1024, 0.0, 3);
+  const auto r = enc.encode(input);
+  EXPECT_EQ(r.codes.size(), 1024u / 8u);
+  EXPECT_NEAR(r.ratio_percent(), 0.0, 1e-9);
+  EXPECT_TRUE(verify_roundtrip(input, r).ok);
+}
+
+TEST(EncoderTest, LongestEntryRespectsWidthCap) {
+  const LzwConfig c{.dict_size = 4096, .char_bits = 1, .entry_bits = 5};
+  const Encoder enc(c);
+  const auto r = enc.encode(TritVector(4000, Trit::Zero));
+  EXPECT_LE(r.longest_entry_bits, 5u);
+  EXPECT_LE(r.longest_match_bits, 5u);
+  EXPECT_TRUE(verify_roundtrip(TritVector(4000, Trit::Zero), r).ok);
+}
+
+TEST(EncoderTest, DictionaryFreezeKeepsLockstep) {
+  // Tiny dictionary fills instantly; encoder and decoder must stay in sync
+  // long after the freeze.
+  const LzwConfig c{.dict_size = 16, .char_bits = 2, .entry_bits = 8};
+  const Encoder enc(c);
+  const auto input = random_cube(4000, 0.3, 17);
+  const auto r = enc.encode(input);
+  EXPECT_TRUE(verify_roundtrip(input, r).ok);
+  EXPECT_EQ(r.dict_codes_used, 16u);
+}
+
+// ---------------------------------------------------------------- Decoder errors
+
+TEST(DecoderTest, RejectsUndefinedCode) {
+  const Decoder dec(tiny_config());
+  EXPECT_THROW(dec.decode({1, 5}, 4), std::invalid_argument);
+}
+
+TEST(DecoderTest, RejectsLeadingNonLiteral) {
+  const Decoder dec(tiny_config());
+  EXPECT_THROW(dec.decode({2}, 2), std::invalid_argument);
+}
+
+TEST(DecoderTest, RejectsTruncatedStream) {
+  const Decoder dec(tiny_config());
+  EXPECT_THROW(dec.decode({1}, 10), std::invalid_argument);
+}
+
+TEST(DecoderTest, DictGrowsInLockstepWithEncoder) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(3000, 0.7, 11);
+  const auto r = Encoder(c).encode(input);
+  const auto d = Decoder(c).decode(r.codes, r.original_bits);
+  // Decoder may learn exactly one extra entry from the final code.
+  EXPECT_GE(d.dict_codes_used + 0u, r.dict_codes_used - 1u);
+  EXPECT_LE(d.dict_codes_used, r.dict_codes_used + 1u);
+}
+
+// ---------------------------------------------------------------- X-assignment modes
+
+TEST(XAssignTest, PrefillModesProduceCompatibleStreams) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(4000, 0.85, 23);
+  for (const auto mode : {XAssignMode::ZeroFill, XAssignMode::OneFill,
+                          XAssignMode::RepeatFill, XAssignMode::RandomFill}) {
+    const auto rep = encode_and_verify(c, input, mode);
+    EXPECT_TRUE(rep.ok) << rep.error;
+  }
+}
+
+TEST(XAssignTest, DynamicBeatsPrefillOnHighXInput) {
+  // The paper's §5 observation: pre-processing the don't-cares yields only
+  // 40–60 %, the dynamic sliding-window assignment is what reaches 70 %+.
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const Encoder enc(c);
+  const auto input = random_cube(30000, 0.9, 31);
+  const double dynamic = enc.encode(input, XAssignMode::Dynamic).ratio_percent();
+  const double zero = enc.encode(input, XAssignMode::ZeroFill).ratio_percent();
+  const double random = enc.encode(input, XAssignMode::RandomFill).ratio_percent();
+  EXPECT_GT(dynamic, zero);
+  EXPECT_GT(dynamic, random);
+}
+
+TEST(XAssignTest, FullySpecifiedInputIdenticalAcrossModes) {
+  const LzwConfig c{.dict_size = 512, .char_bits = 4, .entry_bits = 32};
+  const auto input = random_cube(2000, 0.0, 41);
+  const Encoder enc(c);
+  const auto base = enc.encode(input, XAssignMode::Dynamic);
+  for (const auto mode : {XAssignMode::ZeroFill, XAssignMode::OneFill,
+                          XAssignMode::RepeatFill, XAssignMode::RandomFill}) {
+    EXPECT_EQ(enc.encode(input, mode).codes, base.codes);
+  }
+}
+
+// ---------------------------------------------------------------- Tie-break policies
+
+TEST(TiebreakTest, AllPoliciesRoundTrip) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(8000, 0.8, 53);
+  for (const auto tb : {Tiebreak::First, Tiebreak::LowestChar,
+                        Tiebreak::MostRecent, Tiebreak::MostChildren}) {
+    const auto rep = encode_and_verify(c, input, XAssignMode::Dynamic, tb);
+    EXPECT_TRUE(rep.ok) << rep.error;
+  }
+}
+
+// ---------------------------------------------------------------- Round-trip property sweep
+
+struct RoundTripParam {
+  std::uint32_t dict_size;
+  std::uint32_t char_bits;
+  std::uint32_t entry_bits;
+  double x_density;
+  std::size_t bits;
+};
+
+class RoundTripProperty : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(RoundTripProperty, DecodedStreamCoversInput) {
+  const auto p = GetParam();
+  const LzwConfig c{.dict_size = p.dict_size, .char_bits = p.char_bits,
+                    .entry_bits = p.entry_bits};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto input = random_cube(p.bits, p.x_density, seed * 7919);
+    const auto rep = encode_and_verify(c, input);
+    ASSERT_TRUE(rep.ok) << c.describe() << " density=" << p.x_density
+                        << " seed=" << seed << ": " << rep.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, RoundTripProperty,
+    ::testing::Values(
+        RoundTripParam{8, 1, 8, 0.0, 500},
+        RoundTripParam{8, 1, 8, 0.9, 500},
+        RoundTripParam{64, 2, 16, 0.5, 2000},
+        RoundTripParam{256, 4, 32, 0.7, 3000},
+        RoundTripParam{1024, 7, 63, 0.0, 4000},
+        RoundTripParam{1024, 7, 63, 0.5, 4000},
+        RoundTripParam{1024, 7, 63, 0.93, 4000},
+        RoundTripParam{2048, 7, 63, 0.85, 8000},
+        RoundTripParam{1024, 7, 127, 0.9, 4000},
+        RoundTripParam{1024, 7, 511, 0.9, 4000},
+        RoundTripParam{1024, 10, 63, 0.8, 4000},   // degenerate: no codes
+        RoundTripParam{8192, 13, 127, 0.8, 8000},  // exactly degenerate
+        RoundTripParam{16, 2, 8, 0.6, 3000},       // instant freeze
+        RoundTripParam{65536, 8, 255, 0.75, 20000}));
+
+// Ratio must always be consistent with the raw counts it is derived from.
+TEST(StatsTest, RatioFormula) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(7000, 0.8, 61);
+  const auto r = Encoder(c).encode(input);
+  const double expect =
+      (1.0 - static_cast<double>(r.codes.size() * 10) / 7000.0) * 100.0;
+  EXPECT_DOUBLE_EQ(r.ratio_percent(), expect);
+}
+
+}  // namespace
+}  // namespace tdc::lzw

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+
+namespace tdc::netlist {
+namespace {
+
+/// The classic s27 ISCAS89 benchmark — small enough to reason about by hand
+/// and it exercises DFF feedback, fanout, and every parser feature.
+const char* kS27 = R"(
+# s27 ISCAS89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+TEST(NetlistTest, BuildByHand) {
+  Netlist nl("t");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g = nl.add_gate(GateKind::Nand, "g", {a, b});
+  nl.add_output(g);
+  nl.finalize();
+  EXPECT_EQ(nl.gate_count(), 3u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.fanouts(a), (std::vector<std::uint32_t>{g}));
+  EXPECT_EQ(nl.level(g), 1u);
+  EXPECT_EQ(nl.topo_order(), (std::vector<std::uint32_t>{g}));
+}
+
+TEST(NetlistTest, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::runtime_error);
+}
+
+TEST(NetlistTest, RejectsBadFaninCounts) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateKind::And, "g", {a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateKind::Not, "h", {a, a}), std::runtime_error);
+}
+
+TEST(NetlistTest, RejectsCombinationalCycle) {
+  // g1 = AND(a, g2); g2 = BUF(g1) — buildable only via .bench (forward
+  // refs), so go through the parser.
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(g1)
+g1 = AND(a, g2)
+g2 = BUF(g1)
+)";
+  EXPECT_THROW(parse_bench_string(txt), std::runtime_error);
+}
+
+TEST(NetlistTest, DffShellMustBeConnected) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_dff("f");
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(NetlistTest, DffSelfLoopIsLegal) {
+  Netlist nl;
+  nl.add_input("a");
+  const auto f = nl.add_dff("f");
+  nl.connect_dff(f, f);
+  nl.add_output(f);
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(NetlistTest, LevelizationSkipsSequentialEdges) {
+  const Netlist nl = parse_bench_string(kS27, "s27");
+  // DFF outputs are level-0 sources even though their D cones are deep.
+  for (const auto d : nl.dffs()) EXPECT_EQ(nl.level(d), 0u);
+  EXPECT_GT(nl.max_level(), 1u);
+}
+
+TEST(BenchIoTest, ParsesS27Structure) {
+  const Netlist nl = parse_bench_string(kS27, "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.gate_count(), 17u);  // 4 PI + 3 DFF + 10 gates
+  EXPECT_EQ(nl.scan_vector_width(), 7u);
+  EXPECT_EQ(nl.kind(nl.find("G9")), GateKind::Nand);
+  EXPECT_EQ(nl.fanins(nl.find("G8")).size(), 2u);
+  // DFF feedback: G5 = DFF(G10), G10 = NOR(G14, G11).
+  EXPECT_EQ(nl.fanins(nl.find("G5"))[0], nl.find("G10"));
+}
+
+TEST(BenchIoTest, RoundTripThroughWriter) {
+  const Netlist nl = parse_bench_string(kS27, "s27");
+  const std::string text = to_bench_string(nl);
+  const Netlist again = parse_bench_string(text, "s27rt");
+  EXPECT_EQ(again.gate_count(), nl.gate_count());
+  EXPECT_EQ(again.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(again.dffs().size(), nl.dffs().size());
+  EXPECT_EQ(again.outputs().size(), nl.outputs().size());
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    const auto h = again.find(nl.gate_name(g));
+    ASSERT_NE(h, Netlist::kNoGate);
+    EXPECT_EQ(again.kind(h), nl.kind(g));
+    EXPECT_EQ(again.fanins(h).size(), nl.fanins(g).size());
+  }
+}
+
+TEST(BenchIoTest, AcceptsCommentsWhitespaceAndAliases) {
+  const char* txt = R"(
+  # leading comment
+  INPUT( a )   # trailing comment
+  INPUT(b)
+  OUTPUT(y)
+  y = buff(z)
+  z = inv(w)
+  w = nand(a, b)
+)";
+  const Netlist nl = parse_bench_string(txt);
+  EXPECT_EQ(nl.kind(nl.find("y")), GateKind::Buf);
+  EXPECT_EQ(nl.kind(nl.find("z")), GateKind::Not);
+}
+
+TEST(BenchIoTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchIoTest, RejectsUndefinedSignal) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIoTest, RejectsDuplicateDefinition) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIoTest, RejectsUndefinedOutput) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(nope)\n"), std::runtime_error);
+}
+
+TEST(GateKindTest, FaninRangesAndNames) {
+  EXPECT_STREQ(to_string(GateKind::Nand), "NAND");
+  EXPECT_EQ(fanin_range(GateKind::Not).first, 1u);
+  EXPECT_EQ(fanin_range(GateKind::Not).second, 1u);
+  EXPECT_EQ(fanin_range(GateKind::And).first, 2u);
+  EXPECT_TRUE(inverting(GateKind::Nor));
+  EXPECT_FALSE(inverting(GateKind::Or));
+}
+
+}  // namespace
+}  // namespace tdc::netlist

@@ -1,0 +1,128 @@
+// Cross-validation of the cycle-stepped RTL model against the event-based
+// decompressor model, plus VCD writer checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bits/rng.h"
+#include "hw/decompressor.h"
+#include "hw/decompressor_rtl.h"
+#include "hw/vcd.h"
+#include "lzw/encoder.h"
+
+namespace tdc::hw {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+
+TritVector random_cube(std::size_t n, double x_density, std::uint64_t seed) {
+  Rng rng(seed);
+  TritVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(x_density)) v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- VCD
+
+TEST(VcdWriterTest, ProducesWellFormedDump) {
+  std::ostringstream out;
+  VcdWriter vcd(out, "dut", "1ns");
+  const auto clk = vcd.add_signal("clk", 1);
+  const auto bus = vcd.add_signal("bus", 8);
+  vcd.begin();
+  vcd.change(clk, 1);
+  vcd.advance(1);
+  vcd.change(clk, 0);
+  vcd.change(bus, 0xA5);
+  vcd.advance(2);
+  vcd.change(bus, 0xA5);  // unchanged: must not emit
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#1"), std::string::npos);
+  EXPECT_NE(text.find("b10100101"), std::string::npos);
+  EXPECT_EQ(text.find("#2"), std::string::npos);  // no change at t=2
+}
+
+TEST(VcdWriterTest, RejectsMisuse) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  EXPECT_THROW(vcd.add_signal("w", 0), std::runtime_error);
+  EXPECT_THROW(vcd.advance(1), std::runtime_error);  // before begin
+  const auto s = vcd.add_signal("s", 1);
+  vcd.begin();
+  EXPECT_THROW(vcd.add_signal("late", 1), std::runtime_error);
+  vcd.advance(5);
+  vcd.change(s, 1);
+  EXPECT_THROW(vcd.advance(3), std::runtime_error);  // time backwards
+}
+
+// ---------------------------------------------------------------- RTL vs event model
+
+class RtlAgreement : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RtlAgreement, CycleExactAndBitExact) {
+  const std::uint32_t k = GetParam();
+  const lzw::LzwConfig config{.dict_size = 256, .char_bits = 4, .entry_bits = 32};
+  const auto input = random_cube(6000, 0.85, 99 + k);
+  const auto encoded = lzw::Encoder(config).encode(input);
+
+  const HwConfig hc{.lzw = config, .clock_ratio = k};
+  const auto event = DecompressorModel(hc).run(encoded);
+  const auto rtl = DecompressorRtl(hc).run(encoded);
+
+  EXPECT_EQ(rtl.internal_cycles, event.internal_cycles);
+  EXPECT_EQ(rtl.shift_cycles, event.shift_cycles);
+  EXPECT_EQ(rtl.mem_cycles, event.mem_cycles);
+  EXPECT_EQ(rtl.input_stall_cycles, event.input_stall_cycles);
+  EXPECT_EQ(rtl.scan_bits, event.scan_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClockRatios, RtlAgreement, ::testing::Values(1u, 2u, 4u, 10u));
+
+TEST(RtlTest, VariableWidthAgreesToo) {
+  lzw::LzwConfig config{.dict_size = 256, .char_bits = 4, .entry_bits = 32};
+  config.variable_width = true;
+  const auto input = random_cube(4000, 0.8, 7);
+  const auto encoded = lzw::Encoder(config).encode(input);
+  const HwConfig hc{.lzw = config, .clock_ratio = 4};
+  const auto event = DecompressorModel(hc).run(encoded);
+  const auto rtl = DecompressorRtl(hc).run(encoded);
+  EXPECT_EQ(rtl.internal_cycles, event.internal_cycles);
+  EXPECT_EQ(rtl.scan_bits, event.scan_bits);
+}
+
+TEST(RtlTest, RejectsPipelinedMode) {
+  const HwConfig hc{.lzw = lzw::LzwConfig{}, .clock_ratio = 4, .pipelined = true};
+  lzw::EncodeResult dummy;
+  dummy.config = hc.lzw;
+  EXPECT_THROW(DecompressorRtl(hc).run(dummy), std::invalid_argument);
+}
+
+TEST(RtlTest, VcdDumpCoversWholeRun) {
+  const lzw::LzwConfig config{.dict_size = 64, .char_bits = 2, .entry_bits = 16};
+  const auto input = random_cube(200, 0.7, 3);
+  const auto encoded = lzw::Encoder(config).encode(input);
+  std::ostringstream out;
+  VcdWriter vcd(out, "lzw_decompressor");
+  const HwConfig hc{.lzw = config, .clock_ratio = 2};
+  const auto run = DecompressorRtl(hc).run(encoded, &vcd);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("fsm_state"), std::string::npos);
+  EXPECT_NE(text.find("scan_out"), std::string::npos);
+  // The last cycle's timestamp appears in the dump.
+  EXPECT_NE(text.find("#" + std::to_string(run.internal_cycles - 1)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdc::hw

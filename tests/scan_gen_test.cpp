@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/circuit_gen.h"
+#include "gen/suite.h"
+#include "netlist/bench_io.h"
+#include "scan/testset.h"
+
+namespace tdc {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+using netlist::Netlist;
+
+// ---------------------------------------------------------------- ScanView
+
+TEST(ScanViewTest, OrderingPIsThenCells) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+f0 = DFF(o)
+f1 = DFF(a)
+o = NAND(a, b, f0, f1)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const scan::ScanView view(nl);
+  EXPECT_EQ(view.width(), 4u);
+  EXPECT_EQ(view.source(0), nl.find("a"));
+  EXPECT_EQ(view.source(1), nl.find("b"));
+  EXPECT_EQ(view.source(2), nl.find("f0"));
+  EXPECT_EQ(view.source(3), nl.find("f1"));
+  EXPECT_EQ(view.position_of(nl.find("f1")), 3u);
+  EXPECT_EQ(view.position_of(nl.find("o")), scan::ScanView::kNoPos);
+}
+
+// ---------------------------------------------------------------- TestSet
+
+scan::TestSet small_set() {
+  scan::TestSet ts;
+  ts.circuit = "t";
+  ts.width = 4;
+  ts.cubes.push_back(TritVector::from_string("01XX"));
+  ts.cubes.push_back(TritVector::from_string("X1X0"));
+  ts.cubes.push_back(TritVector::from_string("1000"));
+  return ts;
+}
+
+TEST(TestSetTest, SizesAndDensity) {
+  const auto ts = small_set();
+  EXPECT_EQ(ts.pattern_count(), 3u);
+  EXPECT_EQ(ts.total_bits(), 12u);
+  EXPECT_DOUBLE_EQ(ts.x_density(), 4.0 / 12.0);
+}
+
+TEST(TestSetTest, SerializeConcatenatesInOrder) {
+  const auto ts = small_set();
+  EXPECT_EQ(ts.serialize().to_string(), "01XXX1X01000");
+}
+
+TEST(TestSetTest, SerializeRejectsWidthMismatch) {
+  auto ts = small_set();
+  ts.cubes.push_back(TritVector::from_string("01"));
+  EXPECT_THROW(ts.serialize(), std::runtime_error);
+}
+
+TEST(TestSetTest, DeserializeSplitsPatterns) {
+  const auto ts = small_set();
+  const auto stream = TritVector::from_string("010111001000");
+  const auto pats = ts.deserialize(stream);
+  ASSERT_EQ(pats.size(), 3u);
+  EXPECT_EQ(pats[0].to_string(), "0101");
+  EXPECT_EQ(pats[2].to_string(), "1000");
+  EXPECT_THROW(ts.deserialize(TritVector::from_string("01011")), std::runtime_error);
+}
+
+TEST(TestSetTest, CompactionMergesCompatible) {
+  const auto ts = small_set();
+  // Cube 0 (01XX) and cube 1 (X1X0) are compatible -> merge to 01X0;
+  // cube 2 (1000) conflicts with the merge.
+  const auto c = ts.compacted(8);
+  ASSERT_EQ(c.cubes.size(), 2u);
+  EXPECT_EQ(c.cubes[0].to_string(), "01X0");
+  EXPECT_EQ(c.cubes[1].to_string(), "1000");
+  // Window 0 disables merging.
+  EXPECT_EQ(ts.compacted(0).cubes.size(), 3u);
+}
+
+TEST(TestSetTest, CompactionPreservesCareBits) {
+  const auto ts = small_set();
+  const auto c = ts.compacted(8);
+  // Every original cube must be covered by some compacted cube.
+  for (const auto& orig : ts.cubes) {
+    bool covered = false;
+    for (const auto& m : c.cubes) {
+      if (orig.compatible_with(m)) {
+        bool all = true;
+        for (std::size_t i = 0; i < orig.size(); ++i) {
+          if (orig.get(i) != Trit::X && m.get(i) != orig.get(i)) all = false;
+        }
+        covered |= all;
+      }
+    }
+    EXPECT_TRUE(covered) << orig.to_string();
+  }
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(CircuitGenTest, DeterministicInSeed) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 10;
+  cfg.pos = 6;
+  cfg.ffs = 14;
+  cfg.gates = 200;
+  cfg.seed = 99;
+  const Netlist a = gen::generate_circuit(cfg);
+  const Netlist b = gen::generate_circuit(cfg);
+  EXPECT_EQ(netlist::to_bench_string(a), netlist::to_bench_string(b));
+  cfg.seed = 100;
+  const Netlist c = gen::generate_circuit(cfg);
+  EXPECT_NE(netlist::to_bench_string(a), netlist::to_bench_string(c));
+}
+
+TEST(CircuitGenTest, StructureMatchesConfig) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 17;
+  cfg.pos = 9;
+  cfg.ffs = 33;
+  cfg.gates = 400;
+  cfg.seed = 5;
+  const Netlist nl = gen::generate_circuit(cfg);
+  EXPECT_EQ(nl.inputs().size(), 17u);
+  EXPECT_EQ(nl.outputs().size(), 9u);
+  EXPECT_EQ(nl.dffs().size(), 33u);
+  EXPECT_GE(nl.gate_count(), 17u + 33u + 400u);
+  EXPECT_EQ(nl.scan_vector_width(), 50u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(CircuitGenTest, EveryGateReachesAnObservationPoint) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 8;
+  cfg.pos = 4;
+  cfg.ffs = 10;
+  cfg.gates = 120;
+  cfg.seed = 7;
+  const Netlist nl = gen::generate_circuit(cfg);
+  // Backward closure from observation points must cover all gates (DFF
+  // outputs excluded — an unread scan cell is legal).
+  std::vector<bool> reach(nl.gate_count(), false);
+  std::vector<std::uint32_t> queue;
+  auto mark = [&](std::uint32_t g) {
+    if (!reach[g]) {
+      reach[g] = true;
+      queue.push_back(g);
+    }
+  };
+  for (const auto o : nl.outputs()) mark(o);
+  for (const auto d : nl.dffs()) mark(nl.fanins(d)[0]);
+  for (std::size_t h = 0; h < queue.size(); ++h) {
+    for (const auto f : nl.fanins(queue[h])) mark(f);
+  }
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    if (nl.kind(g) == netlist::GateKind::Dff) continue;
+    EXPECT_TRUE(reach[g]) << nl.gate_name(g);
+  }
+}
+
+TEST(CircuitGenTest, RoundTripsThroughBenchFormat) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 12;
+  cfg.pos = 6;
+  cfg.ffs = 16;
+  cfg.gates = 150;
+  cfg.seed = 11;
+  const Netlist nl = gen::generate_circuit(cfg);
+  const Netlist rt = netlist::parse_bench_string(netlist::to_bench_string(nl));
+  EXPECT_EQ(rt.gate_count(), nl.gate_count());
+  EXPECT_EQ(rt.dffs().size(), nl.dffs().size());
+}
+
+TEST(CircuitGenTest, RejectsEmptyConfig) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 0;
+  cfg.ffs = 1;
+  EXPECT_THROW(gen::generate_circuit(cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- suite
+
+TEST(SuiteTest, Table3HasTwelveCircuits) {
+  const auto& suite = gen::table3_suite();
+  EXPECT_EQ(suite.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& p : suite) names.insert(p.name);
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_TRUE(names.count("s13207f"));
+  EXPECT_TRUE(names.count("itc_b12f"));
+}
+
+TEST(SuiteTest, Table1IsSubsetOfTable3) {
+  for (const auto& p : gen::table1_suite()) {
+    EXPECT_NO_THROW(gen::find_profile(p.name));
+  }
+  EXPECT_EQ(gen::table1_suite().size(), 5u);
+}
+
+TEST(SuiteTest, ProfilesMatchPublishedVectorWidths) {
+  // PI+FF of the ISCAS89 circuits (published statistics).
+  const auto& s9234 = gen::find_profile("s9234f");
+  EXPECT_EQ(s9234.generator.pis + s9234.generator.ffs, 247u);
+  const auto& s13207 = gen::find_profile("s13207f");
+  EXPECT_EQ(s13207.generator.pis + s13207.generator.ffs, 700u);
+  const auto& s38417 = gen::find_profile("s38417f");
+  EXPECT_EQ(s38417.generator.pis + s38417.generator.ffs, 1664u);
+}
+
+TEST(SuiteTest, BuildCircuitWorksForSmallProfiles) {
+  const auto& p = gen::find_profile("itc_b09f");
+  const Netlist nl = gen::build_circuit(p);
+  EXPECT_EQ(nl.scan_vector_width(), p.generator.pis + p.generator.ffs);
+}
+
+TEST(SuiteTest, UnknownProfileThrows) {
+  EXPECT_THROW(gen::find_profile("s404"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tdc

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "bits/rng.h"
+#include "fault/fault.h"
+#include "fault/fsim.h"
+#include "gen/circuit_gen.h"
+#include "hw/misr.h"
+#include "hw/test_session.h"
+#include "netlist/bench_io.h"
+#include "scan/testset.h"
+#include "sim/logicsim.h"
+
+namespace tdc::hw {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+using netlist::Netlist;
+
+// ---------------------------------------------------------------- Misr
+
+TEST(MisrTest, WidthValidation) {
+  EXPECT_THROW(Misr(0), std::invalid_argument);
+  EXPECT_THROW(Misr(65), std::invalid_argument);
+  EXPECT_NO_THROW(Misr(1));
+  EXPECT_NO_THROW(Misr(64));
+}
+
+TEST(MisrTest, HandComputedSteps) {
+  // 3-bit MISR, polynomial x^3 + x^2 + 1 -> taps 0b101, starting from 0.
+  Misr m(3, 0b101);
+  EXPECT_EQ(m.signature(), 0u);
+  m.clock(0b001);  // MSB out 0: (000<<1) ^ 001 = 001
+  EXPECT_EQ(m.signature(), 0b001u);
+  m.clock(0b110);  // MSB out 0: (010) ^ 110 = 100
+  EXPECT_EQ(m.signature(), 0b100u);
+  m.clock(0b000);  // MSB out 1: (000) ^ 101 = 101
+  EXPECT_EQ(m.signature(), 0b101u);
+  m.clock(0b000);  // MSB out 1: (010) ^ 101 = 111
+  EXPECT_EQ(m.signature(), 0b111u);
+}
+
+TEST(MisrTest, LinearityInInputs) {
+  // MISRs are linear: sig(a xor b) xor sig(a) xor sig(b) == sig(0).
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> a(32), b(32);
+    for (auto& w : a) w = rng.next_u64() & 0xffff;
+    for (auto& w : b) w = rng.next_u64() & 0xffff;
+    auto run = [&](auto&& words) {
+      Misr m(16, 0x8016);
+      for (const auto w : words) m.clock(w);
+      return m.signature();
+    };
+    std::vector<std::uint64_t> ab(32), zero(32, 0);
+    for (int i = 0; i < 32; ++i) ab[i] = a[i] ^ b[i];
+    EXPECT_EQ(run(ab) ^ run(a) ^ run(b), run(zero));
+  }
+}
+
+TEST(MisrTest, SingleBitErrorAlwaysDetected) {
+  // A single flipped response bit can never alias (nonzero state stays
+  // nonzero under the linear recurrence as long as enough clocks remain
+  // within the period; check empirically for a small window).
+  Rng rng(9);
+  std::vector<std::uint64_t> words(40);
+  for (auto& w : words) w = rng.next_u64() & 0xffffffff;
+  Misr good(32);
+  for (const auto w : words) good.clock(w);
+  for (int flip = 0; flip < 40; ++flip) {
+    Misr bad(32);
+    for (int i = 0; i < 40; ++i) {
+      bad.clock(words[i] ^ (i == flip ? 1ULL << (flip % 32) : 0));
+    }
+    EXPECT_NE(bad.signature(), good.signature()) << "flip " << flip;
+  }
+}
+
+TEST(MisrTest, ResetRestoresSeed) {
+  Misr m(16);
+  m.clock(0x1234);
+  m.reset(0xBEEF);
+  EXPECT_EQ(m.signature(), 0xBEEFu & 0xffffu);
+}
+
+// ---------------------------------------------------------------- TestSession
+
+Netlist small_circuit(std::uint64_t seed) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 10;
+  cfg.pos = 6;
+  cfg.ffs = 14;
+  cfg.gates = 150;
+  cfg.block_size = 8;
+  cfg.seed = seed;
+  return gen::generate_circuit(cfg);
+}
+
+std::vector<TritVector> random_patterns(const Netlist& nl, std::size_t n,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TritVector> out;
+  const std::uint32_t w = nl.scan_vector_width();
+  for (std::size_t p = 0; p < n; ++p) {
+    TritVector v(w);
+    for (std::uint32_t i = 0; i < w; ++i) {
+      v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(TestSessionTest, GoodSignatureDeterministic) {
+  const Netlist nl = small_circuit(31);
+  TestSession s1(nl), s2(nl);
+  const auto patterns = random_patterns(nl, 100, 1);
+  EXPECT_EQ(s1.good_signature(patterns), s2.good_signature(patterns));
+  // Different patterns -> (almost surely) different signature.
+  EXPECT_NE(s1.good_signature(patterns),
+            s2.good_signature(random_patterns(nl, 100, 2)));
+}
+
+TEST(TestSessionTest, ResponseWidth) {
+  const Netlist nl = small_circuit(32);
+  TestSession session(nl);
+  EXPECT_EQ(session.response_width(), nl.outputs().size() + nl.dffs().size());
+}
+
+TEST(TestSessionTest, FaultySignatureDiffersForDetectedFault) {
+  const Netlist nl = small_circuit(33);
+  TestSession session(nl);
+  const auto patterns = random_patterns(nl, 120, 3);
+  const auto faults = fault::collapsed_fault_list(nl);
+  const std::uint64_t good = session.good_signature(patterns);
+
+  std::size_t checked = 0;
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < faults.size() && checked < 40; i += 7, ++checked) {
+    if (session.faulty_signature(patterns, faults[i]) != good) ++differing;
+  }
+  // With 32-bit signatures, essentially every detected fault must differ;
+  // a handful may be genuinely undetected by these random patterns.
+  EXPECT_GT(differing, checked / 2);
+}
+
+TEST(TestSessionTest, UndetectedFaultKeepsGoodSignature) {
+  // A fault whose scan detection mask is empty must not change the
+  // signature (the response words are bit-identical).
+  const Netlist nl = small_circuit(34);
+  TestSession session(nl);
+  const auto patterns = random_patterns(nl, 64, 5);
+  const auto good = session.good_signature(patterns);
+
+  sim::Sim64 probe(nl);
+  fault::FaultSimulator fsim(nl);
+  const scan::ScanView view(nl);
+  for (const auto& f : fault::collapsed_fault_list(nl)) {
+    // Find one undetected fault and verify.
+    bool detected = false;
+    for (std::size_t first = 0; first < patterns.size() && !detected; first += 64) {
+      const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
+      for (std::uint32_t pos = 0; pos < view.width(); ++pos) {
+        std::uint64_t word = 0;
+        for (std::size_t p = 0; p < count; ++p) {
+          if (patterns[first + p].get(pos) == Trit::One) word |= 1ULL << p;
+        }
+        probe.set(view.source(pos), word);
+      }
+      probe.run();
+      detected = fsim.detect_mask(probe, f,
+                                  count == 64 ? ~0ULL : (1ULL << count) - 1) != 0;
+    }
+    if (!detected) {
+      EXPECT_EQ(session.faulty_signature(patterns, f), good) << f.describe(nl);
+      return;  // one confirmed case suffices
+    }
+  }
+  GTEST_SKIP() << "all faults detected by the random patterns";
+}
+
+TEST(TestSessionTest, SignatureCoverageTracksScanCoverage) {
+  const Netlist nl = small_circuit(35);
+  TestSession session(nl, TestSessionConfig{.misr_width = 32});
+  const auto patterns = random_patterns(nl, 128, 7);
+  auto faults = fault::collapsed_fault_list(nl);
+  faults.resize(std::min<std::size_t>(faults.size(), 150));  // keep the test fast
+
+  const auto cov = session.signature_coverage(patterns, faults);
+  EXPECT_EQ(cov.faults, faults.size());
+  EXPECT_GT(cov.scan_detected, 0u);
+  EXPECT_EQ(cov.misr_detected + cov.aliased, cov.scan_detected);
+  // 32-bit MISR aliasing probability ~2^-32: expect zero aliases here.
+  EXPECT_EQ(cov.aliased, 0u);
+  EXPECT_DOUBLE_EQ(cov.misr_percent(), cov.scan_percent());
+}
+
+TEST(TestSessionTest, NarrowMisrCanAlias) {
+  // With a 1-bit "MISR" (parity), aliasing becomes likely; the test only
+  // checks the accounting stays consistent, not that aliasing occurs.
+  const Netlist nl = small_circuit(36);
+  TestSession session(nl, TestSessionConfig{.misr_width = 1, .misr_polynomial = 1});
+  const auto patterns = random_patterns(nl, 64, 9);
+  auto faults = fault::collapsed_fault_list(nl);
+  faults.resize(std::min<std::size_t>(faults.size(), 80));
+  const auto cov = session.signature_coverage(patterns, faults);
+  EXPECT_EQ(cov.misr_detected + cov.aliased, cov.scan_detected);
+  EXPECT_LE(cov.misr_percent(), cov.scan_percent());
+}
+
+}  // namespace
+}  // namespace tdc::hw

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "bits/rng.h"
+#include "netlist/bench_io.h"
+#include "sim/logicsim.h"
+
+namespace tdc::sim {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using netlist::GateKind;
+using netlist::Netlist;
+
+/// One gate of each kind over two inputs (NOT/BUF over the first).
+Netlist gate_zoo() {
+  Netlist nl("zoo");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.add_output(nl.add_gate(GateKind::And, "and2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Nand, "nand2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Or, "or2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Nor, "nor2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Xor, "xor2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Xnor, "xnor2", {a, b}));
+  nl.add_output(nl.add_gate(GateKind::Not, "not1", {a}));
+  nl.add_output(nl.add_gate(GateKind::Buf, "buf1", {a}));
+  nl.add_output(nl.add_gate(GateKind::Const0, "c0", {}));
+  nl.add_output(nl.add_gate(GateKind::Const1, "c1", {}));
+  nl.finalize();
+  return nl;
+}
+
+TEST(Sim64Test, TruthTablesAllKinds) {
+  const Netlist nl = gate_zoo();
+  Sim64 sim(nl);
+  // Patterns (bit i): a = 0011, b = 0101 across 4 pattern bits.
+  sim.set(nl.find("a"), 0b1100);
+  sim.set(nl.find("b"), 0b1010);
+  sim.run();
+  const auto low4 = [&](const char* n) { return sim.get(nl.find(n)) & 0xF; };
+  EXPECT_EQ(low4("and2"), 0b1000u);
+  EXPECT_EQ(low4("nand2"), 0b0111u);
+  EXPECT_EQ(low4("or2"), 0b1110u);
+  EXPECT_EQ(low4("nor2"), 0b0001u);
+  EXPECT_EQ(low4("xor2"), 0b0110u);
+  EXPECT_EQ(low4("xnor2"), 0b1001u);
+  EXPECT_EQ(low4("not1"), 0b0011u);
+  EXPECT_EQ(low4("buf1"), 0b1100u);
+  EXPECT_EQ(low4("c0"), 0b0000u);
+  EXPECT_EQ(low4("c1"), 0b1111u);
+}
+
+TEST(Sim64Test, WideGates) {
+  Netlist nl("wide");
+  std::vector<std::uint32_t> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const auto g = nl.add_gate(GateKind::And, "g", ins);
+  const auto x = nl.add_gate(GateKind::Xor, "x", ins);
+  nl.add_output(g);
+  nl.add_output(x);
+  nl.finalize();
+  Sim64 sim(nl);
+  // Pattern 0: all ones; pattern 1: one zero; pattern 2: three ones.
+  sim.set(ins[0], 0b101);
+  sim.set(ins[1], 0b111);
+  sim.set(ins[2], 0b101);
+  sim.set(ins[3], 0b011);
+  sim.set(ins[4], 0b101);
+  sim.run();
+  // Pattern 0: 11111 -> AND 1, parity 1. Pattern 1: 01010 -> 0, parity 0.
+  // Pattern 2: 11101 -> 0, parity 0.
+  EXPECT_EQ(sim.get(g) & 0b111, 0b001u);
+  EXPECT_EQ(sim.get(x) & 0b111, 0b001u);
+}
+
+TEST(Sim64Test, S27KnownVector) {
+  // Hand-evaluated s27 combinational core.
+  const char* s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+  const Netlist nl = netlist::parse_bench_string(s27, "s27");
+  Sim64 sim(nl);
+  // All-zero sources: G14=1, G12=1, G13=0, G8=0 (G6=0), G15=1, G16=0,
+  // G9=1, G11=0 (G5=0,G9=1), G17=1, G10=0.
+  for (const auto g : nl.inputs()) sim.set(g, 0);
+  for (const auto g : nl.dffs()) sim.set(g, 0);
+  sim.run();
+  EXPECT_EQ(sim.get(nl.find("G14")) & 1, 1u);
+  EXPECT_EQ(sim.get(nl.find("G12")) & 1, 1u);
+  EXPECT_EQ(sim.get(nl.find("G13")) & 1, 0u);
+  EXPECT_EQ(sim.get(nl.find("G9")) & 1, 1u);
+  EXPECT_EQ(sim.get(nl.find("G11")) & 1, 0u);
+  EXPECT_EQ(sim.get(nl.find("G17")) & 1, 1u);
+}
+
+TEST(Sim3Test, XPropagation) {
+  const Netlist nl = gate_zoo();
+  Sim3 sim(nl);
+  sim.clear_sources();
+  sim.set(nl.find("a"), Trit::Zero);  // b stays X
+  sim.run();
+  EXPECT_EQ(sim.get(nl.find("and2")), Trit::Zero);   // 0 controls AND
+  EXPECT_EQ(sim.get(nl.find("nand2")), Trit::One);
+  EXPECT_EQ(sim.get(nl.find("or2")), Trit::X);       // 0 OR X = X
+  EXPECT_EQ(sim.get(nl.find("nor2")), Trit::X);
+  EXPECT_EQ(sim.get(nl.find("xor2")), Trit::X);
+  EXPECT_EQ(sim.get(nl.find("not1")), Trit::One);
+  EXPECT_EQ(sim.get(nl.find("c0")), Trit::Zero);
+  EXPECT_EQ(sim.get(nl.find("c1")), Trit::One);
+}
+
+TEST(Sim3Test, FullySpecifiedMatchesSim64) {
+  const Netlist nl = gate_zoo();
+  Sim64 s64(nl);
+  Sim3 s3(nl);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const bool a = rng.bit();
+    const bool b = rng.bit();
+    s64.set(nl.find("a"), a ? ~0ULL : 0);
+    s64.set(nl.find("b"), b ? ~0ULL : 0);
+    s64.run();
+    s3.set(nl.find("a"), a ? Trit::One : Trit::Zero);
+    s3.set(nl.find("b"), b ? Trit::One : Trit::Zero);
+    s3.run();
+    for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+      const Trit t = s3.get(g);
+      ASSERT_NE(t, Trit::X);
+      ASSERT_EQ(t == Trit::One, (s64.get(g) & 1) != 0) << nl.gate_name(g);
+    }
+  }
+}
+
+// Property: on a random circuit, 3-valued results with partially specified
+// inputs are always *compatible* with the 2-valued results of any
+// consistent completion (X-monotonicity of the 01X algebra).
+TEST(Sim3Test, PropertyXMonotone) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(o1)
+OUTPUT(o2)
+n1 = NAND(a, b)
+n2 = NOR(c, n1)
+n3 = XOR(n1, d)
+n4 = AND(n2, n3, b)
+o1 = NOT(n4)
+o2 = OR(n3, n4)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  Sim3 s3(nl);
+  Sim64 s64(nl);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random partial assignment...
+    std::vector<Trit> assign(nl.inputs().size());
+    for (std::size_t i = 0; i < assign.size(); ++i) {
+      assign[i] = static_cast<Trit>(rng.below(3));
+      s3.set(nl.inputs()[i], assign[i]);
+    }
+    s3.run();
+    // ...and a random consistent completion.
+    for (std::size_t i = 0; i < assign.size(); ++i) {
+      const bool v = assign[i] == Trit::X ? rng.bit() : assign[i] == Trit::One;
+      s64.set(nl.inputs()[i], v ? ~0ULL : 0);
+    }
+    s64.run();
+    for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+      const Trit t = s3.get(g);
+      if (t == Trit::X) continue;
+      ASSERT_EQ(t == Trit::One, (s64.get(g) & 1) != 0)
+          << nl.gate_name(g) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Sim64Test, EvaluatePatchedOverridesOnePin) {
+  const Netlist nl = gate_zoo();
+  Sim64 sim(nl);
+  sim.set(nl.find("a"), ~0ULL);
+  sim.set(nl.find("b"), ~0ULL);
+  sim.run();
+  const auto g = nl.find("and2");
+  EXPECT_EQ(sim.get(g), ~0ULL);
+  // Forcing pin 1 to 0 flips the AND; pin 0 still reads the live value.
+  EXPECT_EQ(sim.evaluate_patched(g, sim.data(), 1, 0), 0ULL);
+  EXPECT_EQ(sim.evaluate_patched(g, sim.data(), -1, 0), ~0ULL);  // no patch
+}
+
+TEST(SimTest, RequiresFinalizedNetlist) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(Sim64 s(nl), std::runtime_error);
+  EXPECT_THROW(Sim3 s(nl), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tdc::sim

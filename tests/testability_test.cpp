@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "sim/testability.h"
+
+namespace tdc::sim {
+namespace {
+
+using netlist::Netlist;
+
+TEST(TestabilityTest, HandComputedScoap) {
+  // y = AND(a, b); z = OR(y, c); OUTPUT(z).
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+y = AND(a, b)
+z = OR(y, c)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const Testability t(nl);
+  const auto a = nl.find("a");
+  const auto y = nl.find("y");
+  const auto z = nl.find("z");
+  const auto c = nl.find("c");
+  // Sources: cc0 = cc1 = 1.
+  EXPECT_EQ(t.cc0(a), 1u);
+  EXPECT_EQ(t.cc1(a), 1u);
+  // AND: cc1 = cc1(a)+cc1(b)+1 = 3; cc0 = min(cc0)+1 = 2.
+  EXPECT_EQ(t.cc1(y), 3u);
+  EXPECT_EQ(t.cc0(y), 2u);
+  // OR: cc1 = min(cc1(y), cc1(c)) + 1 = 2; cc0 = cc0(y)+cc0(c)+1 = 4.
+  EXPECT_EQ(t.cc1(z), 2u);
+  EXPECT_EQ(t.cc0(z), 4u);
+  // Observability: z is a PO (0); y needs c=0 through the OR: co = 0+1+1=2;
+  // a needs b=1 through the AND then y's path: co(y)+cc1(b)+1 = 4.
+  EXPECT_EQ(t.co(z), 0u);
+  EXPECT_EQ(t.co(y), 2u);
+  EXPECT_EQ(t.co(a), 4u);
+  EXPECT_EQ(t.co(c), 3u);  // needs y=0 (cc0=2) through the OR
+}
+
+TEST(TestabilityTest, InverterChainAccumulates) {
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(w3)
+w1 = NOT(a)
+w2 = NOT(w1)
+w3 = NOT(w2)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const Testability t(nl);
+  EXPECT_EQ(t.cc0(nl.find("w1")), 2u);  // needs a=1
+  EXPECT_EQ(t.cc1(nl.find("w3")), 4u);  // a=1 -> w1=0 -> w2=1 -> w3... parity
+  EXPECT_EQ(t.co(nl.find("a")), 3u);    // three inversions to the PO
+}
+
+TEST(TestabilityTest, ConstantsAreUncontrollableToOpposite) {
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(z)
+k = CONST0(
+z = OR(a, k)
+)";
+  // CONST0 takes no fanins; write via API instead of bench text.
+  (void)txt;
+  Netlist nl("c");
+  const auto a = nl.add_input("a");
+  const auto k = nl.add_gate(netlist::GateKind::Const0, "k", {});
+  const auto z = nl.add_gate(netlist::GateKind::Or, "z", {a, k});
+  nl.add_output(z);
+  nl.finalize();
+  const Testability t(nl);
+  EXPECT_EQ(t.cc0(k), 1u);
+  EXPECT_EQ(t.cc1(k), Testability::kCap);
+  // z still controllable through a.
+  EXPECT_LT(t.cc1(z), Testability::kCap);
+}
+
+TEST(TestabilityTest, ScanCellsAreObservationPoints) {
+  const char* txt = R"(
+INPUT(a)
+OUTPUT(y)
+f = DFF(w)
+w = NOT(a)
+y = BUF(f)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const Testability t(nl);
+  // w drives the scan cell's D pin: directly observable at scan-out.
+  EXPECT_EQ(t.co(nl.find("w")), 0u);
+  EXPECT_EQ(t.co(nl.find("a")), 1u);
+}
+
+TEST(TestabilityTest, HardestRankingIsOrdered) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+deep1 = AND(a, b)
+deep2 = AND(deep1, a)
+deep3 = AND(deep2, b)
+z = OR(deep3, a)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const Testability t(nl);
+  const auto hardest = t.hardest(3);
+  ASSERT_EQ(hardest.size(), 3u);
+  auto score = [&](std::uint32_t g) {
+    return static_cast<std::uint64_t>(t.cc0(g)) + t.cc1(g) + t.co(g);
+  };
+  EXPECT_GE(score(hardest[0]), score(hardest[1]));
+  EXPECT_GE(score(hardest[1]), score(hardest[2]));
+}
+
+TEST(TestabilityTest, XorObservabilityUsesEasierSide) {
+  const char* txt = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = XOR(a, b)
+)";
+  const Netlist nl = netlist::parse_bench_string(txt);
+  const Testability t(nl);
+  // Either value of b sensitizes a through the XOR: co = 0 + min(1,1) + 1.
+  EXPECT_EQ(t.co(nl.find("a")), 2u);
+}
+
+}  // namespace
+}  // namespace tdc::sim

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "bits/rng.h"
+#include "gen/circuit_gen.h"
+#include "netlist/verilog_io.h"
+#include "sim/logicsim.h"
+
+namespace tdc::netlist {
+namespace {
+
+const char* kSample = R"(
+// structural sample with a sequential loop
+module samp (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire w1, w2;
+  nand g1 (w1, a, q);
+  not  g2 (w2, w1);
+  dff  r1 (q, w2, clk);   /* clock terminal dropped */
+  xor  g3 (y, w2, b);
+endmodule
+)";
+
+TEST(VerilogTest, ParsesSampleStructure) {
+  const Netlist nl = parse_verilog_string(kSample);
+  EXPECT_EQ(nl.name(), "samp");
+  EXPECT_EQ(nl.inputs().size(), 2u);  // clk dropped
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.kind(nl.find("w1")), GateKind::Nand);
+  EXPECT_EQ(nl.kind(nl.find("y")), GateKind::Xor);
+  // DFF feedback: q's D pin is w2, and w1 reads q.
+  EXPECT_EQ(nl.fanins(nl.find("q"))[0], nl.find("w2"));
+  EXPECT_EQ(nl.fanins(nl.find("w1"))[1], nl.find("q"));
+}
+
+TEST(VerilogTest, UnnamedInstancesAndImplicitWires) {
+  const char* txt = R"(
+module m (a, y);
+  input a;
+  output y;
+  not (u, a);
+  buf (y, u);
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(txt);
+  EXPECT_EQ(nl.kind(nl.find("u")), GateKind::Not);  // u never declared: implicit
+}
+
+TEST(VerilogTest, ErrorsCarryLineNumbers) {
+  const char* txt = "module m (a);\n  input a;\n  always @(posedge a) x <= a;\nendmodule\n";
+  try {
+    parse_verilog_string(txt);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("always"), std::string::npos);
+  }
+}
+
+TEST(VerilogTest, RejectsVectorsMultipleDriversAndUndriven) {
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (a, y);\n input [3:0] a;\n output y;\nendmodule\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_verilog_string("module m (a, y);\n input a;\n output y;\n"
+                           " not (y, a);\n buf (y, a);\nendmodule\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_verilog_string("module m (a, y);\n input a;\n output y;\n"
+                           " not (y, ghost);\nendmodule\n"),
+      std::runtime_error);
+}
+
+TEST(VerilogTest, RejectsCombinationalCycle) {
+  EXPECT_THROW(
+      parse_verilog_string("module m (a, y);\n input a;\n output y;\n"
+                           " and (y, a, w);\n buf (w, y);\nendmodule\n"),
+      std::runtime_error);
+}
+
+TEST(VerilogTest, WriterRoundTripIsFunctionallyEquivalent) {
+  gen::GeneratorConfig cfg;
+  cfg.pis = 10;
+  cfg.pos = 5;
+  cfg.ffs = 12;
+  cfg.gates = 120;
+  cfg.block_size = 8;
+  cfg.seed = 77;
+  const Netlist original = gen::generate_circuit(cfg);
+  const Netlist round = parse_verilog_string(to_verilog_string(original));
+
+  EXPECT_EQ(round.inputs().size(), original.inputs().size());
+  EXPECT_EQ(round.dffs().size(), original.dffs().size());
+  EXPECT_EQ(round.outputs().size(), original.outputs().size());
+
+  // Functional equivalence on random patterns: every original gate exists
+  // by name in the round-trip (plus po* buffers) and computes identically.
+  sim::Sim64 s1(original), s2(round);
+  bits::Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    for (std::size_t k = 0; k < original.inputs().size(); ++k) {
+      const std::uint64_t w = rng.next_u64();
+      s1.set(original.inputs()[k], w);
+      s2.set(round.find(original.gate_name(original.inputs()[k])), w);
+    }
+    for (std::size_t k = 0; k < original.dffs().size(); ++k) {
+      const std::uint64_t w = rng.next_u64();
+      s1.set(original.dffs()[k], w);
+      s2.set(round.find(original.gate_name(original.dffs()[k])), w);
+    }
+    s1.run();
+    s2.run();
+    for (std::size_t o = 0; o < original.outputs().size(); ++o) {
+      ASSERT_EQ(s1.get(original.outputs()[o]),
+                s2.get(round.find("po" + std::to_string(o))))
+          << "output " << o;
+    }
+  }
+}
+
+TEST(VerilogTest, AssignExpressionsLowerToGates) {
+  const char* txt = R"(
+module m (a, b, c, y, z, w);
+  input a, b, c;
+  output y, z, w;
+  assign y = (a & b) | ~c;
+  assign z = a ^ b ^ c;
+  assign w = a;
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(txt);
+  EXPECT_EQ(nl.kind(nl.find("y")), GateKind::Or);
+  EXPECT_EQ(nl.kind(nl.find("z")), GateKind::Xor);
+  EXPECT_EQ(nl.kind(nl.find("w")), GateKind::Buf);
+
+  // Truth check: y = ab | ~c on all 8 combinations.
+  sim::Sim64 sim(nl);
+  sim.set(nl.find("a"), 0b11110000);
+  sim.set(nl.find("b"), 0b11001100);
+  sim.set(nl.find("c"), 0b10101010);
+  sim.run();
+  const std::uint64_t a = 0b11110000, b = 0b11001100, c = 0b10101010;
+  EXPECT_EQ(sim.get(nl.find("y")) & 0xFF, ((a & b) | ~c) & 0xFF);
+  EXPECT_EQ(sim.get(nl.find("z")) & 0xFF, (a ^ b ^ c) & 0xFF);
+  EXPECT_EQ(sim.get(nl.find("w")) & 0xFF, a & 0xFF);
+}
+
+TEST(VerilogTest, AssignPrecedenceAndNesting) {
+  // & binds tighter than |: a | b & c == a | (b & c).
+  const char* txt = R"(
+module m (a, b, c, y);
+  input a, b, c;
+  output y;
+  assign y = a | b & c;
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(txt);
+  sim::Sim64 sim(nl);
+  const std::uint64_t a = 0b11110000, b = 0b11001100, c = 0b10101010;
+  sim.set(nl.find("a"), a);
+  sim.set(nl.find("b"), b);
+  sim.set(nl.find("c"), c);
+  sim.run();
+  EXPECT_EQ(sim.get(nl.find("y")) & 0xFF, (a | (b & c)) & 0xFF);
+}
+
+TEST(VerilogTest, AssignFeedsInstancesAndDffs) {
+  const char* txt = R"(
+module m (a, y);
+  input a;
+  output y;
+  assign d = ~q & a;
+  dff r (q, d);
+  buf o (y, q);
+endmodule
+)";
+  const Netlist nl = parse_verilog_string(txt);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.fanins(nl.find("q"))[0], nl.find("d"));
+}
+
+TEST(VerilogTest, BlockCommentsAndWhitespace) {
+  const char* txt =
+      "module /* name */ m (a, y); input a; output y;\n"
+      "/* multi\n line */ buf b1 (y, a);\nendmodule\n";
+  const Netlist nl = parse_verilog_string(txt);
+  EXPECT_EQ(nl.gate_count(), 2u);
+}
+
+}  // namespace
+}  // namespace tdc::netlist
