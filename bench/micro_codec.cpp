@@ -1,7 +1,21 @@
 // Google-benchmark micro suite: raw throughput of the codec and simulator
 // building blocks. These are engineering (not paper-reproduction) numbers;
 // the table*_ binaries reproduce the paper's results.
+//
+// After the registered benchmarks run, a dedicated old-vs-new harness times
+// the encoder's LegacyScan (pre-index child-list scan + per-character
+// word()/care_word() re-slice) against the Indexed strategy (hash index +
+// streaming CharCursor) on a dense and a 90%-X corpus, prints chars/sec for
+// both paths, and writes the numbers to BENCH_micro_codec.json (override
+// the path with $TDC_BENCH_JSON) so throughput trajectories can be tracked
+// across commits.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "bits/rng.h"
 #include "bits/tritvector.h"
@@ -43,6 +57,17 @@ void BM_LzwEncodeDynamic(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
 }
 BENCHMARK(BM_LzwEncodeDynamic)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_LzwEncodeLegacyScan(benchmark::State& state) {
+  const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
+  const lzw::Encoder enc(kConfig, lzw::Tiebreak::First,
+                         lzw::MatchStrategy::LegacyScan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(input));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_LzwEncodeLegacyScan)->Arg(1 << 15);
 
 void BM_LzwEncodeZeroFill(benchmark::State& state) {
   const auto input = random_cube(static_cast<std::size_t>(state.range(0)), 0.9, 1);
@@ -193,4 +218,92 @@ void BM_TritVectorCareCount(benchmark::State& state) {
 }
 BENCHMARK(BM_TritVectorCareCount);
 
+// ------------------------------------------------- old-vs-new path harness
+
+/// Encode chars/sec for one (corpus, strategy) point: repeats whole-corpus
+/// encodes until `min_seconds` of wall clock, best of `rounds` rounds.
+double encode_chars_per_sec(const bits::TritVector& input,
+                            lzw::MatchStrategy strategy) {
+  constexpr double kMinSeconds = 0.2;
+  constexpr int kRounds = 3;
+  const lzw::Encoder enc(kConfig, lzw::Tiebreak::First, strategy);
+  const double chars =
+      static_cast<double>((input.size() + kConfig.char_bits - 1) / kConfig.char_bits);
+  double best = 0.0;
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint64_t iters = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+      benchmark::DoNotOptimize(enc.encode(input));
+      ++iters;
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+    } while (elapsed < kMinSeconds);
+    best = std::max(best, chars * static_cast<double>(iters) / elapsed);
+  }
+  return best;
+}
+
+struct Corpus {
+  const char* name;
+  double x_density;
+};
+
+/// Times LegacyScan vs Indexed per corpus, prints the comparison, writes
+/// the JSON trajectory file. Returns 0 on success.
+int run_path_comparison() {
+  constexpr std::size_t kBits = 1 << 15;
+  const Corpus corpora[] = {{"dense_x0.1", 0.1}, {"sparse_x0.9", 0.9}};
+
+  std::string json = "{\n  \"bench\": \"micro_codec\",\n  \"config\": {"
+                     "\"dict_size\": " + std::to_string(kConfig.dict_size) +
+                     ", \"char_bits\": " + std::to_string(kConfig.char_bits) +
+                     ", \"entry_bits\": " + std::to_string(kConfig.entry_bits) +
+                     "},\n  \"comparisons\": [\n";
+  std::printf("\nEncoder path comparison (chars/sec, best of 3):\n");
+  std::printf("%-14s %16s %16s %9s\n", "corpus", "legacy", "indexed", "speedup");
+  bool first = true;
+  for (const Corpus& c : corpora) {
+    const auto input = random_cube(kBits, c.x_density, 7);
+    const double legacy =
+        encode_chars_per_sec(input, lzw::MatchStrategy::LegacyScan);
+    const double indexed =
+        encode_chars_per_sec(input, lzw::MatchStrategy::Indexed);
+    const double speedup = legacy > 0 ? indexed / legacy : 0.0;
+    std::printf("%-14s %16.0f %16.0f %8.2fx\n", c.name, legacy, indexed, speedup);
+    char entry[512];
+    std::snprintf(entry, sizeof entry,
+                  "%s    {\"corpus\": \"%s\", \"x_density\": %.2f, "
+                  "\"input_bits\": %zu, \"legacy_chars_per_sec\": %.0f, "
+                  "\"indexed_chars_per_sec\": %.0f, \"speedup\": %.3f}",
+                  first ? "" : ",\n", c.name, c.x_density, kBits, legacy,
+                  indexed, speedup);
+    json += entry;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = std::getenv("TDC_BENCH_JSON");
+  const std::string out_path =
+      path != nullptr && *path != '\0' ? path : "BENCH_micro_codec.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "micro_codec: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_path_comparison();
+}

@@ -5,54 +5,75 @@
 //
 // Paper configuration (§6): 7-bit characters, 64-bit dictionary entries
 // (C_MDATA = 63 data bits), N = 1024 or 2048 per circuit.
+//
+// Sweep points are independent, so they fan out across a thread pool
+// (--jobs N / $TDC_JOBS); rows are collected in suite order, making the
+// output identical for any worker count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "codec/huffman.h"
 #include "codec/lz77.h"
 #include "codec/rle.h"
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 1 — Test compression ratios: LZW vs LZ77 vs RLE\n");
   std::printf("(paper columns are OCR-reconstructed reference values; see EXPERIMENTS.md)\n\n");
+
+  struct Rows {
+    std::vector<std::string> paper;
+    std::vector<std::string> upgraded;
+  };
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+
+        const auto lzw_result =
+            lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
+        // Baselines at their published / hardware-faithful parameterizations.
+        const auto lz77_result = codec::lz77_encode(stream, exp::paper_lz77_config());
+        const auto rle_result =
+            codec::alternating_rle_encode(stream, exp::paper_rle_config());
+
+        Rows out;
+        out.paper = {profile.name, exp::pct(100.0 * pc.tests.x_density()),
+                     exp::pct(lzw_result.ratio_percent()),
+                     exp::pct(lz77_result.stats().ratio_percent()),
+                     exp::pct(rle_result.stats().ratio_percent()),
+                     profile.paper_lzw_percent >= 0
+                         ? exp::pct(profile.paper_lzw_percent, 1)
+                         : "n/a"};
+
+        // Honest extra datapoint: the same baselines with software-only
+        // resources (1024-bit window / 255-bit matches; per-circuit Golomb grid
+        // and FDR). See EXPERIMENTS.md for the discussion.
+        out.upgraded = {profile.name, exp::pct(lzw_result.ratio_percent()),
+                        exp::pct(codec::lz77_encode(stream).stats().ratio_percent()),
+                        exp::pct(codec::best_alternating_rle(stream)
+                                     .stats()
+                                     .ratio_percent()),
+                        exp::pct(codec::huffman_encode(
+                                     stream, codec::HuffmanConfig{8, 32})
+                                     .stats()
+                                     .ratio_percent())};
+        return out;
+      });
 
   exp::Table table({"Test", "X-dens", "LZW", "LZ77", "RLE", "paper LZW"});
   exp::Table upgraded(
       {"Test", "LZW", "LZ77 (unbounded)", "RLE (tuned)", "Sel-Huffman"});
-  for (const auto& profile : gen::table1_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-
-    const auto lzw_result =
-        lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
-    // Baselines at their published / hardware-faithful parameterizations.
-    const auto lz77_result = codec::lz77_encode(stream, exp::paper_lz77_config());
-    const auto rle_result =
-        codec::alternating_rle_encode(stream, exp::paper_rle_config());
-
-    table.add_row({profile.name, exp::pct(100.0 * pc.tests.x_density()),
-                   exp::pct(lzw_result.ratio_percent()),
-                   exp::pct(lz77_result.stats().ratio_percent()),
-                   exp::pct(rle_result.stats().ratio_percent()),
-                   profile.paper_lzw_percent >= 0
-                       ? exp::pct(profile.paper_lzw_percent, 1)
-                       : "n/a"});
-
-    // Honest extra datapoint: the same baselines with software-only
-    // resources (1024-bit window / 255-bit matches; per-circuit Golomb grid
-    // and FDR). See EXPERIMENTS.md for the discussion.
-    upgraded.add_row({profile.name, exp::pct(lzw_result.ratio_percent()),
-                      exp::pct(codec::lz77_encode(stream).stats().ratio_percent()),
-                      exp::pct(codec::best_alternating_rle(stream)
-                                   .stats()
-                                   .ratio_percent()),
-                      exp::pct(codec::huffman_encode(
-                                   stream, codec::HuffmanConfig{8, 32})
-                                   .stats()
-                                   .ratio_percent())});
+  for (const auto& r : rows) {
+    table.add_row(r.paper);
+    upgraded.add_row(r.upgraded);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Appendix — baselines without the hardware constraints the paper's\n"

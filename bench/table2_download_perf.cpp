@@ -2,35 +2,46 @@
 // Memory Sizes" — the download-time improvement achieved by the Fig. 5
 // decompressor when its internal clock runs 4x / 8x / 10x faster than the
 // ATE tester clock, plus the dictionary memory geometry.
+//
+// Per-circuit points fan out across a thread pool (--jobs N / $TDC_JOBS);
+// rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "hw/decompressor.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 2 — Download performance improvement vs decompressor clock\n\n");
 
-  exp::Table table({"Test", "Dict. Size", "4x", "8x", "10x", "LZW ratio"});
-  for (const auto& profile : gen::table1_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-    const lzw::LzwConfig config = exp::paper_lzw_config(profile);
-    const auto encoded = lzw::Encoder(config).encode(stream);
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+        const lzw::LzwConfig config = exp::paper_lzw_config(profile);
+        const auto encoded = lzw::Encoder(config).encode(stream);
 
-    std::vector<std::string> row{profile.name,
-                                 hw::DictionaryMemoryModel(config).geometry()};
-    for (const std::uint32_t k : {4u, 8u, 10u}) {
-      const hw::DecompressorModel model(
-          hw::HwConfig{.lzw = config, .clock_ratio = k});
-      const hw::HwRunResult run = model.run(encoded);
-      row.push_back(exp::pct(run.improvement_percent(k)));
-    }
-    row.push_back(exp::pct(encoded.ratio_percent()));
-    table.add_row(std::move(row));
-  }
+        std::vector<std::string> row{profile.name,
+                                     hw::DictionaryMemoryModel(config).geometry()};
+        for (const std::uint32_t k : {4u, 8u, 10u}) {
+          const hw::DecompressorModel model(
+              hw::HwConfig{.lzw = config, .clock_ratio = k});
+          const hw::HwRunResult run = model.run(encoded);
+          row.push_back(exp::pct(run.improvement_percent(k)));
+        }
+        row.push_back(exp::pct(encoded.ratio_percent()));
+        return row;
+      });
+
+  exp::Table table({"Test", "Dict. Size", "4x", "8x", "10x", "LZW ratio"});
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Expected shape (paper §6): at 4x only ~50-60%% is attainable; at 10x the\n"

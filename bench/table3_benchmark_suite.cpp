@@ -1,31 +1,44 @@
 // Reproduces paper Table 3: "ISCAS89 and ITC99 Benchmark Results" —
 // don't-care density, original test-set size, LZW compression ratio and
 // dictionary size for the full 12-circuit suite.
+//
+// Per-circuit points fan out across a thread pool (--jobs N / $TDC_JOBS);
+// rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 3 — Benchmark suite results (C_C = 7, C_MDATA = 63)\n\n");
+
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table3_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+        const auto encoded =
+            lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
+        return std::vector<std::string>{
+            profile.name, exp::pct(100.0 * pc.tests.x_density()),
+            exp::num(pc.tests.total_bits()), exp::pct(encoded.ratio_percent()),
+            exp::num(profile.dict_size),
+            profile.paper_x_percent >= 0 ? exp::pct(profile.paper_x_percent, 1)
+                                         : "n/a",
+            profile.paper_lzw_percent >= 0
+                ? exp::pct(profile.paper_lzw_percent, 1)
+                : "n/a"};
+      });
 
   exp::Table table({"Test", "Don't Cares", "Orig. Size", "Compression",
                     "Dict. Size", "paper DC", "paper LZW"});
-  for (const auto& profile : gen::table3_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-    const auto encoded = lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
-    table.add_row({profile.name, exp::pct(100.0 * pc.tests.x_density()),
-                   exp::num(pc.tests.total_bits()),
-                   exp::pct(encoded.ratio_percent()), exp::num(profile.dict_size),
-                   profile.paper_x_percent >= 0 ? exp::pct(profile.paper_x_percent, 1)
-                                                : "n/a",
-                   profile.paper_lzw_percent >= 0
-                       ? exp::pct(profile.paper_lzw_percent, 1)
-                       : "n/a"});
-  }
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Expected shape (paper §6): compression tracks the don't-care density,\n"

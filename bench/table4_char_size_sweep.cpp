@@ -3,29 +3,40 @@
 // observation: the dynamic don't-care assignment improves with character
 // size until, at C_C = 10 (2^10 literals = N), no compressed codes remain
 // and compression collapses.
+//
+// Per-circuit sweeps fan out across a thread pool (--jobs N / $TDC_JOBS);
+// rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
-  const std::uint32_t kCharBits[] = {2, 4, 7, 10};
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 4 — Compression vs LZW character size (N=1024, C_MDATA=63)\n\n");
 
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+        std::vector<std::string> row{profile.name};
+        for (const std::uint32_t cc : {2u, 4u, 7u, 10u}) {
+          const lzw::LzwConfig config{.dict_size = 1024, .char_bits = cc,
+                                      .entry_bits = 63};
+          const auto encoded = lzw::Encoder(config).encode(stream);
+          row.push_back(exp::pct(encoded.ratio_percent()));
+        }
+        return row;
+      });
+
   exp::Table table({"Test", "C_C=2", "C_C=4", "C_C=7", "C_C=10"});
-  for (const auto& profile : gen::table1_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-    std::vector<std::string> row{profile.name};
-    for (const std::uint32_t cc : kCharBits) {
-      const lzw::LzwConfig config{.dict_size = 1024, .char_bits = cc, .entry_bits = 63};
-      const auto encoded = lzw::Encoder(config).encode(stream);
-      row.push_back(exp::pct(encoded.ratio_percent()));
-    }
-    table.add_row(std::move(row));
-  }
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Expected shape: ratio rises with C_C, then collapses to ~0%% at C_C = 10\n"

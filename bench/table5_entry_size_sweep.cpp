@@ -2,29 +2,40 @@
 // function of the dictionary entry width C_MDATA at N = 1024, C_C = 7.
 // Wider entries admit longer dictionary strings, so the ratio climbs until
 // the circuit's longest useful string fits, then levels out.
+//
+// Per-circuit sweeps fan out across a thread pool (--jobs N / $TDC_JOBS);
+// rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
-  const std::uint32_t kEntryBits[] = {63, 127, 255, 511};
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 5 — Compression vs dictionary entry size (N=1024, C_C=7)\n\n");
 
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+        std::vector<std::string> row{profile.name};
+        for (const std::uint32_t entry : {63u, 127u, 255u, 511u}) {
+          const lzw::LzwConfig config{.dict_size = 1024, .char_bits = 7,
+                                      .entry_bits = entry};
+          const auto encoded = lzw::Encoder(config).encode(stream);
+          row.push_back(exp::pct(encoded.ratio_percent()));
+        }
+        return row;
+      });
+
   exp::Table table({"Test", "63", "127", "255", "511"});
-  for (const auto& profile : gen::table1_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-    std::vector<std::string> row{profile.name};
-    for (const std::uint32_t entry : kEntryBits) {
-      const lzw::LzwConfig config{.dict_size = 1024, .char_bits = 7, .entry_bits = entry};
-      const auto encoded = lzw::Encoder(config).encode(stream);
-      row.push_back(exp::pct(encoded.ratio_percent()));
-    }
-    table.add_row(std::move(row));
-  }
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected shape: monotone rise that saturates once entries hold the\n"
               "longest dictionary string the data produces (paper Table 6).\n");

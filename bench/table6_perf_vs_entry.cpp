@@ -3,41 +3,51 @@
 // "Longest String" column explaining the knee: once entries can hold the
 // longest dictionary string the data generates, both compression and
 // performance level out.
+//
+// Per-circuit sweeps fan out across a thread pool (--jobs N / $TDC_JOBS);
+// rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "hw/decompressor.h"
 #include "lzw/encoder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdc;
-  const std::uint32_t kEntryBits[] = {63, 127, 255, 511};
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 6 — Download improvement @10x vs entry size (N=1024, C_C=7)\n\n");
 
+  exp::ThreadPool pool(jobs);
+  const auto rows =
+      exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
+        const exp::PreparedCircuit pc = exp::prepare(profile);
+        const bits::TritVector stream = pc.tests.serialize();
+
+        // Longest dictionary string the data would generate with unbounded
+        // entries (the paper's "Longest C_MDATA String" column).
+        const lzw::LzwConfig unbounded{.dict_size = 1024, .char_bits = 7,
+                                       .entry_bits = 1u << 20};
+        const auto free_run = lzw::Encoder(unbounded).encode(stream);
+
+        std::vector<std::string> row{profile.name,
+                                     exp::num(free_run.longest_entry_bits)};
+        for (const std::uint32_t entry : {63u, 127u, 255u, 511u}) {
+          const lzw::LzwConfig config{.dict_size = 1024, .char_bits = 7,
+                                      .entry_bits = entry};
+          const auto encoded = lzw::Encoder(config).encode(stream);
+          const hw::DecompressorModel model(
+              hw::HwConfig{.lzw = config, .clock_ratio = 10});
+          row.push_back(exp::pct(model.run(encoded).improvement_percent(10)));
+        }
+        return row;
+      });
+
   exp::Table table({"Test", "Longest", "63", "127", "255", "511"});
-  for (const auto& profile : gen::table1_suite()) {
-    const exp::PreparedCircuit pc = exp::prepare(profile);
-    const bits::TritVector stream = pc.tests.serialize();
-
-    // Longest dictionary string the data would generate with unbounded
-    // entries (the paper's "Longest C_MDATA String" column).
-    const lzw::LzwConfig unbounded{.dict_size = 1024, .char_bits = 7,
-                                   .entry_bits = 1u << 20};
-    const auto free_run = lzw::Encoder(unbounded).encode(stream);
-
-    std::vector<std::string> row{profile.name,
-                                 exp::num(free_run.longest_entry_bits)};
-    for (const std::uint32_t entry : kEntryBits) {
-      const lzw::LzwConfig config{.dict_size = 1024, .char_bits = 7,
-                                  .entry_bits = entry};
-      const auto encoded = lzw::Encoder(config).encode(stream);
-      const hw::DecompressorModel model(
-          hw::HwConfig{.lzw = config, .clock_ratio = 10});
-      row.push_back(exp::pct(model.run(encoded).improvement_percent(10)));
-    }
-    table.add_row(std::move(row));
-  }
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected shape: improvement rises with entry width and levels out\n"
               "once C_MDATA exceeds the longest string (paper §6).\n");

@@ -4,18 +4,25 @@
 // budget, which configuration maximizes compression and which maximizes
 // download improvement.
 //
-//   build/examples/design_space_explorer [circuit] [memory_budget_bits]
+// Grid points are independent, so they fan out across a thread pool
+// (--jobs N / $TDC_JOBS); results are collected in grid order, making the
+// output identical for any worker count.
+//
+//   build/examples/design_space_explorer [circuit] [memory_budget_bits] [--jobs N]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "exp/flow.h"
 #include "exp/table.h"
+#include "exp/thread_pool.h"
 #include "hw/decompressor.h"
 #include "lzw/encoder.h"
 
 int main(int argc, char** argv) {
   using namespace tdc;
+  const unsigned jobs = exp::sweep_jobs(argc, argv);
   const std::string name = argc > 1 ? argv[1] : "s9234f";
   const std::uint64_t budget = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                         : 128 * 1024;  // bits of reusable RAM
@@ -27,35 +34,43 @@ int main(int argc, char** argv) {
   std::printf("Design-space exploration for %s (budget %llu memory bits)\n\n",
               name.c_str(), static_cast<unsigned long long>(budget));
 
+  std::vector<lzw::LzwConfig> grid;
+  for (const std::uint32_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    for (const std::uint32_t cc : {4u, 7u, 8u}) {
+      if ((1u << cc) >= n) continue;  // degenerate: literals fill dictionary
+      for (const std::uint32_t entry : {63u, 127u, 255u}) {
+        grid.push_back(lzw::LzwConfig{.dict_size = n, .char_bits = cc,
+                                      .entry_bits = entry});
+      }
+    }
+  }
+
   struct Candidate {
     lzw::LzwConfig config;
     std::uint64_t memory_bits;
     double ratio;
     double improvement;
   };
-  std::vector<Candidate> feasible;
-
-  exp::Table table({"N", "C_C", "C_MDATA", "memory", "ratio", "improv@10x", "fits"});
-  for (const std::uint32_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
-    for (const std::uint32_t cc : {4u, 7u, 8u}) {
-      if ((1u << cc) >= n) continue;  // degenerate: literals fill dictionary
-      for (const std::uint32_t entry : {63u, 127u, 255u}) {
-        const lzw::LzwConfig config{.dict_size = n, .char_bits = cc,
-                                    .entry_bits = entry};
+  exp::ThreadPool pool(jobs);
+  const auto candidates =
+      exp::parallel_map(pool, grid, [&stream](const lzw::LzwConfig& config) {
         const auto encoded = lzw::Encoder(config).encode(stream);
         const hw::DecompressorModel model(
             hw::HwConfig{.lzw = config, .clock_ratio = 10});
         const double improvement = model.run(encoded).improvement_percent(10);
-        const std::uint64_t memory = model.memory().total_bits();
-        const bool fits = memory <= budget;
-        if (fits) {
-          feasible.push_back({config, memory, encoded.ratio_percent(), improvement});
-        }
-        table.add_row({exp::num(n), exp::num(cc), exp::num(entry), exp::num(memory),
-                       exp::pct(encoded.ratio_percent()), exp::pct(improvement),
-                       fits ? "yes" : "no"});
-      }
-    }
+        return Candidate{config, model.memory().total_bits(),
+                         encoded.ratio_percent(), improvement};
+      });
+
+  std::vector<Candidate> feasible;
+  exp::Table table({"N", "C_C", "C_MDATA", "memory", "ratio", "improv@10x", "fits"});
+  for (const Candidate& c : candidates) {
+    const bool fits = c.memory_bits <= budget;
+    if (fits) feasible.push_back(c);
+    table.add_row({exp::num(c.config.dict_size), exp::num(c.config.char_bits),
+                   exp::num(c.config.entry_bits), exp::num(c.memory_bits),
+                   exp::pct(c.ratio), exp::pct(c.improvement),
+                   fits ? "yes" : "no"});
   }
   std::printf("%s\n", table.render().c_str());
 

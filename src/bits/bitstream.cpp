@@ -7,8 +7,27 @@ namespace tdc::bits {
 void BitWriter::write(std::uint64_t value, unsigned width) {
   assert(width <= 64);
   assert(width == 64 || (value >> width) == 0);
-  for (unsigned i = width; i-- > 0;) {
-    write_bit(((value >> i) & 1ULL) != 0);
+  std::size_t pos = bit_count_;
+  bit_count_ += width;
+  const std::size_t needed = (bit_count_ + 7) / 8;
+  if (needed > bytes_.size()) {
+    // Geometric growth: resize() alone gives no amortization guarantee.
+    if (needed > bytes_.capacity()) {
+      bytes_.reserve(std::max(needed, 2 * bytes_.capacity()));
+    }
+    bytes_.resize(needed, 0);
+  }
+  // Stuff byte-sized chunks MSB first instead of looping per bit.
+  unsigned rem = width;
+  while (rem > 0) {
+    const unsigned free_bits = 8 - static_cast<unsigned>(pos % 8);
+    const unsigned chunk = rem < free_bits ? rem : free_bits;
+    const auto bits =
+        static_cast<std::uint8_t>((value >> (rem - chunk)) & ((1u << chunk) - 1));
+    bytes_[pos / 8] = static_cast<std::uint8_t>(
+        bytes_[pos / 8] | (bits << (free_bits - chunk)));
+    pos += chunk;
+    rem -= chunk;
   }
 }
 

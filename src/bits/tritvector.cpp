@@ -191,4 +191,10 @@ std::uint64_t TritVector::care_word(std::size_t pos, std::size_t len) const {
   return out;
 }
 
+CharCursor::CharCursor(const TritVector& v, std::uint32_t char_bits)
+    : v_(&v), bits_(char_bits),
+      char_count_((v.size() + char_bits - 1) / char_bits) {
+  assert(char_bits >= 1 && char_bits <= 64);
+}
+
 }  // namespace tdc::bits

@@ -107,10 +107,87 @@ class TritVector {
   std::uint64_t care_word(std::size_t pos, std::size_t len) const;
 
  private:
+  friend class CharCursor;
   static std::size_t words_for(std::size_t n) { return (n + 63) / 64; }
   std::size_t size_ = 0;
   std::vector<std::uint64_t> care_;
   std::vector<std::uint64_t> value_;
+};
+
+/// Streaming character cursor over a TritVector: walks the packed bit-plane
+/// words once and yields the MSB-first (value, care) pair of each
+/// `char_bits`-wide character directly from the storage words, instead of
+/// re-slicing with word()/care_word() (a per-bit loop) for every position.
+///
+/// Semantics match word()/care_word() exactly: X bits read as value 0 and
+/// care 0, and positions at or past size() read as X, so a trailing partial
+/// character needs no explicit padding. The cursor never outlives the
+/// vector it walks.
+class CharCursor {
+ public:
+  struct Char {
+    std::uint64_t value = 0;  ///< MSB-first character bits (X read as 0)
+    std::uint64_t care = 0;   ///< MSB-first mask of specified bits
+  };
+
+  /// Precondition: 1 <= char_bits <= 64.
+  CharCursor(const TritVector& v, std::uint32_t char_bits);
+
+  /// Number of characters covered (the last one possibly X-padded).
+  std::uint64_t char_count() const { return char_count_; }
+
+  /// Index of the character next() would yield.
+  std::uint64_t index() const { return index_; }
+
+  /// True once every character has been consumed.
+  bool done() const { return index_ >= char_count_; }
+
+  /// Random access to any character (used by lookahead probes); does not
+  /// move the cursor.
+  Char at(std::uint64_t char_index) const {
+    const std::size_t pos = static_cast<std::size_t>(char_index) * bits_;
+    return Char{
+        .value = reverse_low_bits(extract_field(v_->value_, v_->size_, pos, bits_),
+                                  bits_),
+        .care = reverse_low_bits(extract_field(v_->care_, v_->size_, pos, bits_),
+                                 bits_),
+    };
+  }
+
+  /// Yields the current character and advances. Precondition: !done().
+  Char next() { return at(index_++); }
+
+ private:
+  /// LSB-first field [pos, pos+len) of a packed bit plane; bits at or past
+  /// `nbits` read as 0. Relies on the normal-form invariant that storage
+  /// bits past size() are kept zero, so only whole-word bounds need checks.
+  static std::uint64_t extract_field(const std::vector<std::uint64_t>& words,
+                                     std::size_t nbits, std::size_t pos,
+                                     std::size_t len) {
+    if (pos >= nbits) return 0;
+    const std::size_t w = pos / 64;
+    const std::size_t off = pos % 64;
+    std::uint64_t raw = words[w] >> off;
+    if (off != 0 && w + 1 < words.size()) raw |= words[w + 1] << (64 - off);
+    if (len < 64) raw &= (1ULL << len) - 1;
+    return raw;
+  }
+
+  /// Reverses the low `len` bits (the planes store position i at bit i of a
+  /// word, while characters are read MSB-first).
+  static std::uint64_t reverse_low_bits(std::uint64_t raw, std::size_t len) {
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      out = (out << 1) | (raw & 1);
+      raw >>= 1;
+    }
+    return out;
+  }
+
+  const TritVector* v_;
+  std::uint32_t bits_;
+  std::uint64_t char_count_;
+  std::uint64_t index_ = 0;
 };
 
 }  // namespace tdc::bits

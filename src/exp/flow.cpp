@@ -1,9 +1,12 @@
 #include "exp/flow.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
+#include "exp/thread_pool.h"
 #include "gen/circuit_gen.h"
 #include "scan/testset_io.h"
 
@@ -56,6 +59,33 @@ PreparedCircuit prepare(const gen::CircuitProfile& profile) {
 
 PreparedCircuit prepare(const std::string& circuit) {
   return prepare(gen::find_profile(circuit));
+}
+
+unsigned sweep_jobs(int& argc, char** argv) {
+  long jobs = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 < argc) jobs = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg.starts_with("--jobs=")) {
+      jobs = std::strtol(argv[i] + 7, nullptr, 10);
+    } else if (arg.starts_with("-j") && arg.size() > 2) {
+      jobs = std::strtol(argv[i] + 2, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];  // keep: not a jobs argument
+    }
+  }
+  argc = out;
+  return jobs > 0 ? static_cast<unsigned>(jobs) : ThreadPool::default_jobs();
+}
+
+std::vector<PreparedCircuit> prepare_all(
+    const std::vector<gen::CircuitProfile>& profiles, unsigned jobs) {
+  ThreadPool pool(jobs);
+  return parallel_map(pool, profiles, [](const gen::CircuitProfile& p) {
+    return prepare(p);
+  });
 }
 
 lzw::LzwConfig paper_lzw_config(const gen::CircuitProfile& profile) {

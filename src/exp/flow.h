@@ -2,6 +2,7 @@
 #define TDC_EXP_FLOW_H
 
 #include <string>
+#include <vector>
 
 #include "atpg/atpg.h"
 #include "codec/lz77.h"
@@ -30,6 +31,20 @@ PreparedCircuit prepare(const gen::CircuitProfile& profile);
 
 /// prepare() by circuit name (gen::find_profile).
 PreparedCircuit prepare(const std::string& circuit);
+
+/// Worker count for the parallel sweep harness, resolved in priority order:
+/// a `--jobs N` (or `--jobs=N` / `-jN`) argument, then $TDC_JOBS, then
+/// hardware_concurrency(). Every table bench and the design-space explorer
+/// route their sweeps through a ThreadPool of this size. Consumed arguments
+/// are removed from argv (argc updated) so positional arguments keep their
+/// place.
+unsigned sweep_jobs(int& argc, char** argv);
+
+/// Prepares every profile across `jobs` workers (0 = sweep resolution
+/// above), returning results in input order. Profiles must be distinct —
+/// the per-circuit disk cache is written without cross-process locking.
+std::vector<PreparedCircuit> prepare_all(
+    const std::vector<gen::CircuitProfile>& profiles, unsigned jobs = 0);
 
 /// The LZW configuration the paper uses for a circuit: 7-bit characters,
 /// 63-bit dictionary entries ("64-bit dictionary entry and a 7-bit

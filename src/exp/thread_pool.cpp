@@ -1,0 +1,67 @@
+#include "exp/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace tdc::exp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_jobs();
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+unsigned ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("TDC_JOBS"); env != nullptr && *env != '\0') {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace tdc::exp

@@ -1,0 +1,73 @@
+#ifndef TDC_EXP_THREAD_POOL_H
+#define TDC_EXP_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tdc::exp {
+
+/// Fixed-size worker pool for the experiment flow: plain std::thread plus a
+/// mutex/condvar queue, no external dependencies. Independent (circuit,
+/// config) sweep points fan out across the workers; result ordering is the
+/// caller's job (see parallel_map, which collects by submission index so
+/// output is deterministic for any worker count).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_jobs().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one job. Jobs must not throw; a job that does terminates.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  /// Worker count when none is requested: $TDC_JOBS if set and positive,
+  /// else hardware_concurrency() (at least 1).
+  static unsigned default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Applies `fn` to every element of `items` across the pool and returns the
+/// results in input order — the parallel sweep primitive. Completion order
+/// never leaks into the output, so a table built from the returned vector is
+/// identical for --jobs 1 and --jobs 8.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn&, const T&>> {
+  using R = std::invoke_result_t<Fn&, const T&>;
+  std::vector<R> results(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    pool.submit([&results, &items, &fn, i] { results[i] = fn(items[i]); });
+  }
+  pool.wait();
+  return results;
+}
+
+}  // namespace tdc::exp
+
+#endif  // TDC_EXP_THREAD_POOL_H

@@ -1,6 +1,7 @@
 #include "lzw/dictionary.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace tdc::lzw {
@@ -8,6 +9,12 @@ namespace tdc::lzw {
 Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
   config_.validate();
   nodes_.reserve(config_.dict_size);
+  // Hash index sized once for the full dictionary: power of two with load
+  // factor <= 1/2 even at dictionary freeze, so probes stay short.
+  const std::size_t slots =
+      std::bit_ceil<std::size_t>(std::max<std::size_t>(16, 2 * config_.dict_size));
+  index_.assign(slots, IndexSlot{});
+  index_shift_ = 64 - static_cast<unsigned>(std::countr_zero(slots));
   // Literal codes: one root per possible uncompressed character.
   for (std::uint32_t c = 0; c < config_.literal_count(); ++c) {
     Node n;
@@ -37,12 +44,13 @@ std::vector<std::uint32_t> Dictionary::expand(std::uint32_t code) const {
   return out;
 }
 
-std::uint32_t Dictionary::child(std::uint32_t code, std::uint32_t ch) const {
-  assert(defined(code));
-  for (const auto& [c, child_code] : nodes_[code].children) {
-    if (c == ch) return child_code;
-  }
-  return kNoCode;
+void Dictionary::index_insert(std::uint32_t parent, std::uint32_t ch,
+                              std::uint32_t child) {
+  const std::uint64_t key = index_key(parent, ch);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = index_home(key);
+  while (index_[slot].key != kEmptySlot) slot = (slot + 1) & mask;
+  index_[slot] = IndexSlot{.key = key, .child = child};
 }
 
 std::uint32_t Dictionary::add(std::uint32_t parent, std::uint32_t ch) {
@@ -55,10 +63,13 @@ std::uint32_t Dictionary::add(std::uint32_t parent, std::uint32_t ch) {
   n.parent = parent;
   n.ch = ch;
   n.length = nodes_[parent].length + 1;
+  const std::uint32_t new_length = n.length;
   nodes_.push_back(std::move(n));
   nodes_[parent].children.emplace_back(ch, code);
+  index_insert(parent, ch, code);
   longest_bits_ = std::max<std::uint64_t>(
-      longest_bits_, static_cast<std::uint64_t>(n.length) * config_.char_bits);
+      longest_bits_,
+      static_cast<std::uint64_t>(new_length) * config_.char_bits);
   return code;
 }
 

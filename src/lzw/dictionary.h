@@ -26,6 +26,13 @@ inline constexpr std::uint32_t kNoCode = 0xffffffffu;
 /// pairs. Child lists make the don't-care-aware match ("which children are
 /// compatible with this ternary character?") an O(#children) scan instead of
 /// a 2^X enumeration.
+///
+/// On top of the child lists sits an open-addressed (code, character) ->
+/// child hash index sized for the whole dictionary up front, so the exact
+/// match — the only query possible when a character carries no X bits — is
+/// O(1) instead of O(#children). The encoder consults it first and falls
+/// back to the insertion-ordered list scan only when X bits leave several
+/// children compatible, which keeps every Tiebreak's output bit-identical.
 class Dictionary {
  public:
   explicit Dictionary(const LzwConfig& config);
@@ -64,8 +71,16 @@ class Dictionary {
   /// Full expansion of `code`, first character first.
   std::vector<std::uint32_t> expand(std::uint32_t code) const;
 
-  /// Child of `code` along exactly character `ch`, or kNoCode.
-  std::uint32_t child(std::uint32_t code, std::uint32_t ch) const;
+  /// Child of `code` along exactly character `ch`, or kNoCode. O(1) via the
+  /// hash index; inline because it is the encoder's per-character fast path.
+  std::uint32_t child(std::uint32_t code, std::uint32_t ch) const {
+    const std::uint64_t key = index_key(code, ch);
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t slot = index_home(key);; slot = (slot + 1) & mask) {
+      if (index_[slot].key == key) return index_[slot].child;
+      if (index_[slot].key == kEmptySlot) return kNoCode;
+    }
+  }
 
   /// All (character, child code) pairs under `code`, in insertion order.
   const std::vector<std::pair<std::uint32_t, std::uint32_t>>& children(
@@ -96,8 +111,29 @@ class Dictionary {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> children;
   };
 
+  /// Open-addressed hash slots for the (parent, ch) -> child index. The
+  /// table is sized once in the constructor (power of two, load factor
+  /// <= 1/2 at dictionary freeze) and never rehashes.
+  struct IndexSlot {
+    std::uint64_t key = kEmptySlot;
+    std::uint32_t child = kNoCode;
+  };
+  static constexpr std::uint64_t kEmptySlot = ~0ULL;
+
+  static std::uint64_t index_key(std::uint32_t parent, std::uint32_t ch) {
+    return (static_cast<std::uint64_t>(parent) << 32) | ch;
+  }
+  std::size_t index_home(std::uint64_t key) const {
+    // Fibonacci multiplicative hash onto the power-of-two table.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >>
+                                    index_shift_);
+  }
+  void index_insert(std::uint32_t parent, std::uint32_t ch, std::uint32_t child);
+
   LzwConfig config_;
   std::vector<Node> nodes_;
+  std::vector<IndexSlot> index_;
+  unsigned index_shift_ = 0;  // 64 - log2(index_.size())
   std::uint32_t next_code_ = 0;
   std::uint64_t longest_bits_ = 0;
 };

@@ -35,7 +35,7 @@ bits::TritVector prefill(const bits::TritVector& input, XAssignMode mode,
 
 std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
                                   std::uint64_t value, std::uint64_t care,
-                                  const bits::TritVector& input,
+                                  const bits::CharCursor& cursor,
                                   std::uint64_t char_index,
                                   std::uint64_t input_chars) const {
   // How many of the next input characters `code`'s subtree can keep
@@ -45,9 +45,7 @@ std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
     int score = 0;
     std::uint32_t cur = code;
     for (int d = 1; d <= kDepth && char_index + d < input_chars; ++d) {
-      const std::uint64_t pos = (char_index + d) * config_.char_bits;
-      const std::uint64_t nv = input.word(pos, config_.char_bits);
-      const std::uint64_t nc = input.care_word(pos, config_.char_bits);
+      const auto [nv, nc] = cursor.at(char_index + d);
       std::uint32_t next = kNoCode;
       for (const auto& [ch, child] : dict.children(cur)) {
         if (((static_cast<std::uint64_t>(ch) ^ nv) & nc) == 0) {
@@ -63,6 +61,7 @@ std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
   };
 
   std::uint32_t best = kNoCode;
+  std::uint32_t best_ch = 0;
   std::size_t best_children = 0;
   int best_score = -1;
   for (const auto& [ch, child] : dict.children(buffer)) {
@@ -71,7 +70,12 @@ std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
       case Tiebreak::First:
         return child;  // insertion order: first compatible wins
       case Tiebreak::LowestChar:
-        if (best == kNoCode || ch < dict.last_char(best)) best = child;
+        // Track the winning candidate's own character explicitly; ties
+        // resolve by the character scanned, never a stale lookup.
+        if (best == kNoCode || ch < best_ch) {
+          best = child;
+          best_ch = ch;
+        }
         break;
       case Tiebreak::MostRecent:
         if (best == kNoCode || child > best) best = child;
@@ -101,14 +105,27 @@ EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode
                              std::uint64_t rng_seed,
                              const StepObserver& observer) const {
   const bits::TritVector input = prefill(raw_input, mode, rng_seed);
+  return strategy_ == MatchStrategy::Indexed ? encode_indexed(input, observer)
+                                             : encode_legacy(input, observer);
+}
+
+EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
+                                     const StepObserver& observer) const {
   const std::uint32_t cc = config_.char_bits;
 
   EncodeResult result;
   result.config = config_;
   result.original_bits = input.size();
   result.input_chars = (input.size() + cc - 1) / cc;
+  // Worst case one code per character (no compression): size once so the
+  // emit path never reallocates.
+  result.codes.reserve(result.input_chars);
+  result.code_lengths.reserve(result.input_chars);
 
   Dictionary dict(config_);
+  bits::CharCursor cursor(input, cc);
+  const std::uint64_t full_care = cc >= 64 ? ~0ULL : (1ULL << cc) - 1;
+  const std::uint32_t fixed_width = config_.code_bits();
 
   // Variable-width basis: the decoder's dictionary lags the encoder's by
   // exactly one insertion when it reads a code (it learns the entry for
@@ -124,9 +141,96 @@ EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode
     const std::uint32_t width =
         config_.variable_width
             ? std::min(static_cast<std::uint32_t>(std::bit_width(width_basis)),
+                       fixed_width)
+            : fixed_width;
+    result.stream.write(code, width);
+    result.longest_match_bits =
+        std::max(result.longest_match_bits, dict.length_bits(code));
+  };
+
+  std::uint32_t buffer = kNoCode;
+  for (std::uint64_t i = 0; i < result.input_chars; ++i) {
+    const auto [value, care] = cursor.next();
+    EncoderStep step{.char_index = i, .char_value = value, .char_care = care,
+                     .buffer_before = buffer};
+
+    if (buffer == kNoCode) {
+      // First character of the message: bind its X bits (to 0) and start
+      // the match at the corresponding literal root.
+      buffer = static_cast<std::uint32_t>(value & care);
+    } else if (const std::uint32_t child =
+                   care == full_care
+                       // Fully specified character: exactly one child can be
+                       // compatible, so every Tiebreak agrees and the O(1)
+                       // hash probe replaces the list scan.
+                       ? dict.child(buffer, static_cast<std::uint32_t>(value))
+                       : pick_child(dict, buffer, value, care, cursor, i,
+                                    result.input_chars);
+               child != kNoCode) {
+      // The (Buffer, Input) pair exists (for some legal X binding): keep
+      // matching. The X bits are hereby bound to the child's character.
+      buffer = child;
+    } else {
+      // No compatible child: emit Buffer, create the (Buffer, Input) entry
+      // with a concrete binding of the X bits, and restart the match there.
+      emit(buffer);
+      step.emitted = buffer;
+      const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0
+      width_basis = dict.size();
+      step.new_entry = dict.add(buffer, ch);
+      buffer = ch;
+    }
+    if (observer) {
+      step.buffer_after = buffer;
+      observer(step);
+    }
+  }
+  if (buffer != kNoCode) {
+    emit(buffer);
+    if (observer) {
+      observer(EncoderStep{.char_index = result.input_chars,
+                           .buffer_before = buffer, .buffer_after = kNoCode,
+                           .emitted = buffer});
+    }
+  }
+
+  result.dict_codes_used = dict.size();
+  result.longest_entry_bits = dict.longest_entry_bits();
+  return result;
+}
+
+EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
+                                    const StepObserver& observer) const {
+  // Faithful replica of the pre-index encoder: per-character
+  // word()/care_word() re-slice, unconditional child-list scan, per-bit
+  // stream emission, no container pre-sizing. Kept byte-for-byte equivalent
+  // in output (the lzw_paths property test enforces it) so it can serve as
+  // the reference implementation and as the micro_codec baseline the
+  // Indexed path's speedup is measured against.
+  const std::uint32_t cc = config_.char_bits;
+
+  EncodeResult result;
+  result.config = config_;
+  result.original_bits = input.size();
+  result.input_chars = (input.size() + cc - 1) / cc;
+
+  Dictionary dict(config_);
+  bits::CharCursor cursor(input, cc);  // feeds only the Lookahead probe
+
+  std::uint32_t width_basis = dict.size();
+  auto emit = [&](std::uint32_t code) {
+    result.codes.push_back(code);
+    result.code_lengths.push_back(dict.length(code));
+    const std::uint32_t width =
+        config_.variable_width
+            ? std::min(static_cast<std::uint32_t>(std::bit_width(width_basis)),
                        config_.code_bits())
             : config_.code_bits();
-    result.stream.write(code, width);
+    // The pre-PR BitWriter wrote codes one bit at a time; keep that cost
+    // here so the baseline measurement stays honest.
+    for (std::uint32_t b = width; b-- > 0;) {
+      result.stream.write_bit(((code >> b) & 1u) != 0);
+    }
     result.longest_match_bits =
         std::max(result.longest_match_bits, dict.length_bits(code));
   };
@@ -140,18 +244,12 @@ EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode
                      .buffer_before = buffer};
 
     if (buffer == kNoCode) {
-      // First character of the message: bind its X bits (to 0) and start
-      // the match at the corresponding literal root.
       buffer = static_cast<std::uint32_t>(value & care);
-    } else if (const std::uint32_t child =
-                   pick_child(dict, buffer, value, care, input, i, result.input_chars);
+    } else if (const std::uint32_t child = pick_child(
+                   dict, buffer, value, care, cursor, i, result.input_chars);
                child != kNoCode) {
-      // The (Buffer, Input) pair exists (for some legal X binding): keep
-      // matching. The X bits are hereby bound to the child's character.
       buffer = child;
     } else {
-      // No compatible child: emit Buffer, create the (Buffer, Input) entry
-      // with a concrete binding of the X bits, and restart the match there.
       emit(buffer);
       step.emitted = buffer;
       const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0

@@ -312,6 +312,54 @@ TEST(TritVectorTest, DensityStats) {
   EXPECT_DOUBLE_EQ(v.x_density(), 0.6);
 }
 
+// ---------------------------------------------------------------- CharCursor
+
+TEST(CharCursorTest, MatchesWordAndCareWord) {
+  const auto v = TritVector::from_string("1X01X0");
+  CharCursor cur(v, 4);
+  EXPECT_EQ(cur.char_count(), 2u);  // 6 trits -> 2 chars, tail X-padded
+  const auto c0 = cur.next();
+  EXPECT_EQ(c0.value, v.word(0, 4));
+  EXPECT_EQ(c0.care, v.care_word(0, 4));
+  const auto c1 = cur.next();
+  EXPECT_EQ(c1.value, v.word(4, 4));
+  EXPECT_EQ(c1.care, v.care_word(4, 4));
+  EXPECT_TRUE(cur.done());
+}
+
+TEST(CharCursorTest, RandomAccessDoesNotMoveCursor) {
+  const auto v = TritVector::from_string("01X110X0");
+  CharCursor cur(v, 2);
+  EXPECT_EQ(cur.at(3).value, v.word(6, 2));
+  EXPECT_EQ(cur.index(), 0u);
+  cur.next();
+  EXPECT_EQ(cur.index(), 1u);
+}
+
+// Property: across sizes, widths, and densities — including characters
+// straddling 64-bit word boundaries and X-padded tails — the cursor yields
+// exactly the word()/care_word() slices.
+TEST(CharCursorTest, PropertyMatchesSliceReference) {
+  Rng rng(99);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 300u, 1003u}) {
+    for (const std::uint32_t cc : {1u, 2u, 5u, 7u, 13u, 16u}) {
+      TritVector v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.set(i, static_cast<Trit>(rng.below(3)));
+      }
+      CharCursor cur(v, cc);
+      EXPECT_EQ(cur.char_count(), (n + cc - 1) / cc);
+      for (std::uint64_t k = 0; !cur.done(); ++k) {
+        const auto c = cur.next();
+        ASSERT_EQ(c.value, v.word(k * cc, cc)) << "n=" << n << " cc=" << cc
+                                               << " k=" << k;
+        ASSERT_EQ(c.care, v.care_word(k * cc, cc)) << "n=" << n << " cc=" << cc
+                                                   << " k=" << k;
+      }
+    }
+  }
+}
+
 // Property: random set/get sequences behave like a reference vector.
 TEST(TritVectorTest, PropertyMatchesReferenceModel) {
   Rng rng(2024);

@@ -1,0 +1,106 @@
+// Property tests for the encoder's two match strategies: the Indexed fast
+// path (hash index + streaming CharCursor) must produce byte-identical
+// output to the LegacyScan reference (insertion-ordered child-list scan)
+// for every tie-break and X-assignment combination — the bit-identical
+// invariant the throughput work is built on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bits/rng.h"
+#include "bits/tritvector.h"
+#include "lzw/decoder.h"
+#include "lzw/encoder.h"
+#include "lzw/verify.h"
+
+namespace tdc::lzw {
+namespace {
+
+using bits::Rng;
+using bits::Trit;
+using bits::TritVector;
+
+TritVector random_cube(std::size_t n, double x_density, std::uint64_t seed) {
+  Rng rng(seed);
+  TritVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(x_density)) v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+constexpr Tiebreak kTiebreaks[] = {Tiebreak::First, Tiebreak::LowestChar,
+                                   Tiebreak::MostRecent, Tiebreak::MostChildren,
+                                   Tiebreak::Lookahead};
+constexpr XAssignMode kModes[] = {XAssignMode::Dynamic, XAssignMode::ZeroFill,
+                                  XAssignMode::OneFill, XAssignMode::RepeatFill,
+                                  XAssignMode::RandomFill};
+
+void expect_identical(const EncodeResult& a, const EncodeResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.codes, b.codes) << what;
+  EXPECT_EQ(a.code_lengths, b.code_lengths) << what;
+  EXPECT_EQ(a.stream.bit_count(), b.stream.bit_count()) << what;
+  EXPECT_EQ(a.stream.bytes(), b.stream.bytes()) << what;
+  EXPECT_EQ(a.dict_codes_used, b.dict_codes_used) << what;
+  EXPECT_EQ(a.longest_entry_bits, b.longest_entry_bits) << what;
+  EXPECT_EQ(a.longest_match_bits, b.longest_match_bits) << what;
+}
+
+TEST(MatchStrategyProperty, IndexedMatchesLegacyAcrossTiebreaksAndModes) {
+  const LzwConfig config{.dict_size = 512, .char_bits = 5, .entry_bits = 40};
+  for (const double x_density : {0.0, 0.3, 0.9}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const TritVector input = random_cube(4000, x_density, seed);
+      for (const Tiebreak tb : kTiebreaks) {
+        for (const XAssignMode mode : kModes) {
+          const Encoder fast(config, tb, MatchStrategy::Indexed);
+          const Encoder reference(config, tb, MatchStrategy::LegacyScan);
+          const auto a = fast.encode(input, mode, /*rng_seed=*/seed);
+          const auto b = reference.encode(input, mode, /*rng_seed=*/seed);
+          const std::string what =
+              "tiebreak=" + std::to_string(static_cast<int>(tb)) +
+              " mode=" + std::to_string(static_cast<int>(mode)) +
+              " x=" + std::to_string(x_density) + " seed=" + std::to_string(seed);
+          expect_identical(a, b, what.c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchStrategyProperty, VariableWidthStreamsIdentical) {
+  const LzwConfig config{.dict_size = 1024, .char_bits = 7, .entry_bits = 63,
+                         .variable_width = true};
+  const TritVector input = random_cube(6000, 0.6, 11);
+  const auto a = Encoder(config, Tiebreak::First, MatchStrategy::Indexed)
+                     .encode(input);
+  const auto b = Encoder(config, Tiebreak::First, MatchStrategy::LegacyScan)
+                     .encode(input);
+  expect_identical(a, b, "variable width");
+}
+
+TEST(MatchStrategyProperty, IndexedPathStillVerifiesAgainstDecoder) {
+  const LzwConfig config{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  for (const double x_density : {0.1, 0.9}) {
+    const TritVector input = random_cube(8000, x_density, 23);
+    const auto encoded = Encoder(config).encode(input);
+    EXPECT_TRUE(verify_roundtrip(input, encoded).ok)
+        << "x_density=" << x_density;
+  }
+}
+
+TEST(MatchStrategyProperty, TailPartialCharacterAgrees) {
+  // Input length not divisible by char_bits: the final character is padded
+  // with X — both paths must treat it identically.
+  const LzwConfig config{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+  const TritVector input = random_cube(1003, 0.4, 5);
+  const auto a = Encoder(config, Tiebreak::First, MatchStrategy::Indexed)
+                     .encode(input);
+  const auto b = Encoder(config, Tiebreak::First, MatchStrategy::LegacyScan)
+                     .encode(input);
+  expect_identical(a, b, "tail partial char");
+}
+
+}  // namespace
+}  // namespace tdc::lzw

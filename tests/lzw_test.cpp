@@ -102,6 +102,37 @@ TEST(DictionaryTest, ChildLookup) {
   EXPECT_EQ(d.children(0).size(), 1u);
 }
 
+// Property: the hash index behind child() agrees with a scan of the
+// insertion-ordered child lists for every (code, character) pair, at a
+// dictionary size that forces many index collisions.
+TEST(DictionaryTest, HashIndexAgreesWithChildLists) {
+  const LzwConfig c{.dict_size = 2048, .char_bits = 7, .entry_bits = 1 << 16};
+  Dictionary d(c);
+  bits::Rng rng(4242);
+  while (!d.full()) {
+    const auto parent = rng.below(d.size());
+    const auto ch = rng.below(c.literal_count());
+    bool exists = false;
+    for (const auto& [cc, cd] : d.children(parent)) exists |= cc == ch;
+    if (exists || !d.extendable(parent)) continue;
+    ASSERT_NE(d.add(parent, ch), kNoCode);
+  }
+  for (std::uint32_t code = 0; code < d.size(); ++code) {
+    for (const auto& [ch, child] : d.children(code)) {
+      ASSERT_EQ(d.child(code, ch), child);
+    }
+    // A character no child list contains must miss in the index too.
+    for (int probe = 0; probe < 8; ++probe) {
+      const auto ch = rng.below(c.literal_count());
+      std::uint32_t expect = kNoCode;
+      for (const auto& [cc, cd] : d.children(code)) {
+        if (cc == ch) expect = cd;
+      }
+      ASSERT_EQ(d.child(code, ch), expect);
+    }
+  }
+}
+
 TEST(DictionaryTest, FreezesAtCapacity) {
   Dictionary d(tiny_config());  // N=8, 2 literals -> 6 entries available
   std::uint32_t parent = 0;
@@ -309,6 +340,31 @@ TEST(TiebreakTest, AllPoliciesRoundTrip) {
     const auto rep = encode_and_verify(c, input, XAssignMode::Dynamic, tb);
     EXPECT_TRUE(rep.ok) << rep.error;
   }
+}
+
+// Regression: LowestChar must resolve a multi-way ambiguous match by the
+// numerically smallest compatible *character*, tracked from the scanned
+// child itself — not by insertion order or recency.
+TEST(TiebreakTest, LowestCharPicksSmallestCompatibleCharacter) {
+  // char_bits=2, N=8: literals 0..3, entries 4..7. The input
+  //   00 10 00 01 00 XX
+  // builds children of literal 0 in insertion order (2 -> code 4, 1 -> code
+  // 6), then offers the fully ambiguous character XX. LowestChar must take
+  // the ch=1 child (code 6) even though ch=2 was inserted first.
+  const LzwConfig c{.dict_size = 8, .char_bits = 2, .entry_bits = 8};
+  const auto input = TritVector::from_string("0010000100XX");
+
+  const auto lowest = Encoder(c, Tiebreak::LowestChar).encode(input);
+  EXPECT_EQ(lowest.codes, (std::vector<std::uint32_t>{0, 2, 0, 1, 6}));
+
+  // Control: First keeps insertion order and lands on the ch=2 child.
+  const auto first = Encoder(c, Tiebreak::First).encode(input);
+  EXPECT_EQ(first.codes, (std::vector<std::uint32_t>{0, 2, 0, 1, 4}));
+
+  // The legacy scan agrees (the fix is strategy-independent).
+  const auto legacy =
+      Encoder(c, Tiebreak::LowestChar, MatchStrategy::LegacyScan).encode(input);
+  EXPECT_EQ(legacy.codes, lowest.codes);
 }
 
 // ---------------------------------------------------------------- Round-trip property sweep
