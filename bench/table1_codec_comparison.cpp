@@ -6,20 +6,43 @@
 // Paper configuration (§6): 7-bit characters, 64-bit dictionary entries
 // (C_MDATA = 63 data bits), N = 1024 or 2048 per circuit.
 //
+// Every scheme runs behind the unified codec::Codec interface: the two
+// tables iterate the paper / upgraded registries from exp::flow, column
+// headers come from Codec::name(), and every ratio is produced by a
+// verified round trip (compress + decompress + care-bit coverage check).
+//
 // Sweep points are independent, so they fan out across a thread pool
 // (--jobs N / $TDC_JOBS); rows are collected in suite order, making the
 // output identical for any worker count.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "codec/huffman.h"
-#include "codec/lz77.h"
-#include "codec/rle.h"
+#include "codec/codec.h"
 #include "exp/flow.h"
 #include "exp/table.h"
 #include "exp/thread_pool.h"
-#include "lzw/encoder.h"
+
+namespace {
+
+/// One verified ratio cell; a codec failure renders as its error kind
+/// instead of aborting the whole table.
+std::string ratio_cell(const tdc::codec::Codec& codec,
+                       const tdc::bits::TritVector& stream) {
+  const tdc::Result<tdc::codec::CodecStats> stats = codec.round_trip(stream);
+  if (!stats.ok()) return std::string("! ") + tdc::to_string(stats.error().kind);
+  return tdc::exp::pct(stats.value().ratio_percent());
+}
+
+std::vector<std::string> headers_from(
+    const std::vector<std::unique_ptr<tdc::codec::Codec>>& registry) {
+  std::vector<std::string> out;
+  for (const auto& codec : registry) out.push_back(codec->name());
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tdc;
@@ -37,40 +60,40 @@ int main(int argc, char** argv) {
         const exp::PreparedCircuit pc = exp::prepare(profile);
         const bits::TritVector stream = pc.tests.serialize();
 
-        const auto lzw_result =
-            lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
-        // Baselines at their published / hardware-faithful parameterizations.
-        const auto lz77_result = codec::lz77_encode(stream, exp::paper_lz77_config());
-        const auto rle_result =
-            codec::alternating_rle_encode(stream, exp::paper_rle_config());
-
         Rows out;
-        out.paper = {profile.name, exp::pct(100.0 * pc.tests.x_density()),
-                     exp::pct(lzw_result.ratio_percent()),
-                     exp::pct(lz77_result.stats().ratio_percent()),
-                     exp::pct(rle_result.stats().ratio_percent()),
-                     profile.paper_lzw_percent >= 0
-                         ? exp::pct(profile.paper_lzw_percent, 1)
-                         : "n/a"};
+        out.paper = {profile.name, exp::pct(100.0 * pc.tests.x_density())};
+        for (const auto& codec : exp::paper_codec_registry(profile)) {
+          out.paper.push_back(ratio_cell(*codec, stream));
+        }
+        out.paper.push_back(profile.paper_lzw_percent >= 0
+                                ? exp::pct(profile.paper_lzw_percent, 1)
+                                : "n/a");
 
         // Honest extra datapoint: the same baselines with software-only
-        // resources (1024-bit window / 255-bit matches; per-circuit Golomb grid
-        // and FDR). See EXPERIMENTS.md for the discussion.
-        out.upgraded = {profile.name, exp::pct(lzw_result.ratio_percent()),
-                        exp::pct(codec::lz77_encode(stream).stats().ratio_percent()),
-                        exp::pct(codec::best_alternating_rle(stream)
-                                     .stats()
-                                     .ratio_percent()),
-                        exp::pct(codec::huffman_encode(
-                                     stream, codec::HuffmanConfig{8, 32})
-                                     .stats()
-                                     .ratio_percent())};
+        // resources (unbounded window / per-circuit Golomb grid and FDR;
+        // selective Huffman). See EXPERIMENTS.md for the discussion.
+        out.upgraded = {profile.name};
+        for (const auto& codec : exp::upgraded_codec_registry(profile)) {
+          out.upgraded.push_back(ratio_cell(*codec, stream));
+        }
         return out;
       });
 
-  exp::Table table({"Test", "X-dens", "LZW", "LZ77", "RLE", "paper LZW"});
-  exp::Table upgraded(
-      {"Test", "LZW", "LZ77 (unbounded)", "RLE (tuned)", "Sel-Huffman"});
+  // Column headers are the registry's own codec names; the registries are
+  // structurally identical across profiles, so any profile works here.
+  const gen::CircuitProfile& first = gen::table1_suite().front();
+  std::vector<std::string> paper_headers = {"Test", "X-dens"};
+  for (std::string& name : headers_from(exp::paper_codec_registry(first))) {
+    paper_headers.push_back(std::move(name));
+  }
+  paper_headers.push_back("paper LZW");
+  std::vector<std::string> upgraded_headers = {"Test"};
+  for (std::string& name : headers_from(exp::upgraded_codec_registry(first))) {
+    upgraded_headers.push_back(std::move(name));
+  }
+
+  exp::Table table(paper_headers);
+  exp::Table upgraded(upgraded_headers);
   for (const auto& r : rows) {
     table.add_row(r.paper);
     upgraded.add_row(r.upgraded);

@@ -2,16 +2,20 @@
 // don't-care density, original test-set size, LZW compression ratio and
 // dictionary size for the full 12-circuit suite.
 //
+// The compression column runs through the unified codec::Codec interface
+// (the first entry of exp::paper_codec_registry), so every reported ratio
+// is backed by a verified compress/decompress/care-bit round trip.
+//
 // Per-circuit points fan out across a thread pool (--jobs N / $TDC_JOBS);
 // rows are collected in suite order, so output is identical for any N.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "codec/codec.h"
 #include "exp/flow.h"
 #include "exp/table.h"
 #include "exp/thread_pool.h"
-#include "lzw/encoder.h"
 
 int main(int argc, char** argv) {
   using namespace tdc;
@@ -23,11 +27,12 @@ int main(int argc, char** argv) {
       exp::parallel_map(pool, gen::table3_suite(), [](const gen::CircuitProfile& profile) {
         const exp::PreparedCircuit pc = exp::prepare(profile);
         const bits::TritVector stream = pc.tests.serialize();
-        const auto encoded =
-            lzw::Encoder(exp::paper_lzw_config(profile)).encode(stream);
+        const std::unique_ptr<codec::Codec> lzw =
+            codec::make_lzw_codec(exp::paper_lzw_config(profile));
+        const codec::CodecStats stats = lzw->round_trip(stream).value_or_throw();
         return std::vector<std::string>{
             profile.name, exp::pct(100.0 * pc.tests.x_density()),
-            exp::num(pc.tests.total_bits()), exp::pct(encoded.ratio_percent()),
+            exp::num(stats.original_bits), exp::pct(stats.ratio_percent()),
             exp::num(profile.dict_size),
             profile.paper_x_percent >= 0 ? exp::pct(profile.paper_x_percent, 1)
                                          : "n/a",

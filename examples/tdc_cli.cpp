@@ -5,8 +5,12 @@
 //                                                circuit into a cube file
 //   tdc_cli compress <in.tests> <out.tdclzw>     [--dict N] [--char C]
 //                                                [--entry E] [--variable]
+//                                                [--v1] [--chunk-bytes N]
 //   tdc_cli decompress <in.tdclzw> <out.tests>   expand to full vectors
-//   tdc_cli info <file>                          describe either format
+//   tdc_cli inspect <file>                       describe either format
+//                                                (alias: info)
+//   tdc_cli verify <in.tdclzw>                   full integrity + decode
+//                                                check; nonzero on damage
 //   tdc_cli stats <netlist>                      structural report
 //                                                (.bench or .v by extension)
 //   tdc_cli convert <in> <out>                   .bench <-> .v
@@ -15,12 +19,14 @@
 //                                                image at clock ratio k
 //
 // The .tests format is the plain-text cube format of scan/testset_io.h;
-// .tdclzw is the binary compressed image of lzw/stream_io.h.
+// .tdclzw is the binary compressed container of lzw/stream_io.h (TDCLZW2
+// by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "exp/args.h"
 #include "exp/flow.h"
 #include "hw/decompressor_rtl.h"
 #include "lzw/stream_io.h"
@@ -39,9 +45,11 @@ int usage() {
                "usage:\n"
                "  tdc_cli gen <circuit> <out.tests>\n"
                "  tdc_cli compress <in.tests> <out.tdclzw> [--dict N] [--char C]"
-               " [--entry E] [--variable]\n"
+               " [--entry E]\n"
+               "              [--variable] [--v1] [--chunk-bytes N]\n"
                "  tdc_cli decompress <in.tdclzw> <out.tests>\n"
-               "  tdc_cli info <file>\n"
+               "  tdc_cli inspect <file>        (alias: info)\n"
+               "  tdc_cli verify <in.tdclzw>\n"
                "  tdc_cli stats <netlist.bench|netlist.v>\n"
                "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
                "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n");
@@ -58,11 +66,48 @@ netlist::Netlist load_netlist(const std::string& path) {
   return netlist::parse_bench_file(path);
 }
 
-int cmd_wave(int argc, char** argv) {
-  if (argc < 2 || argc > 3) return usage();
-  const lzw::CompressedImage image = lzw::read_image_file(argv[0]);
+/// Rejects leftover flags, then checks the positional count.
+bool accept(exp::Args& args, std::size_t min_pos, std::size_t max_pos,
+            std::vector<std::string>* pos) {
+  if (!args.unknown().empty()) {
+    std::fprintf(stderr, "unknown flag: %s\n", args.unknown().c_str());
+    return false;
+  }
+  *pos = args.positional();
+  return pos->size() >= min_pos && pos->size() <= max_pos;
+}
+
+std::string container_line(const lzw::ContainerInfo& c) {
+  char buf[160];
+  if (!c.crc_protected()) {
+    std::snprintf(buf, sizeof buf,
+                  "container: TDCLZW1 legacy (%llu B header + %llu B payload, "
+                  "no integrity protection)",
+                  static_cast<unsigned long long>(c.header_bytes),
+                  static_cast<unsigned long long>(c.payload_bytes));
+  } else if (c.chunk_count == 0) {
+    std::snprintf(buf, sizeof buf,
+                  "container: TDCLZW2 (%llu B header + %llu B payload, "
+                  "header+payload CRC32, unchunked)",
+                  static_cast<unsigned long long>(c.header_bytes),
+                  static_cast<unsigned long long>(c.payload_bytes));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "container: TDCLZW2 (%llu B header + %llu B payload, "
+                  "header+payload CRC32, %u chunks x %u B)",
+                  static_cast<unsigned long long>(c.header_bytes),
+                  static_cast<unsigned long long>(c.payload_bytes),
+                  c.chunk_count, c.chunk_bytes);
+  }
+  return buf;
+}
+
+int cmd_wave(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 3, &pos)) return usage();
+  const lzw::CompressedImage image = lzw::read_image_file(pos[0]);
   const std::uint32_t k =
-      argc == 3 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 10;
+      pos.size() == 3 ? static_cast<std::uint32_t>(std::stoul(pos[2])) : 10;
 
   // Rebuild an EncodeResult view of the image for the RTL model.
   lzw::EncodeResult encoded;
@@ -73,75 +118,76 @@ int cmd_wave(int argc, char** argv) {
   // The RTL model reads codes from the stream; it only needs the count.
   encoded.codes.resize(image.code_count);
 
-  std::ofstream out(argv[1]);
+  std::ofstream out(pos[1]);
   if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", pos[1].c_str());
     return 1;
   }
   hw::VcdWriter vcd(out, "lzw_decompressor");
   const hw::DecompressorRtl rtl(hw::HwConfig{.lzw = image.config, .clock_ratio = k});
   const auto run = rtl.run(encoded, &vcd);
-  std::printf("%s: %llu internal cycles at %ux -> %s (%llu scan bits)\n", argv[0],
-              static_cast<unsigned long long>(run.internal_cycles), k, argv[1],
+  std::printf("%s: %llu internal cycles at %ux -> %s (%llu scan bits)\n",
+              pos[0].c_str(), static_cast<unsigned long long>(run.internal_cycles),
+              k, pos[1].c_str(),
               static_cast<unsigned long long>(decoded.bits.size()));
   return 0;
 }
 
-int cmd_stats(int argc, char** argv) {
-  if (argc != 1) return usage();
-  const netlist::Netlist nl = load_netlist(argv[0]);
+int cmd_stats(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 1, &pos)) return usage();
+  const netlist::Netlist nl = load_netlist(pos[0]);
   std::printf("%s", netlist::analyze(nl).report().c_str());
   return 0;
 }
 
-int cmd_convert(int argc, char** argv) {
-  if (argc != 2) return usage();
-  const netlist::Netlist nl = load_netlist(argv[0]);
-  std::ofstream out(argv[1]);
+int cmd_convert(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 2, &pos)) return usage();
+  const netlist::Netlist nl = load_netlist(pos[0]);
+  std::ofstream out(pos[1]);
   if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", pos[1].c_str());
     return 1;
   }
-  if (ends_with(argv[1], ".v")) {
+  if (ends_with(pos[1], ".v")) {
     netlist::write_verilog(out, nl);
   } else {
     netlist::write_bench(out, nl);
   }
-  std::printf("%s -> %s (%u nodes)\n", argv[0], argv[1], nl.gate_count());
+  std::printf("%s -> %s (%u nodes)\n", pos[0].c_str(), pos[1].c_str(),
+              nl.gate_count());
   return 0;
 }
 
-int cmd_gen(int argc, char** argv) {
-  if (argc != 2) return usage();
-  const exp::PreparedCircuit pc = exp::prepare(argv[0]);
-  scan::write_tests_file(argv[1], pc.tests);
+int cmd_gen(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 2, &pos)) return usage();
+  const exp::PreparedCircuit pc = exp::prepare(pos[0]);
+  scan::write_tests_file(pos[1], pc.tests);
   std::printf("%s: %llu patterns x %u bits (%.1f%% X), coverage %.2f%% -> %s\n",
-              argv[0], static_cast<unsigned long long>(pc.tests.pattern_count()),
+              pos[0].c_str(),
+              static_cast<unsigned long long>(pc.tests.pattern_count()),
               pc.tests.width, 100.0 * pc.tests.x_density(), pc.fault_coverage,
-              argv[1]);
+              pos[1].c_str());
   return 0;
 }
 
-int cmd_compress(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const scan::TestSet tests = scan::read_tests_file(argv[0]);
+int cmd_compress(exp::Args& args) {
   lzw::LzwConfig config;
-  for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--variable") {
-      config.variable_width = true;
-    } else if (i + 1 < argc && a == "--dict") {
-      config.dict_size = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    } else if (i + 1 < argc && a == "--char") {
-      config.char_bits = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    } else if (i + 1 < argc && a == "--entry") {
-      config.entry_bits = static_cast<std::uint32_t>(std::stoul(argv[++i]));
-    } else {
-      return usage();
-    }
-  }
+  config.variable_width = args.flag("--variable");
+  config.dict_size = args.u32("--dict", config.dict_size);
+  config.char_bits = args.u32("--char", config.char_bits);
+  config.entry_bits = args.u32("--entry", config.entry_bits);
+  lzw::ContainerOptions container;
+  if (args.flag("--v1")) container.version = 1;
+  container.chunk_bytes = args.u32("--chunk-bytes", container.chunk_bytes);
+
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 2, &pos)) return usage();
   config.validate();
 
+  const scan::TestSet tests = scan::read_tests_file(pos[0]);
   const bits::TritVector stream = tests.serialize();
   const auto encoded = lzw::Encoder(config).encode(stream);
   const auto report = lzw::verify_roundtrip(stream, encoded);
@@ -149,51 +195,68 @@ int cmd_compress(int argc, char** argv) {
     std::fprintf(stderr, "internal verification failed: %s\n", report.error.c_str());
     return 1;
   }
-  lzw::write_image_file(argv[1], encoded);
-  std::printf("%s: %llu -> %llu bits (ratio %.2f%%, %s) -> %s\n", argv[0],
+  lzw::write_image_file(pos[1], encoded, container);
+  std::printf("%s: %llu -> %llu bits (ratio %.2f%%, %s, TDCLZW%u) -> %s\n",
+              pos[0].c_str(),
               static_cast<unsigned long long>(encoded.original_bits),
               static_cast<unsigned long long>(encoded.compressed_bits()),
-              encoded.ratio_percent(), config.describe().c_str(), argv[1]);
+              encoded.ratio_percent(), config.describe().c_str(),
+              container.version, pos[1].c_str());
   return 0;
 }
 
-int cmd_decompress(int argc, char** argv) {
-  if (argc != 2) return usage();
-  const lzw::CompressedImage image = lzw::read_image_file(argv[0]);
-  const lzw::DecodeResult decoded = image.decode();
+int cmd_decompress(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 2, &pos)) return usage();
+  Result<lzw::CompressedImage> image = lzw::try_read_image_file(pos[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s: %s\n", pos[0].c_str(),
+                 image.error().describe().c_str());
+    return 1;
+  }
+  const Result<lzw::DecodeResult> decoded = image.value().try_decode();
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", pos[0].c_str(),
+                 decoded.error().describe().c_str());
+    return 1;
+  }
 
   scan::TestSet out;
   out.circuit = "decompressed";
   // Without side information the stream is one long vector; emit it as a
   // single-pattern set (downstream tools re-split by their known width).
-  out.width = static_cast<std::uint32_t>(decoded.bits.size());
-  out.cubes.push_back(decoded.bits);
-  scan::write_tests_file(argv[1], out);
-  std::printf("%s: %llu codes -> %llu bits -> %s\n", argv[0],
-              static_cast<unsigned long long>(image.code_count),
-              static_cast<unsigned long long>(decoded.bits.size()), argv[1]);
+  out.width = static_cast<std::uint32_t>(decoded.value().bits.size());
+  out.cubes.push_back(decoded.value().bits);
+  scan::write_tests_file(pos[1], out);
+  std::printf("%s: %llu codes -> %llu bits -> %s\n", pos[0].c_str(),
+              static_cast<unsigned long long>(image.value().code_count),
+              static_cast<unsigned long long>(decoded.value().bits.size()),
+              pos[1].c_str());
   return 0;
 }
 
-int cmd_info(int argc, char** argv) {
-  if (argc != 1) return usage();
-  const std::string path = argv[0];
-  try {
-    const lzw::CompressedImage image = lzw::read_image_file(path);
-    std::printf("%s: TDCLZW1 image, %s%s, %llu codes, %llu original bits,"
+int cmd_inspect(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 1, &pos)) return usage();
+  const std::string& path = pos[0];
+  if (Result<lzw::CompressedImage> image = lzw::try_read_image_file(path);
+      image.ok()) {
+    const lzw::CompressedImage& img = image.value();
+    std::printf("%s: TDCLZW%u image, %s%s, %llu codes, %llu original bits,"
                 " %llu payload bits (ratio %.2f%%)\n",
-                path.c_str(), image.config.describe().c_str(),
-                image.config.variable_width ? " variable-width" : "",
-                static_cast<unsigned long long>(image.code_count),
-                static_cast<unsigned long long>(image.original_bits),
-                static_cast<unsigned long long>(image.stream.bit_count()),
-                (1.0 - static_cast<double>(image.stream.bit_count()) /
-                           static_cast<double>(image.original_bits)) *
+                path.c_str(), img.container.version,
+                img.config.describe().c_str(),
+                img.config.variable_width ? " variable-width" : "",
+                static_cast<unsigned long long>(img.code_count),
+                static_cast<unsigned long long>(img.original_bits),
+                static_cast<unsigned long long>(img.stream.bit_count()),
+                (1.0 - static_cast<double>(img.stream.bit_count()) /
+                           static_cast<double>(img.original_bits)) *
                     100.0);
+    std::printf("%s\n", container_line(img.container).c_str());
     return 0;
-  } catch (const std::exception&) {
-    // fall through: try the .tests format
   }
+  // Not a readable container: try the .tests format.
   const scan::TestSet tests = scan::read_tests_file(path);
   std::printf("%s: test set '%s', %llu patterns x %u bits, %.1f%% don't-cares\n",
               path.c_str(), tests.circuit.c_str(),
@@ -202,19 +265,47 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+int cmd_verify(exp::Args& args) {
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 1, &pos)) return usage();
+  const std::string& path = pos[0];
+  Result<lzw::CompressedImage> image = lzw::try_read_image_file(path);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s: FAILED %s\n", path.c_str(),
+                 image.error().describe().c_str());
+    return 1;
+  }
+  const Result<lzw::DecodeResult> decoded = image.value().try_decode();
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "%s: FAILED %s\n", path.c_str(),
+                 decoded.error().describe().c_str());
+    return 1;
+  }
+  const lzw::ContainerInfo& c = image.value().container;
+  std::printf("%s: OK — %s; %llu codes decode to %llu scan bits%s\n",
+              path.c_str(), container_line(c).c_str(),
+              static_cast<unsigned long long>(image.value().code_count),
+              static_cast<unsigned long long>(decoded.value().bits.size()),
+              c.crc_protected() ? "" :
+              " (legacy format: decode check only, no CRC)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  exp::Args args(argc - 2, argv + 2);
   try {
-    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
-    if (cmd == "compress") return cmd_compress(argc - 2, argv + 2);
-    if (cmd == "decompress") return cmd_decompress(argc - 2, argv + 2);
-    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
-    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
-    if (cmd == "convert") return cmd_convert(argc - 2, argv + 2);
-    if (cmd == "wave") return cmd_wave(argc - 2, argv + 2);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "inspect" || cmd == "info") return cmd_inspect(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "wave") return cmd_wave(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,6 +4,17 @@
 
 namespace tdc::bits {
 
+BitWriter BitWriter::from_bytes(const std::uint8_t* data, std::size_t bit_count) {
+  BitWriter w;
+  w.bit_count_ = bit_count;
+  w.bytes_.assign(data, data + (bit_count + 7) / 8);
+  if (bit_count % 8 != 0 && !w.bytes_.empty()) {
+    // Zero the padding so equality with an incrementally built writer holds.
+    w.bytes_.back() &= static_cast<std::uint8_t>(0xFFu << (8 - bit_count % 8));
+  }
+  return w;
+}
+
 void BitWriter::write(std::uint64_t value, unsigned width) {
   assert(width <= 64);
   assert(width == 64 || (value >> width) == 0);

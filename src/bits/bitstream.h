@@ -14,6 +14,13 @@ namespace tdc::bits {
 /// Values wider than one bit are emitted most-significant bit first.
 class BitWriter {
  public:
+  /// Builds a writer holding `bit_count` bits copied from a packed MSB-first
+  /// byte buffer (the container payload as stored on disk). Bytes beyond the
+  /// bit count are ignored; padding bits in the final byte are zeroed so the
+  /// writer's buffer is byte-identical to what write()/write_bit() would
+  /// have produced. Precondition: data covers ceil(bit_count / 8) bytes.
+  static BitWriter from_bytes(const std::uint8_t* data, std::size_t bit_count);
+
   /// Appends the low `width` bits of `value`, MSB first.
   /// Precondition: width <= 64 and value fits in `width` bits.
   void write(std::uint64_t value, unsigned width);

@@ -1,0 +1,261 @@
+#include "codec/codec.h"
+
+#include <utility>
+
+#include "bits/bitstream.h"
+#include "lzw/decoder.h"
+#include "lzw/verify.h"
+
+namespace tdc::codec {
+
+namespace {
+
+/// Backends predating the Result taxonomy report misuse by throwing; the
+/// adapter funnels that into a typed ConfigMismatch so registry iteration
+/// never terminates on one misconfigured entry.
+template <typename Fn>
+Result<Codec::Output> guarded(const Fn& fn) {
+  try {
+    return fn();
+  } catch (const TdcErrorBase& e) {
+    return e.error();
+  } catch (const std::exception& e) {
+    return Error{ErrorKind::ConfigMismatch, e.what()};
+  }
+}
+
+}  // namespace
+
+Result<CodecStats> Codec::compress(const bits::TritVector& input) const {
+  Result<Output> out = run(input);
+  if (!out.ok()) return out.error();
+  return std::move(out).take().stats;
+}
+
+Result<CodecStats> Codec::round_trip(const bits::TritVector& input) const {
+  Result<Output> out = run(input);
+  if (!out.ok()) return out.error();
+  const Output& o = out.value();
+  if (o.decoded.size() < input.size()) {
+    return Error{ErrorKind::StreamTooShort,
+                 name() + ": expansion holds " + std::to_string(o.decoded.size()) +
+                     " of " + std::to_string(input.size()) + " bits"};
+  }
+  const bits::TritVector trimmed =
+      o.decoded.size() == input.size() ? o.decoded : o.decoded.slice(0, input.size());
+  if (!trimmed.fully_specified()) {
+    return Error{ErrorKind::ConfigMismatch,
+                 name() + ": expansion still contains X bits"};
+  }
+  if (!input.covered_by(trimmed)) {
+    return Error{ErrorKind::ConfigMismatch,
+                 name() + ": expansion violates a care bit of the input"};
+  }
+  return o.stats;
+}
+
+// ---------------------------------------------------------------- adapters
+
+namespace {
+
+class LzwCodec final : public Codec {
+ public:
+  LzwCodec(const lzw::LzwConfig& config, lzw::Tiebreak tiebreak, std::string label)
+      : config_(config), tiebreak_(tiebreak), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    return guarded([&]() -> Result<Output> {
+      const lzw::EncodeResult encoded =
+          lzw::Encoder(config_, tiebreak_).encode(input);
+      // Decode the packed tester stream, not the code list: the round trip
+      // covers the bit-packing layer exactly as the chip sees it.
+      bits::BitReader reader(encoded.stream);
+      Result<lzw::DecodeResult> decoded = lzw::Decoder(config_).try_decode_stream(
+          reader, encoded.codes.size(), encoded.original_bits);
+      if (!decoded.ok()) return decoded.error();
+      return Output{CodecStats{label_, encoded.original_bits, encoded.compressed_bits()},
+                    std::move(decoded.value().bits)};
+    });
+  }
+
+ private:
+  lzw::LzwConfig config_;
+  lzw::Tiebreak tiebreak_;
+  std::string label_;
+};
+
+class Lz77Codec final : public Codec {
+ public:
+  Lz77Codec(const Lz77Config& config, std::string label)
+      : config_(config), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    return guarded([&]() -> Result<Output> {
+      const Lz77Result encoded = lz77_encode(input, config_);
+      CodecStats stats = encoded.stats();
+      stats.codec = label_;
+      return Output{stats, lz77_decode(encoded.stream, input.size(), config_)};
+    });
+  }
+
+ private:
+  Lz77Config config_;
+  std::string label_;
+};
+
+class AlternatingRleCodec final : public Codec {
+ public:
+  AlternatingRleCodec(const RleConfig& config, std::string label)
+      : config_(config), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    return guarded([&]() -> Result<Output> {
+      const RleResult encoded = alternating_rle_encode(input, config_);
+      CodecStats stats = encoded.stats();
+      stats.codec = label_;
+      return Output{stats,
+                    alternating_rle_decode(encoded.stream, input.size(), config_)};
+    });
+  }
+
+ private:
+  RleConfig config_;
+  std::string label_;
+};
+
+class BestRleCodec final : public Codec {
+ public:
+  explicit BestRleCodec(std::string label) : label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    return guarded([&]() -> Result<Output> {
+      const RleResult encoded = best_alternating_rle(input);
+      CodecStats stats = encoded.stats();
+      stats.codec = label_;
+      return Output{
+          stats, alternating_rle_decode(encoded.stream, input.size(), encoded.config)};
+    });
+  }
+
+ private:
+  std::string label_;
+};
+
+class HuffmanCodec final : public Codec {
+ public:
+  HuffmanCodec(const HuffmanConfig& config, std::string label)
+      : config_(config), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    return guarded([&]() -> Result<Output> {
+      const HuffmanResult encoded = huffman_encode(input, config_);
+      CodecStats stats = encoded.stats();
+      stats.codec = label_;
+      return Output{stats, huffman_decode(encoded)};
+    });
+  }
+
+ private:
+  HuffmanConfig config_;
+  std::string label_;
+};
+
+class LfsrReseedCodec final : public Codec {
+ public:
+  LfsrReseedCodec(std::uint32_t width, const LfsrReseedConfig& config,
+                  std::string label)
+      : width_(width), config_(config), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+
+ protected:
+  Result<Output> run(const bits::TritVector& input) const override {
+    if (width_ == 0) {
+      return Error{ErrorKind::ConfigMismatch,
+                   label_ + ": pattern width must be positive"};
+    }
+    return guarded([&]() -> Result<Output> {
+      // Cut the flat scan stream into per-pattern cubes; the trailing
+      // partial cube keeps its implicit X padding.
+      std::vector<bits::TritVector> cubes;
+      for (std::size_t pos = 0; pos < input.size(); pos += width_) {
+        const std::size_t len = std::min<std::size_t>(width_, input.size() - pos);
+        bits::TritVector cube = input.slice(pos, len);
+        while (cube.size() < width_) cube.push_back(bits::Trit::X);
+        cubes.push_back(std::move(cube));
+      }
+      const LfsrReseedResult encoded = lfsr_reseed_encode(cubes, config_);
+      bits::TritVector decoded;
+      for (const bits::TritVector& p : lfsr_reseed_expand(encoded)) decoded.append(p);
+      CodecStats stats = encoded.stats();
+      stats.codec = label_;
+      stats.original_bits = input.size();
+      return Output{stats, std::move(decoded)};
+    });
+  }
+
+ private:
+  std::uint32_t width_;
+  LfsrReseedConfig config_;
+  std::string label_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<Codec> make_lzw_codec(const lzw::LzwConfig& config,
+                                      lzw::Tiebreak tiebreak, std::string label) {
+  return std::make_unique<LzwCodec>(config, tiebreak, std::move(label));
+}
+
+std::unique_ptr<Codec> make_lz77_codec(const Lz77Config& config, std::string label) {
+  return std::make_unique<Lz77Codec>(config, std::move(label));
+}
+
+std::unique_ptr<Codec> make_alternating_rle_codec(const RleConfig& config,
+                                                  std::string label) {
+  return std::make_unique<AlternatingRleCodec>(config, std::move(label));
+}
+
+std::unique_ptr<Codec> make_best_rle_codec(std::string label) {
+  return std::make_unique<BestRleCodec>(std::move(label));
+}
+
+std::unique_ptr<Codec> make_huffman_codec(const HuffmanConfig& config,
+                                          std::string label) {
+  return std::make_unique<HuffmanCodec>(config, std::move(label));
+}
+
+std::unique_ptr<Codec> make_lfsr_reseed_codec(std::uint32_t width,
+                                              const LfsrReseedConfig& config,
+                                              std::string label) {
+  return std::make_unique<LfsrReseedCodec>(width, config, std::move(label));
+}
+
+std::vector<std::unique_ptr<Codec>> default_registry(std::uint32_t pattern_width) {
+  std::vector<std::unique_ptr<Codec>> registry;
+  registry.push_back(make_lzw_codec(lzw::LzwConfig{}));
+  registry.push_back(make_lz77_codec());
+  registry.push_back(make_best_rle_codec());
+  registry.push_back(make_huffman_codec(HuffmanConfig{8, 32}));
+  if (pattern_width > 0) registry.push_back(make_lfsr_reseed_codec(pattern_width));
+  return registry;
+}
+
+}  // namespace tdc::codec

@@ -1,0 +1,88 @@
+#ifndef TDC_CODEC_CODEC_H
+#define TDC_CODEC_CODEC_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "codec/huffman.h"
+#include "codec/lfsr_reseed.h"
+#include "codec/lz77.h"
+#include "codec/rle.h"
+#include "codec/stats.h"
+#include "core/error.h"
+#include "lzw/encoder.h"
+
+namespace tdc::codec {
+
+/// The unified compression-backend interface: every scheme in the
+/// comparison — don't-care-aware LZW, LZ77, the run-length family,
+/// selective Huffman, LFSR reseeding — sits behind the same three
+/// operations, so benches and tools iterate a registry instead of
+/// hand-calling per-codec free functions with ad-hoc signatures.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Human-readable backend name, also used as the stats/table label.
+  virtual std::string name() const = 0;
+
+  /// Compresses `input` and reports size accounting. Configuration problems
+  /// and internal decode failures surface as typed Errors, never UB.
+  Result<CodecStats> compress(const bits::TritVector& input) const;
+
+  /// Compress + decompress + verify: the expansion must be fully specified
+  /// and cover every care bit of the ternary input. Returns the same stats
+  /// as compress() when the round trip holds, a ConfigMismatch Error when
+  /// the backend's own expansion violates the input — the invariant the
+  /// whole repository is built around.
+  Result<CodecStats> round_trip(const bits::TritVector& input) const;
+
+  struct Output {
+    CodecStats stats;
+    bits::TritVector decoded;  ///< the decompressor's expansion
+  };
+
+ protected:
+  /// Backend hook: one compress/decompress cycle.
+  virtual Result<Output> run(const bits::TritVector& input) const = 0;
+};
+
+/// --- Backend factories -----------------------------------------------
+
+/// The paper's LZW with dynamic don't-care assignment. `label` overrides the
+/// default "LZW" name (used when one table carries several parameterizations).
+std::unique_ptr<Codec> make_lzw_codec(const lzw::LzwConfig& config,
+                                      lzw::Tiebreak tiebreak = lzw::Tiebreak::First,
+                                      std::string label = "LZW");
+
+std::unique_ptr<Codec> make_lz77_codec(const Lz77Config& config = {},
+                                       std::string label = "LZ77");
+
+/// Alternating run-length coding at a fixed parameterization.
+std::unique_ptr<Codec> make_alternating_rle_codec(const RleConfig& config = {},
+                                                  std::string label = "RLE");
+
+/// Alternating run-length coding with the per-input parameter grid search
+/// the baseline papers apply.
+std::unique_ptr<Codec> make_best_rle_codec(std::string label = "RLE (tuned)");
+
+std::unique_ptr<Codec> make_huffman_codec(const HuffmanConfig& config = {},
+                                          std::string label = "Sel-Huffman");
+
+/// LFSR reseeding. The flat scan stream is cut into `width`-bit cubes (the
+/// per-pattern scan load); a trailing partial cube is padded with X.
+std::unique_ptr<Codec> make_lfsr_reseed_codec(std::uint32_t width,
+                                              const LfsrReseedConfig& config = {},
+                                              std::string label = "LFSR-reseed");
+
+/// Registry of every backend at software-friendly default parameters —
+/// the "what else could the tester run" sweep. `pattern_width` parameterizes
+/// the LFSR-reseed backend (0 omits it: reseeding is per-pattern and
+/// meaningless on an unstructured stream).
+std::vector<std::unique_ptr<Codec>> default_registry(std::uint32_t pattern_width = 0);
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_CODEC_H

@@ -1,0 +1,23 @@
+#ifndef TDC_CORE_CRC32_H
+#define TDC_CORE_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdc {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320, init/final-xor
+/// 0xFFFFFFFF) — the checksum protecting TDCLZW2 container headers and
+/// payloads. `seed` is the value returned by a previous call, enabling
+/// incremental computation over split buffers; pass 0 to start fresh.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes,
+                           std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace tdc
+
+#endif  // TDC_CORE_CRC32_H

@@ -1,0 +1,63 @@
+#include "core/error.h"
+
+namespace tdc {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::IoError: return "IoError";
+    case ErrorKind::TruncatedHeader: return "TruncatedHeader";
+    case ErrorKind::BadMagic: return "BadMagic";
+    case ErrorKind::UnsupportedVersion: return "UnsupportedVersion";
+    case ErrorKind::HeaderCrcMismatch: return "HeaderCrcMismatch";
+    case ErrorKind::TruncatedPayload: return "TruncatedPayload";
+    case ErrorKind::ChunkCrcMismatch: return "ChunkCrcMismatch";
+    case ErrorKind::PayloadCrcMismatch: return "PayloadCrcMismatch";
+    case ErrorKind::ConfigMismatch: return "ConfigMismatch";
+    case ErrorKind::UndefinedCode: return "UndefinedCode";
+    case ErrorKind::CodeStreamTruncated: return "CodeStreamTruncated";
+    case ErrorKind::StreamTooShort: return "StreamTooShort";
+  }
+  return "UnknownError";
+}
+
+bool is_container_error(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::IoError:
+    case ErrorKind::TruncatedHeader:
+    case ErrorKind::BadMagic:
+    case ErrorKind::UnsupportedVersion:
+    case ErrorKind::HeaderCrcMismatch:
+    case ErrorKind::TruncatedPayload:
+    case ErrorKind::ChunkCrcMismatch:
+    case ErrorKind::PayloadCrcMismatch:
+      return true;
+    case ErrorKind::ConfigMismatch:
+    case ErrorKind::UndefinedCode:
+    case ErrorKind::CodeStreamTruncated:
+    case ErrorKind::StreamTooShort:
+      return false;
+  }
+  return true;
+}
+
+std::string Error::describe() const {
+  std::string out = "[";
+  out += to_string(kind);
+  out += "]";
+  if (chunk_index >= 0) out += " chunk " + std::to_string(chunk_index);
+  if (code_index >= 0) out += " code " + std::to_string(code_index);
+  if (bit_offset >= 0) out += " at payload bit " + std::to_string(bit_offset);
+  if (byte_offset >= 0) out += " at byte " + std::to_string(byte_offset);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+void Error::raise() const {
+  if (is_container_error(kind)) throw ContainerError(*this);
+  throw DecodeError(*this);
+}
+
+}  // namespace tdc

@@ -1,0 +1,140 @@
+#ifndef TDC_CORE_ERROR_H
+#define TDC_CORE_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tdc {
+
+/// Failure taxonomy shared by every decode entry point in the repository.
+///
+/// The split matters operationally: container-level kinds (bad magic, CRC
+/// mismatch, truncation) mean the *download* is damaged and retransmission
+/// helps; decode-level kinds (undefined code, exhausted code stream) mean
+/// the payload passed its integrity checks but is semantically inconsistent
+/// — a tool-chain or configurator mismatch that retransmission cannot fix.
+enum class ErrorKind {
+  // --- container / transport layer
+  IoError,             ///< file could not be opened / written
+  TruncatedHeader,     ///< stream ended inside the container header
+  BadMagic,            ///< not a TDCLZW container at all
+  UnsupportedVersion,  ///< TDCLZW container from a future format version
+  HeaderCrcMismatch,   ///< header CRC32 check failed (v2 containers)
+  TruncatedPayload,    ///< stream ended inside the payload bytes
+  ChunkCrcMismatch,    ///< one framed payload chunk failed its CRC32 (v2)
+  PayloadCrcMismatch,  ///< whole-payload CRC32 check failed (v2)
+  // --- decode / semantic layer
+  ConfigMismatch,       ///< configuration invalid or inconsistent with data
+  UndefinedCode,        ///< LZW code not defined at its position (and not KwKwK)
+  CodeStreamTruncated,  ///< payload exhausted before code_count codes were read
+  StreamTooShort,       ///< decoded output shorter than original_bits
+};
+
+/// Stable identifier, e.g. "PayloadCrcMismatch" (used by the CLI and tests).
+const char* to_string(ErrorKind kind);
+
+/// True for kinds reporting damage to the container itself (I/O, framing,
+/// integrity); false for semantic decode failures.
+bool is_container_error(ErrorKind kind);
+
+/// One typed failure, carrying every piece of position context the failing
+/// layer had. Fields are -1 when not applicable.
+struct Error {
+  ErrorKind kind = ErrorKind::IoError;
+  std::string message;
+
+  std::int64_t byte_offset = -1;  ///< container byte offset of the failure
+  std::int64_t bit_offset = -1;   ///< payload bit offset (code stream position)
+  std::int64_t code_index = -1;   ///< index of the LZW code being decoded
+  std::int64_t chunk_index = -1;  ///< payload chunk (v2 chunked framing)
+
+  /// "[UndefinedCode] code 17 at payload bit 153: ..." — one line, all
+  /// available context rendered.
+  std::string describe() const;
+
+  /// Throws the exception class this kind maps to (see TdcError below),
+  /// preserving the legacy std::invalid_argument / std::runtime_error
+  /// contract of the pre-Result public API.
+  [[noreturn]] void raise() const;
+};
+
+/// Exception wrapper: container errors derive from std::runtime_error,
+/// decode errors from std::invalid_argument — matching what read_image and
+/// Decoder historically threw, so existing catch sites keep working. Catch
+/// either base, or catch TdcErrorBase to get the typed Error back.
+class TdcErrorBase {
+ public:
+  explicit TdcErrorBase(Error error) : error_(std::move(error)) {}
+  virtual ~TdcErrorBase() = default;
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+template <typename Base>
+class TdcError final : public Base, public TdcErrorBase {
+ public:
+  explicit TdcError(Error error)
+      : Base(error.describe()), TdcErrorBase(std::move(error)) {}
+};
+
+using ContainerError = TdcError<std::runtime_error>;
+using DecodeError = TdcError<std::invalid_argument>;
+
+/// Minimal expected-style result: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& take() && { return std::get<T>(std::move(state_)); }
+
+  /// Precondition: !ok().
+  const Error& error() const { return std::get<Error>(state_); }
+
+  /// Returns the value, or raises the error via Error::raise().
+  const T& value_or_throw() const& {
+    if (!ok()) error().raise();
+    return value();
+  }
+  T&& value_or_throw() && {
+    if (!ok()) error().raise();
+    return std::get<T>(std::move(state_));
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result of an operation with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                       // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+  void ok_or_throw() const {
+    if (failed_) error_.raise();
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace tdc
+
+#endif  // TDC_CORE_ERROR_H

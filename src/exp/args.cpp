@@ -1,0 +1,80 @@
+#include "exp/args.h"
+
+#include <stdexcept>
+
+namespace tdc::exp {
+
+namespace {
+
+bool is_flag(const std::string& token) { return token.rfind("--", 0) == 0; }
+
+}  // namespace
+
+Args::Args(int argc, char** argv) {
+  items_.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) items_.emplace_back(argv[i]);
+  used_.assign(items_.size(), false);
+}
+
+bool Args::flag(const std::string& name) {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!used_[i] && items_[i] == name) {
+      used_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> Args::value(const std::string& name) {
+  const std::string prefix = name + "=";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (used_[i]) continue;
+    if (items_[i].rfind(prefix, 0) == 0) {
+      used_[i] = true;
+      return items_[i].substr(prefix.size());
+    }
+    if (items_[i] == name) {
+      // `--name value`: claim the next token, unless it looks like another
+      // flag — then the value is missing and the bare flag stays unconsumed
+      // so unknown() reports it.
+      if (i + 1 >= items_.size() || used_[i + 1] || is_flag(items_[i + 1])) {
+        return std::nullopt;
+      }
+      used_[i] = used_[i + 1] = true;
+      return items_[i + 1];
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Args::u32(const std::string& name, std::uint32_t fallback) {
+  const std::optional<std::string> raw = value(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t used = 0;
+    const unsigned long parsed = std::stoul(*raw, &used);
+    if (used != raw->size()) throw std::invalid_argument("trailing characters");
+    return static_cast<std::uint32_t>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(name + ": expected an unsigned integer, got '" +
+                                *raw + "'");
+  }
+}
+
+std::vector<std::string> Args::positional() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!used_[i] && !is_flag(items_[i])) out.push_back(items_[i]);
+  }
+  return out;
+}
+
+std::string Args::unknown() const {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!used_[i] && is_flag(items_[i])) return items_[i];
+  }
+  return {};
+}
+
+}  // namespace tdc::exp

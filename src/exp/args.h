@@ -1,0 +1,50 @@
+#ifndef TDC_EXP_ARGS_H
+#define TDC_EXP_ARGS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tdc::exp {
+
+/// Shared flag parsing for the command-line front ends: an argv slice is
+/// split into `--flag` / `--flag value` / `--flag=value` options and
+/// positional arguments. Flags are consumed by the accessors below; whatever
+/// remains with a `--` prefix is an unknown flag the command should reject.
+///
+///   exp::Args args(argc, argv);
+///   const bool v1 = args.flag("--v1");
+///   const std::uint32_t dict = args.u32("--dict", 1024);
+///   if (!args.unknown().empty()) return usage();
+///   const std::vector<std::string> files = args.positional();
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  /// Consumes a boolean flag; true if it was present.
+  bool flag(const std::string& name);
+
+  /// Consumes `--name value` or `--name=value`; nullopt if absent. A flag
+  /// present without a value reports itself via unknown().
+  std::optional<std::string> value(const std::string& name);
+
+  /// value() parsed as an unsigned integer, with a default. A present but
+  /// unparsable value throws std::invalid_argument naming the flag.
+  std::uint32_t u32(const std::string& name, std::uint32_t fallback);
+
+  /// Unconsumed non-flag tokens, in order. Call after consuming flags —
+  /// until then a `--flag value` value still counts as positional.
+  std::vector<std::string> positional() const;
+
+  /// First unconsumed `--flag` token (empty if none) — reject it in usage().
+  std::string unknown() const;
+
+ private:
+  std::vector<std::string> items_;  ///< argv in order
+  std::vector<bool> used_;          ///< consumed by a flag accessor
+};
+
+}  // namespace tdc::exp
+
+#endif  // TDC_EXP_ARGS_H

@@ -101,4 +101,26 @@ codec::RleConfig paper_rle_config() {
   return codec::RleConfig{codec::RunCode::Golomb, 16};
 }
 
+std::vector<std::unique_ptr<codec::Codec>> paper_codec_registry(
+    const gen::CircuitProfile& profile) {
+  std::vector<std::unique_ptr<codec::Codec>> registry;
+  registry.push_back(codec::make_lzw_codec(paper_lzw_config(profile)));
+  registry.push_back(codec::make_lz77_codec(paper_lz77_config()));
+  registry.push_back(codec::make_alternating_rle_codec(paper_rle_config()));
+  return registry;
+}
+
+std::vector<std::unique_ptr<codec::Codec>> upgraded_codec_registry(
+    const gen::CircuitProfile& profile, std::uint32_t pattern_width) {
+  std::vector<std::unique_ptr<codec::Codec>> registry;
+  registry.push_back(codec::make_lzw_codec(paper_lzw_config(profile)));
+  registry.push_back(codec::make_lz77_codec(codec::Lz77Config{}, "LZ77 (unbounded)"));
+  registry.push_back(codec::make_best_rle_codec());
+  registry.push_back(codec::make_huffman_codec(codec::HuffmanConfig{8, 32}));
+  if (pattern_width > 0) {
+    registry.push_back(codec::make_lfsr_reseed_codec(pattern_width));
+  }
+  return registry;
+}
+
 }  // namespace tdc::exp

@@ -1,10 +1,12 @@
 #ifndef TDC_EXP_FLOW_H
 #define TDC_EXP_FLOW_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "atpg/atpg.h"
+#include "codec/codec.h"
 #include "codec/lz77.h"
 #include "codec/rle.h"
 #include "gen/suite.h"
@@ -63,6 +65,19 @@ codec::Lz77Config paper_lz77_config();
 /// Chakrabarty): alternating run-length coding, Golomb code with a fixed
 /// divisor m = 16, don't-cares repeat-filled to lengthen runs.
 codec::RleConfig paper_rle_config();
+
+/// The Table 1 comparison behind the unified Codec interface: LZW, LZ77 and
+/// RLE at the published / hardware-faithful parameterizations above. Table
+/// benches iterate this registry (header = codec->name()) instead of
+/// hand-calling per-codec free functions.
+std::vector<std::unique_ptr<codec::Codec>> paper_codec_registry(
+    const gen::CircuitProfile& profile);
+
+/// The honest-appendix registry: the same schemes with software-only
+/// resources (unbounded LZ77 window, per-input RLE tuning, selective
+/// Huffman), plus LFSR reseeding when `pattern_width` is nonzero.
+std::vector<std::unique_ptr<codec::Codec>> upgraded_codec_registry(
+    const gen::CircuitProfile& profile, std::uint32_t pattern_width = 0);
 
 }  // namespace tdc::exp
 

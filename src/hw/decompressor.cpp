@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <bit>
-#include <stdexcept>
 
 #include "lzw/dictionary.h"
 
 namespace tdc::hw {
 
-HwRunResult DecompressorModel::run(const lzw::EncodeResult& encoded) const {
+namespace {
+
+Error decode_error(ErrorKind kind, std::string message, std::size_t code_index,
+                   std::size_t bit_offset) {
+  Error err{kind, std::move(message)};
+  err.code_index = static_cast<std::int64_t>(code_index);
+  err.bit_offset = static_cast<std::int64_t>(bit_offset);
+  return err;
+}
+
+}  // namespace
+
+Result<HwRunResult> DecompressorModel::try_run(const lzw::EncodeResult& encoded) const {
   const lzw::LzwConfig& lc = config_.lzw;
   const std::uint32_t ce = lc.code_bits();
   const std::uint64_t k = config_.clock_ratio;
@@ -38,6 +49,12 @@ HwRunResult DecompressorModel::run(const lzw::EncodeResult& encoded) const {
         lc.variable_width
             ? std::min(static_cast<std::uint32_t>(std::bit_width(dict.size())), ce)
             : ce;
+    if (reader.remaining() < width) {
+      return decode_error(ErrorKind::CodeStreamTruncated,
+                          "tester image ends inside code " + std::to_string(idx) +
+                              " of " + std::to_string(code_count),
+                          idx, reader.position());
+    }
     bits_consumed += width;
     if (config_.pipelined) {
       const std::uint64_t arrival = bits_consumed * k;
@@ -49,27 +66,37 @@ HwRunResult DecompressorModel::run(const lzw::EncodeResult& encoded) const {
       result.input_stall_cycles += width * k;
       t += static_cast<std::uint64_t>(width) * k;
     }
+    const std::size_t code_bit_offset = reader.position();
     const auto code = static_cast<std::uint32_t>(reader.read(width));
 
     // --- Decode: literal pass-through, RAM read, or C_MLAST (KwKwK).
     std::vector<std::uint32_t> entry;
     std::uint64_t decode_cycles = 0;
     if (code < lc.first_code()) {
-      if (!dict.defined(code)) throw std::invalid_argument("hw: bad literal");
+      if (!dict.defined(code)) {
+        return decode_error(ErrorKind::UndefinedCode, "literal code out of range",
+                            idx, code_bit_offset);
+      }
       entry = dict.expand(code);
       decode_cycles = config_.literal_load_cycles;
     } else if (dict.defined(code)) {
       entry = dict.expand(code);
       decode_cycles = config_.mem_read_cycles;
     } else if (prev != lzw::kNoCode && code == dict.next_code() &&
-               dict.extendable(prev)) {
+               dict.extendable(prev) &&
+               dict.child(prev, dict.first_char(prev)) == lzw::kNoCode) {
       // KwKwK: the expansion is Buffer + Buffer's first character, all held
-      // in the C_MLAST register — no RAM read needed.
+      // in the C_MLAST register — no RAM read needed. Only legal while the
+      // (prev, first_char) entry is still being created; otherwise the code
+      // is corrupt and accepting it would leave it undefined.
       entry = dict.expand(prev);
       entry.push_back(dict.first_char(prev));
       decode_cycles = config_.literal_load_cycles;
     } else {
-      throw std::invalid_argument("hw: undefined code in stream");
+      return decode_error(ErrorKind::UndefinedCode,
+                          "code value " + std::to_string(code) +
+                              " undefined in the on-chip dictionary",
+                          idx, code_bit_offset);
     }
     result.mem_cycles += decode_cycles;
     t += decode_cycles;
@@ -101,7 +128,11 @@ HwRunResult DecompressorModel::run(const lzw::EncodeResult& encoded) const {
   }
 
   if (emitted_bits < encoded.original_bits) {
-    throw std::invalid_argument("hw: stream shorter than original test set");
+    return decode_error(ErrorKind::StreamTooShort,
+                        "decompressor produced " + std::to_string(emitted_bits) +
+                            " of " + std::to_string(encoded.original_bits) +
+                            " scan bits",
+                        code_count, reader.position());
   }
   result.internal_cycles = t;
   return result;

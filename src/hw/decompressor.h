@@ -6,6 +6,7 @@
 
 #include "bits/bitstream.h"
 #include "bits/tritvector.h"
+#include "core/error.h"
 #include "hw/memory.h"
 #include "lzw/config.h"
 #include "lzw/encoder.h"
@@ -101,11 +102,18 @@ class DecompressorModel {
 
   const HwConfig& config() const { return config_; }
 
-  /// Runs the model over an encoder's output. `encoded.stream` is the
-  /// tester image; timing is derived from it and from the dictionary state
-  /// reconstructed on the fly (identical rules as lzw::Decoder).
-  /// Throws std::invalid_argument on a corrupt stream.
-  HwRunResult run(const lzw::EncodeResult& encoded) const;
+  /// Strict run of the model over an encoder's output. `encoded.stream` is
+  /// the tester image; timing is derived from it and from the dictionary
+  /// state reconstructed on the fly (identical rules as lzw::Decoder). On a
+  /// corrupt stream the Error carries the failing code index and the
+  /// payload bit offset; every read is bounds-checked.
+  Result<HwRunResult> try_run(const lzw::EncodeResult& encoded) const;
+
+  /// Throwing wrapper over try_run (DecodeError, i.e. std::invalid_argument,
+  /// on a corrupt stream).
+  HwRunResult run(const lzw::EncodeResult& encoded) const {
+    return try_run(encoded).value_or_throw();
+  }
 
   /// Memory model for this configuration.
   DictionaryMemoryModel memory() const { return DictionaryMemoryModel(config_.lzw); }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/error.h"
 #include "lzw/dictionary.h"
 
 namespace tdc::hw {
@@ -15,6 +16,14 @@ enum FsmState : std::uint64_t {
   kDecode = 1,
   kShift = 2,
 };
+
+[[noreturn]] void fail(ErrorKind kind, std::string message, std::size_t code_index,
+                       std::size_t bit_offset) {
+  Error err{kind, std::move(message)};
+  err.code_index = static_cast<std::int64_t>(code_index);
+  err.bit_offset = static_cast<std::int64_t>(bit_offset);
+  err.raise();  // DecodeError, preserving the std::invalid_argument contract
+}
 
 }  // namespace
 
@@ -81,6 +90,12 @@ HwRunResult DecompressorRtl::run(const lzw::EncodeResult& encoded,
             : lc.code_bits();
 
     // ---- RECEIVE: one tester bit lands every k internal cycles.
+    if (reader.remaining() < width) {
+      fail(ErrorKind::CodeStreamTruncated,
+           "rtl: tester image ends inside code " + std::to_string(idx) + " of " +
+               std::to_string(code_count),
+           idx, reader.position());
+    }
     std::uint32_t got = 0;
     std::uint32_t code_reg = 0;
     for (std::uint32_t b = 0; b < width; ++b) {
@@ -98,19 +113,27 @@ HwRunResult DecompressorRtl::run(const lzw::EncodeResult& encoded,
     std::vector<std::uint32_t> entry;
     std::uint32_t decode_cycles;
     if (code < lc.first_code()) {
-      if (!dict.defined(code)) throw std::invalid_argument("rtl: bad literal");
+      if (!dict.defined(code)) {
+        fail(ErrorKind::UndefinedCode, "rtl: literal code out of range", idx,
+             reader.position());
+      }
       entry = dict.expand(code);
       decode_cycles = config_.literal_load_cycles;
     } else if (dict.defined(code)) {
       entry = dict.expand(code);
       decode_cycles = config_.mem_read_cycles;
     } else if (prev != lzw::kNoCode && code == dict.next_code() &&
-               dict.extendable(prev)) {
+               dict.extendable(prev) &&
+               dict.child(prev, dict.first_char(prev)) == lzw::kNoCode) {
+      // C_MLAST path is only legal while (prev, first_char) is still being
+      // created; an existing child means the code is corrupt.
       entry = dict.expand(prev);
       entry.push_back(dict.first_char(prev));
       decode_cycles = config_.literal_load_cycles;
     } else {
-      throw std::invalid_argument("rtl: undefined code in stream");
+      fail(ErrorKind::UndefinedCode,
+           "rtl: code value " + std::to_string(code) + " undefined in stream", idx,
+           reader.position());
     }
     for (std::uint32_t d = 0; d < decode_cycles; ++d) {
       tick(kDecode, width, code, 0, false, false, false);
@@ -155,7 +178,10 @@ HwRunResult DecompressorRtl::run(const lzw::EncodeResult& encoded,
   }
 
   if (emitted_bits < encoded.original_bits) {
-    throw std::invalid_argument("rtl: stream shorter than original test set");
+    fail(ErrorKind::StreamTooShort,
+         "rtl: produced " + std::to_string(emitted_bits) + " of " +
+             std::to_string(encoded.original_bits) + " scan bits",
+         code_count, reader.position());
   }
   result.internal_cycles = cycle;
   return result;

@@ -38,6 +38,30 @@ std::uint32_t TestSession::response_width() const {
   return static_cast<std::uint32_t>(nl_->outputs().size() + nl_->dffs().size());
 }
 
+Status TestSession::check_patterns(
+    const std::vector<bits::TritVector>& patterns) const {
+  const scan::ScanView view(*nl_);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    if (patterns[p].size() != view.width()) {
+      Error err{ErrorKind::ConfigMismatch,
+                "pattern " + std::to_string(p) + " is " +
+                    std::to_string(patterns[p].size()) + " bits; the scan view needs " +
+                    std::to_string(view.width())};
+      err.code_index = static_cast<std::int64_t>(p);
+      return err;
+    }
+    if (!patterns[p].fully_specified()) {
+      Error err{ErrorKind::ConfigMismatch,
+                "pattern " + std::to_string(p) +
+                    " still contains X bits; the tester drives fully specified "
+                    "decompressor output only"};
+      err.code_index = static_cast<std::int64_t>(p);
+      return err;
+    }
+  }
+  return {};
+}
+
 void TestSession::compute_good_responses(
     const std::vector<bits::TritVector>& patterns) {
   if (patterns == cached_patterns_) return;
@@ -70,6 +94,7 @@ void TestSession::compute_good_responses(
 
 std::uint64_t TestSession::good_signature(
     const std::vector<bits::TritVector>& patterns) {
+  check_patterns(patterns).ok_or_throw();
   compute_good_responses(patterns);
   Misr misr(config_.misr_width, config_.misr_polynomial);
   for (const auto& words : good_words_) {
@@ -80,6 +105,7 @@ std::uint64_t TestSession::good_signature(
 
 std::uint64_t TestSession::faulty_signature(
     const std::vector<bits::TritVector>& patterns, const fault::Fault& fault) {
+  check_patterns(patterns).ok_or_throw();
   compute_good_responses(patterns);
   const Netlist& nl = *nl_;
   const scan::ScanView view(nl);
@@ -125,9 +151,17 @@ std::uint64_t TestSession::faulty_signature(
   return misr.signature();
 }
 
+Result<SignatureCoverage> TestSession::try_signature_coverage(
+    const std::vector<bits::TritVector>& patterns,
+    const std::vector<fault::Fault>& faults) {
+  if (Status s = check_patterns(patterns); !s.ok()) return s.error();
+  return signature_coverage(patterns, faults);
+}
+
 SignatureCoverage TestSession::signature_coverage(
     const std::vector<bits::TritVector>& patterns,
     const std::vector<fault::Fault>& faults) {
+  check_patterns(patterns).ok_or_throw();
   compute_good_responses(patterns);
   const std::uint64_t good = good_signature(patterns);
 

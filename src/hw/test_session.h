@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bits/tritvector.h"
+#include "core/error.h"
 #include "fault/fault.h"
 #include "hw/misr.h"
 #include "netlist/netlist.h"
@@ -41,7 +42,14 @@ class TestSession {
  public:
   explicit TestSession(const netlist::Netlist& nl, TestSessionConfig config = {});
 
+  /// Rejects pattern sets the session cannot drive: a pattern narrower or
+  /// wider than the circuit's scan view, or one still containing X bits
+  /// (only the decompressor output, which is fully specified, is a valid
+  /// stimulus). Returns a ConfigMismatch Error naming the offending pattern.
+  Status check_patterns(const std::vector<bits::TritVector>& patterns) const;
+
   /// Good-machine signature of a fully specified pattern set.
+  /// Throws DecodeError (ConfigMismatch) on an undriveable pattern set.
   std::uint64_t good_signature(const std::vector<bits::TritVector>& patterns);
 
   /// Signature with `fault` injected.
@@ -52,6 +60,11 @@ class TestSession {
   /// and does its faulty signature differ from the good one (aliasing)?
   SignatureCoverage signature_coverage(const std::vector<bits::TritVector>& patterns,
                                        const std::vector<fault::Fault>& faults);
+
+  /// Strict variant of signature_coverage.
+  Result<SignatureCoverage> try_signature_coverage(
+      const std::vector<bits::TritVector>& patterns,
+      const std::vector<fault::Fault>& faults);
 
   /// Response bits per pattern: |PO| + |scan cells|.
   std::uint32_t response_width() const;

@@ -56,18 +56,26 @@ struct LzwConfig {
     return dict_size <= literal_count() || max_entry_chars() < 2;
   }
 
-  /// Throws std::invalid_argument if the configuration is not realizable.
-  void validate() const {
+  /// Why the configuration is not realizable, or the empty string when it
+  /// is. The non-throwing core of validate(), used by the Result-returning
+  /// container reader to map bad headers to a typed ConfigMismatch.
+  std::string check() const {
     if (char_bits == 0 || char_bits > 16) {
-      throw std::invalid_argument("LzwConfig: char_bits must be in [1,16]");
+      return "LzwConfig: char_bits must be in [1,16]";
     }
     if (dict_size < literal_count()) {
-      throw std::invalid_argument(
-          "LzwConfig: dict_size must cover all 2^char_bits literals");
+      return "LzwConfig: dict_size must cover all 2^char_bits literals";
     }
     if (entry_bits < char_bits) {
-      throw std::invalid_argument(
-          "LzwConfig: entry_bits must hold at least one character");
+      return "LzwConfig: entry_bits must hold at least one character";
+    }
+    return {};
+  }
+
+  /// Throws std::invalid_argument if the configuration is not realizable.
+  void validate() const {
+    if (const std::string why = check(); !why.empty()) {
+      throw std::invalid_argument(why);
     }
   }
 

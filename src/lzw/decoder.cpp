@@ -2,20 +2,21 @@
 
 #include <algorithm>
 #include <bit>
-#include <stdexcept>
 
 namespace tdc::lzw {
 
-DecodeResult Decoder::decode(const std::vector<std::uint32_t>& codes,
-                             std::uint64_t original_bits) const {
+Result<DecodeResult> Decoder::try_decode(const std::vector<std::uint32_t>& codes,
+                                         std::uint64_t original_bits) const {
   std::size_t i = 0;
-  return decode_impl([&](std::uint32_t) { return codes[i++]; }, codes.size(),
-                     original_bits);
+  return decode_impl(
+      [&](std::uint32_t) -> std::optional<std::uint32_t> { return codes[i++]; },
+      [] { return std::int64_t{-1}; }, codes.size(), original_bits);
 }
 
-DecodeResult Decoder::decode_impl(
-    const std::function<std::uint32_t(std::uint32_t)>& next_code,
-    std::size_t code_count, std::uint64_t original_bits) const {
+Result<DecodeResult> Decoder::decode_impl(
+    const std::function<std::optional<std::uint32_t>(std::uint32_t)>& next_code,
+    const std::function<std::int64_t()>& tell, std::size_t code_count,
+    std::uint64_t original_bits) const {
   Dictionary dict(config_);
   DecodeResult result;
 
@@ -26,17 +27,37 @@ DecodeResult Decoder::decode_impl(
             ? std::min(static_cast<std::uint32_t>(std::bit_width(dict.size())),
                        config_.code_bits())
             : config_.code_bits();
-    const std::uint32_t code = next_code(width);
+    const std::int64_t code_bit_offset = tell();
+    const std::optional<std::uint32_t> fetched = next_code(width);
+    if (!fetched) {
+      Error err{ErrorKind::CodeStreamTruncated,
+                "payload ends inside code " + std::to_string(idx) + " of " +
+                    std::to_string(code_count) + " (" + std::to_string(width) +
+                    " bits needed)"};
+      err.code_index = static_cast<std::int64_t>(idx);
+      err.bit_offset = code_bit_offset;
+      return err;
+    }
+    const std::uint32_t code = *fetched;
     std::vector<std::uint32_t> entry;
     if (dict.defined(code)) {
       entry = dict.expand(code);
-    } else if (prev != kNoCode && code == dict.next_code() && dict.extendable(prev)) {
+    } else if (prev != kNoCode && code == dict.next_code() && dict.extendable(prev) &&
+               dict.child(prev, dict.first_char(prev)) == kNoCode) {
       // KwKwK (paper Fig. 4f): the code references the entry that is being
       // created right now — its expansion is Buffer plus Buffer's first char.
+      // A real encoder only emits this while (prev, first_char) is still
+      // undefined; if that child exists the code is corrupt, and treating it
+      // as KwKwK would leave `code` undefined and poison `prev`.
       entry = dict.expand(prev);
       entry.push_back(dict.first_char(prev));
     } else {
-      throw std::invalid_argument("Decoder: undefined code in stream");
+      Error err{ErrorKind::UndefinedCode,
+                "code value " + std::to_string(code) + " undefined (dictionary holds " +
+                    std::to_string(dict.size()) + " codes, not the KwKwK case)"};
+      err.code_index = static_cast<std::int64_t>(idx);
+      err.bit_offset = code_bit_offset;
+      return err;
     }
 
     if (prev != kNoCode) {
@@ -59,19 +80,28 @@ DecodeResult Decoder::decode_impl(
     }
   }
   if (result.bits.size() < original_bits) {
-    throw std::invalid_argument("Decoder: stream shorter than original_bits");
+    Error err{ErrorKind::StreamTooShort,
+              "decoded " + std::to_string(result.bits.size()) + " of " +
+                  std::to_string(original_bits) + " scan bits from " +
+                  std::to_string(code_count) + " codes"};
+    err.code_index = static_cast<std::int64_t>(code_count);
+    err.bit_offset = tell();
+    return err;
   }
 
   result.dict_codes_used = dict.size();
   return result;
 }
 
-DecodeResult Decoder::decode_stream(bits::BitReader& reader, std::size_t code_count,
-                                    std::uint64_t original_bits) const {
+Result<DecodeResult> Decoder::try_decode_stream(bits::BitReader& reader,
+                                                std::size_t code_count,
+                                                std::uint64_t original_bits) const {
   return decode_impl(
-      [&reader](std::uint32_t width) {
+      [&reader](std::uint32_t width) -> std::optional<std::uint32_t> {
+        if (reader.remaining() < width) return std::nullopt;
         return static_cast<std::uint32_t>(reader.read(width));
       },
+      [&reader] { return static_cast<std::int64_t>(reader.position()); },
       code_count, original_bits);
 }
 

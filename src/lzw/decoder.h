@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "bits/bitstream.h"
 #include "bits/tritvector.h"
+#include "core/error.h"
 #include "lzw/config.h"
 #include "lzw/dictionary.h"
 
@@ -31,28 +33,55 @@ struct DecodeResult {
 /// including the classic "code not yet defined" (KwKwK) special case and the
 /// same dictionary-limit and entry-width freeze rules as the encoder, so the
 /// two dictionaries evolve in lockstep.
+///
+/// Every decode has two entry forms: a strict `try_*` path returning
+/// `Result<DecodeResult>` with full position context (code index, payload
+/// bit offset) on corrupt input, and a thin throwing wrapper preserving the
+/// historical std::invalid_argument contract. The strict path is
+/// bounds-checked throughout — no read past the end of the code stream, no
+/// UB on any input.
 class Decoder {
  public:
   explicit Decoder(const LzwConfig& config) : config_(config) { config_.validate(); }
 
-  /// Decodes an explicit code sequence. `original_bits` trims the X padding
-  /// the encoder added to the final character.
-  /// Throws std::invalid_argument on a corrupt stream (undefined code).
-  DecodeResult decode(const std::vector<std::uint32_t>& codes,
-                      std::uint64_t original_bits) const;
+  /// Strict decode of an explicit code sequence. `original_bits` trims the X
+  /// padding the encoder added to the final character. On failure the Error
+  /// carries the offending code index (UndefinedCode) or the decoded versus
+  /// expected bit counts (StreamTooShort).
+  Result<DecodeResult> try_decode(const std::vector<std::uint32_t>& codes,
+                                  std::uint64_t original_bits) const;
 
-  /// Decodes `code_count` codes from a tester bit stream — fixed C_E-bit
-  /// codes, or growing-width codes when config.variable_width is set (the
-  /// width follows the dictionary fill level, in lockstep with the
-  /// encoder).
+  /// Strict decode of `code_count` codes from a tester bit stream — fixed
+  /// C_E-bit codes, or growing-width codes when config.variable_width is set
+  /// (the width follows the dictionary fill level, in lockstep with the
+  /// encoder). Errors additionally carry the payload bit offset at which the
+  /// failing code started.
+  Result<DecodeResult> try_decode_stream(bits::BitReader& reader,
+                                         std::size_t code_count,
+                                         std::uint64_t original_bits) const;
+
+  /// Throwing wrapper over try_decode (DecodeError, i.e.
+  /// std::invalid_argument, on a corrupt stream).
+  DecodeResult decode(const std::vector<std::uint32_t>& codes,
+                      std::uint64_t original_bits) const {
+    return try_decode(codes, original_bits).value_or_throw();
+  }
+
+  /// Throwing wrapper over try_decode_stream.
   DecodeResult decode_stream(bits::BitReader& reader, std::size_t code_count,
-                             std::uint64_t original_bits) const;
+                             std::uint64_t original_bits) const {
+    return try_decode_stream(reader, code_count, original_bits).value_or_throw();
+  }
 
  private:
-  /// Shared decode loop; `next_code(width)` supplies the next code, where
-  /// `width` is the bit width a stream reader must consume.
-  DecodeResult decode_impl(const std::function<std::uint32_t(std::uint32_t)>& next_code,
-                           std::size_t code_count, std::uint64_t original_bits) const;
+  /// Shared decode loop; `next_code(width)` supplies the next code (nullopt
+  /// = source exhausted), where `width` is the bit width a stream reader
+  /// must consume. `tell()` reports the current payload bit offset for
+  /// error context, or -1 when decoding from an explicit code list.
+  Result<DecodeResult> decode_impl(
+      const std::function<std::optional<std::uint32_t>(std::uint32_t)>& next_code,
+      const std::function<std::int64_t()>& tell, std::size_t code_count,
+      std::uint64_t original_bits) const;
 
   LzwConfig config_;
 };

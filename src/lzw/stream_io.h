@@ -1,13 +1,63 @@
 #ifndef TDC_LZW_STREAM_IO_H
 #define TDC_LZW_STREAM_IO_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "core/error.h"
 #include "lzw/decoder.h"
 #include "lzw/encoder.h"
 
 namespace tdc::lzw {
+
+/// How a compressed image is serialized.
+///
+/// Two on-disk formats exist:
+///
+///  * `TDCLZW1` — the legacy format: bare little-endian header plus payload,
+///    no integrity protection. Still written on request (golden-file
+///    compatibility, minimal-overhead lab use) and always readable.
+///  * `TDCLZW2` — the hardened container (the default): versioned header
+///    with its own CRC32, a whole-payload CRC32, and optional chunked
+///    framing (one CRC32 per `chunk_bytes` payload bytes) so a corrupted
+///    download is localized to a chunk instead of poisoning the whole image.
+///
+/// TDCLZW2 byte layout (all integers little-endian; see
+/// docs/ALGORITHMS.md §8 for the rationale):
+///
+///     offset size  field
+///     0      8     magic "TDCLZW2\0"
+///     8      4     format version (2)
+///     12     4     dict_size        (N)
+///     16     4     char_bits        (C_C)
+///     20     4     entry_bits       (C_MDATA)
+///     24     4     flags            (bit 0: variable_width)
+///     28     8     original_bits
+///     36     8     code_count
+///     44     8     payload_bits
+///     52     4     payload_crc32    (over the payload bytes)
+///     56     4     chunk_bytes      (0 = unchunked)
+///     60     4     chunk_count      (= ceil(payload_bytes / chunk_bytes))
+///     64     4*n   chunk CRC32 table, one entry per chunk
+///     64+4n  4     header_crc32     (over every byte before this field)
+///     ...          payload bytes    (ceil(payload_bits / 8))
+struct ContainerOptions {
+  std::uint32_t version = 2;      ///< 1 (legacy TDCLZW1) or 2 (TDCLZW2)
+  std::uint32_t chunk_bytes = 4096;  ///< v2 chunk framing; 0 disables it
+};
+
+/// What the reader learned about the container itself (surfaced by the CLI
+/// `inspect` and `verify` subcommands).
+struct ContainerInfo {
+  std::uint32_t version = 1;
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t chunk_count = 0;
+  std::uint64_t header_bytes = 0;   ///< container bytes before the payload
+  std::uint64_t payload_bytes = 0;
+
+  bool crc_protected() const { return version >= 2; }
+};
 
 /// A compressed test-data image as stored on disk: the configurator state
 /// (LzwConfig — out-of-band, exactly like the paper's configurator block)
@@ -17,21 +67,38 @@ struct CompressedImage {
   std::uint64_t original_bits = 0;
   std::uint64_t code_count = 0;
   bits::BitWriter stream;
+  ContainerInfo container;
 
-  /// Decodes back into the fully specified scan stream.
-  DecodeResult decode() const {
+  /// Strict decode back into the fully specified scan stream; errors carry
+  /// the failing code index and payload bit offset.
+  Result<DecodeResult> try_decode() const {
     bits::BitReader reader(stream);
-    return Decoder(config).decode_stream(reader, code_count, original_bits);
+    return Decoder(config).try_decode_stream(reader, code_count, original_bits);
   }
+
+  /// Throwing wrapper over try_decode().
+  DecodeResult decode() const { return try_decode().value_or_throw(); }
 };
 
-/// Binary format "TDCLZW1": little-endian header (dict_size, char_bits,
-/// entry_bits, flags, original_bits, code_count, payload_bits) followed by
-/// the payload bytes.
-void write_image(std::ostream& out, const EncodeResult& encoded);
+/// Serializes an encoder result. Throws std::invalid_argument on unusable
+/// options (unknown version, 0 < chunk_bytes < 64) and ContainerError on a
+/// stream write failure.
+void write_image(std::ostream& out, const EncodeResult& encoded,
+                 const ContainerOptions& options = {});
+
+/// Strict reader for both container versions: every field is bounds-checked,
+/// every integrity check typed — TruncatedHeader, BadMagic,
+/// UnsupportedVersion, HeaderCrcMismatch, ConfigMismatch, TruncatedPayload,
+/// ChunkCrcMismatch (with the chunk index and byte range), and
+/// PayloadCrcMismatch. Never exhibits UB on corrupt input.
+Result<CompressedImage> try_read_image(std::istream& in);
+
+/// Throwing wrapper over try_read_image (ContainerError / DecodeError).
 CompressedImage read_image(std::istream& in);
 
-void write_image_file(const std::string& path, const EncodeResult& encoded);
+void write_image_file(const std::string& path, const EncodeResult& encoded,
+                      const ContainerOptions& options = {});
+Result<CompressedImage> try_read_image_file(const std::string& path);
 CompressedImage read_image_file(const std::string& path);
 
 }  // namespace tdc::lzw

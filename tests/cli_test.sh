@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end exercise of the tdc_cli toolchain: generate cubes for a small
-# suite circuit, compress, inspect, decompress, dump a waveform, and round-
-# trip a netlist through both textual formats.
+# suite circuit, compress, inspect, verify, decompress, dump a waveform,
+# round-trip a netlist through both textual formats, and prove the hardened
+# container actually rejects damaged files.
 set -e
 
 CLI="$1"
@@ -10,14 +11,52 @@ trap 'rm -rf "$WORK"' EXIT
 export TDC_CACHE_DIR="$WORK/cache"
 
 "$CLI" gen itc_b09f "$WORK/c.tests"
-"$CLI" info "$WORK/c.tests" | grep -q "patterns"
+"$CLI" inspect "$WORK/c.tests" | grep -q "patterns"
+"$CLI" info "$WORK/c.tests" | grep -q "patterns"   # legacy alias
 "$CLI" compress "$WORK/c.tests" "$WORK/c.tdclzw" --dict 256
-"$CLI" info "$WORK/c.tdclzw" | grep -q "TDCLZW1"
+"$CLI" inspect "$WORK/c.tdclzw" | grep -q "TDCLZW2"
+"$CLI" inspect "$WORK/c.tdclzw" | grep -q "chunks"
+"$CLI" verify "$WORK/c.tdclzw" | grep -q "OK"
 "$CLI" decompress "$WORK/c.tdclzw" "$WORK/full.tests"
-"$CLI" info "$WORK/full.tests" | grep -q "0.0% don't-cares"
+"$CLI" inspect "$WORK/full.tests" | grep -q "0.0% don't-cares"
 "$CLI" wave "$WORK/c.tdclzw" "$WORK/c.vcd" 4
 grep -q '$enddefinitions' "$WORK/c.vcd"
 grep -q "fsm_state" "$WORK/c.vcd"
+
+# Legacy container still writes and reads (backward compatibility).
+"$CLI" compress "$WORK/c.tests" "$WORK/c1.tdclzw" --dict 256 --v1
+"$CLI" inspect "$WORK/c1.tdclzw" | grep -q "TDCLZW1"
+"$CLI" verify "$WORK/c1.tdclzw" | grep -q "OK"
+"$CLI" decompress "$WORK/c1.tdclzw" "$WORK/full1.tests"
+cmp "$WORK/full.tests" "$WORK/full1.tests"
+
+# Corruption is detected, never UB: damaged header field -> header CRC.
+cp "$WORK/c.tdclzw" "$WORK/badhdr.tdclzw"
+printf '\377' | dd of="$WORK/badhdr.tdclzw" bs=1 seek=12 count=1 conv=notrunc 2>/dev/null
+if "$CLI" verify "$WORK/badhdr.tdclzw" 2>"$WORK/err1.txt"; then
+  echo "verify accepted a damaged header" >&2; exit 1
+fi
+grep -q "FAILED" "$WORK/err1.txt"
+
+# Damaged payload byte -> chunk CRC (with the chunk index).
+cp "$WORK/c.tdclzw" "$WORK/badpay.tdclzw"
+SIZE=$(wc -c < "$WORK/badpay.tdclzw")
+printf '\377' | dd of="$WORK/badpay.tdclzw" bs=1 seek=$((SIZE - 3)) count=1 conv=notrunc 2>/dev/null
+if "$CLI" verify "$WORK/badpay.tdclzw" 2>"$WORK/err2.txt"; then
+  echo "verify accepted a damaged payload" >&2; exit 1
+fi
+grep -q "FAILED" "$WORK/err2.txt"
+grep -q "chunk" "$WORK/err2.txt"
+
+# Truncated download -> truncated payload, reported as such.
+head -c $((SIZE - 2)) "$WORK/c.tdclzw" > "$WORK/trunc.tdclzw"
+if "$CLI" verify "$WORK/trunc.tdclzw" 2>"$WORK/err3.txt"; then
+  echo "verify accepted a truncated file" >&2; exit 1
+fi
+grep -q "FAILED" "$WORK/err3.txt"
+if "$CLI" decompress "$WORK/trunc.tdclzw" "$WORK/nope.tests" 2>/dev/null; then
+  echo "decompress accepted a truncated file" >&2; exit 1
+fi
 
 # Netlist format round trip: .bench -> .v -> .bench, stats at each step.
 cat > "$WORK/mini.bench" <<'EOF'
@@ -34,8 +73,15 @@ grep -q "module" "$WORK/mini.v"
 "$CLI" convert "$WORK/mini.v" "$WORK/mini2.bench"
 "$CLI" stats "$WORK/mini2.bench" | grep -q "scan vector width 3"
 
-# Variable-width image round trip.
-"$CLI" compress "$WORK/c.tests" "$WORK/cv.tdclzw" --dict 256 --variable
-"$CLI" info "$WORK/cv.tdclzw" | grep -q "variable-width"
+# Variable-width image round trip, unchunked container.
+"$CLI" compress "$WORK/c.tests" "$WORK/cv.tdclzw" --dict 256 --variable --chunk-bytes 0
+"$CLI" inspect "$WORK/cv.tdclzw" | grep -q "variable-width"
+"$CLI" inspect "$WORK/cv.tdclzw" | grep -q "unchunked"
+"$CLI" verify "$WORK/cv.tdclzw" | grep -q "OK"
+
+# Unknown flags are rejected up front.
+if "$CLI" compress "$WORK/c.tests" "$WORK/x.tdclzw" --bogus 2>/dev/null; then
+  echo "compress accepted an unknown flag" >&2; exit 1
+fi
 
 echo "cli_test OK"

@@ -9,11 +9,14 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "bits/rng.h"
 #include "codec/huffman.h"
 #include "codec/lz77.h"
 #include "codec/rle.h"
 #include "hw/decompressor.h"
+#include "lzw/stream_io.h"
 #include "lzw/verify.h"
 
 namespace tdc {
@@ -156,6 +159,63 @@ TEST_P(FuzzTest, EveryCodecRoundTrips) {
 }
 
 INSTANTIATE_TEST_SUITE_P(WorkloadZoo, FuzzTest, ::testing::Range<std::size_t>(0, 11));
+
+// Container hardening: serialized images with deterministic random damage
+// (both versions, chunked and not) plus pure-noise blobs must flow through
+// the strict reader / decoder / hardware model as typed errors — no crash,
+// no termination, no UB, regardless of what the bytes claim.
+TEST_P(FuzzTest, DamagedContainersAlwaysFailCleanly) {
+  const auto all = workloads();
+  const Workload& wl = all[GetParam() % all.size()];
+  const TritVector input = wl.make(GetParam() * 31 + 5);
+  const lzw::LzwConfig config{.dict_size = 256, .char_bits = 4, .entry_bits = 32};
+  const auto encoded = lzw::Encoder(config).encode(input);
+
+  Rng rng(0xC0'47'A1 + GetParam());
+  for (const lzw::ContainerOptions options :
+       {lzw::ContainerOptions{.version = 1},
+        lzw::ContainerOptions{.version = 2, .chunk_bytes = 0},
+        lzw::ContainerOptions{.version = 2, .chunk_bytes = 128}}) {
+    std::ostringstream out(std::ios::binary);
+    lzw::write_image(out, encoded, options);
+    const std::string good = out.str();
+    for (int iter = 0; iter < 120; ++iter) {
+      std::string bad = good;
+      // 1-16 mutations: byte rewrites anywhere, plus occasional truncation.
+      const std::size_t mutations = 1 + rng.below(16);
+      for (std::size_t m = 0; m < mutations; ++m) {
+        bad[rng.below(bad.size())] = static_cast<char>(rng.next_u64());
+      }
+      if (rng.chance(0.25)) bad.resize(rng.below(bad.size()));
+
+      std::istringstream in(bad, std::ios::binary);
+      tdc::Result<lzw::CompressedImage> image = lzw::try_read_image(in);
+      if (!image.ok()) continue;  // typed rejection is the expected outcome
+      // A v1 image (no CRC) may still parse; decoding must stay clean too.
+      tdc::Result<lzw::DecodeResult> decoded = image.value().try_decode();
+      lzw::EncodeResult view;
+      view.config = image.value().config;
+      view.original_bits = image.value().original_bits;
+      view.stream = image.value().stream;
+      view.codes.resize(image.value().code_count);
+      const hw::DecompressorModel model(
+          hw::HwConfig{.lzw = image.value().config, .clock_ratio = 2});
+      tdc::Result<hw::HwRunResult> hw_run = model.try_run(view);
+      if (decoded.ok() && hw_run.ok()) {
+        EXPECT_EQ(hw_run.value().scan_bits, decoded.value().bits);
+      }
+    }
+  }
+
+  // Pure-noise blobs: the reader must reject them without reading OOB.
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string blob(rng.below(200), '\0');
+    for (char& b : blob) b = static_cast<char>(rng.next_u64());
+    std::istringstream in(blob, std::ios::binary);
+    tdc::Result<lzw::CompressedImage> image = lzw::try_read_image(in);
+    if (image.ok()) (void)image.value().try_decode();
+  }
+}
 
 }  // namespace
 }  // namespace tdc
