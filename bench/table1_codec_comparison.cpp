@@ -20,19 +20,42 @@
 #include <vector>
 
 #include "codec/codec.h"
+#include "exp/bench_json.h"
 #include "exp/flow.h"
 #include "exp/table.h"
 #include "exp/thread_pool.h"
 
 namespace {
 
-/// One verified ratio cell; a codec failure renders as its error kind
-/// instead of aborting the whole table.
-std::string ratio_cell(const tdc::codec::Codec& codec,
-                       const tdc::bits::TritVector& stream) {
+/// One verified ratio: the rendered table cell plus the JSON value (a
+/// number, or null when the codec failed). A codec failure renders as its
+/// error kind instead of aborting the whole table.
+struct Cell {
+  std::string text;
+  std::string json;
+};
+
+Cell ratio_cell(const tdc::codec::Codec& codec,
+                const tdc::bits::TritVector& stream) {
   const tdc::Result<tdc::codec::CodecStats> stats = codec.round_trip(stream);
-  if (!stats.ok()) return std::string("! ") + tdc::to_string(stats.error().kind);
-  return tdc::exp::pct(stats.value().ratio_percent());
+  if (!stats.ok()) {
+    return {std::string("! ") + tdc::to_string(stats.error().kind), "null"};
+  }
+  const double ratio = stats.value().ratio_percent();
+  return {tdc::exp::pct(ratio), tdc::exp::json_number(ratio, 2)};
+}
+
+/// `"name": value` pairs for one codec registry, in registry order.
+std::string registry_json(
+    const std::vector<std::unique_ptr<tdc::codec::Codec>>& registry,
+    const std::vector<Cell>& cells) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + tdc::exp::json_escape(registry[i]->name()) +
+           "\": " + cells[i].json;
+  }
+  return out + "}";
 }
 
 std::vector<std::string> headers_from(
@@ -53,17 +76,22 @@ int main(int argc, char** argv) {
   struct Rows {
     std::vector<std::string> paper;
     std::vector<std::string> upgraded;
+    std::string json;
   };
   exp::ThreadPool pool(jobs);
   const auto rows =
       exp::parallel_map(pool, gen::table1_suite(), [](const gen::CircuitProfile& profile) {
         const exp::PreparedCircuit pc = exp::prepare(profile);
         const bits::TritVector stream = pc.tests.serialize();
+        const double x_density = 100.0 * pc.tests.x_density();
 
         Rows out;
-        out.paper = {profile.name, exp::pct(100.0 * pc.tests.x_density())};
-        for (const auto& codec : exp::paper_codec_registry(profile)) {
-          out.paper.push_back(ratio_cell(*codec, stream));
+        out.paper = {profile.name, exp::pct(x_density)};
+        const auto paper_registry = exp::paper_codec_registry(profile);
+        std::vector<Cell> paper_cells;
+        for (const auto& codec : paper_registry) {
+          paper_cells.push_back(ratio_cell(*codec, stream));
+          out.paper.push_back(paper_cells.back().text);
         }
         out.paper.push_back(profile.paper_lzw_percent >= 0
                                 ? exp::pct(profile.paper_lzw_percent, 1)
@@ -73,9 +101,23 @@ int main(int argc, char** argv) {
         // resources (unbounded window / per-circuit Golomb grid and FDR;
         // selective Huffman). See EXPERIMENTS.md for the discussion.
         out.upgraded = {profile.name};
-        for (const auto& codec : exp::upgraded_codec_registry(profile)) {
-          out.upgraded.push_back(ratio_cell(*codec, stream));
+        const auto upgraded_registry = exp::upgraded_codec_registry(profile);
+        std::vector<Cell> upgraded_cells;
+        for (const auto& codec : upgraded_registry) {
+          upgraded_cells.push_back(ratio_cell(*codec, stream));
+          out.upgraded.push_back(upgraded_cells.back().text);
         }
+
+        out.json = "    {\"circuit\": \"" + exp::json_escape(profile.name) +
+                   "\", \"x_density_percent\": " + exp::json_number(x_density, 2) +
+                   ", \"paper_lzw_percent\": " +
+                   (profile.paper_lzw_percent >= 0
+                        ? exp::json_number(profile.paper_lzw_percent, 1)
+                        : "null") +
+                   ",\n     \"paper_hw\": " +
+                   registry_json(paper_registry, paper_cells) +
+                   ",\n     \"upgraded_sw\": " +
+                   registry_json(upgraded_registry, upgraded_cells) + "}";
         return out;
       });
 
@@ -102,5 +144,12 @@ int main(int argc, char** argv) {
   std::printf("Appendix — baselines without the hardware constraints the paper's\n"
               "comparison implies (these can overtake LZW on synthetic cubes):\n\n%s\n",
               upgraded.render().c_str());
-  return 0;
+
+  std::string json = "{\n  \"bench\": \"table1_codec_comparison\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) json += ",\n";
+    json += rows[i].json;
+  }
+  json += "\n  ]\n}\n";
+  return exp::write_bench_json("table1_codec_comparison", json) ? 0 : 1;
 }

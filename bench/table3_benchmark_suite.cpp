@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "codec/codec.h"
+#include "exp/bench_json.h"
 #include "exp/flow.h"
 #include "exp/table.h"
 #include "exp/thread_pool.h"
@@ -22,6 +23,10 @@ int main(int argc, char** argv) {
   const unsigned jobs = exp::sweep_jobs(argc, argv);
   std::printf("Table 3 — Benchmark suite results (C_C = 7, C_MDATA = 63)\n\n");
 
+  struct Row {
+    std::vector<std::string> cells;
+    std::string json;
+  };
   exp::ThreadPool pool(jobs);
   const auto rows =
       exp::parallel_map(pool, gen::table3_suite(), [](const gen::CircuitProfile& profile) {
@@ -30,8 +35,10 @@ int main(int argc, char** argv) {
         const std::unique_ptr<codec::Codec> lzw =
             codec::make_lzw_codec(exp::paper_lzw_config(profile));
         const codec::CodecStats stats = lzw->round_trip(stream).value_or_throw();
-        return std::vector<std::string>{
-            profile.name, exp::pct(100.0 * pc.tests.x_density()),
+        const double x_density = 100.0 * pc.tests.x_density();
+        Row out;
+        out.cells = {
+            profile.name, exp::pct(x_density),
             exp::num(stats.original_bits), exp::pct(stats.ratio_percent()),
             exp::num(profile.dict_size),
             profile.paper_x_percent >= 0 ? exp::pct(profile.paper_x_percent, 1)
@@ -39,14 +46,38 @@ int main(int argc, char** argv) {
             profile.paper_lzw_percent >= 0
                 ? exp::pct(profile.paper_lzw_percent, 1)
                 : "n/a"};
+        out.json =
+            "    {\"circuit\": \"" + exp::json_escape(profile.name) +
+            "\", \"x_density_percent\": " + exp::json_number(x_density, 2) +
+            ", \"original_bits\": " + std::to_string(stats.original_bits) +
+            ", \"compression_percent\": " +
+            exp::json_number(stats.ratio_percent(), 2) +
+            ", \"dict_size\": " + std::to_string(profile.dict_size) +
+            ", \"paper_x_percent\": " +
+            (profile.paper_x_percent >= 0
+                 ? exp::json_number(profile.paper_x_percent, 1)
+                 : "null") +
+            ", \"paper_lzw_percent\": " +
+            (profile.paper_lzw_percent >= 0
+                 ? exp::json_number(profile.paper_lzw_percent, 1)
+                 : "null") +
+            "}";
+        return out;
       });
 
   exp::Table table({"Test", "Don't Cares", "Orig. Size", "Compression",
                     "Dict. Size", "paper DC", "paper LZW"});
-  for (const auto& row : rows) table.add_row(row);
+  for (const auto& row : rows) table.add_row(row.cells);
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Expected shape (paper §6): compression tracks the don't-care density,\n"
       "and the required dictionary size grows with the test-set size.\n");
-  return 0;
+
+  std::string json = "{\n  \"bench\": \"table3_benchmark_suite\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) json += ",\n";
+    json += rows[i].json;
+  }
+  json += "\n  ]\n}\n";
+  return exp::write_bench_json("table3_benchmark_suite", json) ? 0 : 1;
 }

@@ -3,14 +3,20 @@
 //
 //   tdc_cli gen <circuit> <out.tests>            synthesize + ATPG a suite
 //                                                circuit into a cube file
-//   tdc_cli compress <in.tests> <out.tdclzw>     [--dict N] [--char C]
+//   tdc_cli compress <in.tests>... <out|--out-dir D>  [--dict N] [--char C]
 //                                                [--entry E] [--variable]
 //                                                [--v1] [--chunk-bytes N]
+//                                                [--jobs N] (multi-input)
 //   tdc_cli decompress <in.tdclzw> <out.tests>   expand to full vectors
 //   tdc_cli inspect <file>                       describe either format
 //                                                (alias: info)
-//   tdc_cli verify <in.tdclzw>                   full integrity + decode
-//                                                check; nonzero on damage
+//   tdc_cli verify <in.tdclzw>...                full integrity + decode
+//                                                check; nonzero on damage;
+//                                                [--jobs N] in parallel
+//   tdc_cli batch <manifest>                     pipelined multi-job engine
+//                                                [--jobs N] [--fail-fast]
+//                                                [--out-dir D] [--no-verify]
+//                                                [--metrics out.json]
 //   tdc_cli stats <netlist>                      structural report
 //                                                (.bench or .v by extension)
 //   tdc_cli convert <in> <out>                   .bench <-> .v
@@ -21,13 +27,19 @@
 // The .tests format is the plain-text cube format of scan/testset_io.h;
 // .tdclzw is the binary compressed container of lzw/stream_io.h (TDCLZW2
 // by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
+#include "engine/manifest.h"
+#include "engine/metrics.h"
 #include "exp/args.h"
 #include "exp/flow.h"
+#include "exp/thread_pool.h"
 #include "hw/decompressor_rtl.h"
 #include "lzw/stream_io.h"
 #include "lzw/verify.h"
@@ -47,9 +59,12 @@ int usage() {
                "  tdc_cli compress <in.tests> <out.tdclzw> [--dict N] [--char C]"
                " [--entry E]\n"
                "              [--variable] [--v1] [--chunk-bytes N]\n"
+               "  tdc_cli compress <in.tests>... --out-dir <dir> [--jobs N] [...]\n"
                "  tdc_cli decompress <in.tdclzw> <out.tests>\n"
                "  tdc_cli inspect <file>        (alias: info)\n"
-               "  tdc_cli verify <in.tdclzw>\n"
+               "  tdc_cli verify <in.tdclzw>... [--jobs N]\n"
+               "  tdc_cli batch <manifest> [--jobs N] [--fail-fast] [--no-verify]\n"
+               "              [--out-dir <dir>] [--queue N] [--metrics <out.json>]\n"
                "  tdc_cli stats <netlist.bench|netlist.v>\n"
                "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
                "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n");
@@ -173,6 +188,34 @@ int cmd_gen(exp::Args& args) {
   return 0;
 }
 
+/// One verified compress of `in` to `out`; returns the success line or
+/// throws. Shared by the single-file and the parallel --out-dir paths.
+std::string compress_one(const std::string& in, const std::string& out,
+                         const lzw::LzwConfig& config,
+                         const lzw::ContainerOptions& container) {
+  const scan::TestSet tests = scan::read_tests_file(in);
+  const bits::TritVector stream = tests.serialize();
+  const auto encoded = lzw::Encoder(config).encode(stream);
+  const auto report = lzw::verify_roundtrip(stream, encoded);
+  if (!report.ok) {
+    throw std::runtime_error("internal verification failed: " + report.error);
+  }
+  lzw::write_image_file(out, encoded, container);
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "%s: %llu -> %llu bits (ratio %.2f%%, %s, TDCLZW%u) -> %s",
+                in.c_str(), static_cast<unsigned long long>(encoded.original_bits),
+                static_cast<unsigned long long>(encoded.compressed_bits()),
+                encoded.ratio_percent(), config.describe().c_str(),
+                container.version, out.c_str());
+  return buf;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 int cmd_compress(exp::Args& args) {
   lzw::LzwConfig config;
   config.variable_width = args.flag("--variable");
@@ -182,26 +225,33 @@ int cmd_compress(exp::Args& args) {
   lzw::ContainerOptions container;
   if (args.flag("--v1")) container.version = 1;
   container.chunk_bytes = args.u32("--chunk-bytes", container.chunk_bytes);
+  const std::optional<std::string> out_dir = args.value("--out-dir");
+  const unsigned jobs = args.jobs();
 
   std::vector<std::string> pos;
-  if (!accept(args, 2, 2, &pos)) return usage();
+  if (!accept(args, out_dir ? 1 : 2, out_dir ? 9999 : 2, &pos)) return usage();
   config.validate();
 
-  const scan::TestSet tests = scan::read_tests_file(pos[0]);
-  const bits::TritVector stream = tests.serialize();
-  const auto encoded = lzw::Encoder(config).encode(stream);
-  const auto report = lzw::verify_roundtrip(stream, encoded);
-  if (!report.ok) {
-    std::fprintf(stderr, "internal verification failed: %s\n", report.error.c_str());
-    return 1;
+  if (!out_dir) {
+    std::printf("%s\n", compress_one(pos[0], pos[1], config, container).c_str());
+    return 0;
   }
-  lzw::write_image_file(pos[1], encoded, container);
-  std::printf("%s: %llu -> %llu bits (ratio %.2f%%, %s, TDCLZW%u) -> %s\n",
-              pos[0].c_str(),
-              static_cast<unsigned long long>(encoded.original_bits),
-              static_cast<unsigned long long>(encoded.compressed_bits()),
-              encoded.ratio_percent(), config.describe().c_str(),
-              container.version, pos[1].c_str());
+
+  // --out-dir: every positional is an input; <dir>/<stem>.tdclzw each,
+  // compressed across the pool, lines printed in input order.
+  std::filesystem::create_directories(*out_dir);
+  exp::ThreadPool pool(jobs);
+  const auto lines =
+      exp::parallel_map(pool, pos, [&](const std::string& in) {
+        std::string stem = basename_of(in);
+        if (const std::size_t dot = stem.rfind(".tests");
+            dot != std::string::npos && dot == stem.size() - 6) {
+          stem.resize(dot);
+        }
+        return compress_one(in, *out_dir + "/" + stem + ".tdclzw", config,
+                            container);
+      });
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
   return 0;
 }
 
@@ -265,30 +315,116 @@ int cmd_inspect(exp::Args& args) {
   return 0;
 }
 
-int cmd_verify(exp::Args& args) {
-  std::vector<std::string> pos;
-  if (!accept(args, 1, 1, &pos)) return usage();
-  const std::string& path = pos[0];
+/// Full integrity + decode check of one container; the returned line goes
+/// to stdout on success, stderr on failure.
+struct VerifyOutcome {
+  bool ok = false;
+  std::string line;
+};
+
+VerifyOutcome verify_one(const std::string& path) {
+  VerifyOutcome out;
   Result<lzw::CompressedImage> image = lzw::try_read_image_file(path);
   if (!image.ok()) {
-    std::fprintf(stderr, "%s: FAILED %s\n", path.c_str(),
-                 image.error().describe().c_str());
-    return 1;
+    out.line = path + ": FAILED " + image.error().describe();
+    return out;
   }
   const Result<lzw::DecodeResult> decoded = image.value().try_decode();
   if (!decoded.ok()) {
-    std::fprintf(stderr, "%s: FAILED %s\n", path.c_str(),
-                 decoded.error().describe().c_str());
-    return 1;
+    out.line = path + ": FAILED " + decoded.error().describe();
+    return out;
   }
   const lzw::ContainerInfo& c = image.value().container;
-  std::printf("%s: OK — %s; %llu codes decode to %llu scan bits%s\n",
-              path.c_str(), container_line(c).c_str(),
-              static_cast<unsigned long long>(image.value().code_count),
-              static_cast<unsigned long long>(decoded.value().bits.size()),
-              c.crc_protected() ? "" :
-              " (legacy format: decode check only, no CRC)");
-  return 0;
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "%s: OK — %s; %llu codes decode to %llu scan bits%s",
+                path.c_str(), container_line(c).c_str(),
+                static_cast<unsigned long long>(image.value().code_count),
+                static_cast<unsigned long long>(decoded.value().bits.size()),
+                c.crc_protected() ? ""
+                                  : " (legacy format: decode check only, no CRC)");
+  out.ok = true;
+  out.line = buf;
+  return out;
+}
+
+int cmd_verify(exp::Args& args) {
+  const unsigned jobs = args.jobs();
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 9999, &pos)) return usage();
+
+  // Several files verify in parallel (--jobs N / $TDC_JOBS); output stays
+  // in argument order either way.
+  exp::ThreadPool pool(std::min<unsigned>(jobs, static_cast<unsigned>(pos.size())));
+  const auto outcomes = exp::parallel_map(pool, pos, verify_one);
+  int failures = 0;
+  for (const VerifyOutcome& out : outcomes) {
+    if (out.ok) {
+      std::printf("%s\n", out.line.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", out.line.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_batch(exp::Args& args) {
+  engine::EngineOptions options;
+  options.workers = args.jobs();
+  options.fail_fast = args.flag("--fail-fast");
+  options.verify = !args.flag("--no-verify");
+  options.queue_capacity = args.u32("--queue", 0);
+  if (const auto dir = args.value("--out-dir")) options.output_dir = *dir;
+  const std::optional<std::string> metrics_path = args.value("--metrics");
+
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 1, &pos)) return usage();
+
+  Result<engine::Manifest> manifest = engine::load_manifest(pos[0]);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s: %s\n", pos[0].c_str(),
+                 manifest.error().describe().c_str());
+    return 1;
+  }
+
+  engine::Engine eng(options);
+  const engine::BatchResult result =
+      eng.run(manifest.value(), [](const engine::JobOutcome& job) {
+        if (job.cancelled) {
+          std::printf("  %-16s cancelled\n", job.name.c_str());
+        } else if (!job.status.ok()) {
+          std::printf("  %-16s FAILED %s\n", job.name.c_str(),
+                      job.status.error().describe().c_str());
+        } else {
+          std::printf("  %-16s %llu -> %llu bits (%.2f%%)%s%s\n",
+                      job.name.c_str(),
+                      static_cast<unsigned long long>(job.original_bits),
+                      static_cast<unsigned long long>(job.compressed_bits),
+                      job.ratio_percent,
+                      job.output_path.empty() ? "" : " -> ",
+                      job.output_path.c_str());
+        }
+      });
+
+  std::printf("\n%s\n", result.report().c_str());
+  std::printf("batch: %zu jobs, %zu ok, %zu failed, %zu cancelled in %.2fs "
+              "(%.1f jobs/sec)\n",
+              result.jobs.size(), result.ok_count(), result.failed_count(),
+              result.cancelled_count(), result.wall_seconds,
+              result.wall_seconds > 0
+                  ? static_cast<double>(result.jobs.size()) / result.wall_seconds
+                  : 0.0);
+  if (metrics_path) {
+    std::ofstream out(*metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path->c_str());
+      return 1;
+    }
+    out << eng.metrics().to_json();
+    std::printf("metrics -> %s\n", metrics_path->c_str());
+  }
+  return result.failed_count() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -303,6 +439,7 @@ int main(int argc, char** argv) {
     if (cmd == "decompress") return cmd_decompress(args);
     if (cmd == "inspect" || cmd == "info") return cmd_inspect(args);
     if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "wave") return cmd_wave(args);

@@ -1,0 +1,437 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "exp/bounded_queue.h"
+#include "exp/flow.h"
+#include "exp/table.h"
+#include "exp/thread_pool.h"
+#include "lzw/stream_io.h"
+#include "lzw/verify.h"
+#include "scan/testset_io.h"
+
+namespace tdc::engine {
+
+namespace {
+
+/// One job in flight: the spec plus whatever earlier stages produced.
+struct Job {
+  std::size_t index = 0;
+  const JobSpec* spec = nullptr;
+  bits::TritVector stream;     // load
+  lzw::EncodeResult encoded;   // encode
+  std::string container;       // containerize
+  JobOutcome outcome;
+  bool failed = false;
+};
+
+using JobPtr = std::unique_ptr<Job>;
+using JobQueue = exp::BoundedQueue<JobPtr>;
+
+/// Pre-resolved per-stage instruments, so stage workers never touch the
+/// registry's name map on the hot path.
+struct StageMetrics {
+  Counter* in;
+  Counter* ok;
+  Counter* fail;
+  Counter* skip;
+  Histogram* micros;
+};
+
+StageMetrics make_stage_metrics(MetricsRegistry& m, const std::string& stage) {
+  return StageMetrics{&m.counter(stage + ".in"), &m.counter(stage + ".ok"),
+                      &m.counter(stage + ".fail"), &m.counter(stage + ".skip"),
+                      &m.histogram(stage + ".micros")};
+}
+
+Error typed_error(ErrorKind kind, std::string message) {
+  Error e;
+  e.kind = kind;
+  e.message = std::move(message);
+  return e;
+}
+
+/// Runs a stage body with exception → typed-Error mapping: TdcErrorBase
+/// keeps its typed error, std::invalid_argument means a configuration /
+/// semantic problem, anything else an I/O-level failure.
+template <typename Fn>
+Status guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const TdcErrorBase& e) {
+    return e.error();
+  } catch (const std::invalid_argument& e) {
+    return typed_error(ErrorKind::ConfigMismatch, e.what());
+  } catch (const std::exception& e) {
+    return typed_error(ErrorKind::IoError, e.what());
+  }
+}
+
+std::string resolve_output(const std::string& output_dir, const std::string& path) {
+  if (path.empty() || output_dir.empty() || path.front() == '/') return path;
+  return output_dir + "/" + path;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- BatchResult
+
+std::size_t BatchResult::ok_count() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.ok() ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchResult::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += (!j.status.ok() && !j.cancelled) ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchResult::cancelled_count() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.cancelled ? 1 : 0;
+  return n;
+}
+
+std::string BatchResult::report() const {
+  exp::Table table({"Job", "Config", "Cont", "Orig", "Comp", "Ratio", "Status"});
+  for (const JobOutcome& j : jobs) {
+    std::string status = "ok";
+    if (j.cancelled) {
+      status = "cancelled";
+    } else if (!j.status.ok()) {
+      status = std::string("FAILED ") + to_string(j.status.error().kind);
+    }
+    table.add_row({j.name, j.config_summary,
+                   "v" + std::to_string(j.container_version),
+                   j.ok() ? exp::num(j.original_bits) : "-",
+                   j.ok() ? exp::num(j.compressed_bits) : "-",
+                   j.ok() ? exp::pct(j.ratio_percent) : "-", status});
+  }
+  return table.render();
+}
+
+// --------------------------------------------------------------------- Engine
+
+namespace {
+
+/// Per-run shared state: queues, the prepared-circuit memo and the
+/// fail-fast cancellation flag.
+struct RunState {
+  explicit RunState(std::size_t capacity)
+      : to_load(capacity), to_encode(capacity), to_container(capacity),
+        to_verify(capacity), done(capacity) {}
+
+  JobQueue to_load, to_encode, to_container, to_verify, done;
+  std::atomic<bool> cancelled{false};
+
+  // gen= inputs shared by several jobs are prepared exactly once; later
+  // jobs block on the shared future (a failed prepare fails each of them).
+  std::mutex gen_mutex;
+  std::map<std::string, std::shared_future<std::shared_ptr<const bits::TritVector>>> gen_memo;
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions options, MetricsRegistry* metrics)
+    : options_(std::move(options)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = metrics;
+  }
+}
+
+Engine::~Engine() = default;
+
+namespace {
+
+Status stage_load(RunState& run, Job& job) {
+  const JobSpec& spec = *job.spec;
+  if (spec.inline_tests) {
+    job.stream = spec.inline_tests->serialize();
+    return {};
+  }
+  if (!spec.input_path.empty()) {
+    return guarded([&]() -> Status {
+      job.stream = scan::read_tests_file(spec.input_path).serialize();
+      return {};
+    });
+  }
+  // gen= source: memoized exp::prepare so concurrent jobs over the same
+  // circuit never race on the ATPG disk cache.
+  using StreamPtr = std::shared_ptr<const bits::TritVector>;
+  std::shared_future<StreamPtr> future;
+  std::promise<StreamPtr> promise;
+  bool creator = false;
+  {
+    std::unique_lock lock(run.gen_mutex);
+    auto it = run.gen_memo.find(spec.gen_circuit);
+    if (it == run.gen_memo.end()) {
+      future = promise.get_future().share();
+      run.gen_memo.emplace(spec.gen_circuit, future);
+      creator = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (creator) {
+    try {
+      promise.set_value(std::make_shared<const bits::TritVector>(
+          exp::prepare(spec.gen_circuit).tests.serialize()));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return guarded([&]() -> Status {
+    job.stream = *future.get();
+    return {};
+  });
+}
+
+Status stage_encode(Job& job) {
+  const JobSpec& spec = *job.spec;
+  return guarded([&]() -> Status {
+    const lzw::Encoder encoder(spec.config, spec.tiebreak);
+    job.encoded = encoder.encode(job.stream, spec.xassign, spec.rng_seed);
+    job.outcome.original_bits = job.encoded.original_bits;
+    job.outcome.compressed_bits = job.encoded.compressed_bits();
+    job.outcome.ratio_percent = job.encoded.ratio_percent();
+    return {};
+  });
+}
+
+Status stage_container(Job& job) {
+  const JobSpec& spec = *job.spec;
+  return guarded([&]() -> Status {
+    std::ostringstream out;
+    lzw::write_image(out, job.encoded, spec.container);
+    job.container = std::move(out).str();
+    job.outcome.container_bytes = job.container.size();
+    return {};
+  });
+}
+
+Status stage_verify(Job& job) {
+  // End-to-end check of what was actually containerized: read the bytes
+  // back, decode, and prove the expansion covers every care bit of the
+  // input — the invariant the whole repository is built around.
+  std::istringstream in(job.container);
+  Result<lzw::CompressedImage> image = lzw::try_read_image(in);
+  if (!image.ok()) return image.error();
+  Result<lzw::DecodeResult> decoded = image.value().try_decode();
+  if (!decoded.ok()) return decoded.error();
+  if (decoded.value().bits.size() != job.stream.size()) {
+    return typed_error(ErrorKind::StreamTooShort,
+                       "decoded stream length mismatch");
+  }
+  if (!job.stream.covered_by(decoded.value().bits)) {
+    return typed_error(ErrorKind::ConfigMismatch,
+                       "decoded stream does not cover the input care bits");
+  }
+  return {};
+}
+
+}  // namespace
+
+BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commit) {
+  const unsigned workers =
+      options_.workers != 0 ? options_.workers : exp::ThreadPool::default_jobs();
+  const std::size_t capacity =
+      options_.queue_capacity != 0
+          ? options_.queue_capacity
+          : std::max<std::size_t>(2 * static_cast<std::size_t>(workers), 4);
+
+  RunState run(capacity);
+  MetricsRegistry& m = *metrics_;
+  const StageMetrics load_m = make_stage_metrics(m, "load");
+  const StageMetrics encode_m = make_stage_metrics(m, "encode");
+  const StageMetrics container_m = make_stage_metrics(m, "container");
+  const StageMetrics verify_m = make_stage_metrics(m, "verify");
+  const StageMetrics commit_m = make_stage_metrics(m, "commit");
+  Counter& bits_in = m.counter("encode.bits_in");
+  Counter& bits_out = m.counter("encode.bits_out");
+  Counter& bytes_written = m.counter("commit.bytes_written");
+  m.counter("engine.jobs").add(manifest.jobs.size());
+  m.counter("engine.runs").add();
+
+  const bool fail_fast = options_.fail_fast;
+  const bool do_verify = options_.verify;
+
+  // One stage execution: skip failed/cancelled jobs, time the body, map the
+  // result onto the job and the stage instruments.
+  const auto process = [&run, fail_fast](const StageMetrics& sm, Job& job,
+                                         const std::function<Status(Job&)>& body) {
+    sm.in->add();
+    if (!job.failed && run.cancelled.load(std::memory_order_relaxed) &&
+        !job.outcome.cancelled) {
+      job.outcome.cancelled = true;
+    }
+    if (job.failed || job.outcome.cancelled) {
+      sm.skip->add();
+      return;
+    }
+    Status status;
+    {
+      ScopedTimer timer(*sm.micros);
+      status = body(job);
+    }
+    if (status.ok()) {
+      sm.ok->add();
+      return;
+    }
+    job.failed = true;
+    job.outcome.status = status;
+    sm.fail->add();
+    if (fail_fast) run.cancelled.store(true, std::memory_order_relaxed);
+  };
+
+  // A stage: `workers` threads popping `in`, processing, pushing `out`.
+  // The last worker out closes the downstream queue, so shutdown cascades
+  // from the feeder to the committer with no central coordinator.
+  struct Stage {
+    std::vector<std::thread> threads;
+    std::shared_ptr<std::atomic<int>> remaining;
+  };
+  const auto spawn_stage = [&](JobQueue& in, JobQueue& out,
+                               std::function<void(Job&)> work) {
+    Stage stage;
+    stage.remaining = std::make_shared<std::atomic<int>>(static_cast<int>(workers));
+    for (unsigned t = 0; t < workers; ++t) {
+      stage.threads.emplace_back([&in, &out, work, remaining = stage.remaining] {
+        while (auto item = in.pop()) {
+          JobPtr job = std::move(*item);
+          work(*job);
+          out.push(std::move(job));
+        }
+        if (remaining->fetch_sub(1) == 1) out.close();
+      });
+    }
+    return stage;
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<Stage> stages;
+  stages.push_back(spawn_stage(run.to_load, run.to_encode, [&](Job& job) {
+    process(load_m, job, [&run](Job& j) { return stage_load(run, j); });
+  }));
+  stages.push_back(spawn_stage(run.to_encode, run.to_container, [&](Job& job) {
+    process(encode_m, job, [&bits_in, &bits_out](Job& j) {
+      const Status status = stage_encode(j);
+      if (status.ok()) {
+        bits_in.add(j.outcome.original_bits);
+        bits_out.add(j.outcome.compressed_bits);
+      }
+      return status;
+    });
+  }));
+  stages.push_back(spawn_stage(run.to_container, run.to_verify, [&](Job& job) {
+    process(container_m, job, [](Job& j) { return stage_container(j); });
+  }));
+  stages.push_back(spawn_stage(run.to_verify, run.done, [&](Job& job) {
+    if (!do_verify) return;  // stage disabled: pass through untouched
+    process(verify_m, job, [](Job& j) { return stage_verify(j); });
+  }));
+
+  // Feeder: materializes jobs into the first queue. Must be its own thread —
+  // the main thread commits, and a blocked committer must never block feeding
+  // (bounded queues + a single thread doing both would deadlock).
+  std::thread feeder([&manifest, &run, this] {
+    for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+      auto job = std::make_unique<Job>();
+      job->index = i;
+      job->spec = &manifest.jobs[i];
+      job->outcome.name = job->spec->name;
+      job->outcome.config_summary =
+          job->spec->config.describe() +
+          (job->spec->config.variable_width ? " var" : "") + " " +
+          tiebreak_name(job->spec->tiebreak) + "/" +
+          xassign_name(job->spec->xassign);
+      job->outcome.container_version = job->spec->container.version;
+      job->outcome.output_path =
+          resolve_output(options_.output_dir, job->spec->output_path);
+      run.to_load.push(std::move(job));
+    }
+    run.to_load.close();
+  });
+
+  // Committer (this thread): reorder buffer keyed by job index; commits —
+  // output-file write, callback, result slot — strictly in manifest order.
+  BatchResult result;
+  result.jobs.resize(manifest.jobs.size());
+  std::map<std::size_t, JobPtr> pending;
+  std::size_t next = 0;
+  const auto commit = [&](JobPtr job) {
+    commit_m.in->add();
+    if (job->failed || job->outcome.cancelled) {
+      commit_m.skip->add();
+    } else if (!job->outcome.output_path.empty()) {
+      Status status;
+      {
+        ScopedTimer timer(*commit_m.micros);
+        status = guarded([&]() -> Status {
+          const std::filesystem::path target(job->outcome.output_path);
+          if (target.has_parent_path()) {
+            std::filesystem::create_directories(target.parent_path());
+          }
+          std::ofstream out(job->outcome.output_path, std::ios::binary);
+          if (!out.write(job->container.data(),
+                         static_cast<std::streamsize>(job->container.size()))) {
+            return typed_error(ErrorKind::IoError, "cannot write " +
+                                                       job->outcome.output_path);
+          }
+          return {};
+        });
+      }
+      if (status.ok()) {
+        bytes_written.add(job->container.size());
+        job->container.clear();  // on disk now; don't hold the bytes twice
+        commit_m.ok->add();
+      } else {
+        job->failed = true;
+        job->outcome.status = status;
+        commit_m.fail->add();
+        if (fail_fast) run.cancelled.store(true, std::memory_order_relaxed);
+      }
+    } else {
+      commit_m.ok->add();
+    }
+    job->outcome.container = std::move(job->container);
+    if (on_commit) on_commit(job->outcome);
+    result.jobs[job->index] = std::move(job->outcome);
+  };
+  while (auto item = run.done.pop()) {
+    pending.emplace((*item)->index, std::move(*item));
+    while (!pending.empty() && pending.begin()->first == next) {
+      commit(std::move(pending.begin()->second));
+      pending.erase(pending.begin());
+      ++next;
+    }
+  }
+
+  feeder.join();
+  for (Stage& stage : stages) {
+    for (std::thread& t : stage.threads) t.join();
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  m.counter("engine.ok").add(result.ok_count());
+  m.counter("engine.failed").add(result.failed_count());
+  m.counter("engine.cancelled").add(result.cancelled_count());
+  return result;
+}
+
+}  // namespace tdc::engine

@@ -1,0 +1,118 @@
+#ifndef TDC_ENGINE_ENGINE_H
+#define TDC_ENGINE_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "engine/manifest.h"
+#include "engine/metrics.h"
+
+namespace tdc::engine {
+
+/// Tuning knobs of a batch run.
+struct EngineOptions {
+  /// Worker threads per pipeline stage; 0 = exp::ThreadPool::default_jobs()
+  /// ($TDC_JOBS, else hardware concurrency).
+  unsigned workers = 0;
+
+  /// Capacity of each inter-stage queue; 0 = max(2 * workers, 4). Bounds
+  /// in-flight memory: at most `stages * (capacity + workers)` jobs are ever
+  /// materialized, regardless of the batch size.
+  std::size_t queue_capacity = 0;
+
+  /// After the first job failure, cancel every job that has not yet entered
+  /// a stage (failed/cancelled jobs still appear in the report).
+  bool fail_fast = false;
+
+  /// Run the verify stage (container read-back + decode + care-bit
+  /// coverage). Disable only for throughput experiments.
+  bool verify = true;
+
+  /// Directory prepended to relative job output paths ("" = CWD).
+  std::string output_dir;
+};
+
+/// Everything the batch knows about one finished job, in manifest order.
+struct JobOutcome {
+  std::string name;
+  Status status;            ///< ok, or the stage's typed Error
+  bool cancelled = false;   ///< skipped because of fail-fast
+
+  std::uint64_t original_bits = 0;
+  std::uint64_t compressed_bits = 0;
+  std::uint64_t container_bytes = 0;
+  double ratio_percent = 0.0;
+
+  std::string config_summary;  ///< LzwConfig::describe() + tiebreak/xassign
+  std::uint32_t container_version = 2;
+  std::string output_path;  ///< resolved destination; empty if none
+  std::string container;    ///< container bytes when no output_path was given
+
+  bool ok() const { return status.ok() && !cancelled; }
+};
+
+/// The committed batch: per-job outcomes in manifest order plus wall time.
+/// report() is deliberately timing-free, so its bytes are identical for any
+/// worker count — the determinism contract the golden test pins down.
+struct BatchResult {
+  std::vector<JobOutcome> jobs;
+  double wall_seconds = 0.0;
+
+  std::size_t ok_count() const;
+  std::size_t failed_count() const;
+  std::size_t cancelled_count() const;
+
+  /// Deterministic summary table (exp::Table) — one row per job.
+  std::string report() const;
+};
+
+/// Invoked once per job, in manifest order, right after the job commits —
+/// the CLI's per-job progress line.
+using CommitCallback = std::function<void(const JobOutcome&)>;
+
+/// Pipelined batch compression engine.
+///
+/// A manifest of jobs flows through four stages — load (read or prepare the
+/// test set) → encode (don't-care-aware LZW) → containerize (TDCLZW1/2) →
+/// verify (read-back + decode + care-bit coverage) — each staffed by
+/// `workers` threads over bounded MPMC queues (exp::BoundedQueue), so a
+/// slow stage applies backpressure instead of buffering the whole batch.
+/// A reorder buffer commits results strictly in manifest order: output
+/// files are written and the commit callback fires in the same sequence for
+/// any worker count, and since every stage is deterministic per job, the
+/// committed bytes are too.
+///
+/// Failures are isolated per job: a stage error (typed tdc::Error) marks
+/// that job failed and it skips its remaining stages, while the rest of the
+/// batch proceeds — unless fail-fast is on, which cancels all jobs that
+/// have not yet entered a stage. Every stage records counters
+/// (in/ok/fail/skip) and a latency histogram into the metrics registry.
+class Engine {
+ public:
+  /// `metrics` may be shared/external (benches); the engine owns a private
+  /// registry when none is given.
+  explicit Engine(EngineOptions options = {}, MetricsRegistry* metrics = nullptr);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Runs the whole batch to completion. Reentrant per Engine instance is
+  /// not supported; run one batch at a time.
+  BatchResult run(const Manifest& manifest, const CommitCallback& on_commit = {});
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace tdc::engine
+
+#endif  // TDC_ENGINE_ENGINE_H

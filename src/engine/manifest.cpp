@@ -1,0 +1,204 @@
+#include "engine/manifest.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace tdc::engine {
+
+namespace {
+
+Error manifest_error(std::size_t line_no, const std::string& message) {
+  Error e;
+  e.kind = ErrorKind::ConfigMismatch;
+  e.message = "manifest line " + std::to_string(line_no) + ": " + message;
+  return e;
+}
+
+/// Joins a possibly relative path onto a base directory.
+std::string resolve(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+bool parse_u64(const std::string& raw, std::uint64_t* out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(raw, &used);
+    if (used != raw.size()) return false;
+    *out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+const char* tiebreak_name(lzw::Tiebreak tiebreak) {
+  switch (tiebreak) {
+    case lzw::Tiebreak::First: return "first";
+    case lzw::Tiebreak::LowestChar: return "lowestchar";
+    case lzw::Tiebreak::MostRecent: return "mostrecent";
+    case lzw::Tiebreak::MostChildren: return "mostchildren";
+    case lzw::Tiebreak::Lookahead: return "lookahead";
+  }
+  return "?";
+}
+
+const char* xassign_name(lzw::XAssignMode mode) {
+  switch (mode) {
+    case lzw::XAssignMode::Dynamic: return "dynamic";
+    case lzw::XAssignMode::ZeroFill: return "zero";
+    case lzw::XAssignMode::OneFill: return "one";
+    case lzw::XAssignMode::RepeatFill: return "repeat";
+    case lzw::XAssignMode::RandomFill: return "random";
+  }
+  return "?";
+}
+
+Result<lzw::Tiebreak> parse_tiebreak(const std::string& name) {
+  for (const auto t : {lzw::Tiebreak::First, lzw::Tiebreak::LowestChar,
+                       lzw::Tiebreak::MostRecent, lzw::Tiebreak::MostChildren,
+                       lzw::Tiebreak::Lookahead}) {
+    if (name == tiebreak_name(t)) return t;
+  }
+  Error e;
+  e.kind = ErrorKind::ConfigMismatch;
+  e.message = "unknown tiebreak '" + name + "'";
+  return e;
+}
+
+Result<lzw::XAssignMode> parse_xassign(const std::string& name) {
+  for (const auto m : {lzw::XAssignMode::Dynamic, lzw::XAssignMode::ZeroFill,
+                       lzw::XAssignMode::OneFill, lzw::XAssignMode::RepeatFill,
+                       lzw::XAssignMode::RandomFill}) {
+    if (name == xassign_name(m)) return m;
+  }
+  Error e;
+  e.kind = ErrorKind::ConfigMismatch;
+  e.message = "unknown xassign mode '" + name + "'";
+  return e;
+}
+
+Result<Manifest> parse_manifest(std::istream& in, const std::string& base_dir) {
+  Manifest manifest;
+  std::set<std::string> names;
+  std::string line;
+  std::size_t line_no = 0;
+  bool version_seen = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head) || head.front() == '#') continue;
+
+    if (head == "version") {
+      std::string v;
+      if (!(tokens >> v) || v != "1") {
+        return manifest_error(line_no, "unsupported manifest version");
+      }
+      version_seen = true;
+      continue;
+    }
+    if (head != "job") {
+      return manifest_error(line_no, "expected 'job', 'version' or a comment, got '" + head + "'");
+    }
+    (void)version_seen;  // optional header; accepted anywhere before/between jobs
+
+    JobSpec spec;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        if (token == "variable") {
+          spec.config.variable_width = true;
+          continue;
+        }
+        return manifest_error(line_no, "unknown token '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (value.empty()) return manifest_error(line_no, "empty value for '" + key + "'");
+
+      std::uint64_t n = 0;
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "input") {
+        spec.input_path = resolve(base_dir, value);
+      } else if (key == "gen") {
+        spec.gen_circuit = value;
+      } else if (key == "out") {
+        spec.output_path = value;
+      } else if (key == "dict") {
+        if (!parse_u64(value, &n)) return manifest_error(line_no, "bad dict '" + value + "'");
+        spec.config.dict_size = static_cast<std::uint32_t>(n);
+      } else if (key == "char") {
+        if (!parse_u64(value, &n)) return manifest_error(line_no, "bad char '" + value + "'");
+        spec.config.char_bits = static_cast<std::uint32_t>(n);
+      } else if (key == "entry") {
+        if (!parse_u64(value, &n)) return manifest_error(line_no, "bad entry '" + value + "'");
+        spec.config.entry_bits = static_cast<std::uint32_t>(n);
+      } else if (key == "tiebreak") {
+        Result<lzw::Tiebreak> t = parse_tiebreak(value);
+        if (!t.ok()) return manifest_error(line_no, t.error().message);
+        spec.tiebreak = t.value();
+      } else if (key == "xassign") {
+        Result<lzw::XAssignMode> m = parse_xassign(value);
+        if (!m.ok()) return manifest_error(line_no, m.error().message);
+        spec.xassign = m.value();
+      } else if (key == "seed") {
+        if (!parse_u64(value, &n)) return manifest_error(line_no, "bad seed '" + value + "'");
+        spec.rng_seed = n;
+      } else if (key == "container") {
+        if (!parse_u64(value, &n) || (n != 1 && n != 2)) {
+          return manifest_error(line_no, "container must be 1 or 2");
+        }
+        spec.container.version = static_cast<std::uint32_t>(n);
+      } else if (key == "chunk") {
+        if (!parse_u64(value, &n)) return manifest_error(line_no, "bad chunk '" + value + "'");
+        spec.container.chunk_bytes = static_cast<std::uint32_t>(n);
+      } else {
+        return manifest_error(line_no, "unknown key '" + key + "'");
+      }
+    }
+
+    // --- per-job validation: the pipeline only sees runnable specs.
+    const int sources = (!spec.input_path.empty() ? 1 : 0) +
+                        (!spec.gen_circuit.empty() ? 1 : 0) +
+                        (spec.inline_tests ? 1 : 0);
+    if (sources != 1) {
+      return manifest_error(line_no, "job needs exactly one of input=/gen=");
+    }
+    if (const std::string why = spec.config.check(); !why.empty()) {
+      return manifest_error(line_no, why);
+    }
+    if (spec.container.chunk_bytes != 0 && spec.container.chunk_bytes < 64) {
+      return manifest_error(line_no, "chunk must be 0 or >= 64");
+    }
+    if (spec.name.empty()) {
+      spec.name = "job" + std::to_string(manifest.jobs.size());
+    }
+    if (!names.insert(spec.name).second) {
+      return manifest_error(line_no, "duplicate job name '" + spec.name + "'");
+    }
+    manifest.jobs.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+Result<Manifest> load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Error e;
+    e.kind = ErrorKind::IoError;
+    e.message = "cannot open manifest " + path;
+    return e;
+  }
+  const std::size_t slash = path.rfind('/');
+  const std::string base_dir = slash == std::string::npos ? "" : path.substr(0, slash);
+  return parse_manifest(in, base_dir);
+}
+
+}  // namespace tdc::engine

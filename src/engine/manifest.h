@@ -1,0 +1,71 @@
+#ifndef TDC_ENGINE_MANIFEST_H
+#define TDC_ENGINE_MANIFEST_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "lzw/encoder.h"
+#include "lzw/stream_io.h"
+#include "scan/testset.h"
+
+namespace tdc::engine {
+
+/// One batch job: where the test set comes from, how it is compressed, and
+/// where the container goes. Exactly one input source is set.
+struct JobSpec {
+  std::string name;
+
+  // --- input source (exactly one)
+  std::string input_path;   ///< a .tests cube file
+  std::string gen_circuit;  ///< suite profile name, prepared via exp::prepare
+  std::shared_ptr<const scan::TestSet> inline_tests;  ///< benches/tests
+
+  // --- codec parameterization
+  lzw::LzwConfig config;
+  lzw::Tiebreak tiebreak = lzw::Tiebreak::First;
+  lzw::XAssignMode xassign = lzw::XAssignMode::Dynamic;
+  std::uint64_t rng_seed = 1;  ///< only meaningful for XAssignMode::RandomFill
+
+  // --- container + destination
+  lzw::ContainerOptions container;
+  std::string output_path;  ///< empty: container kept in memory only
+};
+
+/// An ordered batch of jobs — the unit the engine runs.
+struct Manifest {
+  std::vector<JobSpec> jobs;
+};
+
+/// Stable lower-case names used by the manifest format and the batch report.
+const char* tiebreak_name(lzw::Tiebreak tiebreak);
+const char* xassign_name(lzw::XAssignMode mode);
+Result<lzw::Tiebreak> parse_tiebreak(const std::string& name);
+Result<lzw::XAssignMode> parse_xassign(const std::string& name);
+
+/// Parses the line-oriented manifest format:
+///
+///     # opentdc batch manifest
+///     version 1
+///     job name=first input=a.tests dict=1024 char=7 entry=63 out=a.tdclzw
+///     job name=v1 gen=itc_b09f dict=256 tiebreak=lookahead container=1
+///
+/// One `job` line per job, `key=value` tokens plus the bare flag
+/// `variable`. Keys: name, input, gen, dict, char, entry, tiebreak
+/// (first|lowestchar|mostrecent|mostchildren|lookahead), xassign
+/// (dynamic|zero|one|repeat|random), seed, container (1|2), chunk, out.
+/// Relative input paths resolve against `base_dir`; output paths are left
+/// relative (the engine's output_dir option anchors them at run time).
+/// Every job is validated here — config realizability, container options,
+/// duplicate names — so the pipeline only ever sees runnable specs.
+/// Errors are typed ConfigMismatch with the offending line number.
+Result<Manifest> parse_manifest(std::istream& in, const std::string& base_dir = {});
+
+/// parse_manifest over a file; IoError if it cannot be opened.
+Result<Manifest> load_manifest(const std::string& path);
+
+}  // namespace tdc::engine
+
+#endif  // TDC_ENGINE_MANIFEST_H

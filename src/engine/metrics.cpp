@@ -1,0 +1,93 @@
+#include "engine/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "exp/bench_json.h"
+
+namespace tdc::engine {
+
+namespace {
+
+/// Bucket index for a sample: 0 holds value 0, bucket b holds
+/// [2^(b-1), 2^b), the last bucket is a catch-all.
+std::size_t bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(value));
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  std::unique_lock lock(mutex_);
+  if (data_.count == 0 || value < data_.min) data_.min = value;
+  if (value > data_.max) data_.max = value;
+  ++data_.count;
+  data_.sum += value;
+  ++data_.buckets[bucket_of(value)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::unique_lock lock(mutex_);
+  return data_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::unique_lock lock(mutex_);
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    json += first ? "\n" : ",\n";
+    json += "    \"" + exp::json_escape(name) +
+            "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot s = histogram->snapshot();
+    json += first ? "\n" : ",\n";
+    json += "    \"" + exp::json_escape(name) + "\": {";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                  "\"max\": %llu, \"mean\": %.3f, \"buckets\": [",
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.sum),
+                  static_cast<unsigned long long>(s.min),
+                  static_cast<unsigned long long>(s.max), s.mean());
+    json += buf;
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      // Upper bound of bucket b: value 0 for b = 0, else 2^b - 1.
+      const unsigned long long upper = b == 0 ? 0 : (1ull << b) - 1;
+      std::snprintf(buf, sizeof buf, "%s[%llu, %llu]", first_bucket ? "" : ", ",
+                    upper, static_cast<unsigned long long>(s.buckets[b]));
+      json += buf;
+      first_bucket = false;
+    }
+    json += "]}";
+    first = false;
+  }
+  json += first ? "}\n}\n" : "\n  }\n}\n";
+  return json;
+}
+
+}  // namespace tdc::engine

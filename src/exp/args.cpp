@@ -1,6 +1,9 @@
 #include "exp/args.h"
 
+#include <cctype>
 #include <stdexcept>
+
+#include "exp/thread_pool.h"
 
 namespace tdc::exp {
 
@@ -60,6 +63,39 @@ std::uint32_t Args::u32(const std::string& name, std::uint32_t fallback) {
     throw std::invalid_argument(name + ": expected an unsigned integer, got '" +
                                 *raw + "'");
   }
+}
+
+unsigned Args::jobs() {
+  // `--jobs N` / `--jobs=N` via the regular flag machinery.
+  std::optional<std::string> raw = value("--jobs");
+  // `-j N` / `-jN`: single-dash tokens are invisible to is_flag(), so they
+  // would otherwise leak into positional(); claim them here.
+  for (std::size_t i = 0; !raw && i < items_.size(); ++i) {
+    if (used_[i]) continue;
+    const std::string& tok = items_[i];
+    if (tok == "-j") {
+      if (i + 1 < items_.size() && !used_[i + 1]) {
+        used_[i] = used_[i + 1] = true;
+        raw = items_[i + 1];
+      }
+    } else if (tok.size() > 2 && tok.rfind("-j", 0) == 0 &&
+               std::isdigit(static_cast<unsigned char>(tok[2]))) {
+      used_[i] = true;
+      raw = tok.substr(2);
+    }
+  }
+  if (raw) {
+    try {
+      std::size_t used = 0;
+      const unsigned long parsed = std::stoul(*raw, &used);
+      if (used != raw->size() || parsed == 0) throw std::invalid_argument("bad");
+      return static_cast<unsigned>(parsed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--jobs: expected a positive integer, got '" +
+                                  *raw + "'");
+    }
+  }
+  return ThreadPool::default_jobs();
 }
 
 std::vector<std::string> Args::positional() const {

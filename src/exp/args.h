@@ -33,6 +33,12 @@ class Args {
   /// unparsable value throws std::invalid_argument naming the flag.
   std::uint32_t u32(const std::string& name, std::uint32_t fallback);
 
+  /// Worker count for parallel subcommands, mirroring the bench sweeps'
+  /// resolution order: consumes `--jobs N` / `--jobs=N` / `-j N` / `-jN`,
+  /// then falls back to $TDC_JOBS, then hardware concurrency
+  /// (ThreadPool::default_jobs). Always at least 1.
+  unsigned jobs();
+
   /// Unconsumed non-flag tokens, in order. Call after consuming flags —
   /// until then a `--flag value` value still counts as positional.
   std::vector<std::string> positional() const;

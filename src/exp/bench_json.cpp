@@ -1,0 +1,59 @@
+#include "exp/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace tdc::exp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value, int digits) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string bench_json_path(const std::string& bench_name) {
+  if (const char* env = std::getenv("TDC_BENCH_JSON"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "BENCH_" + bench_name + ".json";
+}
+
+bool write_bench_json(const std::string& bench_name, const std::string& json) {
+  const std::string path = bench_json_path(bench_name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name.c_str(), path.c_str());
+    return false;
+  }
+  out << json;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace tdc::exp

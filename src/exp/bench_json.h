@@ -1,0 +1,28 @@
+#ifndef TDC_EXP_BENCH_JSON_H
+#define TDC_EXP_BENCH_JSON_H
+
+#include <string>
+
+namespace tdc::exp {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// A finite double rendered with `digits` decimals; non-finite values render
+/// as JSON null (errors and degenerate sweep points stay machine-readable).
+std::string json_number(double value, int digits = 3);
+
+/// Where a bench's machine-readable trajectory file goes: $TDC_BENCH_JSON if
+/// set (single-bench override, matching micro_codec's convention), else
+/// "BENCH_<name>.json" in the working directory.
+std::string bench_json_path(const std::string& bench_name);
+
+/// Writes `json` to bench_json_path(bench_name) and prints the path, so the
+/// perf trajectory is recorded run-over-run. Returns false (with a message
+/// on stderr) if the file cannot be written.
+bool write_bench_json(const std::string& bench_name, const std::string& json);
+
+}  // namespace tdc::exp
+
+#endif  // TDC_EXP_BENCH_JSON_H

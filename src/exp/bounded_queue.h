@@ -1,0 +1,85 @@
+#ifndef TDC_EXP_BOUNDED_QUEUE_H
+#define TDC_EXP_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tdc::exp {
+
+/// Bounded multi-producer / multi-consumer queue — the backpressure
+/// primitive between pipeline stages (src/engine). A full queue blocks
+/// producers instead of buffering unboundedly, so a slow downstream stage
+/// throttles the whole pipeline and in-flight memory stays proportional to
+/// `capacity`, never to the batch size.
+///
+/// Lifecycle: producers push() until close(); consumers pop() until it
+/// returns nullopt, which means closed *and* drained — items enqueued before
+/// close() are always delivered. close() is idempotent and safe to call
+/// concurrently with push/pop.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) if the
+  /// queue was closed before space became available.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed_ with a drained queue
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes will be accepted; consumers drain what is queued and
+  /// then see nullopt. Wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::unique_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Instantaneous depth (monitoring only — stale the moment it returns).
+  std::size_t size() const {
+    std::unique_lock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace tdc::exp
+
+#endif  // TDC_EXP_BOUNDED_QUEUE_H

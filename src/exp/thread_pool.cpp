@@ -1,7 +1,9 @@
 #include "exp/thread_pool.h"
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tdc::exp {
 
@@ -13,18 +15,25 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   work_ready_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::unique_lock lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
     queue_.push_back(std::move(job));
   }
   work_ready_.notify_one();
@@ -33,6 +42,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 unsigned ThreadPool::default_jobs() {
@@ -55,7 +69,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    job();
+    try {
+      job();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::unique_lock lock(mutex_);
       --in_flight_;

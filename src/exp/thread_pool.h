@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,7 +23,7 @@ class ThreadPool {
   /// Spawns `threads` workers; 0 means default_jobs().
   explicit ThreadPool(unsigned threads = 0);
 
-  /// Drains outstanding work, then joins the workers.
+  /// Drains outstanding work, then joins the workers (via shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,11 +31,20 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues one job. Jobs must not throw; a job that does terminates.
+  /// Enqueues one job. A job that throws does not take the process down:
+  /// the first exception is captured and rethrown from the next wait()
+  /// (subsequent ones are dropped — a sweep has no use for more than one
+  /// failure). Throws std::runtime_error if the pool has been shut down.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished, then rethrows the first
+  /// exception any job raised since the previous wait() (if one did).
   void wait();
+
+  /// Drains outstanding work and joins the workers. Idempotent; after it
+  /// returns, submit() throws. Called by the destructor, which additionally
+  /// swallows any still-unclaimed job exception (destructors must not throw).
+  void shutdown();
 
   /// Worker count when none is requested: $TDC_JOBS if set and positive,
   /// else hardware_concurrency() (at least 1).
@@ -48,6 +58,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
 };

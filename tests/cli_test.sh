@@ -84,4 +84,49 @@ if "$CLI" compress "$WORK/c.tests" "$WORK/x.tdclzw" --bogus 2>/dev/null; then
   echo "compress accepted an unknown flag" >&2; exit 1
 fi
 
+# Multi-input compress (--out-dir) and multi-file verify, parallel workers.
+cp "$WORK/c.tests" "$WORK/d.tests"
+"$CLI" compress "$WORK/c.tests" "$WORK/d.tests" --out-dir "$WORK/multi" --dict 256 --jobs 2
+"$CLI" verify "$WORK/multi/c.tdclzw" "$WORK/multi/d.tdclzw" --jobs 2 > "$WORK/verify.txt"
+test "$(grep -c OK "$WORK/verify.txt")" = 2
+if "$CLI" verify "$WORK/multi/c.tdclzw" "$WORK/trunc.tdclzw" 2>/dev/null; then
+  echo "multi-verify ignored a bad file" >&2; exit 1
+fi
+
+# Batch engine end to end: manifest -> verified containers, deterministic
+# report for any worker count, metrics snapshot, failure isolation.
+cat > "$WORK/batch.manifest" <<EOF
+version 1
+job name=a input=$WORK/c.tests dict=256 char=7 entry=63 tiebreak=first container=2 out=a.tdclzw
+job name=b input=$WORK/c.tests dict=256 char=7 entry=63 tiebreak=lookahead container=1 out=b.tdclzw
+job name=c input=$WORK/c.tests dict=256 char=7 entry=63 xassign=zero variable out=c.tdclzw
+EOF
+"$CLI" batch "$WORK/batch.manifest" --out-dir "$WORK/batch1" --jobs 1 --metrics "$WORK/m.json" > "$WORK/batch1.txt"
+"$CLI" batch "$WORK/batch.manifest" --out-dir "$WORK/batch4" --jobs 4 > "$WORK/batch4.txt"
+cmp "$WORK/batch1/a.tdclzw" "$WORK/batch4/a.tdclzw"
+cmp "$WORK/batch1/b.tdclzw" "$WORK/batch4/b.tdclzw"
+cmp "$WORK/batch1/c.tdclzw" "$WORK/batch4/c.tdclzw"
+"$CLI" verify "$WORK/batch1/a.tdclzw" "$WORK/batch1/b.tdclzw" "$WORK/batch1/c.tdclzw" | grep -c OK | grep -q 3
+grep -q '"counters"' "$WORK/m.json"
+grep -q '"engine.ok": 3' "$WORK/m.json"
+
+# A bad job fails that job (nonzero exit) without sinking the others.
+cat > "$WORK/bad.manifest" <<EOF
+version 1
+job name=good input=$WORK/c.tests dict=256 out=good.tdclzw
+job name=bad input=$WORK/missing.tests dict=256 out=bad.tdclzw
+EOF
+if "$CLI" batch "$WORK/bad.manifest" --out-dir "$WORK/batchbad" > "$WORK/bad.txt"; then
+  echo "batch with a failed job exited 0" >&2; exit 1
+fi
+grep -q "FAILED" "$WORK/bad.txt"
+"$CLI" verify "$WORK/batchbad/good.tdclzw" | grep -q "OK"
+
+# Manifest validation happens before anything runs.
+printf 'version 1\njob name=x dict=256\n' > "$WORK/invalid.manifest"
+if "$CLI" batch "$WORK/invalid.manifest" 2>"$WORK/invalid.txt"; then
+  echo "batch accepted an invalid manifest" >&2; exit 1
+fi
+grep -q "line 2" "$WORK/invalid.txt"
+
 echo "cli_test OK"

@@ -1,0 +1,504 @@
+// Tests for the batch compression engine: the bounded MPMC queue it is
+// built on, the metrics registry, the manifest format, and the pipeline
+// itself — the jobs=1 vs jobs=N byte-identical determinism golden, per-job
+// failure isolation, fail-fast cancellation, and in-order commit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bits/rng.h"
+#include "engine/engine.h"
+#include "engine/manifest.h"
+#include "engine/metrics.h"
+#include "exp/bounded_queue.h"
+#include "scan/testset.h"
+#include "scan/testset_io.h"
+
+namespace tdc::engine {
+namespace {
+
+// ---------------------------------------------------------------- queue
+
+TEST(BoundedQueueTest, DeliversInFifoOrder) {
+  exp::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const std::optional<int> v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  exp::BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, FullQueueBlocksProducerUntilPop) {
+  exp::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.push(2);
+    second_pushed.store(true);
+  });
+  // The producer must be stuck on the full queue (backpressure).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsQueuedItemsThenSignalsEnd) {
+  exp::BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop().value_or(-1), 1);
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // stays closed
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
+  exp::BoundedQueue<int> q(4);
+  std::atomic<bool> saw_end{false};
+  std::thread consumer([&] {
+    if (!q.pop().has_value()) saw_end.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(saw_end.load());
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  exp::BoundedQueue<int> q(3);  // small on purpose: constant backpressure
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (const std::optional<int> v = q.pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, HistogramSnapshotTracksRange) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(1000);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 1003u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 1003.0 / 3.0);
+}
+
+TEST(MetricsTest, RegistryJsonIsDeterministicAndNamed) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(7);
+  registry.counter("alpha").add(1);
+  registry.histogram("lat").record(5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"alpha\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"zeta\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  // Same registry, same bytes: map-ordered keys, no timestamps.
+  EXPECT_EQ(json, registry.to_json());
+  // Sorted: "alpha" renders before "zeta".
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+}
+
+TEST(MetricsTest, InstrumentReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST(ManifestTest, ParsesJobLines) {
+  std::istringstream in(
+      "# comment\n"
+      "version 1\n"
+      "\n"
+      "job name=a input=a.tests dict=1024 char=7 entry=63 tiebreak=lookahead "
+      "xassign=random seed=9 container=1 chunk=128 out=a.tdclzw\n"
+      "job gen=itc_b09f dict=256 char=5 entry=35 variable\n");
+  const Result<Manifest> parsed = parse_manifest(in, "/base");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Manifest& m = parsed.value();
+  ASSERT_EQ(m.jobs.size(), 2u);
+
+  const JobSpec& a = m.jobs[0];
+  EXPECT_EQ(a.name, "a");
+  EXPECT_EQ(a.input_path, "/base/a.tests");  // resolved against base_dir
+  EXPECT_EQ(a.config.dict_size, 1024u);
+  EXPECT_EQ(a.config.char_bits, 7u);
+  EXPECT_EQ(a.config.entry_bits, 63u);
+  EXPECT_EQ(a.tiebreak, lzw::Tiebreak::Lookahead);
+  EXPECT_EQ(a.xassign, lzw::XAssignMode::RandomFill);
+  EXPECT_EQ(a.rng_seed, 9u);
+  EXPECT_EQ(a.container.version, 1u);
+  EXPECT_EQ(a.container.chunk_bytes, 128u);
+  EXPECT_EQ(a.output_path, "a.tdclzw");  // outputs stay relative
+
+  const JobSpec& b = m.jobs[1];
+  EXPECT_EQ(b.name, "job1");  // default name from position
+  EXPECT_EQ(b.gen_circuit, "itc_b09f");
+  EXPECT_TRUE(b.config.variable_width);
+}
+
+TEST(ManifestTest, RejectsBadInput) {
+  const auto expect_error = [](const std::string& text, const std::string& needle) {
+    std::istringstream in(text);
+    const Result<Manifest> parsed = parse_manifest(in);
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.error().kind, ErrorKind::ConfigMismatch);
+    EXPECT_NE(parsed.error().message.find(needle), std::string::npos)
+        << parsed.error().message;
+  };
+  expect_error("version 2\n", "version");
+  expect_error("jobs input=a.tests\n", "expected 'job'");
+  expect_error("job dict=256\n", "exactly one");
+  expect_error("job input=a gen=b dict=256\n", "exactly one");
+  expect_error("job input=a tiebreak=best\n", "unknown tiebreak");
+  expect_error("job input=a xassign=never\n", "unknown xassign");
+  expect_error("job input=a container=3\n", "container must be 1 or 2");
+  expect_error("job input=a chunk=32\n", "chunk must be 0 or >= 64");
+  expect_error("job input=a wat=1\n", "unknown key");
+  expect_error("job input=a bare\n", "unknown token");
+  expect_error("job input=a name=\n", "empty value");
+  expect_error("job name=x input=a\njob name=x input=b\n", "duplicate job name");
+  // The line number of the offending line is part of the message.
+  expect_error("version 1\njob input=a\njob input=b container=9\n", "line 3");
+}
+
+TEST(ManifestTest, LoadReportsMissingFileAsIoError) {
+  const Result<Manifest> r = load_manifest("/nonexistent/dir/batch.manifest");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind, ErrorKind::IoError);
+}
+
+#ifdef TDC_SAMPLE_MANIFEST
+// The shipped sample manifest stays parseable and keeps its advertised
+// coverage: all five tiebreaks, both container versions.
+TEST(ManifestTest, SampleManifestCoversTiebreaksAndContainers) {
+  const Result<Manifest> parsed = load_manifest(TDC_SAMPLE_MANIFEST);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const Manifest& m = parsed.value();
+  ASSERT_EQ(m.jobs.size(), 5u);
+
+  std::set<lzw::Tiebreak> tiebreaks;
+  std::set<std::uint32_t> versions;
+  for (const JobSpec& job : m.jobs) {
+    tiebreaks.insert(job.tiebreak);
+    versions.insert(job.container.version);
+    EXPECT_EQ(job.gen_circuit, "itc_b09f");
+    EXPECT_FALSE(job.output_path.empty());
+  }
+  EXPECT_EQ(tiebreaks.size(), 5u);
+  EXPECT_EQ(versions, (std::set<std::uint32_t>{1u, 2u}));
+}
+#endif
+
+// --------------------------------------------------------------- engine
+
+std::shared_ptr<const scan::TestSet> synthetic_tests(std::uint64_t seed,
+                                                     std::size_t width = 4096) {
+  bits::Rng rng(seed);
+  auto tests = std::make_shared<scan::TestSet>();
+  tests->circuit = "synthetic";
+  tests->width = width;
+  bits::TritVector cube(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (!rng.chance(0.85)) {
+      cube.set(i, rng.bit() ? bits::Trit::One : bits::Trit::Zero);
+    }
+  }
+  tests->cubes.push_back(std::move(cube));
+  return tests;
+}
+
+/// Ten inline jobs: each tiebreak against both container versions, a pinch
+/// of xassign/variable variety. Containers stay in memory (no out=).
+Manifest inline_manifest() {
+  const lzw::Tiebreak tiebreaks[] = {
+      lzw::Tiebreak::First, lzw::Tiebreak::LowestChar, lzw::Tiebreak::MostRecent,
+      lzw::Tiebreak::MostChildren, lzw::Tiebreak::Lookahead};
+  Manifest manifest;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec spec;
+    spec.name = "inline" + std::to_string(i);
+    spec.inline_tests = synthetic_tests(100 + i);
+    spec.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+    spec.config.variable_width = i % 3 == 0;
+    spec.tiebreak = tiebreaks[i % 5];
+    spec.xassign = i % 4 == 0 ? lzw::XAssignMode::ZeroFill : lzw::XAssignMode::Dynamic;
+    spec.container.version = i % 2 == 0 ? 2u : 1u;
+    manifest.jobs.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+BatchResult run_with_workers(const Manifest& manifest, unsigned workers,
+                             std::size_t queue_capacity = 0) {
+  EngineOptions options;
+  options.workers = workers;
+  options.queue_capacity = queue_capacity;
+  Engine eng(options);
+  return eng.run(manifest);
+}
+
+/// The determinism golden: the same manifest at 1, 3 and 8 workers commits
+/// byte-identical containers, identical stats, and an identical report.
+TEST(EngineTest, BatchIsByteIdenticalForAnyWorkerCount) {
+  const Manifest manifest = inline_manifest();
+  const BatchResult serial = run_with_workers(manifest, 1);
+  ASSERT_EQ(serial.jobs.size(), manifest.jobs.size());
+  ASSERT_EQ(serial.ok_count(), manifest.jobs.size());
+
+  for (const unsigned workers : {3u, 8u}) {
+    const BatchResult parallel = run_with_workers(manifest, workers, 2);
+    ASSERT_EQ(parallel.jobs.size(), serial.jobs.size());
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+      const JobOutcome& a = serial.jobs[i];
+      const JobOutcome& b = parallel.jobs[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_TRUE(b.status.ok()) << b.status.error().message;
+      EXPECT_EQ(a.container, b.container) << "job " << a.name;  // byte-identical
+      EXPECT_EQ(a.original_bits, b.original_bits);
+      EXPECT_EQ(a.compressed_bits, b.compressed_bits);
+      EXPECT_EQ(a.container_bytes, b.container_bytes);
+      EXPECT_EQ(a.config_summary, b.config_summary);
+    }
+    EXPECT_EQ(serial.report(), parallel.report());
+  }
+}
+
+TEST(EngineTest, WritesOutputFilesIdenticallyForAnyWorkerCount) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "tdc_engine_test_out";
+  fs::remove_all(root);
+
+  Manifest manifest = inline_manifest();
+  manifest.jobs.resize(4);
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    manifest.jobs[i].output_path = manifest.jobs[i].name + ".tdclzw";
+  }
+
+  const auto run_into = [&manifest](const fs::path& dir, unsigned workers) {
+    EngineOptions options;
+    options.workers = workers;
+    options.output_dir = dir.string();
+    Engine eng(options);
+    const BatchResult result = eng.run(manifest);
+    EXPECT_EQ(result.ok_count(), manifest.jobs.size());
+    return result;
+  };
+  run_into(root / "serial", 1);
+  run_into(root / "parallel", 4);
+
+  for (const JobSpec& job : manifest.jobs) {
+    std::ifstream a(root / "serial" / job.output_path, std::ios::binary);
+    std::ifstream b(root / "parallel" / job.output_path, std::ios::binary);
+    ASSERT_TRUE(a && b) << job.output_path;
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)), {});
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)), {});
+    EXPECT_FALSE(bytes_a.empty());
+    EXPECT_EQ(bytes_a, bytes_b) << job.output_path;
+  }
+  fs::remove_all(root);
+}
+
+/// One corrupt and one missing input do not take the batch down: both jobs
+/// fail typed, every other job commits normally.
+TEST(EngineTest, IsolatesBadInputsFromTheRestOfTheBatch) {
+  namespace fs = std::filesystem;
+  const fs::path corrupt = fs::temp_directory_path() / "tdc_engine_corrupt.tests";
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << "this is not a test-set file";
+  }
+
+  Manifest manifest = inline_manifest();
+  manifest.jobs.resize(4);
+  JobSpec missing;
+  missing.name = "missing";
+  missing.input_path = "/nonexistent/input.tests";
+  missing.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+  manifest.jobs.insert(manifest.jobs.begin() + 1, std::move(missing));
+  JobSpec garbage;
+  garbage.name = "garbage";
+  garbage.input_path = corrupt.string();
+  garbage.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+  manifest.jobs.push_back(std::move(garbage));
+
+  const BatchResult result = run_with_workers(manifest, 4);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  EXPECT_EQ(result.ok_count(), 4u);
+  EXPECT_EQ(result.failed_count(), 2u);
+  EXPECT_EQ(result.cancelled_count(), 0u);
+
+  EXPECT_FALSE(result.jobs[1].ok());
+  EXPECT_EQ(result.jobs[1].status.error().kind, ErrorKind::IoError);
+  EXPECT_FALSE(result.jobs[5].ok());
+  for (const std::size_t i : {0u, 2u, 3u, 4u}) {
+    EXPECT_TRUE(result.jobs[i].ok()) << result.jobs[i].status.error().message;
+    EXPECT_FALSE(result.jobs[i].container.empty());
+  }
+  // The report renders every job, including the failed ones.
+  const std::string report = result.report();
+  EXPECT_NE(report.find("missing"), std::string::npos);
+  EXPECT_NE(report.find("FAILED"), std::string::npos);
+  fs::remove(corrupt);
+}
+
+TEST(EngineTest, FailFastCancelsPendingJobs) {
+  Manifest manifest;
+  JobSpec bad;
+  bad.name = "bad";
+  bad.input_path = "/nonexistent/input.tests";
+  bad.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+  manifest.jobs.push_back(std::move(bad));
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.name = "ok" + std::to_string(i);
+    spec.inline_tests = synthetic_tests(500 + i);
+    spec.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+    manifest.jobs.push_back(std::move(spec));
+  }
+
+  EngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.fail_fast = true;
+  Engine eng(options);
+  const BatchResult result = eng.run(manifest);
+
+  ASSERT_EQ(result.jobs.size(), manifest.jobs.size());
+  EXPECT_EQ(result.failed_count(), 1u);
+  EXPECT_FALSE(result.jobs[0].ok());
+  // With one worker and capacity-1 queues, most of the batch never enters
+  // the pipeline; exact counts depend on in-flight depth at failure time.
+  EXPECT_GT(result.cancelled_count(), 0u);
+  EXPECT_EQ(result.ok_count() + result.failed_count() + result.cancelled_count(),
+            result.jobs.size());
+  for (const JobOutcome& job : result.jobs) {
+    if (job.cancelled) EXPECT_FALSE(job.ok());
+  }
+}
+
+TEST(EngineTest, CommitCallbackFiresInManifestOrder) {
+  const Manifest manifest = inline_manifest();
+  EngineOptions options;
+  options.workers = 4;
+  options.queue_capacity = 2;
+  Engine eng(options);
+  std::vector<std::string> committed;
+  const BatchResult result =
+      eng.run(manifest, [&committed](const JobOutcome& job) {
+        committed.push_back(job.name);
+      });
+  ASSERT_EQ(result.ok_count(), manifest.jobs.size());
+  ASSERT_EQ(committed.size(), manifest.jobs.size());
+  for (std::size_t i = 0; i < committed.size(); ++i) {
+    EXPECT_EQ(committed[i], manifest.jobs[i].name);
+  }
+}
+
+TEST(EngineTest, MetricsTrackTheBatch) {
+  Manifest manifest = inline_manifest();
+  manifest.jobs.resize(5);
+  JobSpec bad;
+  bad.name = "bad";
+  bad.input_path = "/nonexistent/input.tests";
+  bad.config = lzw::LzwConfig{.dict_size = 256, .char_bits = 7, .entry_bits = 63};
+  manifest.jobs.push_back(std::move(bad));
+
+  MetricsRegistry registry;
+  Engine eng(EngineOptions{.workers = 2}, &registry);
+  const BatchResult result = eng.run(manifest);
+  EXPECT_EQ(result.ok_count(), 5u);
+  EXPECT_EQ(result.failed_count(), 1u);
+
+  EXPECT_EQ(registry.counter("engine.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("engine.jobs").value(), 6u);
+  EXPECT_EQ(registry.counter("engine.ok").value(), 5u);
+  EXPECT_EQ(registry.counter("engine.failed").value(), 1u);
+  EXPECT_EQ(registry.counter("load.in").value(), 6u);
+  EXPECT_EQ(registry.counter("load.fail").value(), 1u);
+  EXPECT_EQ(registry.counter("encode.in").value(), 6u);
+  EXPECT_EQ(registry.counter("encode.ok").value(), 5u);
+  EXPECT_EQ(registry.counter("encode.skip").value(), 1u);  // failed job skips
+  EXPECT_GT(registry.counter("encode.bits_in").value(), 0u);
+  EXPECT_EQ(registry.histogram("encode.micros").snapshot().count, 5u);
+  // The engine used the external registry, and its JSON names the stages.
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"verify.ok\": 5"), std::string::npos);
+}
+
+TEST(EngineTest, VerifyStageCanBeDisabled) {
+  Manifest manifest = inline_manifest();
+  manifest.jobs.resize(3);
+  MetricsRegistry registry;
+  EngineOptions options;
+  options.workers = 2;
+  options.verify = false;
+  Engine eng(options, &registry);
+  const BatchResult result = eng.run(manifest);
+  EXPECT_EQ(result.ok_count(), 3u);
+  EXPECT_EQ(registry.counter("verify.in").value(), 0u);
+}
+
+}  // namespace
+}  // namespace tdc::engine

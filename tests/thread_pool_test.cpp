@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,42 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   pool.submit([&count] { count.fetch_add(1); });
   pool.wait();
   EXPECT_EQ(count.load(), 2);
+}
+
+/// A job that throws must not kill the worker thread silently: the first
+/// exception is captured and rethrown from wait(), after the queue drains.
+TEST(ThreadPoolTest, WaitRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("job exploded"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure did not take the pool down: later jobs still run.
+  EXPECT_EQ(completed.load(), 20);
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait();  // error already consumed — no rethrow
+  EXPECT_EQ(completed.load(), 21);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsAtMostOnce) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("once"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+  pool.wait();  // second wait sees a clean pool
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 1);  // shutdown drains queued work first
+  EXPECT_THROW(pool.submit([&count] { count.fetch_add(1); }),
+               std::runtime_error);
+  EXPECT_EQ(count.load(), 1);
+  pool.shutdown();  // idempotent
 }
 
 TEST(ParallelMapTest, PreservesInputOrder) {
