@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Point> points;
   double base_jobs_per_sec = 0.0;
+  std::string metrics_json;
 
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {
     engine::EngineOptions options;
@@ -96,6 +97,10 @@ int main(int argc, char** argv) {
     // Warm-up pass amortizes first-touch costs; measured pass follows.
     (void)eng.run(manifest);
     const engine::BatchResult result = eng.run(manifest);
+    // The last point's registry (counters + latency histograms with
+    // p50/p95/p99) is embedded in the JSON so the perf trajectory captures
+    // the latency distributions, not just jobs/sec.
+    metrics_json = eng.metrics().to_json();
     if (result.failed_count() != 0) {
       std::fprintf(stderr, "engine_throughput: %zu jobs failed\n",
                    result.failed_count());
@@ -138,7 +143,10 @@ int main(int argc, char** argv) {
                   p.mb_per_sec, speedup);
     json += entry;
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n  \"metrics\": ";
+  while (!metrics_json.empty() && metrics_json.back() == '\n') metrics_json.pop_back();
+  json += metrics_json;
+  json += "\n}\n";
   std::printf("%s\n", table.render().c_str());
   return tdc::exp::write_bench_json("engine_throughput", json) ? 0 : 1;
 }

@@ -17,18 +17,26 @@
 //                                                [--jobs N] [--fail-fast]
 //                                                [--out-dir D] [--no-verify]
 //                                                [--metrics out.json]
-//   tdc_cli stats <netlist>                      structural report
-//                                                (.bench or .v by extension)
+//   tdc_cli stats <input> [--out F]              telemetry JSON for a
+//                                                .tests (encode+decode) or
+//                                                .tdclzw (decode) stream;
+//                                                netlist structural report
+//                                                for .bench / .v
 //   tdc_cli convert <in> <out>                   .bench <-> .v
 //   tdc_cli wave <in.tdclzw> <out.vcd> [k]       GTKWave dump of the
 //                                                decompressor running the
 //                                                image at clock ratio k
+//
+// Every subcommand additionally accepts `--trace <file>` (or $TDC_TRACE):
+// the whole invocation is recorded as Chrome trace_event JSON, viewable in
+// Perfetto / chrome://tracing.
 //
 // The .tests format is the plain-text cube format of scan/testset_io.h;
 // .tdclzw is the binary compressed container of lzw/stream_io.h (TDCLZW2
 // by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -46,6 +54,9 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "netlist/verilog_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scan/testset_io.h"
 
 namespace {
@@ -58,16 +69,20 @@ int usage() {
                "  tdc_cli gen <circuit> <out.tests>\n"
                "  tdc_cli compress <in.tests> <out.tdclzw> [--dict N] [--char C]"
                " [--entry E]\n"
-               "              [--variable] [--v1] [--chunk-bytes N]\n"
+               "              [--variable] [--v1] [--chunk-bytes N]"
+               " [--stats <out.json>]\n"
                "  tdc_cli compress <in.tests>... --out-dir <dir> [--jobs N] [...]\n"
                "  tdc_cli decompress <in.tdclzw> <out.tests>\n"
                "  tdc_cli inspect <file>        (alias: info)\n"
                "  tdc_cli verify <in.tdclzw>... [--jobs N]\n"
                "  tdc_cli batch <manifest> [--jobs N] [--fail-fast] [--no-verify]\n"
                "              [--out-dir <dir>] [--queue N] [--metrics <out.json>]\n"
-               "  tdc_cli stats <netlist.bench|netlist.v>\n"
+               "  tdc_cli stats <in.tests|in.tdclzw|netlist.bench|netlist.v>"
+               " [--out <f>]\n"
+               "              [--dict N] [--char C] [--entry E] [--variable]\n"
                "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
-               "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n");
+               "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n"
+               "global: --trace <file> (or $TDC_TRACE) records a Chrome trace\n");
   return 2;
 }
 
@@ -148,12 +163,118 @@ int cmd_wave(exp::Args& args) {
   return 0;
 }
 
+/// Deterministic per-stream telemetry JSON: identity + ratio breakdown up
+/// front, then the encoder/decoder instrument sections. No timestamps, no
+/// environment — byte-identical for the same input and flags on every run.
+std::string stream_stats_json(const std::string& input, const char* source,
+                              const lzw::LzwConfig& config,
+                              std::uint64_t original_bits,
+                              std::uint64_t compressed_bits,
+                              std::uint64_t code_count,
+                              const lzw::ContainerInfo* container,
+                              const lzw::EncoderTelemetry* encoder,
+                              const lzw::DecoderTelemetry* decoder) {
+  const double ratio =
+      original_bits == 0
+          ? 0.0
+          : (1.0 - static_cast<double>(compressed_bits) /
+                       static_cast<double>(original_bits)) *
+                100.0;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"input\": \"%s\",\n"
+                "  \"source\": \"%s\",\n"
+                "  \"config\": \"%s%s\",\n"
+                "  \"original_bits\": %llu,\n"
+                "  \"compressed_bits\": %llu,\n"
+                "  \"codes\": %llu,\n"
+                "  \"ratio_percent\": %.3f",
+                obs::json_escape(input).c_str(), source,
+                obs::json_escape(config.describe()).c_str(),
+                config.variable_width ? " variable-width" : "",
+                static_cast<unsigned long long>(original_bits),
+                static_cast<unsigned long long>(compressed_bits),
+                static_cast<unsigned long long>(code_count), ratio);
+  std::string json = buf;
+  if (container != nullptr) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"container\": {\"version\": %u, \"header_bytes\": %llu,"
+                  " \"payload_bytes\": %llu, \"chunk_bytes\": %u,"
+                  " \"chunk_count\": %u}",
+                  container->version,
+                  static_cast<unsigned long long>(container->header_bytes),
+                  static_cast<unsigned long long>(container->payload_bytes),
+                  container->chunk_bytes, container->chunk_count);
+    json += buf;
+  }
+  if (encoder != nullptr) json += ",\n  \"encoder\": " + encoder->to_json();
+  if (decoder != nullptr) json += ",\n  \"decoder\": " + decoder->to_json();
+  json += "\n}\n";
+  return json;
+}
+
+/// Writes `text` to `--out <file>` when given, stdout otherwise.
+int emit_text(const std::optional<std::string>& out_path, const std::string& text) {
+  if (!out_path) {
+    std::printf("%s", text.c_str());
+    return 0;
+  }
+  std::ofstream out(*out_path);
+  if (!(out << text)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_stats(exp::Args& args) {
+  lzw::LzwConfig config;
+  config.variable_width = args.flag("--variable");
+  config.dict_size = args.u32("--dict", config.dict_size);
+  config.char_bits = args.u32("--char", config.char_bits);
+  config.entry_bits = args.u32("--entry", config.entry_bits);
+  const std::optional<std::string> out_path = args.value("--out");
   std::vector<std::string> pos;
   if (!accept(args, 1, 1, &pos)) return usage();
-  const netlist::Netlist nl = load_netlist(pos[0]);
-  std::printf("%s", netlist::analyze(nl).report().c_str());
-  return 0;
+  const std::string& path = pos[0];
+
+  // Netlists keep the historical structural report.
+  if (ends_with(path, ".bench") || ends_with(path, ".v")) {
+    const netlist::Netlist nl = load_netlist(path);
+    std::printf("%s", netlist::analyze(nl).report().c_str());
+    return 0;
+  }
+
+  // A compressed container: decode it and report the expansion-side numbers.
+  if (Result<lzw::CompressedImage> image = lzw::try_read_image_file(path);
+      image.ok()) {
+    const lzw::CompressedImage& img = image.value();
+    const Result<lzw::DecodeResult> decoded = img.try_decode();
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   decoded.error().describe().c_str());
+      return 1;
+    }
+    return emit_text(out_path,
+                     stream_stats_json(path, "container", img.config,
+                                       img.original_bits, img.stream.bit_count(),
+                                       img.code_count, &img.container, nullptr,
+                                       &decoded.value().telemetry));
+  }
+
+  // A raw test set: run the full encode + decode cycle and report both sides.
+  config.validate();
+  const scan::TestSet tests = scan::read_tests_file(path);
+  const bits::TritVector stream = tests.serialize();
+  const auto encoded = lzw::Encoder(config).encode(stream);
+  const auto decoded =
+      lzw::Decoder(config).decode(encoded.codes, encoded.original_bits);
+  return emit_text(out_path,
+                   stream_stats_json(path, "tests", config, encoded.original_bits,
+                                     encoded.compressed_bits(),
+                                     encoded.codes.size(), nullptr,
+                                     &encoded.telemetry, &decoded.telemetry));
 }
 
 int cmd_convert(exp::Args& args) {
@@ -188,11 +309,18 @@ int cmd_gen(exp::Args& args) {
   return 0;
 }
 
-/// One verified compress of `in` to `out`; returns the success line or
-/// throws. Shared by the single-file and the parallel --out-dir paths.
-std::string compress_one(const std::string& in, const std::string& out,
-                         const lzw::LzwConfig& config,
-                         const lzw::ContainerOptions& container) {
+/// One verified compress of `in` to `out`; returns the success line plus the
+/// stream's telemetry JSON (for --stats), or throws. Shared by the
+/// single-file and the parallel --out-dir paths.
+struct CompressOutcome {
+  std::string line;
+  std::string stats_json;
+};
+
+CompressOutcome compress_one(const std::string& in, const std::string& out,
+                             const lzw::LzwConfig& config,
+                             const lzw::ContainerOptions& container) {
+  obs::TraceSpan span("cli.compress");
   const scan::TestSet tests = scan::read_tests_file(in);
   const bits::TritVector stream = tests.serialize();
   const auto encoded = lzw::Encoder(config).encode(stream);
@@ -208,7 +336,14 @@ std::string compress_one(const std::string& in, const std::string& out,
                 static_cast<unsigned long long>(encoded.compressed_bits()),
                 encoded.ratio_percent(), config.describe().c_str(),
                 container.version, out.c_str());
-  return buf;
+  CompressOutcome outcome;
+  outcome.line = buf;
+  outcome.stats_json = stream_stats_json(in, "tests", config,
+                                         encoded.original_bits,
+                                         encoded.compressed_bits(),
+                                         encoded.codes.size(), nullptr,
+                                         &encoded.telemetry, nullptr);
+  return outcome;
 }
 
 std::string basename_of(const std::string& path) {
@@ -226,22 +361,45 @@ int cmd_compress(exp::Args& args) {
   if (args.flag("--v1")) container.version = 1;
   container.chunk_bytes = args.u32("--chunk-bytes", container.chunk_bytes);
   const std::optional<std::string> out_dir = args.value("--out-dir");
+  const std::optional<std::string> stats_path = args.value("--stats");
   const unsigned jobs = args.jobs();
 
   std::vector<std::string> pos;
   if (!accept(args, out_dir ? 1 : 2, out_dir ? 9999 : 2, &pos)) return usage();
   config.validate();
 
+  // --stats: per-stream telemetry JSON, one object per input in argument
+  // order — byte-identical for any --jobs count.
+  const auto write_stats = [&](const std::vector<CompressOutcome>& outcomes) {
+    if (!stats_path) return 0;
+    std::string json;
+    if (outcomes.size() == 1) {
+      json = outcomes[0].stats_json;
+    } else {
+      json = "[\n";
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        json += outcomes[i].stats_json;
+        if (i + 1 < outcomes.size()) {
+          json.pop_back();  // swap the trailing newline for a separator
+          json += ",\n";
+        }
+      }
+      json += "]\n";
+    }
+    return emit_text(stats_path, json);
+  };
+
   if (!out_dir) {
-    std::printf("%s\n", compress_one(pos[0], pos[1], config, container).c_str());
-    return 0;
+    const CompressOutcome outcome = compress_one(pos[0], pos[1], config, container);
+    std::printf("%s\n", outcome.line.c_str());
+    return write_stats({outcome});
   }
 
   // --out-dir: every positional is an input; <dir>/<stem>.tdclzw each,
   // compressed across the pool, lines printed in input order.
   std::filesystem::create_directories(*out_dir);
   exp::ThreadPool pool(jobs);
-  const auto lines =
+  const auto outcomes =
       exp::parallel_map(pool, pos, [&](const std::string& in) {
         std::string stem = basename_of(in);
         if (const std::size_t dot = stem.rfind(".tests");
@@ -251,8 +409,8 @@ int cmd_compress(exp::Args& args) {
         return compress_one(in, *out_dir + "/" + stem + ".tdclzw", config,
                             container);
       });
-  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
-  return 0;
+  for (const CompressOutcome& o : outcomes) std::printf("%s\n", o.line.c_str());
+  return write_stats(outcomes);
 }
 
 int cmd_decompress(exp::Args& args) {
@@ -304,6 +462,22 @@ int cmd_inspect(exp::Args& args) {
                            static_cast<double>(img.original_bits)) *
                     100.0);
     std::printf("%s\n", container_line(img.container).c_str());
+    if (img.container.chunk_count > 0) {
+      // Per-chunk payload-size distribution through the shared obs
+      // histogram — every chunk is chunk_bytes except the final remainder.
+      obs::LocalHistogram chunk_sizes;
+      const lzw::ContainerInfo& c = img.container;
+      for (std::uint32_t i = 0; i < c.chunk_count; ++i) {
+        const std::uint64_t size =
+            i + 1 < c.chunk_count
+                ? c.chunk_bytes
+                : c.payload_bytes -
+                      static_cast<std::uint64_t>(c.chunk_count - 1) * c.chunk_bytes;
+        chunk_sizes.record(size);
+      }
+      std::printf("chunk payload bytes: %s\n",
+                  obs::snapshot_summary_line(chunk_sizes.snapshot()).c_str());
+    }
     return 0;
   }
   // Not a readable container: try the .tests format.
@@ -433,19 +607,34 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   exp::Args args(argc - 2, argv + 2);
+
+  // --trace <file> / $TDC_TRACE: record every span of this invocation and
+  // flush them as Chrome trace_event JSON (Perfetto / chrome://tracing) on
+  // the way out — including the error paths.
+  std::optional<std::string> trace_path = args.value("--trace");
+  if (!trace_path) {
+    if (const char* env = std::getenv("TDC_TRACE"); env != nullptr && *env != '\0') {
+      trace_path = env;
+    }
+  }
+  if (trace_path) obs::TraceRecorder::global().enable(*trace_path);
+
+  int rc = 2;
   try {
-    if (cmd == "gen") return cmd_gen(args);
-    if (cmd == "compress") return cmd_compress(args);
-    if (cmd == "decompress") return cmd_decompress(args);
-    if (cmd == "inspect" || cmd == "info") return cmd_inspect(args);
-    if (cmd == "verify") return cmd_verify(args);
-    if (cmd == "batch") return cmd_batch(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "convert") return cmd_convert(args);
-    if (cmd == "wave") return cmd_wave(args);
+    if (cmd == "gen") rc = cmd_gen(args);
+    else if (cmd == "compress") rc = cmd_compress(args);
+    else if (cmd == "decompress") rc = cmd_decompress(args);
+    else if (cmd == "inspect" || cmd == "info") rc = cmd_inspect(args);
+    else if (cmd == "verify") rc = cmd_verify(args);
+    else if (cmd == "batch") rc = cmd_batch(args);
+    else if (cmd == "stats") rc = cmd_stats(args);
+    else if (cmd == "convert") rc = cmd_convert(args);
+    else if (cmd == "wave") rc = cmd_wave(args);
+    else rc = usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (trace_path && !obs::TraceRecorder::global().flush() && rc == 0) rc = 1;
+  return rc;
 }

@@ -5,6 +5,7 @@
 #include "bits/bitstream.h"
 #include "lzw/decoder.h"
 #include "lzw/verify.h"
+#include "obs/trace.h"
 
 namespace tdc::codec {
 
@@ -27,12 +28,16 @@ Result<Codec::Output> guarded(const Fn& fn) {
 }  // namespace
 
 Result<CodecStats> Codec::compress(const bits::TritVector& input) const {
+  obs::TraceSpan span("codec.compress");
+  if (obs::TraceRecorder::global().enabled()) span.arg("codec", name());
   Result<Output> out = run(input);
   if (!out.ok()) return out.error();
   return std::move(out).take().stats;
 }
 
 Result<CodecStats> Codec::round_trip(const bits::TritVector& input) const {
+  obs::TraceSpan span("codec.round_trip");
+  if (obs::TraceRecorder::global().enabled()) span.arg("codec", name());
   Result<Output> out = run(input);
   if (!out.ok()) return out.error();
   const Output& o = out.value();

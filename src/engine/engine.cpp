@@ -16,6 +16,7 @@
 #include "exp/thread_pool.h"
 #include "lzw/stream_io.h"
 #include "lzw/verify.h"
+#include "obs/trace.h"
 #include "scan/testset_io.h"
 
 namespace tdc::engine {
@@ -252,6 +253,10 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
           ? options_.queue_capacity
           : std::max<std::size_t>(2 * static_cast<std::size_t>(workers), 4);
 
+  obs::TraceSpan run_span("engine.run");
+  run_span.arg("jobs", static_cast<std::uint64_t>(manifest.jobs.size()));
+  run_span.arg("workers", static_cast<std::uint64_t>(workers));
+
   RunState run(capacity);
   MetricsRegistry& m = *metrics_;
   const StageMetrics load_m = make_stage_metrics(m, "load");
@@ -268,9 +273,11 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   const bool fail_fast = options_.fail_fast;
   const bool do_verify = options_.verify;
 
-  // One stage execution: skip failed/cancelled jobs, time the body, map the
-  // result onto the job and the stage instruments.
-  const auto process = [&run, fail_fast](const StageMetrics& sm, Job& job,
+  // One stage execution: skip failed/cancelled jobs, time the body (a
+  // ScopedTimer for the histogram plus a trace span carrying the job name),
+  // map the result onto the job and the stage instruments.
+  const auto process = [&run, fail_fast](const StageMetrics& sm,
+                                         const char* span_name, Job& job,
                                          const std::function<Status(Job&)>& body) {
     sm.in->add();
     if (!job.failed && run.cancelled.load(std::memory_order_relaxed) &&
@@ -283,6 +290,8 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
     }
     Status status;
     {
+      obs::TraceSpan span(span_name);
+      span.arg("job", job.outcome.name);
       ScopedTimer timer(*sm.micros);
       status = body(job);
     }
@@ -324,10 +333,11 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
 
   std::vector<Stage> stages;
   stages.push_back(spawn_stage(run.to_load, run.to_encode, [&](Job& job) {
-    process(load_m, job, [&run](Job& j) { return stage_load(run, j); });
+    process(load_m, "engine.load", job,
+            [&run](Job& j) { return stage_load(run, j); });
   }));
   stages.push_back(spawn_stage(run.to_encode, run.to_container, [&](Job& job) {
-    process(encode_m, job, [&bits_in, &bits_out](Job& j) {
+    process(encode_m, "engine.encode", job, [&bits_in, &bits_out](Job& j) {
       const Status status = stage_encode(j);
       if (status.ok()) {
         bits_in.add(j.outcome.original_bits);
@@ -337,11 +347,13 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
     });
   }));
   stages.push_back(spawn_stage(run.to_container, run.to_verify, [&](Job& job) {
-    process(container_m, job, [](Job& j) { return stage_container(j); });
+    process(container_m, "engine.container", job,
+            [](Job& j) { return stage_container(j); });
   }));
   stages.push_back(spawn_stage(run.to_verify, run.done, [&](Job& job) {
     if (!do_verify) return;  // stage disabled: pass through untouched
-    process(verify_m, job, [](Job& j) { return stage_verify(j); });
+    process(verify_m, "engine.verify", job,
+            [](Job& j) { return stage_verify(j); });
   }));
 
   // Feeder: materializes jobs into the first queue. Must be its own thread —
@@ -379,6 +391,8 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
     } else if (!job->outcome.output_path.empty()) {
       Status status;
       {
+        obs::TraceSpan span("engine.commit");
+        span.arg("job", job->outcome.name);
         ScopedTimer timer(*commit_m.micros);
         status = guarded([&]() -> Status {
           const std::filesystem::path target(job->outcome.output_path);

@@ -1,97 +1,18 @@
 #ifndef TDC_ENGINE_METRICS_H
 #define TDC_ENGINE_METRICS_H
 
-#include <array>
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
+// The metrics instruments were born here and moved down into tdc::obs so
+// the codec core and the CLI can record through the same types without
+// linking the engine. This header keeps every historical tdc::engine
+// spelling (Counter, Histogram, ScopedTimer, MetricsRegistry) working.
+#include "obs/metrics.h"
 
 namespace tdc::engine {
 
-/// Monotonic event counter (thread-safe, relaxed — counters are statistics,
-/// not synchronization).
-class Counter {
- public:
-  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Log2-bucketed histogram: bucket b counts samples in [2^(b-1), 2^b).
-/// The engine records stage latencies in microseconds and payload sizes in
-/// bytes through these; 48 buckets cover ~3 days in µs and ~256 TB in bytes.
-class Histogram {
- public:
-  static constexpr std::size_t kBuckets = 48;
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    std::uint64_t sum = 0;
-    std::uint64_t min = 0;
-    std::uint64_t max = 0;
-    std::array<std::uint64_t, kBuckets> buckets{};
-
-    double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
-  };
-
-  void record(std::uint64_t value);
-  Snapshot snapshot() const;
-
- private:
-  mutable std::mutex mutex_;
-  Snapshot data_;
-};
-
-/// Records the lifetime of the scope into a histogram as microseconds —
-/// wrap one stage execution and the latency lands in `<stage>.micros`.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(Histogram& histogram)
-      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
-
-  ~ScopedTimer() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    histogram_.record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
-  }
-
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-
- private:
-  Histogram& histogram_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Named counters + histograms, created on first use and stable for the
-/// registry's lifetime — the engine instruments every stage through one of
-/// these, and benches read the same numbers the production path records.
-///
-/// counter()/histogram() return references that stay valid until the
-/// registry is destroyed, so hot paths resolve a name once and keep the
-/// pointer. to_json() is a consistent-enough snapshot for reporting: each
-/// instrument is read atomically, the set of instruments under a lock.
-class MetricsRegistry {
- public:
-  Counter& counter(const std::string& name);
-  Histogram& histogram(const std::string& name);
-
-  /// {"counters": {name: value, ...}, "histograms": {name: {count, sum,
-  /// min, max, mean, buckets: [[upper_bound, count], ...]}, ...}} — keys
-  /// sorted (std::map), so the rendering is deterministic.
-  std::string to_json() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-};
+using Counter = obs::Counter;
+using Histogram = obs::Histogram;
+using ScopedTimer = obs::ScopedTimer;
+using MetricsRegistry = obs::MetricsRegistry;
 
 }  // namespace tdc::engine
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace tdc::exp {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -70,6 +72,9 @@ void ThreadPool::worker_loop() {
       ++in_flight_;
     }
     try {
+      // One span per work item: sweeps and the parallel CLI paths show up in
+      // the trace as pool.task rows on their worker thread's track.
+      obs::TraceSpan span("pool.task");
       job();
     } catch (...) {
       std::unique_lock lock(mutex_);

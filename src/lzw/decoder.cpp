@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.h"
+
 namespace tdc::lzw {
 
 Result<DecodeResult> Decoder::try_decode(const std::vector<std::uint32_t>& codes,
@@ -17,8 +19,10 @@ Result<DecodeResult> Decoder::decode_impl(
     const std::function<std::optional<std::uint32_t>(std::uint32_t)>& next_code,
     const std::function<std::int64_t()>& tell, std::size_t code_count,
     std::uint64_t original_bits) const {
+  obs::TraceSpan span("lzw.decode");
   Dictionary dict(config_);
   DecodeResult result;
+  DecoderTelemetry& tel = result.telemetry;
 
   std::uint32_t prev = kNoCode;
   for (std::size_t idx = 0; idx < code_count; ++idx) {
@@ -39,6 +43,7 @@ Result<DecodeResult> Decoder::decode_impl(
       return err;
     }
     const std::uint32_t code = *fetched;
+    ++tel.codes_consumed;
     std::vector<std::uint32_t> entry;
     if (dict.defined(code)) {
       entry = dict.expand(code);
@@ -51,6 +56,7 @@ Result<DecodeResult> Decoder::decode_impl(
       // as KwKwK would leave `code` undefined and poison `prev`.
       entry = dict.expand(prev);
       entry.push_back(dict.first_char(prev));
+      ++tel.kwkwk_codes;
     } else {
       Error err{ErrorKind::UndefinedCode,
                 "code value " + std::to_string(code) + " undefined (dictionary holds " +
@@ -64,10 +70,11 @@ Result<DecodeResult> Decoder::decode_impl(
       // Mirror of the encoder's dictionary insertion; Dictionary::add
       // enforces the identical freeze (capacity) and C_MDATA (width) rules.
       if (dict.child(prev, entry.front()) == kNoCode) {
-        dict.add(prev, entry.front());
+        if (dict.add(prev, entry.front()) != kNoCode) ++tel.entries_added;
       }
     }
 
+    tel.expansion_chars.record(entry.size());
     result.chars.insert(result.chars.end(), entry.begin(), entry.end());
     prev = code;
   }
@@ -90,6 +97,8 @@ Result<DecodeResult> Decoder::decode_impl(
   }
 
   result.dict_codes_used = dict.size();
+  span.arg("codes", tel.codes_consumed);
+  span.arg("output_bits", static_cast<std::uint64_t>(result.bits.size()));
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "core/error.h"
 #include "lzw/config.h"
 #include "lzw/dictionary.h"
+#include "lzw/telemetry.h"
 
 namespace tdc::lzw {
 
@@ -27,6 +28,11 @@ struct DecodeResult {
   /// equals the encoder's count, or exceeds it by one trailing entry
   /// (the decoder also learns from the final code).
   std::uint32_t dict_codes_used = 0;
+
+  /// Hot-path telemetry: codes consumed, KwKwK hits, expansion-length
+  /// histogram. Always collected (plain local increments, no locks);
+  /// surfaced by `tdc_cli stats` on a container.
+  DecoderTelemetry telemetry;
 };
 
 /// Software reference model of the LZW decompressor (paper §4 / Fig. 4),

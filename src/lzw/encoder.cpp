@@ -1,10 +1,12 @@
 #include "lzw/encoder.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
 
 #include "bits/rng.h"
+#include "obs/trace.h"
 
 namespace tdc::lzw {
 
@@ -29,6 +31,31 @@ bits::TritVector prefill(const bits::TritVector& input, XAssignMode mode,
     }
   }
   return input;
+}
+
+/// Builds the per-stream emission histograms after the loop: match lengths
+/// are counted from the already-recorded code_lengths (one array increment
+/// per code, then at most 64 O(1) add_repeated folds), code widths from the
+/// small per-width count array the emit path maintained. Equivalent to
+/// recording each sample inline — the accumulate operations commute — but
+/// keeps the full histogram update off the hot emit path (micro_codec pins
+/// the telemetry overhead under 2%).
+void fold_emit_histograms(EncodeResult& result,
+                          const std::array<std::uint64_t, 33>& width_counts) {
+  std::array<std::uint64_t, 64> len_counts{};
+  for (const std::uint32_t len : result.code_lengths) {
+    if (len < len_counts.size()) {
+      ++len_counts[len];
+    } else {
+      result.telemetry.match_chars.record(len);  // exotic config, cold
+    }
+  }
+  for (std::size_t len = 0; len < len_counts.size(); ++len) {
+    result.telemetry.match_chars.record_repeated(len, len_counts[len]);
+  }
+  for (std::size_t w = 0; w < width_counts.size(); ++w) {
+    result.telemetry.code_width_bits.record_repeated(w, width_counts[w]);
+  }
 }
 
 }  // namespace
@@ -104,9 +131,18 @@ std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
 EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode,
                              std::uint64_t rng_seed,
                              const StepObserver& observer) const {
+  obs::TraceSpan span("lzw.encode");
   const bits::TritVector input = prefill(raw_input, mode, rng_seed);
-  return strategy_ == MatchStrategy::Indexed ? encode_indexed(input, observer)
-                                             : encode_legacy(input, observer);
+  EncodeResult result = strategy_ == MatchStrategy::Indexed
+                            ? encode_indexed(input, observer)
+                            : encode_legacy(input, observer);
+  if (mode != XAssignMode::Dynamic) {
+    // A pre-fill mode resolved every X bit before the loop saw the stream.
+    result.telemetry.x_bits_prefilled = raw_input.x_count();
+  }
+  span.arg("input_bits", result.original_bits);
+  span.arg("codes", static_cast<std::uint64_t>(result.codes.size()));
+  return result;
 }
 
 EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
@@ -123,6 +159,8 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
   result.code_lengths.reserve(result.input_chars);
 
   Dictionary dict(config_);
+  const std::uint32_t initial_codes = dict.size();
+  const bool initially_full = dict.full();
   bits::CharCursor cursor(input, cc);
   const std::uint64_t full_care = cc >= 64 ? ~0ULL : (1ULL << cc) - 1;
   const std::uint32_t fixed_width = config_.code_bits();
@@ -132,6 +170,24 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
   // emission k only while processing emission k+1), so each code must be
   // sized by the dictionary state *before* the encoder's latest add —
   // the classic LZW width-change timing.
+  EncoderTelemetry& tel = result.telemetry;
+  // Telemetry discipline for this loop: anything derivable from loop
+  // invariants is reconstructed after the loop (probes = chars - 1,
+  // extensions = chars - codes, x_input = x_count + tail padding), and the
+  // X-bit split is counted where a character's X bits are *zeroed* — the
+  // cold init/emit branches — with the matched total derived as
+  // x_input - x_zeroed, because every character is consumed by exactly one
+  // branch. The match branch, the hottest code in the repo, carries zero
+  // added work. The only live counter on a hot path is n_probes_scan, a
+  // register increment folded into the scan arm whose pick_child call
+  // dwarfs it (micro_codec pins the total overhead under 2%).
+  std::uint64_t n_probes_scan = 0, n_x_zeroed = 0;
+  // Per-emit histogram samples are counted into this plain array (one
+  // increment each — code widths never exceed 32 bits) and folded into the
+  // code_width_bits histogram after the loop with add_repeated(); a full
+  // histogram add per emission is measurable in micro_codec. match_chars is
+  // rebuilt from result.code_lengths the same way.
+  std::array<std::uint64_t, 33> width_counts{};
   std::uint32_t width_basis = dict.size();
   auto emit = [&](std::uint32_t code) {
     result.codes.push_back(code);
@@ -144,6 +200,7 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
                        fixed_width)
             : fixed_width;
     result.stream.write(code, width);
+    ++width_counts[width];
     result.longest_match_bits =
         std::max(result.longest_match_bits, dict.length_bits(code));
   };
@@ -157,15 +214,18 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
     if (buffer == kNoCode) {
       // First character of the message: bind its X bits (to 0) and start
       // the match at the corresponding literal root.
+      n_x_zeroed += static_cast<std::uint64_t>(std::popcount(full_care & ~care));
       buffer = static_cast<std::uint32_t>(value & care);
     } else if (const std::uint32_t child =
                    care == full_care
                        // Fully specified character: exactly one child can be
                        // compatible, so every Tiebreak agrees and the O(1)
-                       // hash probe replaces the list scan.
+                       // hash probe replaces the list scan. Only the scan
+                       // path counts probes — the fast total is derived.
                        ? dict.child(buffer, static_cast<std::uint32_t>(value))
-                       : pick_child(dict, buffer, value, care, cursor, i,
-                                    result.input_chars);
+                       : (++n_probes_scan,
+                          pick_child(dict, buffer, value, care, cursor, i,
+                                     result.input_chars));
                child != kNoCode) {
       // The (Buffer, Input) pair exists (for some legal X binding): keep
       // matching. The X bits are hereby bound to the child's character.
@@ -175,6 +235,7 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
       // with a concrete binding of the X bits, and restart the match there.
       emit(buffer);
       step.emitted = buffer;
+      n_x_zeroed += static_cast<std::uint64_t>(std::popcount(full_care & ~care));
       const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0
       width_basis = dict.size();
       step.new_entry = dict.add(buffer, ch);
@@ -193,6 +254,25 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
                            .emitted = buffer});
     }
   }
+  // Reconstruct the derivable counters from loop invariants: every character
+  // after the first probes exactly once, a probe either extends or ends a
+  // match (the final emit is outside the loop), every X bit — including
+  // the X padding of a partial tail character — is bound exactly once
+  // (either to a matched child on the hot branch or to 0 on a cold branch),
+  // the dictionary grows by one per successful add and never shrinks, and
+  // "full" is entered at most once and never left.
+  const std::uint64_t probes =
+      result.input_chars > 0 ? result.input_chars - 1 : 0;
+  tel.probes_scan = n_probes_scan;
+  tel.probes_fast = probes - n_probes_scan;
+  tel.match_extensions = result.input_chars - result.codes.size();
+  tel.x_bits_input =
+      input.x_count() + (result.input_chars * cc - input.size());
+  tel.x_bits_zeroed = n_x_zeroed;
+  tel.x_bits_matched = tel.x_bits_input - n_x_zeroed;
+  tel.entries_added = dict.size() - initial_codes;
+  tel.dict_full_events = !initially_full && dict.full() ? 1 : 0;
+  fold_emit_histograms(result, width_counts);
 
   result.dict_codes_used = dict.size();
   result.longest_entry_bits = dict.longest_entry_bits();
@@ -215,8 +295,21 @@ EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
   result.input_chars = (input.size() + cc - 1) / cc;
 
   Dictionary dict(config_);
+  const std::uint32_t initial_codes = dict.size();
+  const bool initially_full = dict.full();
   bits::CharCursor cursor(input, cc);  // feeds only the Lookahead probe
+  const std::uint64_t full_care = cc >= 64 ? ~0ULL : (1ULL << cc) - 1;
 
+  // Same always-on telemetry as the indexed path; every probe counts as a
+  // scan here because the legacy strategy never consults the hash index.
+  EncoderTelemetry& tel = result.telemetry;
+  // Same derive-after-the-loop discipline as the indexed path (see the
+  // comment there): the legacy loop is the micro_codec baseline, so its
+  // telemetry must not cost more than the indexed path's either. Every
+  // legacy probe is a scan, so not even a probe counter is needed — the
+  // X-bit split is counted in the cold init/emit branches alone.
+  std::uint64_t n_x_zeroed = 0;
+  std::array<std::uint64_t, 33> width_counts{};
   std::uint32_t width_basis = dict.size();
   auto emit = [&](std::uint32_t code) {
     result.codes.push_back(code);
@@ -231,6 +324,7 @@ EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
     for (std::uint32_t b = width; b-- > 0;) {
       result.stream.write_bit(((code >> b) & 1u) != 0);
     }
+    ++width_counts[width];
     result.longest_match_bits =
         std::max(result.longest_match_bits, dict.length_bits(code));
   };
@@ -244,6 +338,7 @@ EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
                      .buffer_before = buffer};
 
     if (buffer == kNoCode) {
+      n_x_zeroed += static_cast<std::uint64_t>(std::popcount(full_care & ~care));
       buffer = static_cast<std::uint32_t>(value & care);
     } else if (const std::uint32_t child = pick_child(
                    dict, buffer, value, care, cursor, i, result.input_chars);
@@ -252,6 +347,7 @@ EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
     } else {
       emit(buffer);
       step.emitted = buffer;
+      n_x_zeroed += static_cast<std::uint64_t>(std::popcount(full_care & ~care));
       const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0
       width_basis = dict.size();
       step.new_entry = dict.add(buffer, ch);
@@ -270,6 +366,17 @@ EncodeResult Encoder::encode_legacy(const bits::TritVector& input,
                            .emitted = buffer});
     }
   }
+  // Derived exactly as in the indexed path; the legacy strategy never
+  // consults the hash index, so every probe is a scan.
+  tel.probes_scan = result.input_chars > 0 ? result.input_chars - 1 : 0;
+  tel.match_extensions = result.input_chars - result.codes.size();
+  tel.x_bits_input =
+      input.x_count() + (result.input_chars * cc - input.size());
+  tel.x_bits_zeroed = n_x_zeroed;
+  tel.x_bits_matched = tel.x_bits_input - n_x_zeroed;
+  tel.entries_added = dict.size() - initial_codes;
+  tel.dict_full_events = !initially_full && dict.full() ? 1 : 0;
+  fold_emit_histograms(result, width_counts);
 
   result.dict_codes_used = dict.size();
   result.longest_entry_bits = dict.longest_entry_bits();

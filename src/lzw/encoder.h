@@ -9,6 +9,7 @@
 #include "bits/tritvector.h"
 #include "lzw/config.h"
 #include "lzw/dictionary.h"
+#include "lzw/telemetry.h"
 
 namespace tdc::lzw {
 
@@ -85,6 +86,11 @@ struct EncodeResult {
 
   /// Longest single emitted match, in bits.
   std::uint64_t longest_match_bits = 0;
+
+  /// Hot-path telemetry: dictionary probe mix, X-bit binding accounting,
+  /// match-length and code-width histograms. Always collected (plain local
+  /// increments, no locks); surfaced by `tdc_cli stats` and the benches.
+  EncoderTelemetry telemetry;
 
   /// Compressed size in bits (#codes * C_E for fixed-width codes; the
   /// exact packed size when config.variable_width is set).

@@ -1,0 +1,44 @@
+#include "lzw/telemetry.h"
+
+namespace tdc::lzw {
+
+namespace {
+
+std::string field(const char* name, std::uint64_t value, bool last = false) {
+  return std::string("\"") + name + "\": " + std::to_string(value) +
+         (last ? "" : ", ");
+}
+
+}  // namespace
+
+std::string EncoderTelemetry::to_json() const {
+  std::string json = "{";
+  json += field("probes_fast", probes_fast);
+  json += field("probes_scan", probes_scan);
+  json += field("match_extensions", match_extensions);
+  json += field("x_bits_input", x_bits_input);
+  json += field("x_bits_matched", x_bits_matched);
+  json += field("x_bits_zeroed", x_bits_zeroed);
+  json += field("x_bits_prefilled", x_bits_prefilled);
+  json += field("entries_added", entries_added);
+  json += field("dict_full_events", dict_full_events);
+  json += "\"match_chars\": " + obs::snapshot_summary_json(match_chars.snapshot()) +
+          ", ";
+  json += "\"code_width_bits\": " +
+          obs::snapshot_summary_json(code_width_bits.snapshot());
+  json += "}";
+  return json;
+}
+
+std::string DecoderTelemetry::to_json() const {
+  std::string json = "{";
+  json += field("codes_consumed", codes_consumed);
+  json += field("kwkwk_codes", kwkwk_codes);
+  json += field("entries_added", entries_added);
+  json += "\"expansion_chars\": " +
+          obs::snapshot_summary_json(expansion_chars.snapshot());
+  json += "}";
+  return json;
+}
+
+}  // namespace tdc::lzw

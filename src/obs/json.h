@@ -1,0 +1,16 @@
+#ifndef TDC_OBS_JSON_H
+#define TDC_OBS_JSON_H
+
+#include <string>
+
+namespace tdc::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). A local copy of exp::json_escape so the
+/// observability layer stays dependency-free — obs sits below every other
+/// subsystem and must not pull the experiment stack into the codec core.
+std::string json_escape(const std::string& s);
+
+}  // namespace tdc::obs
+
+#endif  // TDC_OBS_JSON_H

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace tdc::obs {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample, 1-based (nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    // The rank lands in bucket b: interpolate linearly across the bucket
+    // span by the rank's position within the bucket, then clamp to the
+    // exact envelope so p0/p100 degenerate to min/max.
+    const double lower = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+    const double upper = static_cast<double>(bucket_upper(b));
+    const double within = buckets[b] <= 1
+                              ? 1.0
+                              : static_cast<double>(rank - seen) /
+                                    static_cast<double>(buckets[b]);
+    const double value = lower + (upper - lower) * within;
+    return std::clamp(value, static_cast<double>(min), static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+std::string snapshot_summary_json(const HistogramSnapshot& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                "\"max\": %llu, \"mean\": %.3f, \"p50\": %.3f, "
+                "\"p95\": %.3f, \"p99\": %.3f}",
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.sum),
+                static_cast<unsigned long long>(s.min),
+                static_cast<unsigned long long>(s.max), s.mean(), s.p50(),
+                s.p95(), s.p99());
+  return buf;
+}
+
+std::string snapshot_summary_line(const HistogramSnapshot& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu min=%llu p50=%.1f p95=%.1f p99=%.1f max=%llu "
+                "mean=%.1f",
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.min), s.p50(), s.p95(),
+                s.p99(), static_cast<unsigned long long>(s.max), s.mean());
+  return buf;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::unique_lock lock(mutex_);
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    json += first ? "\n" : ",\n";
+    json += "    \"" + json_escape(name) + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot s = histogram->snapshot();
+    json += first ? "\n" : ",\n";
+    json += "    \"" + json_escape(name) + "\": ";
+    std::string body = snapshot_summary_json(s);
+    body.pop_back();  // drop the closing '}' to append the bucket array
+    json += body + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s[%llu, %llu]", first_bucket ? "" : ", ",
+                    static_cast<unsigned long long>(bucket_upper(b)),
+                    static_cast<unsigned long long>(s.buckets[b]));
+      json += buf;
+      first_bucket = false;
+    }
+    json += "]}";
+    first = false;
+  }
+  json += first ? "}\n}\n" : "\n  }\n}\n";
+  return json;
+}
+
+}  // namespace tdc::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace tdc::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(std::string path) {
+  std::unique_lock lock(mutex_);
+  path_ = std::move(path);
+  epoch_ = std::chrono::steady_clock::now();
+  for (const auto& buffer : buffers_) {
+    std::unique_lock buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_micros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One buffer per (thread, recorder-lifetime); registered once, retained by
+  // the recorder until process exit so flush() can still drain buffers of
+  // threads that have already finished.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::unique_lock lock(mutex_);
+    b->tid = next_tid_++;
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ThreadBuffer& buffer = local_buffer();
+  std::unique_lock lock(buffer.mutex);  // uncontended except during flush
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::vector<TraceEvent> events;
+  std::unique_lock lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::unique_lock buffer_lock(buffer->mutex);
+    events.insert(events.end(), std::make_move_iterator(buffer->events.begin()),
+                  std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  // Deterministic file bytes for a given set of recorded spans: order by
+  // time, then thread, then name — never by drain order.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_micros != b.ts_micros) return a.ts_micros < b.ts_micros;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return events;
+}
+
+std::size_t TraceRecorder::event_count() {
+  std::unique_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::unique_lock buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::write_json(std::ostream& out) {
+  const std::vector<TraceEvent> events = drain();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out << (first ? "\n" : ",\n");
+    out << "{\"name\": \"" << json_escape(e.name)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << e.ts_micros << ", \"dur\": " << e.dur_micros;
+    if (!e.args.empty()) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out << ", ";
+        out << "\"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+        first_arg = false;
+      }
+      out << "}";
+    }
+    out << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool TraceRecorder::flush() {
+  std::string path;
+  {
+    std::unique_lock lock(mutex_);
+    path = path_;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tdc::obs

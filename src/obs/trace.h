@@ -1,0 +1,129 @@
+#ifndef TDC_OBS_TRACE_H
+#define TDC_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tdc::obs {
+
+/// One completed span, rendered as a Chrome trace_event "X" (complete)
+/// event: {"name", "ph": "X", "ts", "dur", "pid", "tid", "args": {…}}.
+struct TraceEvent {
+  const char* name = "";           ///< static string (span call sites)
+  std::uint64_t ts_micros = 0;     ///< begin, relative to enable()
+  std::uint64_t dur_micros = 0;
+  std::uint32_t tid = 0;           ///< small stable per-thread id
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide span recorder, off by default and near-zero cost while off:
+/// every instrumentation site is guarded by one relaxed atomic load, and no
+/// timestamp is taken, no memory touched, until enable() flips it on.
+///
+/// While enabled, finished spans are buffered per thread (each thread owns a
+/// registered buffer with its own mutex, so recording threads never contend
+/// with each other) and flush() drains every buffer into one Chrome
+/// trace_event JSON file — load it in Perfetto or chrome://tracing. Events
+/// are sorted by (ts, tid, name) before writing, so the file bytes depend
+/// only on the recorded spans' timing, never on drain order.
+///
+/// The CLI wires this to `--trace <file>` / $TDC_TRACE; tests enable and
+/// flush it directly.
+class TraceRecorder {
+ public:
+  /// The process-wide recorder every TraceSpan reports to.
+  static TraceRecorder& global();
+
+  /// Starts recording; flush() will write to `path`. Resets the time base
+  /// and drops spans from any previous recording window.
+  void enable(std::string path);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stops recording, drains every thread buffer, writes the JSON file set
+  /// by enable(). Returns false (with a message on stderr) on I/O failure.
+  bool flush();
+
+  /// Drains and renders into `out` instead of the file (test hook; also
+  /// stops recording).
+  void write_json(std::ostream& out);
+
+  /// Appends one finished span to the calling thread's buffer (no-op when
+  /// disabled — TraceSpan checks enabled() first, this re-checks cheaply).
+  void record(TraceEvent event);
+
+  /// Microseconds since enable() on the steady clock.
+  std::uint64_t now_micros() const;
+
+  /// Number of spans recorded since enable() (test hook; drains nothing).
+  std::size_t event_count();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer, registered with the recorder on first
+  /// use. shared_ptr so a buffer outlives its thread until flush().
+  ThreadBuffer& local_buffer();
+
+  std::vector<TraceEvent> drain();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  std::mutex mutex_;  // guards path_, buffers_, next_tid_
+  std::string path_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: times the enclosing scope and reports it to the global
+/// recorder on destruction. `name` must be a string literal (or otherwise
+/// outlive the span). When the recorder is disabled, construction is one
+/// relaxed atomic load and arg() is a no-op — cheap enough for per-job and
+/// per-stream call sites (not per-character loops; those use telemetry
+/// counters instead).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::global().enabled()) {
+      active_ = true;
+      event_.name = name;
+      event_.ts_micros = TraceRecorder::global().now_micros();
+    }
+  }
+
+  /// Attaches a key=value attribute (shown in the viewer's args pane).
+  void arg(const char* key, std::string value) {
+    if (active_) event_.args.emplace_back(key, std::move(value));
+  }
+  void arg(const char* key, std::uint64_t value) {
+    if (active_) event_.args.emplace_back(key, std::to_string(value));
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    event_.dur_micros = TraceRecorder::global().now_micros() - event_.ts_micros;
+    TraceRecorder::global().record(std::move(event_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace tdc::obs
+
+#endif  // TDC_OBS_TRACE_H

@@ -129,4 +129,38 @@ if "$CLI" batch "$WORK/invalid.manifest" 2>"$WORK/invalid.txt"; then
 fi
 grep -q "line 2" "$WORK/invalid.txt"
 
+# Telemetry stats surface: per-stream JSON, byte-deterministic across runs.
+"$CLI" stats "$WORK/c.tests" --dict 256 --out "$WORK/s1.json"
+"$CLI" stats "$WORK/c.tests" --dict 256 --out "$WORK/s2.json"
+cmp "$WORK/s1.json" "$WORK/s2.json"
+grep -q '"probes_fast"' "$WORK/s1.json"
+grep -q '"x_bits_matched"' "$WORK/s1.json"
+grep -q '"decoder"' "$WORK/s1.json"
+# Stats on a container decodes it and reports the decoder's view.
+"$CLI" stats "$WORK/c.tdclzw" | grep -q '"codes_consumed"'
+"$CLI" stats "$WORK/c.tdclzw" | grep -q '"container"'
+
+# compress --stats emits the same telemetry alongside the container, and the
+# multi-input form is byte-identical for any --jobs (input order, not
+# completion order).
+"$CLI" compress "$WORK/c.tests" "$WORK/cs.tdclzw" --dict 256 --stats "$WORK/cs1.json"
+grep -q '"encoder"' "$WORK/cs1.json"
+"$CLI" compress "$WORK/c.tests" "$WORK/d.tests" --out-dir "$WORK/multi2" \
+  --dict 256 --jobs 1 --stats "$WORK/ms1.json"
+"$CLI" compress "$WORK/c.tests" "$WORK/d.tests" --out-dir "$WORK/multi3" \
+  --dict 256 --jobs 4 --stats "$WORK/ms4.json"
+cmp "$WORK/ms1.json" "$WORK/ms4.json"
+
+# Trace spans: --trace writes a Chrome trace_event JSON with the codec spans;
+# $TDC_TRACE is the env-var spelling of the same switch.
+"$CLI" compress "$WORK/c.tests" "$WORK/ct.tdclzw" --dict 256 --trace "$WORK/t1.json"
+grep -q '"traceEvents"' "$WORK/t1.json"
+grep -q '"lzw.encode"' "$WORK/t1.json"
+TDC_TRACE="$WORK/t2.json" "$CLI" verify "$WORK/c.tdclzw" | grep -q "OK"
+grep -q '"lzw.decode"' "$WORK/t2.json"
+
+# inspect summarizes the chunk payload distribution via the obs histogram.
+"$CLI" inspect "$WORK/c.tdclzw" | grep -q "chunk payload bytes:"
+"$CLI" inspect "$WORK/c.tdclzw" | grep "chunk payload bytes:" | grep -q "p95="
+
 echo "cli_test OK"

@@ -419,5 +419,126 @@ TEST(StatsTest, RatioFormula) {
   EXPECT_DOUBLE_EQ(r.ratio_percent(), expect);
 }
 
+// ---------------------------------------------------------------- telemetry
+//
+// The always-on hot-path telemetry must agree exactly with the encode it
+// describes — these invariants hold for any input, so they run on the same
+// random cubes the round-trip property tests use.
+
+TEST(TelemetryTest, EncoderAccountingIsExact) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(7000, 0.8, 17);
+  const auto r = Encoder(c).encode(input);
+  const EncoderTelemetry& tel = r.telemetry;
+
+  // One histogram sample per emitted code; lengths partition the input.
+  EXPECT_EQ(tel.match_chars.snapshot().count, r.codes.size());
+  EXPECT_EQ(tel.code_width_bits.snapshot().count, r.codes.size());
+  EXPECT_EQ(tel.match_chars.snapshot().sum, r.input_chars);
+  EXPECT_EQ(tel.code_width_bits.snapshot().sum, r.compressed_bits());
+
+  // Every character after the first probes the dictionary exactly once, and
+  // a probe either extends the match or ends one (the final emit is outside
+  // the loop, so emissions-during-loop = codes - 1).
+  EXPECT_EQ(tel.probes_fast + tel.probes_scan, r.input_chars - 1);
+  EXPECT_EQ(tel.match_extensions, r.input_chars - r.codes.size());
+
+  // Dynamic mode: every X bit of the input is bound exactly once — by a
+  // match or by zeroing — and none were pre-filled.
+  EXPECT_EQ(tel.x_bits_input, input.x_count());
+  EXPECT_EQ(tel.x_bits_matched + tel.x_bits_zeroed, tel.x_bits_input);
+  EXPECT_EQ(tel.x_bits_prefilled, 0u);
+
+  // Dictionary growth matches the result's own accounting.
+  EXPECT_EQ(tel.entries_added, r.dict_codes_used - c.literal_count());
+}
+
+TEST(TelemetryTest, PrefillModesReportPrefilledBits) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  // 4200 bits = 600 whole 7-bit characters: no X-padded tail character, so
+  // the loop-side X counters must land on exactly zero.
+  const auto input = random_cube(4200, 0.9, 23);
+  const auto r = Encoder(c).encode(input, XAssignMode::ZeroFill);
+  // The pre-fill resolved every X before the loop: the loop saw none.
+  EXPECT_EQ(r.telemetry.x_bits_prefilled, input.x_count());
+  EXPECT_EQ(r.telemetry.x_bits_input, 0u);
+  EXPECT_EQ(r.telemetry.x_bits_matched, 0u);
+}
+
+TEST(TelemetryTest, ProbeSplitFollowsStrategyAndCareBits) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  // Fully specified input: the Indexed strategy answers every probe through
+  // the O(1) hash path, the Legacy strategy never does.
+  const auto dense = random_cube(7000, 0.0, 31);
+  const auto indexed = Encoder(c, Tiebreak::First, MatchStrategy::Indexed).encode(dense);
+  EXPECT_GT(indexed.telemetry.probes_fast, 0u);
+  EXPECT_EQ(indexed.telemetry.probes_scan, 0u);
+
+  const auto legacy = Encoder(c, Tiebreak::First, MatchStrategy::LegacyScan).encode(dense);
+  EXPECT_EQ(legacy.telemetry.probes_fast, 0u);
+  EXPECT_EQ(legacy.telemetry.probes_scan, indexed.telemetry.probes_fast);
+
+  // Identical output streams mean identical emission telemetry.
+  EXPECT_EQ(legacy.telemetry.match_chars.snapshot().sum,
+            indexed.telemetry.match_chars.snapshot().sum);
+
+  // An X-bearing character must take the tiebreak-aware scan even when
+  // indexed.
+  const auto sparse = random_cube(7000, 0.8, 37);
+  const auto mixed = Encoder(c).encode(sparse);
+  EXPECT_GT(mixed.telemetry.probes_scan, 0u);
+}
+
+TEST(TelemetryTest, DictionaryFullEventFiresOnceWhenFrozen) {
+  // 16-code dictionary with 2-bit chars freezes almost immediately.
+  const LzwConfig tiny{.dict_size = 16, .char_bits = 2, .entry_bits = 8};
+  const auto input = random_cube(3000, 0.2, 41);
+  const auto r = Encoder(tiny).encode(input);
+  EXPECT_EQ(r.telemetry.dict_full_events, 1u);
+
+  // A run that never fills the dictionary reports none.
+  const LzwConfig big{.dict_size = 65536, .char_bits = 7, .entry_bits = 255};
+  EXPECT_EQ(Encoder(big).encode(random_cube(2000, 0.5, 43)).telemetry
+                .dict_full_events,
+            0u);
+}
+
+TEST(TelemetryTest, DecoderMirrorsEncoderStream) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(7000, 0.8, 53);
+  const auto encoded = Encoder(c).encode(input);
+  const auto decoded = Decoder(c).decode(encoded.codes, encoded.original_bits);
+  const DecoderTelemetry& tel = decoded.telemetry;
+
+  EXPECT_EQ(tel.codes_consumed, encoded.codes.size());
+  EXPECT_EQ(tel.expansion_chars.snapshot().count, encoded.codes.size());
+  EXPECT_EQ(tel.expansion_chars.snapshot().sum, encoded.input_chars);
+  // The decoder learns one entry per code after the first, minus freezes —
+  // never more than the encoder's own dictionary growth plus the trailing
+  // entry it alone creates.
+  EXPECT_GE(tel.entries_added + 1, encoded.telemetry.entries_added);
+}
+
+TEST(TelemetryTest, DecoderCountsKwKwKCodes) {
+  // An all-zeros run ("aaaa" over 2-bit chars) encodes as [a, 4, a] where 4
+  // is the entry the decoder has not finished learning — the classic KwKwK
+  // case.
+  const LzwConfig c{.dict_size = 64, .char_bits = 2, .entry_bits = 16};
+  TritVector v;
+  for (int i = 0; i < 8; ++i) v.push_back(Trit::Zero);
+  const auto encoded = Encoder(c).encode(v);
+  const auto decoded = Decoder(c).decode(encoded.codes, encoded.original_bits);
+  EXPECT_GT(decoded.telemetry.kwkwk_codes, 0u);
+}
+
+TEST(TelemetryTest, ToJsonIsDeterministic) {
+  const LzwConfig c{.dict_size = 1024, .char_bits = 7, .entry_bits = 63};
+  const auto input = random_cube(4000, 0.85, 59);
+  const auto a = Encoder(c).encode(input);
+  const auto b = Encoder(c).encode(input);
+  EXPECT_EQ(a.telemetry.to_json(), b.telemetry.to_json());
+  EXPECT_NE(a.telemetry.to_json().find("\"probes_fast\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tdc::lzw
