@@ -52,8 +52,10 @@ std::string registry_json(
   std::string out = "{";
   for (std::size_t i = 0; i < registry.size(); ++i) {
     if (i) out += ", ";
-    out += "\"" + tdc::exp::json_escape(registry[i]->name()) +
-           "\": " + cells[i].json;
+    out += '"';
+    out += tdc::exp::json_escape(registry[i]->name());
+    out += "\": ";
+    out += cells[i].json;
   }
   return out + "}";
 }

@@ -1,0 +1,50 @@
+# Shared driver for the `format` / `format-check` targets.
+#   cmake -DTOOL=<clang-format> -DMODE=check|fix -DGLOBS=<dirs> -P format.cmake
+# MODE=check exits non-zero when any file needs reformatting (listing them);
+# MODE=fix rewrites in place. Missing tool degrades to a warning so the
+# target exists on machines without LLVM installed.
+if(NOT TOOL)
+  message(WARNING "clang-format not installed; format check skipped")
+  return()
+endif()
+
+set(sources)
+foreach(glob IN LISTS GLOBS)
+  file(GLOB_RECURSE hits
+       "${glob}.h" "${glob}.hpp" "${glob}.cpp" "${glob}.cc")
+  list(APPEND sources ${hits})
+endforeach()
+# Lint fixtures are data with line numbers pinned by tests/lint_test.cpp;
+# reformatting them would shift the asserted positions.
+list(FILTER sources EXCLUDE REGEX "tests/lint_fixtures/")
+list(SORT sources)
+
+set(dirty)
+foreach(file IN LISTS sources)
+  if(MODE STREQUAL "fix")
+    execute_process(COMMAND "${TOOL}" -i --style=file "${file}"
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "clang-format failed on ${file}")
+    endif()
+  else()
+    execute_process(COMMAND "${TOOL}" --dry-run --Werror --style=file "${file}"
+                    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+      list(APPEND dirty "${file}")
+    endif()
+  endif()
+endforeach()
+
+list(LENGTH sources total)
+if(MODE STREQUAL "fix")
+  message(STATUS "clang-format: ${total} file(s) formatted")
+elseif(dirty)
+  list(LENGTH dirty n)
+  foreach(file IN LISTS dirty)
+    message(STATUS "needs formatting: ${file}")
+  endforeach()
+  message(FATAL_ERROR "clang-format: ${n} of ${total} file(s) need formatting")
+else()
+  message(STATUS "clang-format: all ${total} file(s) clean")
+endif()

@@ -2,7 +2,8 @@
 
 #include <bit>
 #include <cassert>
-#include <stdexcept>
+
+#include "core/error.h"
 
 namespace tdc::bits {
 
@@ -33,8 +34,9 @@ TritVector TritVector::from_string(std::string_view s) {
   v.value_.assign(words_for(s.size()), 0);
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (!is_trit_char(s[i])) {
-      throw std::invalid_argument("TritVector::from_string: bad character '" +
-                                  std::string(1, s[i]) + "'");
+      Error{ErrorKind::InvalidInput, "TritVector::from_string: bad character '" +
+                                         std::string(1, s[i]) + "'"}
+          .raise();
     }
     v.set(i, trit_from_char(s[i]));
   }

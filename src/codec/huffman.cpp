@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
-#include <stdexcept>
+
+#include "core/contracts.h"
+#include "core/error.h"
 
 namespace tdc::codec {
 
@@ -107,12 +109,9 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> build_huffman(
 
 HuffmanResult huffman_encode(const bits::TritVector& input,
                              const HuffmanConfig& config) {
-  if (config.block_bits == 0 || config.block_bits > 32) {
-    throw std::invalid_argument("huffman_encode: block_bits must be in [1,32]");
-  }
-  if (config.codebook_size == 0) {
-    throw std::invalid_argument("huffman_encode: empty codebook");
-  }
+  TDC_REQUIRE(config.block_bits >= 1 && config.block_bits <= 32,
+              "huffman_encode: block_bits must be in [1,32]");
+  TDC_REQUIRE(config.codebook_size > 0, "huffman_encode: empty codebook");
 
   HuffmanResult result;
   result.config = config;
@@ -194,7 +193,9 @@ bits::TritVector huffman_decode(const HuffmanResult& encoded) {
         }
       }
       if (found) break;
-      if (len > 64) throw std::invalid_argument("huffman_decode: bad prefix code");
+      if (len > 64) {
+        Error{ErrorKind::InvalidInput, "huffman_decode: bad prefix code"}.raise();
+      }
     }
     if (is_escape) pattern = reader.read(bb);
     for (std::uint32_t i = bb; i-- > 0 && out.size() < encoded.original_bits;) {

@@ -1,7 +1,8 @@
 #include "codec/lfsr_reseed.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace tdc::codec {
 
@@ -76,9 +77,7 @@ LfsrReseedResult lfsr_reseed_encode(const std::vector<bits::TritVector>& cubes,
 
   result.width = static_cast<std::uint32_t>(cubes.front().size());
   for (const auto& c : cubes) {
-    if (c.size() != result.width) {
-      throw std::invalid_argument("lfsr_reseed_encode: cube width mismatch");
-    }
+    TDC_REQUIRE(c.size() == result.width, "lfsr_reseed_encode: cube width mismatch");
     result.original_bits += c.size();
   }
 

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
-#include <stdexcept>
+
+#include "core/error.h"
 
 namespace tdc::codec {
 
@@ -142,7 +143,8 @@ bits::TritVector lz77_decode_tokens(const std::vector<Lz77Token>& tokens,
   for (const Lz77Token& t : tokens) {
     if (t.is_match) {
       if (t.offset == 0 || t.offset > out.size()) {
-        throw std::invalid_argument("lz77_decode_tokens: offset out of window");
+        Error{ErrorKind::InvalidInput, "lz77_decode_tokens: offset out of window"}
+            .raise();
       }
       for (std::uint32_t i = 0; i < t.length; ++i) {
         out.push_back(out.get(out.size() - t.offset));
@@ -152,7 +154,7 @@ bits::TritVector lz77_decode_tokens(const std::vector<Lz77Token>& tokens,
     }
   }
   if (out.size() != original_bits) {
-    throw std::invalid_argument("lz77_decode_tokens: length mismatch");
+    Error{ErrorKind::InvalidInput, "lz77_decode_tokens: length mismatch"}.raise();
   }
   return out;
 }

@@ -2,7 +2,8 @@
 
 #include <bit>
 #include <cassert>
-#include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace tdc::codec {
 
@@ -158,9 +159,8 @@ bits::TritVector alternating_rle_decode(const bits::BitWriter& stream,
 
 RleResult golomb_tdiff_encode(const bits::TritVector& input, std::uint32_t width,
                               const RleConfig& config) {
-  if (width == 0 || input.size() % width != 0) {
-    throw std::invalid_argument("golomb_tdiff_encode: bad pattern width");
-  }
+  TDC_REQUIRE(width > 0 && input.size() % width == 0,
+              "golomb_tdiff_encode: bad pattern width");
   // Fill each X from the same cell of the previous (filled) pattern: its
   // difference bit becomes 0 — the fill rule the scheme is built around.
   bits::TritVector filled(input.size(), bits::Trit::Zero);
@@ -186,9 +186,8 @@ RleResult golomb_tdiff_encode(const bits::TritVector& input, std::uint32_t width
 bits::TritVector golomb_tdiff_decode(const bits::BitWriter& stream,
                                      std::uint64_t original_bits,
                                      std::uint32_t width, const RleConfig& config) {
-  if (width == 0 || original_bits % width != 0) {
-    throw std::invalid_argument("golomb_tdiff_decode: bad pattern width");
-  }
+  TDC_REQUIRE(width > 0 && original_bits % width == 0,
+              "golomb_tdiff_decode: bad pattern width");
   const bits::TritVector diff = golomb_rle_decode(stream, original_bits, config);
   bits::TritVector out(original_bits, bits::Trit::Zero);
   for (std::size_t i = 0; i < original_bits; ++i) {

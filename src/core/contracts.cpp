@@ -1,0 +1,13 @@
+#include "core/contracts.h"
+
+namespace tdc {
+
+void contract_fail(const char* check, const char* expr,
+                   const std::string& message, const char* file, int line) {
+  Error err{ErrorKind::ContractViolation,
+            std::string(check) + "(" + expr + ") failed at " + file + ":" +
+                std::to_string(line) + ": " + message};
+  err.raise();
+}
+
+}  // namespace tdc

@@ -1,0 +1,140 @@
+#ifndef TDC_CORE_CONTRACTS_H
+#define TDC_CORE_CONTRACTS_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+
+/// Compile-time and runtime contracts for the paper's invariants.
+///
+/// Two layers:
+///
+///  * `TDC_REQUIRE` / `TDC_ENSURE` — runtime pre/postcondition checks. A
+///    violation raises a typed `tdc::Error` of kind `ContractViolation`
+///    (mapping to `std::invalid_argument` via `Error::raise()`, so legacy
+///    catch sites keep working). They are meant for API boundaries and
+///    loop-exit invariants, never for the per-character hot path — the
+///    telemetry discipline of §10 applies to contracts too.
+///
+///  * `tdc::contracts::LzwContract<N, C_C, C_MDATA>` — a compile-time
+///    restatement of the paper's bit-width relations. Instantiating the
+///    template for a configuration static_asserts every relation: the code
+///    width C_E = ceil(log2 N) addresses exactly the dictionary, C_MDATA
+///    holds at least one character, and the Fig. 5/6 memory geometry
+///    (C_MLEN field width, word width) is consistent. `src/lzw/config.h`
+///    instantiates it for every paper configuration, so a bad constant in
+///    the derived-quantity code fails the build, not a test.
+
+namespace tdc {
+
+/// Raises Error{ContractViolation} carrying the failed expression and the
+/// source position. Out of line so the macro expansion stays tiny.
+[[noreturn]] void contract_fail(const char* check, const char* expr,
+                                const std::string& message, const char* file,
+                                int line);
+
+}  // namespace tdc
+
+/// Precondition: argument/state validation at a function boundary.
+#define TDC_REQUIRE(cond, msg)                                                \
+  (static_cast<bool>(cond)                                                    \
+       ? void(0)                                                              \
+       : ::tdc::contract_fail("TDC_REQUIRE", #cond, (msg), __FILE__, __LINE__))
+
+/// Postcondition: result/state validation before returning.
+#define TDC_ENSURE(cond, msg)                                                 \
+  (static_cast<bool>(cond)                                                    \
+       ? void(0)                                                              \
+       : ::tdc::contract_fail("TDC_ENSURE", #cond, (msg), __FILE__, __LINE__))
+
+namespace tdc::contracts {
+
+/// ceil(log2 n) for n >= 2; 1 for n in {0, 1}. Mirrors
+/// lzw::LzwConfig::code_bits() — the C_E derivation — as a constexpr the
+/// static contracts below can check against.
+constexpr std::uint32_t ceil_log2(std::uint64_t n) {
+  return n <= 1 ? 1u : static_cast<std::uint32_t>(std::bit_width(n - 1));
+}
+
+/// Compile-time restatement of LzwConfig's derived quantities for one
+/// configuration (N = dict_size, C_C = char_bits, C_MDATA = entry_bits).
+/// Instantiation *is* the check: every paper relation is a static_assert.
+template <std::uint32_t N, std::uint32_t C_C, std::uint32_t C_MDATA>
+struct LzwContract {
+  static_assert(C_C >= 1 && C_C <= 16, "C_C must be in [1,16]");
+
+  /// 2^C_C implicit literal codes occupy the bottom of the code space.
+  static constexpr std::uint32_t literal_count = 1u << C_C;
+  static_assert(N >= literal_count,
+                "dict_size N must cover all 2^C_C literal codes");
+
+  /// C_E = ceil(log2 N): wide enough for every code, and minimal.
+  static constexpr std::uint32_t code_bits = ceil_log2(N);
+  static_assert((1ull << code_bits) >= N, "C_E must address every code");
+  static_assert(N <= 1 || (1ull << (code_bits - 1)) < N,
+                "C_E must be the minimal width (ceil log2)");
+
+  /// C_MDATA bounds the expansion of one dictionary entry (Fig. 5): it must
+  /// hold at least one character, and the entry cap in characters is its
+  /// floor-quotient by C_C.
+  static_assert(C_MDATA >= C_C, "C_MDATA must hold at least one character");
+  static constexpr std::uint32_t max_entry_chars = C_MDATA / C_C;
+  static_assert(max_entry_chars >= 1, "entry cap must be positive");
+  static_assert(static_cast<std::uint64_t>(max_entry_chars) * C_C <= C_MDATA,
+                "entry cap times C_C cannot exceed the memory word");
+
+  /// Fig. 6 memory geometry: a C_MLEN count field wide enough for
+  /// max_entry_chars sits next to the C_MDATA data field in every word.
+  static constexpr std::uint32_t len_field_bits =
+      static_cast<std::uint32_t>(std::bit_width(max_entry_chars));
+  static constexpr std::uint32_t word_bits = len_field_bits + C_MDATA;
+  static_assert(word_bits > C_MDATA, "C_MLEN field must be non-empty");
+
+  static constexpr bool checked = true;
+};
+
+/// TDCLZW2 fixed-header byte layout (docs/ALGORITHMS.md §8). stream_io.cpp
+/// reads and writes through these offsets; the static_asserts pin the
+/// layout so a field reorder breaks the build instead of the golden files.
+namespace container_v2 {
+inline constexpr std::uint32_t kMagicBytes = 8;
+inline constexpr std::uint32_t kOffVersion = 8;
+inline constexpr std::uint32_t kOffDictSize = 12;
+inline constexpr std::uint32_t kOffCharBits = 16;
+inline constexpr std::uint32_t kOffEntryBits = 20;
+inline constexpr std::uint32_t kOffFlags = 24;
+inline constexpr std::uint32_t kOffOriginalBits = 28;
+inline constexpr std::uint32_t kOffCodeCount = 36;
+inline constexpr std::uint32_t kOffPayloadBits = 44;
+inline constexpr std::uint32_t kOffPayloadCrc = 52;
+inline constexpr std::uint32_t kOffChunkBytes = 56;
+inline constexpr std::uint32_t kOffChunkCount = 60;
+inline constexpr std::uint32_t kFixedHeaderBytes = 64;
+
+static_assert(kOffVersion == kMagicBytes, "version follows the magic");
+static_assert(kOffDictSize == kOffVersion + 4, "dict_size is a u32 later");
+static_assert(kOffCharBits == kOffDictSize + 4);
+static_assert(kOffEntryBits == kOffCharBits + 4);
+static_assert(kOffFlags == kOffEntryBits + 4);
+static_assert(kOffOriginalBits == kOffFlags + 4);
+static_assert(kOffCodeCount == kOffOriginalBits + 8, "original_bits is u64");
+static_assert(kOffPayloadBits == kOffCodeCount + 8, "code_count is u64");
+static_assert(kOffPayloadCrc == kOffPayloadBits + 8, "payload_bits is u64");
+static_assert(kOffChunkBytes == kOffPayloadCrc + 4);
+static_assert(kOffChunkCount == kOffChunkBytes + 4);
+static_assert(kFixedHeaderBytes == kOffChunkCount + 4,
+              "chunk CRC table starts right after the fixed header");
+}  // namespace container_v2
+
+/// TDCLZW1 legacy header: magic + 4 u32 config words + 3 u64 counters.
+namespace container_v1 {
+inline constexpr std::uint32_t kMagicBytes = 8;
+inline constexpr std::uint32_t kFixedHeaderBytes = kMagicBytes + 4 * 4 + 3 * 8;
+static_assert(kFixedHeaderBytes == 48, "TDCLZW1 header is 48 bytes");
+}  // namespace container_v1
+
+}  // namespace tdc::contracts
+
+#endif  // TDC_CORE_CONTRACTS_H

@@ -16,6 +16,8 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::UndefinedCode: return "UndefinedCode";
     case ErrorKind::CodeStreamTruncated: return "CodeStreamTruncated";
     case ErrorKind::StreamTooShort: return "StreamTooShort";
+    case ErrorKind::InvalidInput: return "InvalidInput";
+    case ErrorKind::ContractViolation: return "ContractViolation";
   }
   return "UnknownError";
 }
@@ -35,6 +37,8 @@ bool is_container_error(ErrorKind kind) {
     case ErrorKind::UndefinedCode:
     case ErrorKind::CodeStreamTruncated:
     case ErrorKind::StreamTooShort:
+    case ErrorKind::InvalidInput:
+    case ErrorKind::ContractViolation:
       return false;
   }
   return true;

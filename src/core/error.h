@@ -31,6 +31,8 @@ enum class ErrorKind {
   UndefinedCode,        ///< LZW code not defined at its position (and not KwKwK)
   CodeStreamTruncated,  ///< payload exhausted before code_count codes were read
   StreamTooShort,       ///< decoded output shorter than original_bits
+  InvalidInput,         ///< caller-supplied data violates a codec's contract
+  ContractViolation,    ///< TDC_REQUIRE / TDC_ENSURE failed (see contracts.h)
 };
 
 /// Stable identifier, e.g. "PayloadCrcMismatch" (used by the CLI and tests).

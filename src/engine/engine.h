@@ -33,7 +33,7 @@ struct EngineOptions {
   bool verify = true;
 
   /// Directory prepended to relative job output paths ("" = CWD).
-  std::string output_dir;
+  std::string output_dir = {};
 };
 
 /// Everything the batch knows about one finished job, in manifest order.

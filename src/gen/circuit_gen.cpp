@@ -235,7 +235,7 @@ Netlist generate_circuit(const GeneratorConfig& config) {
       }
       std::vector<double> fp;
       for (const auto f : fi) fp.push_back(prob_of(f));
-      const auto g = nl.add_gate(kind, "g" + std::to_string(created), fi);
+      const auto g = nl.add_gate(kind, std::string("g") + std::to_string(created), fi);
       set_prob(g, kind_prob(kind, fp));
       pool[b].push_back(g);
       for (const auto f : fi) bump(f);

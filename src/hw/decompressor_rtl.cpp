@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <stdexcept>
 
+#include "core/contracts.h"
 #include "core/error.h"
 #include "lzw/dictionary.h"
 
@@ -29,10 +29,8 @@ enum FsmState : std::uint64_t {
 
 HwRunResult DecompressorRtl::run(const lzw::EncodeResult& encoded,
                                  VcdWriter* vcd) const {
-  if (config_.pipelined) {
-    throw std::invalid_argument(
-        "DecompressorRtl: per-cycle model implements the serial architecture");
-  }
+  TDC_REQUIRE(!config_.pipelined,
+              "DecompressorRtl: per-cycle model implements the serial architecture");
   const lzw::LzwConfig& lc = config_.lzw;
   const std::uint64_t k = config_.clock_ratio;
 

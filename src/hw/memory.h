@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/contracts.h"
 #include "lzw/config.h"
 
 namespace tdc::hw {
@@ -18,21 +19,22 @@ namespace tdc::hw {
 /// RAM itself is reused. The model reports both the reused bit count and the
 /// added control overhead.
 struct DictionaryMemoryModel {
-  explicit DictionaryMemoryModel(const lzw::LzwConfig& config) : config_(config) {}
+  constexpr explicit DictionaryMemoryModel(const lzw::LzwConfig& config)
+      : config_(config) {}
 
   /// Number of memory words (the paper reports geometries like "1024x49").
-  std::uint32_t words() const { return config_.dict_size; }
+  constexpr std::uint32_t words() const { return config_.dict_size; }
 
   /// Width of the C_MLEN field: enough to count up to max_entry_chars.
-  std::uint32_t len_field_bits() const {
+  constexpr std::uint32_t len_field_bits() const {
     return static_cast<std::uint32_t>(std::bit_width(config_.max_entry_chars()));
   }
 
   /// Word width: C_MLEN field plus C_MDATA data bits.
-  std::uint32_t word_bits() const { return len_field_bits() + config_.entry_bits; }
+  constexpr std::uint32_t word_bits() const { return len_field_bits() + config_.entry_bits; }
 
   /// Total reused storage in bits.
-  std::uint64_t total_bits() const {
+  constexpr std::uint64_t total_bits() const {
     return static_cast<std::uint64_t>(words()) * word_bits();
   }
 
@@ -43,7 +45,7 @@ struct DictionaryMemoryModel {
 
   /// Added 2:1 mux bits on the write path (address + data + control), i.e.
   /// the Fig. 6 "LZW select" level in front of the BIST muxes.
-  std::uint64_t mux_overhead_bits() const {
+  constexpr std::uint64_t mux_overhead_bits() const {
     const std::uint32_t addr = config_.code_bits();
     return addr + word_bits() + 2;  // address, data, write-enable + select
   }
@@ -51,6 +53,21 @@ struct DictionaryMemoryModel {
  private:
   lzw::LzwConfig config_;
 };
+
+namespace static_checks {
+
+/// The runtime geometry model and the compile-time contract derive the
+/// Fig. 6 word layout independently; pin them to each other for the paper
+/// default so they can never drift (1024 words of 4+63 bits).
+using Paper = contracts::LzwContract<1024, 7, 63>;
+inline constexpr DictionaryMemoryModel kPaperMemory{lzw::LzwConfig{}};
+static_assert(kPaperMemory.words() == 1024);
+static_assert(kPaperMemory.len_field_bits() == Paper::len_field_bits);
+static_assert(kPaperMemory.word_bits() == Paper::word_bits);
+static_assert(kPaperMemory.total_bits() ==
+              1024ull * (Paper::len_field_bits + 63));
+
+}  // namespace static_checks
 
 }  // namespace tdc::hw
 

@@ -2,7 +2,8 @@
 #define TDC_HW_MISR_H
 
 #include <cstdint>
-#include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace tdc::hw {
 
@@ -19,9 +20,7 @@ class Misr {
   explicit Misr(std::uint32_t width = 32, std::uint64_t polynomial = 0x04C11DB7u)
       : width_(width), mask_(width >= 64 ? ~0ULL : (1ULL << width) - 1),
         poly_(polynomial & mask_) {
-    if (width == 0 || width > 64) {
-      throw std::invalid_argument("Misr: width must be in [1,64]");
-    }
+    TDC_REQUIRE(width >= 1 && width <= 64, "Misr: width must be in [1,64]");
   }
 
   std::uint32_t width() const { return width_; }

@@ -1,7 +1,6 @@
 #include "hw/test_session.h"
 
-#include <stdexcept>
-
+#include "core/contracts.h"
 #include "fault/fsim.h"
 #include "scan/testset.h"
 #include "sim/logicsim.h"
@@ -31,7 +30,7 @@ std::uint64_t load_batch(sim::Sim64& sim, const scan::ScanView& view,
 
 TestSession::TestSession(const Netlist& nl, TestSessionConfig config)
     : nl_(&nl), config_(config) {
-  if (!nl.finalized()) throw std::runtime_error("TestSession: netlist not finalized");
+  TDC_REQUIRE(nl.finalized(), "TestSession: netlist not finalized");
 }
 
 std::uint32_t TestSession::response_width() const {

@@ -1,7 +1,8 @@
 #include "hw/vcd.h"
 
 #include <ostream>
-#include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace tdc::hw {
 
@@ -25,8 +26,8 @@ VcdWriter::VcdWriter(std::ostream& out, std::string module, std::string timescal
 }
 
 std::size_t VcdWriter::add_signal(const std::string& name, std::uint32_t width) {
-  if (begun_) throw std::runtime_error("VcdWriter: declaration after begin()");
-  if (width == 0 || width > 64) throw std::runtime_error("VcdWriter: bad width");
+  TDC_REQUIRE(!begun_, "VcdWriter: declaration after begin()");
+  TDC_REQUIRE(width >= 1 && width <= 64, "VcdWriter: bad width");
   Signal s;
   s.name = name;
   s.id = vcd_id(signals_.size());
@@ -53,8 +54,8 @@ void VcdWriter::begin() {
 }
 
 void VcdWriter::advance(std::uint64_t time) {
-  if (!begun_) throw std::runtime_error("VcdWriter: advance before begin()");
-  if (time < time_) throw std::runtime_error("VcdWriter: time moved backwards");
+  TDC_REQUIRE(begun_, "VcdWriter: advance before begin()");
+  TDC_REQUIRE(time >= time_, "VcdWriter: time moved backwards");
   if (time != time_) {
     time_ = time;
     time_written_ = false;

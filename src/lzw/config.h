@@ -3,8 +3,10 @@
 
 #include <bit>
 #include <cstdint>
-#include <stdexcept>
 #include <string>
+
+#include "core/contracts.h"
+#include "core/error.h"
 
 namespace tdc::lzw {
 
@@ -36,23 +38,23 @@ struct LzwConfig {
 
   /// C_E: number of bits per compressed code (the maximum, when
   /// variable_width is set).
-  std::uint32_t code_bits() const {
+  constexpr std::uint32_t code_bits() const {
     return dict_size <= 1 ? 1u : static_cast<std::uint32_t>(std::bit_width(dict_size - 1u));
   }
 
   /// Number of literal codes (one per possible uncompressed character).
-  std::uint32_t literal_count() const { return 1u << char_bits; }
+  constexpr std::uint32_t literal_count() const { return 1u << char_bits; }
 
   /// First code index available for dictionary entries.
-  std::uint32_t first_code() const { return literal_count(); }
+  constexpr std::uint32_t first_code() const { return literal_count(); }
 
   /// Maximum characters a single dictionary entry may expand to
   /// (bounded by the embedded-memory word width C_MDATA).
-  std::uint32_t max_entry_chars() const { return entry_bits / char_bits; }
+  constexpr std::uint32_t max_entry_chars() const { return entry_bits / char_bits; }
 
   /// True when the configuration leaves no room for dictionary codes —
   /// the degenerate "code exhaustion" regime of paper Table 4 (large C_C).
-  bool degenerate() const {
+  constexpr bool degenerate() const {
     return dict_size <= literal_count() || max_entry_chars() < 2;
   }
 
@@ -72,10 +74,11 @@ struct LzwConfig {
     return {};
   }
 
-  /// Throws std::invalid_argument if the configuration is not realizable.
+  /// Raises Error{ConfigMismatch} (a std::invalid_argument) if the
+  /// configuration is not realizable.
   void validate() const {
     if (const std::string why = check(); !why.empty()) {
-      throw std::invalid_argument(why);
+      Error{ErrorKind::ConfigMismatch, why}.raise();
     }
   }
 
@@ -85,6 +88,43 @@ struct LzwConfig {
            " C_E=" + std::to_string(code_bits());
   }
 };
+
+namespace static_checks {
+
+/// Compile-time proof of the paper's bit-width relations for every
+/// configuration the tables evaluate (contracts::LzwContract static_asserts
+/// C_E minimality, the C_MDATA entry bound and the Fig. 6 word geometry on
+/// instantiation). A constant-derivation bug now fails this header's
+/// compile instead of a golden-file test.
+using contracts::LzwContract;
+
+// The paper's default geometry (Tables 1-3, 6): N=1024, C_C=7, C_MDATA=63.
+static_assert(LzwContract<1024, 7, 63>::checked);
+static_assert(LzwContract<1024, 7, 63>::code_bits == 10);
+static_assert(LzwContract<1024, 7, 63>::max_entry_chars == 9);
+
+// Table 4 character-size sweep: C_C in {4..10} at N=1024.
+static_assert(LzwContract<1024, 4, 63>::checked);
+static_assert(LzwContract<1024, 5, 63>::checked);
+static_assert(LzwContract<1024, 6, 63>::checked);
+static_assert(LzwContract<1024, 8, 63>::checked);
+static_assert(LzwContract<1024, 9, 63>::checked);
+static_assert(LzwContract<1024, 10, 63>::checked);
+
+// Table 5 entry-size sweep: C_MDATA in {15..127} at C_C=7.
+static_assert(LzwContract<1024, 7, 15>::checked);
+static_assert(LzwContract<1024, 7, 31>::checked);
+static_assert(LzwContract<1024, 7, 127>::checked);
+static_assert(LzwContract<1024, 7, 127>::max_entry_chars == 18);
+
+// Dictionary-size sweep: N in {256..8192} at C_C=7 — C_E tracks ceil(log2 N).
+static_assert(LzwContract<256, 7, 63>::code_bits == 8);
+static_assert(LzwContract<512, 7, 63>::code_bits == 9);
+static_assert(LzwContract<2048, 7, 63>::code_bits == 11);
+static_assert(LzwContract<4096, 7, 63>::code_bits == 12);
+static_assert(LzwContract<8192, 7, 63>::code_bits == 13);
+
+}  // namespace static_checks
 
 }  // namespace tdc::lzw
 

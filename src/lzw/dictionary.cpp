@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "core/contracts.h"
+
 namespace tdc::lzw {
 
 Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
@@ -28,13 +30,13 @@ Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
 }
 
 std::uint32_t Dictionary::first_char(std::uint32_t code) const {
-  assert(defined(code));
+  TDC_REQUIRE(defined(code), "first_char: undefined code");
   while (nodes_[code].parent != kNoCode) code = nodes_[code].parent;
   return nodes_[code].ch;
 }
 
 std::vector<std::uint32_t> Dictionary::expand(std::uint32_t code) const {
-  assert(defined(code));
+  TDC_REQUIRE(defined(code), "expand: undefined code");
   std::vector<std::uint32_t> out;
   out.reserve(length(code));
   for (std::uint32_t c = code; c != kNoCode; c = nodes_[c].parent) {

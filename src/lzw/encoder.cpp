@@ -1,5 +1,7 @@
 #include "lzw/encoder.h"
 
+#include "core/contracts.h"
+
 #include <algorithm>
 #include <array>
 #include <bit>
@@ -140,6 +142,16 @@ EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode
     // A pre-fill mode resolved every X bit before the loop saw the stream.
     result.telemetry.x_bits_prefilled = raw_input.x_count();
   }
+  // O(1) exit contracts, outside every loop (§10 discipline): a code never
+  // expands from fewer characters than it emits, and with fixed-width
+  // packing the stream is exactly codes * C_E bits — the paper's central
+  // bit-accounting relation.
+  TDC_ENSURE(result.codes.size() <= result.input_chars,
+             "encode emitted more codes than input characters");
+  TDC_ENSURE(config_.variable_width ||
+                 result.stream.bit_count() ==
+                     result.codes.size() * config_.code_bits(),
+             "fixed-width stream must hold exactly codes * C_E bits");
   span.arg("input_bits", result.original_bits);
   span.arg("codes", static_cast<std::uint64_t>(result.codes.size()));
   return result;

@@ -5,14 +5,19 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <vector>
 
+#include "core/contracts.h"
 #include "core/crc32.h"
 
 namespace tdc::lzw {
 
 namespace {
+
+// Byte layout of both containers, pinned at compile time against the
+// documented §8 table (core/contracts.h static_asserts the offsets chain).
+namespace v1 = contracts::container_v1;
+namespace v2 = contracts::container_v2;
 
 constexpr char kMagicV1[8] = {'T', 'D', 'C', 'L', 'Z', 'W', '1', '\0'};
 constexpr char kMagicV2[8] = {'T', 'D', 'C', 'L', 'Z', 'W', '2', '\0'};
@@ -123,7 +128,7 @@ Status read_payload(ByteSource& src, std::uint64_t payload_bytes,
 // ---------------------------------------------------------------- v1 body
 
 Result<CompressedImage> read_image_v1(ByteSource& src) {
-  std::array<std::uint8_t, 40> fixed;  // 4*4 + 3*8 bytes after the magic
+  std::array<std::uint8_t, v1::kFixedHeaderBytes - v1::kMagicBytes> fixed;
   if (!src.read(fixed.data(), fixed.size())) {
     return truncated(ErrorKind::TruncatedHeader, src, "TDCLZW1 header is 48 bytes");
   }
@@ -154,11 +159,17 @@ Result<CompressedImage> read_image_v1(ByteSource& src) {
 
 Result<CompressedImage> read_image_v2(ByteSource& src,
                                       const std::array<std::uint8_t, 8>& magic) {
-  std::array<std::uint8_t, 56> fixed;  // bytes [8, 64) of the container
+  // Bytes [kMagicBytes, kFixedHeaderBytes) of the container; each field is
+  // read through its §8 offset so the layout contract and the reader can
+  // never drift apart.
+  std::array<std::uint8_t, v2::kFixedHeaderBytes - v2::kMagicBytes> fixed;
   if (!src.read(fixed.data(), fixed.size())) {
     return truncated(ErrorKind::TruncatedHeader, src, "TDCLZW2 fixed header is 64 bytes");
   }
-  const std::uint32_t version = get_u32(&fixed[0]);
+  const auto field = [&fixed](std::uint32_t offset) {
+    return fixed.data() + (offset - v2::kMagicBytes);
+  };
+  const std::uint32_t version = get_u32(field(v2::kOffVersion));
   if (version != 2) {
     Error err{ErrorKind::UnsupportedVersion,
               "container declares format version " + std::to_string(version) +
@@ -168,17 +179,17 @@ Result<CompressedImage> read_image_v2(ByteSource& src,
   }
 
   CompressedImage image;
-  image.config.dict_size = get_u32(&fixed[4]);
-  image.config.char_bits = get_u32(&fixed[8]);
-  image.config.entry_bits = get_u32(&fixed[12]);
-  image.config.variable_width = (get_u32(&fixed[16]) & 1u) != 0;
-  image.original_bits = get_u64(&fixed[20]);
-  image.code_count = get_u64(&fixed[28]);
-  const std::uint64_t payload_bits = get_u64(&fixed[36]);
-  const std::uint32_t payload_crc = get_u32(&fixed[44]);
+  image.config.dict_size = get_u32(field(v2::kOffDictSize));
+  image.config.char_bits = get_u32(field(v2::kOffCharBits));
+  image.config.entry_bits = get_u32(field(v2::kOffEntryBits));
+  image.config.variable_width = (get_u32(field(v2::kOffFlags)) & 1u) != 0;
+  image.original_bits = get_u64(field(v2::kOffOriginalBits));
+  image.code_count = get_u64(field(v2::kOffCodeCount));
+  const std::uint64_t payload_bits = get_u64(field(v2::kOffPayloadBits));
+  const std::uint32_t payload_crc = get_u32(field(v2::kOffPayloadCrc));
   image.container.version = 2;
-  image.container.chunk_bytes = get_u32(&fixed[48]);
-  image.container.chunk_count = get_u32(&fixed[52]);
+  image.container.chunk_bytes = get_u32(field(v2::kOffChunkBytes));
+  image.container.chunk_count = get_u32(field(v2::kOffChunkCount));
   image.container.payload_bytes = (payload_bits + 7) / 8;
 
   // The chunk table length comes from a yet-unverified header, so cap it
@@ -275,14 +286,12 @@ Result<CompressedImage> read_image_v2(ByteSource& src,
 
 void write_image(std::ostream& out, const EncodeResult& encoded,
                  const ContainerOptions& options) {
-  if (options.version != 1 && options.version != 2) {
-    throw std::invalid_argument("write_image: unknown container version " +
-                                std::to_string(options.version));
-  }
-  if (options.version == 2 && options.chunk_bytes != 0 &&
-      options.chunk_bytes < kMinChunkBytes) {
-    throw std::invalid_argument("write_image: chunk_bytes must be 0 or >= 64");
-  }
+  TDC_REQUIRE(options.version == 1 || options.version == 2,
+              "write_image: unknown container version " +
+                  std::to_string(options.version));
+  TDC_REQUIRE(options.version == 1 || options.chunk_bytes == 0 ||
+                  options.chunk_bytes >= kMinChunkBytes,
+              "write_image: chunk_bytes must be 0 or >= 64");
 
   const auto& payload = encoded.stream.bytes();
   std::vector<std::uint8_t> header;

@@ -118,6 +118,8 @@ bool TraceRecorder::flush() {
   }
   std::ofstream out(path);
   if (!out) {
+    // Last-resort diagnostic on the process-exit dump path; there is no
+    // caller left to return a Status to. tdc-lint: allow(iostream-print)
     std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
     return false;
   }

@@ -63,8 +63,11 @@ TEST(ContainerRoundTrip, EveryTiebreakWidthAndVersion) {
           ContainerOptions{.version = 2, .chunk_bytes = 0},
           ContainerOptions{.version = 2, .chunk_bytes = 64},
           ContainerOptions{.version = 2, .chunk_bytes = 4096}}) {
-      SCOPED_TRACE("v" + std::to_string(options.version) + " chunk " +
-                   std::to_string(options.chunk_bytes));
+      std::string trace = "v";
+      trace += std::to_string(options.version);
+      trace += " chunk ";
+      trace += std::to_string(options.chunk_bytes);
+      SCOPED_TRACE(trace);
       Result<CompressedImage> image = parse(serialize(encoded, options));
       ASSERT_TRUE(image.ok()) << image.error().describe();
       const CompressedImage& img = image.value();

@@ -53,7 +53,8 @@ Manifest stress_manifest(std::size_t jobs, bool with_failures) {
   Manifest manifest;
   for (std::size_t i = 0; i < jobs; ++i) {
     JobSpec spec;
-    spec.name = "s" + std::to_string(i);
+    spec.name = "s";
+    spec.name += std::to_string(i);
     spec.config = lzw::LzwConfig{.dict_size = 128, .char_bits = 5, .entry_bits = 35};
     spec.tiebreak = tiebreaks[i % 5];
     spec.container.version = i % 2 == 0 ? 2u : 1u;

@@ -434,7 +434,9 @@ TEST(EngineTest, FailFastCancelsPendingJobs) {
   EXPECT_EQ(result.ok_count() + result.failed_count() + result.cancelled_count(),
             result.jobs.size());
   for (const JobOutcome& job : result.jobs) {
-    if (job.cancelled) EXPECT_FALSE(job.ok());
+    if (job.cancelled) {
+      EXPECT_FALSE(job.ok());
+    }
   }
 }
 

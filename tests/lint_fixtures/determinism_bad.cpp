@@ -1,0 +1,18 @@
+// Violating fixture: entropy and wall-clock reads in a deterministic path.
+#include <chrono>
+#include <random>
+
+namespace tdc::lzw {
+
+inline int fixture_entropy() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + static_cast<int>(time(nullptr));
+}
+
+inline long fixture_wall_clock() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count() + rand();
+}
+
+}  // namespace tdc::lzw

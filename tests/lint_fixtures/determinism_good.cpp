@@ -1,0 +1,21 @@
+// Conforming fixture: the sanctioned seeded PRNG and monotonic clock, plus
+// identifiers that merely *look* like banned entities (members, foreign
+// qualification) which the rule must not flag.
+#include <chrono>
+
+#include "bits/rng.h"
+
+namespace tdc::lzw {
+
+struct FixtureStats {
+  int time = 0;  // member named like a banned call
+};
+
+inline int fixture_ok(const FixtureStats& s) {
+  bits::Rng rng(1234);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return static_cast<int>(rng.next_bits(8)) + s.time;
+}
+
+}  // namespace tdc::lzw

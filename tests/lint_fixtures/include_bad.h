@@ -1,0 +1,5 @@
+// Violating fixture: no include guard, then relative / bare / cross-tree
+inline int fixture_unguarded = 0;
+#include "config.h"
+#include "../core/error.h"
+#include "tests/lint_fixture_helper.h"

@@ -1,0 +1,12 @@
+// Conforming fixture: guarded, project-relative includes only.
+#ifndef TDC_TESTS_LINT_FIXTURES_INCLUDE_GOOD_H
+#define TDC_TESTS_LINT_FIXTURES_INCLUDE_GOOD_H
+
+#include <cstdint>
+
+#include "core/error.h"
+#include "lzw/config.h"
+
+inline constexpr std::uint32_t kFixtureValue = 7;
+
+#endif  // TDC_TESTS_LINT_FIXTURES_INCLUDE_GOOD_H

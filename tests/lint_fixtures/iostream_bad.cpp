@@ -1,0 +1,14 @@
+// Violating fixture: console output from library code.
+#include <cstdio>
+#include <iostream>
+
+namespace tdc::codec {
+
+inline void fixture_report(int ratio) {
+  std::cout << "ratio " << ratio << "\n";
+  std::cerr << "warning\n";
+  printf("ratio %d\n", ratio);
+  fprintf(stderr, "ratio %d\n", ratio);
+}
+
+}  // namespace tdc::codec

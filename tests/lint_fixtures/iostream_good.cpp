@@ -1,0 +1,14 @@
+// Conforming fixture: formatting and file-stream I/O are fine; the one
+// sanctioned console write carries an inline suppression.
+#include <cstdio>
+
+namespace tdc::codec {
+
+inline void fixture_format(char* buf, unsigned long n, int ratio, std::FILE* log) {
+  std::snprintf(buf, n, "ratio %d", ratio);
+  std::fprintf(log, "ratio %d\n", ratio);
+  // Crash-path dump, sanctioned here.  tdc-lint: allow(iostream-print)
+  std::fprintf(stderr, "fixture crash dump\n");
+}
+
+}  // namespace tdc::codec

@@ -1,0 +1,11 @@
+// Violating fixture: raw exceptions inside a taxonomy path.
+#include <stdexcept>
+
+namespace tdc::hw {
+
+inline void fixture_fail(bool lost, int value) {
+  if (lost) throw std::runtime_error("handshake lost");
+  if (value < 0) throw value;
+}
+
+}  // namespace tdc::hw

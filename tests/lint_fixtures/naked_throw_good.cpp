@@ -1,0 +1,16 @@
+// Conforming fixture: typed tdc::Error raises, taxonomy types and the bare
+// rethrow are all sanctioned.
+#include "core/error.h"
+
+namespace tdc::hw {
+
+inline void fixture_fail(bool lost) {
+  if (lost) Error{ErrorKind::Io, "handshake lost"}.raise();
+  try {
+    throw tdc::ContainerError("fixture");
+  } catch (...) {
+    throw;
+  }
+}
+
+}  // namespace tdc::hw

@@ -1,0 +1,16 @@
+// Violating fixture: range-for over an unordered container feeding output.
+#include <string>
+#include <unordered_map>
+
+namespace tdc::engine {
+
+inline std::string fixture_serialize(
+    const std::unordered_map<std::string, int>& counters) {
+  std::string out;
+  for (const auto& kv : counters) {
+    out += kv.first;
+  }
+  return out;
+}
+
+}  // namespace tdc::engine

@@ -1,0 +1,20 @@
+// Conforming fixture: a sorted copy owns any serialized iteration.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace tdc::engine {
+
+std::map<std::string, int> fixture_sorted(
+    const std::unordered_map<std::string, int>& counters);
+
+inline std::string fixture_serialize(
+    const std::unordered_map<std::string, int>& counters) {
+  std::string out;
+  for (const auto& kv : fixture_sorted(counters)) {
+    out += kv.first;
+  }
+  return out;
+}
+
+}  // namespace tdc::engine

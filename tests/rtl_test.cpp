@@ -55,14 +55,14 @@ TEST(VcdWriterTest, ProducesWellFormedDump) {
 TEST(VcdWriterTest, RejectsMisuse) {
   std::ostringstream out;
   VcdWriter vcd(out);
-  EXPECT_THROW(vcd.add_signal("w", 0), std::runtime_error);
-  EXPECT_THROW(vcd.advance(1), std::runtime_error);  // before begin
+  EXPECT_THROW(vcd.add_signal("w", 0), std::invalid_argument);
+  EXPECT_THROW(vcd.advance(1), std::invalid_argument);  // before begin
   const auto s = vcd.add_signal("s", 1);
   vcd.begin();
-  EXPECT_THROW(vcd.add_signal("late", 1), std::runtime_error);
+  EXPECT_THROW(vcd.add_signal("late", 1), std::invalid_argument);
   vcd.advance(5);
   vcd.change(s, 1);
-  EXPECT_THROW(vcd.advance(3), std::runtime_error);  // time backwards
+  EXPECT_THROW(vcd.advance(3), std::invalid_argument);  // time backwards
 }
 
 // ---------------------------------------------------------------- RTL vs event model
@@ -120,7 +120,7 @@ TEST(RtlTest, VcdDumpCoversWholeRun) {
   EXPECT_NE(text.find("fsm_state"), std::string::npos);
   EXPECT_NE(text.find("scan_out"), std::string::npos);
   // The last cycle's timestamp appears in the dump.
-  EXPECT_NE(text.find("#" + std::to_string(run.internal_cycles - 1)),
+  EXPECT_NE(text.find(std::string("#") + std::to_string(run.internal_cycles - 1)),
             std::string::npos);
 }
 

@@ -54,7 +54,9 @@ TEST(Sim64Test, TruthTablesAllKinds) {
 TEST(Sim64Test, WideGates) {
   Netlist nl("wide");
   std::vector<std::uint32_t> ins;
-  for (int i = 0; i < 5; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  for (int i = 0; i < 5; ++i) {
+    ins.push_back(nl.add_input(std::string("i") + std::to_string(i)));
+  }
   const auto g = nl.add_gate(GateKind::And, "g", ins);
   const auto x = nl.add_gate(GateKind::Xor, "x", ins);
   nl.add_output(g);

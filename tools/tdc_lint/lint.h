@@ -1,0 +1,49 @@
+#ifndef TDC_TOOLS_TDC_LINT_LINT_H
+#define TDC_TOOLS_TDC_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+/// tdc_lint — the project's custom static checker.
+///
+/// A deliberately dependency-free token scanner (no libclang): every rule
+/// works off a comment/string-stripped token stream plus the raw lines, so
+/// the tool builds everywhere the project builds and runs in milliseconds
+/// over the whole tree. Rules are scoped by project-relative path; see
+/// docs/ALGORITHMS.md §11 for the rule catalogue and the inline
+/// suppression syntax (`// tdc-lint: allow(<rule>)`, which covers its own
+/// line and the next).
+namespace tdc::lint {
+
+/// One rule violation. `path` is project-relative with forward slashes,
+/// `line` is 1-based, `rule` is the stable rule id the fixtures and the
+/// report format use.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Stable ids of every implemented rule, in report order.
+const std::vector<std::string>& rule_ids();
+
+/// Lints one file given its *project-relative* path (which decides rule
+/// scope: e.g. "src/lzw/encoder.cpp" is a deterministic path) and its
+/// content. Pure function — no filesystem access — so tests can feed
+/// fixture content under fabricated paths.
+std::vector<Finding> lint_file(const std::string& path, const std::string& content);
+
+/// Walks `repo_root`/<subdir> for C++ sources (.h/.hpp/.cpp/.cc) in
+/// deterministic (sorted) order and lints each under its project-relative
+/// path. `files_scanned`, when non-null, receives the file count.
+std::vector<Finding> lint_tree(const std::string& repo_root,
+                               const std::vector<std::string>& subdirs,
+                               std::size_t* files_scanned = nullptr);
+
+/// "path:line: [rule] message" — one line per finding.
+std::string format_report(const std::vector<Finding>& findings);
+
+}  // namespace tdc::lint
+
+#endif  // TDC_TOOLS_TDC_LINT_LINT_H

@@ -1,0 +1,38 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+// tdc_lint <repo-root> [subdir...]
+//
+// Lints every C++ source under <repo-root>/<subdir> (default: src) against
+// the project rules (docs/ALGORITHMS.md §11). Exit code 0 when clean, 1 on
+// violations, 2 on usage errors. CI and the `tdc_lint_src` ctest run it
+// over the whole src/ tree; the fixture suite (tests/lint_test) pins each
+// rule's id and line reporting.
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: tdc_lint <repo-root> [subdir...]\n");
+    return 2;
+  }
+  const std::string root = argv[1];
+  std::vector<std::string> subdirs;
+  for (int i = 2; i < argc; ++i) subdirs.push_back(argv[i]);
+  if (subdirs.empty()) subdirs.push_back("src");
+
+  std::size_t files = 0;
+  const std::vector<tdc::lint::Finding> findings =
+      tdc::lint::lint_tree(root, subdirs, &files);
+  if (files == 0) {
+    std::fprintf(stderr, "tdc_lint: no C++ sources found under %s\n", root.c_str());
+    return 2;
+  }
+  if (!findings.empty()) {
+    const std::string report = tdc::lint::format_report(findings);
+    std::fputs(report.c_str(), stdout);
+  }
+  std::printf("tdc_lint: %zu violation(s) in %zu file(s) scanned\n",
+              findings.size(), files);
+  return findings.empty() ? 0 : 1;
+}
