@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bits/rng.h"
+#include "bits/simd.h"
 #include "bits/tritvector.h"
 #include "codec/huffman.h"
 #include "codec/lfsr_reseed.h"
@@ -249,21 +250,40 @@ double encode_chars_per_sec(const bits::TritVector& input,
 struct Corpus {
   const char* name;
   double x_density;
+  // Pre-PR-6 chars/sec on the reference runner (per-bit TritVector slicing,
+  // bit-serial BitWriter, per-node-vector dictionary), pinned so every run
+  // reports its gain against the same fixed origin. Only meaningful for the
+  // default 2^15-bit corpus; the JSON carries the gain as null otherwise.
+  double baseline_legacy;
+  double baseline_indexed;
 };
 
 /// Times LegacyScan vs Indexed per corpus, prints the comparison, writes
 /// the JSON trajectory file. Returns 0 on success.
 int run_path_comparison() {
-  constexpr std::size_t kBits = 1 << 15;
-  const Corpus corpora[] = {{"dense_x0.1", 0.1}, {"sparse_x0.9", 0.9}};
+  constexpr std::size_t kDefaultBits = 1 << 15;
+  // $TDC_BENCH_BITS shrinks the corpus for smoke profiles (CI perf job);
+  // the pinned-baseline gain column only applies at the default size.
+  std::size_t bits = kDefaultBits;
+  if (const char* env = std::getenv("TDC_BENCH_BITS");
+      env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) bits = static_cast<std::size_t>(v);
+  }
+  const std::size_t kBits = bits;
+  const bool pinned = kBits == kDefaultBits;
+  const Corpus corpora[] = {{"dense_x0.1", 0.1, 7462016.0, 17060744.0},
+                            {"sparse_x0.9", 0.9, 13488172.0, 26738851.0}};
 
   std::string json = "{\n  \"bench\": \"micro_codec\",\n  \"config\": {"
                      "\"dict_size\": " + std::to_string(kConfig.dict_size) +
                      ", \"char_bits\": " + std::to_string(kConfig.char_bits) +
                      ", \"entry_bits\": " + std::to_string(kConfig.entry_bits) +
-                     "},\n  \"comparisons\": [\n";
+                     ", \"simd_kernel\": \"" + bits::simd::active_kernel() +
+                     "\"},\n  \"comparisons\": [\n";
   std::printf("\nEncoder path comparison (chars/sec, best of 3):\n");
-  std::printf("%-14s %16s %16s %9s\n", "corpus", "legacy", "indexed", "speedup");
+  std::printf("%-14s %16s %16s %9s %12s\n", "corpus", "legacy", "indexed",
+              "speedup", "vs pre-PR6");
   bool first = true;
   for (const Corpus& c : corpora) {
     const auto input = random_cube(kBits, c.x_density, 7);
@@ -272,14 +292,32 @@ int run_path_comparison() {
     const double indexed =
         encode_chars_per_sec(input, lzw::MatchStrategy::Indexed);
     const double speedup = legacy > 0 ? indexed / legacy : 0.0;
-    std::printf("%-14s %16.0f %16.0f %8.2fx\n", c.name, legacy, indexed, speedup);
-    char entry[512];
+    const double gain = pinned ? indexed / c.baseline_indexed : 0.0;
+    if (pinned) {
+      std::printf("%-14s %16.0f %16.0f %8.2fx %11.2fx\n", c.name, legacy,
+                  indexed, speedup, gain);
+    } else {
+      std::printf("%-14s %16.0f %16.0f %8.2fx %12s\n", c.name, legacy, indexed,
+                  speedup, "n/a");
+    }
+    char gain_field[96];
+    if (pinned) {
+      std::snprintf(gain_field, sizeof gain_field,
+                    "\"baseline_indexed_chars_per_sec\": %.0f, "
+                    "\"gain_vs_baseline\": %.3f",
+                    c.baseline_indexed, gain);
+    } else {
+      std::snprintf(gain_field, sizeof gain_field,
+                    "\"baseline_indexed_chars_per_sec\": null, "
+                    "\"gain_vs_baseline\": null");
+    }
+    char entry[640];
     std::snprintf(entry, sizeof entry,
                   "%s    {\"corpus\": \"%s\", \"x_density\": %.2f, "
                   "\"input_bits\": %zu, \"legacy_chars_per_sec\": %.0f, "
-                  "\"indexed_chars_per_sec\": %.0f, \"speedup\": %.3f}",
+                  "\"indexed_chars_per_sec\": %.0f, \"speedup\": %.3f, %s}",
                   first ? "" : ",\n", c.name, c.x_density, kBits, legacy,
-                  indexed, speedup);
+                  indexed, speedup, gain_field);
     json += entry;
     first = false;
   }

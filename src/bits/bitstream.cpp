@@ -1,6 +1,7 @@
 #include "bits/bitstream.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace tdc::bits {
 
@@ -15,12 +16,34 @@ BitWriter BitWriter::from_bytes(const std::uint8_t* data, std::size_t bit_count)
   return w;
 }
 
-void BitWriter::write(std::uint64_t value, unsigned width) {
-  assert(width <= 64);
-  assert(width == 64 || (value >> width) == 0);
-  std::size_t pos = bit_count_;
-  bit_count_ += width;
-  const std::size_t needed = (bit_count_ + 7) / 8;
+void BitWriter::flush_word(std::size_t pos, std::uint64_t word) const {
+  if (pos % 8 == 0) {
+    // Steady state: the flushed prefix is whole bytes — append the word as
+    // eight big-endian bytes in one store.
+    const std::size_t off = pos / 8;
+    if (bytes_.size() < off + 8) {
+      if (off + 8 > bytes_.capacity()) {
+        bytes_.reserve(std::max<std::size_t>(off + 8, 2 * bytes_.capacity()));
+      }
+      bytes_.resize(off + 8, 0);
+    }
+    const std::uint64_t be = byteswap64(word);
+    std::memcpy(bytes_.data() + off, &be, 8);
+    return;
+  }
+  write_chunks(pos, word, 64);
+}
+
+void BitWriter::flush_tail() const {
+  if (acc_bits_ == 0) return;
+  write_chunks(bit_count_ - acc_bits_, acc_ & low_mask(acc_bits_), acc_bits_);
+  acc_ = 0;
+  acc_bits_ = 0;
+}
+
+void BitWriter::write_chunks(std::size_t pos, std::uint64_t value,
+                             unsigned width) const {
+  const std::size_t needed = (pos + width + 7) / 8;
   if (needed > bytes_.size()) {
     // Geometric growth: resize() alone gives no amortization guarantee.
     if (needed > bytes_.capacity()) {
@@ -28,7 +51,7 @@ void BitWriter::write(std::uint64_t value, unsigned width) {
     }
     bytes_.resize(needed, 0);
   }
-  // Stuff byte-sized chunks MSB first instead of looping per bit.
+  // Stuff byte-sized chunks MSB first.
   unsigned rem = width;
   while (rem > 0) {
     const unsigned free_bits = 8 - static_cast<unsigned>(pos % 8);
@@ -42,25 +65,27 @@ void BitWriter::write(std::uint64_t value, unsigned width) {
   }
 }
 
-void BitWriter::write_bit(bool b) {
-  const std::size_t byte = bit_count_ / 8;
-  const unsigned off = 7 - static_cast<unsigned>(bit_count_ % 8);
-  if (byte >= bytes_.size()) bytes_.push_back(0);
-  if (b) bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << off));
-  ++bit_count_;
-}
-
 bool BitWriter::bit_at(std::size_t i) const {
   assert(i < bit_count_);
+  flush_tail();
   return (bytes_[i / 8] >> (7 - (i % 8))) & 1u;
 }
 
 std::uint64_t BitReader::read(unsigned width) {
   assert(width <= 64);
   assert(width <= remaining());
+  const std::uint8_t* data = bytes_->data();
   std::uint64_t v = 0;
-  for (unsigned i = 0; i < width; ++i) {
-    v = (v << 1) | (read_bit() ? 1ULL : 0ULL);
+  unsigned rem = width;
+  while (rem > 0) {
+    const unsigned avail = 8 - static_cast<unsigned>(pos_ % 8);
+    const unsigned take = rem < avail ? rem : avail;
+    const unsigned chunk =
+        (static_cast<unsigned>(data[pos_ / 8]) >> (avail - take)) &
+        ((1u << take) - 1u);
+    v = (v << take) | chunk;
+    pos_ += take;
+    rem -= take;
   }
   return v;
 }

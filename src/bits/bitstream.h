@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bits/wordops.h"
+
 namespace tdc::bits {
 
 /// MSB-first bit-serial writer.
@@ -12,6 +14,15 @@ namespace tdc::bits {
 /// This matches the wire order of the paper's tester interface: the first
 /// bit written is the first bit shifted into the on-chip decompressor.
 /// Values wider than one bit are emitted most-significant bit first.
+///
+/// Writes land in a 64-bit staging word and spill to the byte buffer eight
+/// bytes at a time, so a 10-bit code costs two shifts and an or — the
+/// per-byte chunk loop only runs on the rare ragged flush. The staging word
+/// drains lazily: bytes()/bit_at() flush it first, so observable state is
+/// always exactly what bit-serial writes would have produced (the batched
+/// writer property test pins this, flushes interleaved mid-stream included).
+/// Not thread-safe, including the const readers — each stream has exactly
+/// one owner everywhere in this codebase.
 class BitWriter {
  public:
   /// Builds a writer holding `bit_count` bits copied from a packed MSB-first
@@ -23,22 +34,57 @@ class BitWriter {
 
   /// Appends the low `width` bits of `value`, MSB first.
   /// Precondition: width <= 64 and value fits in `width` bits.
-  void write(std::uint64_t value, unsigned width);
+  void write(std::uint64_t value, unsigned width) {
+    if (width == 0) return;
+    const unsigned room = 64u - acc_bits_;
+    if (width < room) {
+      acc_ = (acc_ << width) | value;
+      acc_bits_ += width;
+      bit_count_ += width;
+      return;
+    }
+    // The value completes the staging word (and may start the next one).
+    const unsigned spill = width - room;
+    const std::size_t word_pos = bit_count_ - acc_bits_;
+    bit_count_ += width;
+    flush_word(word_pos, (acc_bits_ == 0 ? 0 : acc_ << room) | (value >> spill));
+    acc_ = value & low_mask(spill);
+    acc_bits_ = spill;
+  }
 
   /// Appends a single bit.
-  void write_bit(bool b);
+  void write_bit(bool b) { write(b ? 1u : 0u, 1); }
 
   /// Total number of bits written so far.
   std::size_t bit_count() const { return bit_count_; }
 
   /// Backing storage; the final byte is zero-padded in its low bits.
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  const std::vector<std::uint8_t>& bytes() const {
+    flush_tail();
+    return bytes_;
+  }
 
   /// Reads back bit `i` (0 = first written). Precondition: i < bit_count().
   bool bit_at(std::size_t i) const;
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  /// Spills one full 64-bit staging word whose first bit sits at `pos`.
+  void flush_word(std::size_t pos, std::uint64_t word) const;
+
+  /// Drains a partially filled staging word (bytes()/bit_at() barrier).
+  void flush_tail() const;
+
+  /// Byte-granular fallback: ORs the low `width` bits of `value` into the
+  /// buffer at bit `pos`, growing it as needed. Runs only when the flushed
+  /// prefix is not byte-aligned (a mid-stream flush_tail left a ragged
+  /// byte) — never on the steady-state encode path.
+  void write_chunks(std::size_t pos, std::uint64_t value, unsigned width) const;
+
+  // The staging state is mutable so the const observers can drain it; see
+  // the class comment for the single-owner threading contract.
+  mutable std::vector<std::uint8_t> bytes_;
+  mutable std::uint64_t acc_ = 0;      // low acc_bits_ bits are pending
+  mutable unsigned acc_bits_ = 0;      // always < 64
   std::size_t bit_count_ = 0;
 };
 
@@ -58,8 +104,9 @@ class BitReader {
   /// True when every bit has been consumed.
   bool exhausted() const { return pos_ >= bit_count_; }
 
-  /// Reads the next `width` bits as an MSB-first unsigned value.
-  /// Precondition: width <= 64 and width <= remaining().
+  /// Reads the next `width` bits as an MSB-first unsigned value, one byte
+  /// chunk at a time (not per bit). Precondition: width <= 64 and
+  /// width <= remaining().
   std::uint64_t read(unsigned width);
 
   /// Reads one bit.

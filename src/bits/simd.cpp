@@ -1,0 +1,126 @@
+#include "bits/simd.h"
+
+#include <bit>
+
+namespace tdc::bits::simd {
+
+namespace detail {
+
+std::size_t popcount_words_scalar(const std::uint64_t* words, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+bool planes_conflict_scalar(const std::uint64_t* care_a,
+                            const std::uint64_t* value_a,
+                            const std::uint64_t* care_b,
+                            const std::uint64_t* value_b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (((value_a[i] ^ value_b[i]) & care_a[i] & care_b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool planes_uncovered_scalar(const std::uint64_t* care_a,
+                             const std::uint64_t* value_a,
+                             const std::uint64_t* care_b,
+                             const std::uint64_t* value_b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (((care_a[i] & ~care_b[i]) | ((value_a[i] ^ value_b[i]) & care_a[i])) !=
+        0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void planes_merge_scalar(std::uint64_t* care_a, std::uint64_t* value_a,
+                         const std::uint64_t* care_b,
+                         const std::uint64_t* value_b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    value_a[i] |= value_b[i] & ~care_a[i];
+    care_a[i] |= care_b[i];
+  }
+}
+
+#if defined(TDC_SIMD_X86)
+// Implemented in simd_avx2.cpp, the only TU built with -mavx2; called only
+// after the runtime CPU check below reports AVX2 support.
+std::size_t popcount_words_avx2(const std::uint64_t* words, std::size_t n);
+bool planes_conflict_avx2(const std::uint64_t* care_a,
+                          const std::uint64_t* value_a,
+                          const std::uint64_t* care_b,
+                          const std::uint64_t* value_b, std::size_t n);
+bool planes_uncovered_avx2(const std::uint64_t* care_a,
+                           const std::uint64_t* value_a,
+                           const std::uint64_t* care_b,
+                           const std::uint64_t* value_b, std::size_t n);
+void planes_merge_avx2(std::uint64_t* care_a, std::uint64_t* value_a,
+                       const std::uint64_t* care_b,
+                       const std::uint64_t* value_b, std::size_t n);
+#endif
+
+namespace {
+
+/// One-time runtime ISA probe. The result is immutable for the process, so
+/// every kernel branches on a plain bool the predictor learns immediately.
+bool detect_avx2() {
+#if defined(TDC_SIMD_X86) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const bool kUseAvx2 = detect_avx2();
+
+}  // namespace
+}  // namespace detail
+
+const char* active_kernel() { return detail::kUseAvx2 ? "avx2" : "scalar"; }
+
+std::size_t popcount_words(const std::uint64_t* words, std::size_t n) {
+#if defined(TDC_SIMD_X86)
+  if (detail::kUseAvx2 && n >= 8) return detail::popcount_words_avx2(words, n);
+#endif
+  return detail::popcount_words_scalar(words, n);
+}
+
+bool planes_conflict(const std::uint64_t* care_a, const std::uint64_t* value_a,
+                     const std::uint64_t* care_b, const std::uint64_t* value_b,
+                     std::size_t n) {
+#if defined(TDC_SIMD_X86)
+  if (detail::kUseAvx2 && n >= 8) {
+    return detail::planes_conflict_avx2(care_a, value_a, care_b, value_b, n);
+  }
+#endif
+  return detail::planes_conflict_scalar(care_a, value_a, care_b, value_b, n);
+}
+
+bool planes_uncovered(const std::uint64_t* care_a, const std::uint64_t* value_a,
+                      const std::uint64_t* care_b, const std::uint64_t* value_b,
+                      std::size_t n) {
+#if defined(TDC_SIMD_X86)
+  if (detail::kUseAvx2 && n >= 8) {
+    return detail::planes_uncovered_avx2(care_a, value_a, care_b, value_b, n);
+  }
+#endif
+  return detail::planes_uncovered_scalar(care_a, value_a, care_b, value_b, n);
+}
+
+void planes_merge(std::uint64_t* care_a, std::uint64_t* value_a,
+                  const std::uint64_t* care_b, const std::uint64_t* value_b,
+                  std::size_t n) {
+#if defined(TDC_SIMD_X86)
+  if (detail::kUseAvx2 && n >= 8) {
+    detail::planes_merge_avx2(care_a, value_a, care_b, value_b, n);
+    return;
+  }
+#endif
+  detail::planes_merge_scalar(care_a, value_a, care_b, value_b, n);
+}
+
+}  // namespace tdc::bits::simd

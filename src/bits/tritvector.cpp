@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 
+#include "bits/simd.h"
 #include "core/error.h"
 
 namespace tdc::bits {
@@ -84,36 +85,27 @@ void TritVector::append(const TritVector& other) {
 }
 
 std::size_t TritVector::care_count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : care_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return simd::popcount_words(care_.data(), care_.size());
 }
 
 bool TritVector::compatible_with(const TritVector& other) const {
   if (size_ != other.size_) return false;
-  for (std::size_t w = 0; w < care_.size(); ++w) {
-    const std::uint64_t both = care_[w] & other.care_[w];
-    if (((value_[w] ^ other.value_[w]) & both) != 0) return false;
-  }
-  return true;
+  return !simd::planes_conflict(care_.data(), value_.data(), other.care_.data(),
+                                other.value_.data(), care_.size());
 }
 
 bool TritVector::covered_by(const TritVector& other) const {
+  // Every care bit of this must be a care bit of other with equal value.
   if (size_ != other.size_) return false;
-  for (std::size_t w = 0; w < care_.size(); ++w) {
-    // Every care bit of this must be a care bit of other with equal value.
-    if ((care_[w] & ~other.care_[w]) != 0) return false;
-    if (((value_[w] ^ other.value_[w]) & care_[w]) != 0) return false;
-  }
-  return true;
+  return !simd::planes_uncovered(care_.data(), value_.data(),
+                                 other.care_.data(), other.value_.data(),
+                                 care_.size());
 }
 
 void TritVector::merge_in(const TritVector& other) {
   assert(compatible_with(other));
-  for (std::size_t w = 0; w < care_.size(); ++w) {
-    value_[w] |= other.value_[w] & ~care_[w];
-    care_[w] |= other.care_[w];
-  }
+  simd::planes_merge(care_.data(), value_.data(), other.care_.data(),
+                     other.value_.data(), care_.size());
 }
 
 TritVector TritVector::slice(std::size_t pos, std::size_t len) const {
@@ -173,24 +165,60 @@ std::string TritVector::to_string() const {
   return s;
 }
 
+namespace {
+
+/// LSB-first field [pos, pos+len) of a packed bit plane; bits at or past the
+/// vector's end read as 0 thanks to the normal-form invariant (storage bits
+/// past size() are kept zero), so only whole-word bounds need checks.
+std::uint64_t extract_plane_field(const std::vector<std::uint64_t>& words,
+                                  std::size_t nbits, std::size_t pos,
+                                  std::size_t len) {
+  if (pos >= nbits) return 0;
+  const std::size_t w = pos / 64;
+  const std::size_t off = pos % 64;
+  std::uint64_t raw = words[w] >> off;
+  if (off != 0 && w + 1 < words.size()) raw |= words[w + 1] << (64 - off);
+  return raw & low_mask(static_cast<unsigned>(len));
+}
+
+/// Word-parallel inverse: replaces plane bits [pos, pos+len) with the low
+/// `len` bits of `field` (LSB-first). Precondition: pos+len within storage.
+void deposit_plane_field(std::vector<std::uint64_t>& words, std::size_t pos,
+                         std::uint64_t field, std::size_t len) {
+  const std::size_t w = pos / 64;
+  const std::size_t off = pos % 64;
+  const std::uint64_t mask = low_mask(static_cast<unsigned>(len));
+  words[w] = (words[w] & ~(mask << off)) | (field << off);
+  if (off + len > 64) {
+    const std::size_t spill = off + len - 64;
+    const std::uint64_t hi_mask = low_mask(static_cast<unsigned>(spill));
+    words[w + 1] = (words[w + 1] & ~hi_mask) | (field >> (64 - off));
+  }
+}
+
+}  // namespace
+
 std::uint64_t TritVector::word(std::size_t pos, std::size_t len) const {
   assert(len <= 64);
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const bool one = pos + i < size_ && get(pos + i) == Trit::One;
-    out = (out << 1) | (one ? 1ULL : 0ULL);
-  }
-  return out;
+  if (len == 0) return 0;
+  return reverse_low_bits(extract_plane_field(value_, size_, pos, len),
+                          static_cast<unsigned>(len));
 }
 
 std::uint64_t TritVector::care_word(std::size_t pos, std::size_t len) const {
   assert(len <= 64);
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const bool care = pos + i < size_ && get(pos + i) != Trit::X;
-    out = (out << 1) | (care ? 1ULL : 0ULL);
-  }
-  return out;
+  if (len == 0) return 0;
+  return reverse_low_bits(extract_plane_field(care_, size_, pos, len),
+                          static_cast<unsigned>(len));
+}
+
+void TritVector::set_word(std::size_t pos, std::uint64_t value, unsigned len) {
+  assert(len >= 1 && len <= 64);
+  assert(pos + len <= size_);
+  assert(len == 64 || (value >> len) == 0);
+  const std::uint64_t field = reverse_low_bits(value, len);
+  deposit_plane_field(value_, pos, field, len);
+  deposit_plane_field(care_, pos, low_mask(len), len);
 }
 
 CharCursor::CharCursor(const TritVector& v, std::uint32_t char_bits)

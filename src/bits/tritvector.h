@@ -9,6 +9,7 @@
 
 #include "bits/rng.h"
 #include "bits/trit.h"
+#include "bits/wordops.h"
 
 namespace tdc::bits {
 
@@ -106,6 +107,13 @@ class TritVector {
   /// character can be fetched without explicit padding.
   std::uint64_t care_word(std::size_t pos, std::size_t len) const;
 
+  /// Inverse of word(): writes trits [pos, pos+len) as specified bits whose
+  /// MSB-first value is `value` — one masked word store per plane instead of
+  /// `len` set() calls. The decoder's expansion writer uses this to emit a
+  /// whole character per call. Preconditions: pos+len <= size(), len in
+  /// [1, 64], value fits in `len` bits.
+  void set_word(std::size_t pos, std::uint64_t value, unsigned len);
+
  private:
   friend class CharCursor;
   static std::size_t words_for(std::size_t n) { return (n + 63) / 64; }
@@ -169,19 +177,15 @@ class CharCursor {
     const std::size_t off = pos % 64;
     std::uint64_t raw = words[w] >> off;
     if (off != 0 && w + 1 < words.size()) raw |= words[w + 1] << (64 - off);
-    if (len < 64) raw &= (1ULL << len) - 1;
-    return raw;
+    return raw & low_mask(static_cast<unsigned>(len));
   }
 
   /// Reverses the low `len` bits (the planes store position i at bit i of a
-  /// word, while characters are read MSB-first).
+  /// word, while characters are read MSB-first). Word-parallel: the SWAR
+  /// reversal costs the same for a 16-bit character as for a 1-bit one,
+  /// where the per-bit loop this replaced scaled with C_C.
   static std::uint64_t reverse_low_bits(std::uint64_t raw, std::size_t len) {
-    std::uint64_t out = 0;
-    for (std::size_t i = 0; i < len; ++i) {
-      out = (out << 1) | (raw & 1);
-      raw >>= 1;
-    }
-    return out;
+    return bits::reverse_low_bits(raw, static_cast<unsigned>(len));
   }
 
   const TritVector* v_;

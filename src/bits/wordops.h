@@ -1,0 +1,49 @@
+#ifndef TDC_BITS_WORDOPS_H
+#define TDC_BITS_WORDOPS_H
+
+#include <cstdint>
+
+namespace tdc::bits {
+
+/// Word-parallel (SWAR) primitives shared by the trit-plane kernels: the
+/// CharCursor, TritVector's bulk accessors and the BitWriter staging buffer
+/// all lean on these instead of per-bit loops. Everything here is branchless
+/// and constexpr, so the property tests can pin the kernels against naive
+/// per-bit references at compile time as well as at runtime.
+
+/// Mask with the low `len` bits set. len in [0, 64].
+constexpr std::uint64_t low_mask(unsigned len) {
+  return len >= 64 ? ~0ULL : (1ULL << len) - 1;
+}
+
+/// Byte-reverses a 64-bit word.
+constexpr std::uint64_t byteswap64(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(x);
+#else
+  x = ((x & 0x00FF00FF00FF00FFULL) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFULL);
+  x = ((x & 0x0000FFFF0000FFFFULL) << 16) | ((x >> 16) & 0x0000FFFF0000FFFFULL);
+  return (x << 32) | (x >> 32);
+#endif
+}
+
+/// Reverses all 64 bits: three SWAR exchange steps plus one byte swap —
+/// constant cost, no table, no per-bit loop.
+constexpr std::uint64_t reverse_bits64(std::uint64_t x) {
+  x = ((x & 0x5555555555555555ULL) << 1) | ((x >> 1) & 0x5555555555555555ULL);
+  x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+  x = ((x & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  return byteswap64(x);
+}
+
+/// Reverses the low `len` bits of `raw`; bits at or above `len` are
+/// discarded (they reverse into the positions the shift drops). len in
+/// [1, 64]. This is the LSB-first-plane <-> MSB-first-character pivot the
+/// cursor performs twice per character.
+constexpr std::uint64_t reverse_low_bits(std::uint64_t raw, unsigned len) {
+  return reverse_bits64(raw) >> (64u - len);
+}
+
+}  // namespace tdc::bits
+
+#endif  // TDC_BITS_WORDOPS_H

@@ -38,19 +38,56 @@ using JobPtr = std::unique_ptr<Job>;
 using JobQueue = exp::BoundedQueue<JobPtr>;
 
 /// Pre-resolved per-stage instruments, so stage workers never touch the
-/// registry's name map on the hot path.
+/// registry's name map on the hot path. bits_in/bits_out are only wired for
+/// the encode stage.
 struct StageMetrics {
   Counter* in;
   Counter* ok;
   Counter* fail;
   Counter* skip;
   Histogram* micros;
+  Counter* flushes;  ///< shard publications — the registry-lock traffic proxy
+  Counter* bits_in = nullptr;
+  Counter* bits_out = nullptr;
 };
 
 StageMetrics make_stage_metrics(MetricsRegistry& m, const std::string& stage) {
-  return StageMetrics{&m.counter(stage + ".in"), &m.counter(stage + ".ok"),
-                      &m.counter(stage + ".fail"), &m.counter(stage + ".skip"),
-                      &m.histogram(stage + ".micros")};
+  return StageMetrics{&m.counter(stage + ".in"),      &m.counter(stage + ".ok"),
+                      &m.counter(stage + ".fail"),    &m.counter(stage + ".skip"),
+                      &m.histogram(stage + ".micros"), &m.counter(stage + ".flushes")};
+}
+
+/// Per-worker metrics shard: plain integers plus an unsynchronized
+/// histogram, owned by one stage thread. Workers record every sample here
+/// and publish via flush_shard() — once at thread exit in the sharded
+/// discipline (a handful of atomic adds and one histogram lock per worker
+/// per run), or after every job in the contention-baseline discipline
+/// (reproducing the pre-PR per-job lock cadence for the bench).
+struct StageShard {
+  std::uint64_t in = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t fail = 0;
+  std::uint64_t skip = 0;
+  std::uint64_t bits_in = 0;
+  std::uint64_t bits_out = 0;
+  LocalHistogram micros;
+};
+
+void flush_shard(const StageMetrics& sm, StageShard& shard) {
+  if (shard.in == 0 && shard.skip == 0 && shard.micros.snapshot().count == 0) {
+    return;  // nothing recorded since the last flush — no lock traffic
+  }
+  sm.flushes->add();
+  if (shard.in != 0) sm.in->add(shard.in);
+  if (shard.ok != 0) sm.ok->add(shard.ok);
+  if (shard.fail != 0) sm.fail->add(shard.fail);
+  if (shard.skip != 0) sm.skip->add(shard.skip);
+  if (shard.bits_in != 0 && sm.bits_in != nullptr) sm.bits_in->add(shard.bits_in);
+  if (shard.bits_out != 0 && sm.bits_out != nullptr) {
+    sm.bits_out->add(shard.bits_out);
+  }
+  if (shard.micros.snapshot().count != 0) sm.micros->merge(shard.micros.snapshot());
+  shard = StageShard{};
 }
 
 Error typed_error(ErrorKind kind, std::string message) {
@@ -128,9 +165,10 @@ namespace {
 /// Per-run shared state: queues, the prepared-circuit memo and the
 /// fail-fast cancellation flag.
 struct RunState {
-  explicit RunState(std::size_t capacity)
-      : to_load(capacity), to_encode(capacity), to_container(capacity),
-        to_verify(capacity), done(capacity) {}
+  RunState(std::size_t capacity, bool eager_notify)
+      : to_load(capacity, eager_notify), to_encode(capacity, eager_notify),
+        to_container(capacity, eager_notify), to_verify(capacity, eager_notify),
+        done(capacity, eager_notify) {}
 
   JobQueue to_load, to_encode, to_container, to_verify, done;
   std::atomic<bool> cancelled{false};
@@ -257,15 +295,21 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   run_span.arg("jobs", static_cast<std::uint64_t>(manifest.jobs.size()));
   run_span.arg("workers", static_cast<std::uint64_t>(workers));
 
-  RunState run(capacity);
+  const bool baseline = options_.contention_baseline;
+  // Batch granularity for queue transfers: small enough to keep the
+  // pipeline's hand-off latency low, large enough that a busy stage pays
+  // one lock round-trip for several jobs.
+  const std::size_t stage_batch = baseline ? 1 : 4;
+
+  RunState run(capacity, baseline);
   MetricsRegistry& m = *metrics_;
   const StageMetrics load_m = make_stage_metrics(m, "load");
-  const StageMetrics encode_m = make_stage_metrics(m, "encode");
+  StageMetrics encode_m = make_stage_metrics(m, "encode");
+  encode_m.bits_in = &m.counter("encode.bits_in");
+  encode_m.bits_out = &m.counter("encode.bits_out");
   const StageMetrics container_m = make_stage_metrics(m, "container");
   const StageMetrics verify_m = make_stage_metrics(m, "verify");
   const StageMetrics commit_m = make_stage_metrics(m, "commit");
-  Counter& bits_in = m.counter("encode.bits_in");
-  Counter& bits_out = m.counter("encode.bits_out");
   Counter& bytes_written = m.counter("commit.bytes_written");
   m.counter("engine.jobs").add(manifest.jobs.size());
   m.counter("engine.runs").add();
@@ -273,56 +317,80 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   const bool fail_fast = options_.fail_fast;
   const bool do_verify = options_.verify;
 
-  // One stage execution: skip failed/cancelled jobs, time the body (a
-  // ScopedTimer for the histogram plus a trace span carrying the job name),
-  // map the result onto the job and the stage instruments.
-  const auto process = [&run, fail_fast](const StageMetrics& sm,
+  // One stage execution: skip failed/cancelled jobs, time the body (into the
+  // worker's unsynchronized shard, plus a trace span carrying the job name),
+  // map the result onto the job and the shard.
+  const auto process = [&run, fail_fast](StageShard& shard,
                                          const char* span_name, Job& job,
                                          const std::function<Status(Job&)>& body) {
-    sm.in->add();
+    ++shard.in;
     if (!job.failed && run.cancelled.load(std::memory_order_relaxed) &&
         !job.outcome.cancelled) {
       job.outcome.cancelled = true;
     }
     if (job.failed || job.outcome.cancelled) {
-      sm.skip->add();
+      ++shard.skip;
       return;
     }
     Status status;
     {
       obs::TraceSpan span(span_name);
       span.arg("job", job.outcome.name);
-      ScopedTimer timer(*sm.micros);
+      const auto start = std::chrono::steady_clock::now();
       status = body(job);
+      shard.micros.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
     }
     if (status.ok()) {
-      sm.ok->add();
+      ++shard.ok;
       return;
     }
     job.failed = true;
     job.outcome.status = status;
-    sm.fail->add();
+    ++shard.fail;
     if (fail_fast) run.cancelled.store(true, std::memory_order_relaxed);
   };
 
   // A stage: `workers` threads popping `in`, processing, pushing `out`.
-  // The last worker out closes the downstream queue, so shutdown cascades
-  // from the feeder to the committer with no central coordinator.
+  // Each worker drains its input up to `stage_batch` jobs per lock
+  // round-trip (pop_up_to) and forwards them the same way (push_all), and
+  // owns a StageShard merged into the registry at exit. The last worker out
+  // closes the downstream queue, so shutdown cascades from the feeder to
+  // the committer with no central coordinator.
   struct Stage {
     std::vector<std::thread> threads;
     std::shared_ptr<std::atomic<int>> remaining;
   };
   const auto spawn_stage = [&](JobQueue& in, JobQueue& out,
-                               std::function<void(Job&)> work) {
+                               std::function<void(Job&, StageShard&)> work,
+                               const StageMetrics& sm) {
     Stage stage;
     stage.remaining = std::make_shared<std::atomic<int>>(static_cast<int>(workers));
     for (unsigned t = 0; t < workers; ++t) {
-      stage.threads.emplace_back([&in, &out, work, remaining = stage.remaining] {
-        while (auto item = in.pop()) {
-          JobPtr job = std::move(*item);
-          work(*job);
-          out.push(std::move(job));
+      stage.threads.emplace_back([&in, &out, work, sm, baseline, stage_batch,
+                                  remaining = stage.remaining] {
+        StageShard shard;
+        if (baseline) {
+          // Pre-PR discipline: one job per queue round-trip, every sample
+          // flushed to the shared registry immediately.
+          while (auto item = in.pop()) {
+            JobPtr job = std::move(*item);
+            work(*job, shard);
+            flush_shard(sm, shard);
+            out.push(std::move(job));
+          }
+        } else {
+          std::vector<JobPtr> jobs;
+          jobs.reserve(stage_batch);
+          while (in.pop_up_to(stage_batch, jobs) > 0) {
+            for (JobPtr& job : jobs) work(*job, shard);
+            out.push_all(std::move(jobs));
+            jobs.clear();
+          }
         }
+        flush_shard(sm, shard);
         if (remaining->fetch_sub(1) == 1) out.close();
       });
     }
@@ -332,34 +400,47 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   const auto started = std::chrono::steady_clock::now();
 
   std::vector<Stage> stages;
-  stages.push_back(spawn_stage(run.to_load, run.to_encode, [&](Job& job) {
-    process(load_m, "engine.load", job,
-            [&run](Job& j) { return stage_load(run, j); });
-  }));
-  stages.push_back(spawn_stage(run.to_encode, run.to_container, [&](Job& job) {
-    process(encode_m, "engine.encode", job, [&bits_in, &bits_out](Job& j) {
-      const Status status = stage_encode(j);
-      if (status.ok()) {
-        bits_in.add(j.outcome.original_bits);
-        bits_out.add(j.outcome.compressed_bits);
-      }
-      return status;
-    });
-  }));
-  stages.push_back(spawn_stage(run.to_container, run.to_verify, [&](Job& job) {
-    process(container_m, "engine.container", job,
-            [](Job& j) { return stage_container(j); });
-  }));
-  stages.push_back(spawn_stage(run.to_verify, run.done, [&](Job& job) {
-    if (!do_verify) return;  // stage disabled: pass through untouched
-    process(verify_m, "engine.verify", job,
-            [](Job& j) { return stage_verify(j); });
-  }));
+  stages.push_back(spawn_stage(
+      run.to_load, run.to_encode,
+      [&](Job& job, StageShard& shard) {
+        process(shard, "engine.load", job,
+                [&run](Job& j) { return stage_load(run, j); });
+      },
+      load_m));
+  stages.push_back(spawn_stage(
+      run.to_encode, run.to_container,
+      [&](Job& job, StageShard& shard) {
+        process(shard, "engine.encode", job, [&shard](Job& j) {
+          const Status status = stage_encode(j);
+          if (status.ok()) {
+            shard.bits_in += j.outcome.original_bits;
+            shard.bits_out += j.outcome.compressed_bits;
+          }
+          return status;
+        });
+      },
+      encode_m));
+  stages.push_back(spawn_stage(
+      run.to_container, run.to_verify,
+      [&](Job& job, StageShard& shard) {
+        process(shard, "engine.container", job,
+                [](Job& j) { return stage_container(j); });
+      },
+      container_m));
+  stages.push_back(spawn_stage(
+      run.to_verify, run.done,
+      [&](Job& job, StageShard& shard) {
+        if (!do_verify) return;  // stage disabled: pass through untouched
+        process(shard, "engine.verify", job,
+                [](Job& j) { return stage_verify(j); });
+      },
+      verify_m));
 
   // Feeder: materializes jobs into the first queue. Must be its own thread —
   // the main thread commits, and a blocked committer must never block feeding
   // (bounded queues + a single thread doing both would deadlock).
-  std::thread feeder([&manifest, &run, this] {
+  std::thread feeder([&manifest, &run, this, baseline, stage_batch] {
+    std::vector<JobPtr> pending_feed;
     for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
       auto job = std::make_unique<Job>();
       job->index = i;
@@ -373,27 +454,41 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
       job->outcome.container_version = job->spec->container.version;
       job->outcome.output_path =
           resolve_output(options_.output_dir, job->spec->output_path);
-      run.to_load.push(std::move(job));
+      if (baseline) {
+        run.to_load.push(std::move(job));
+      } else {
+        pending_feed.push_back(std::move(job));
+        if (pending_feed.size() >= stage_batch) {
+          run.to_load.push_all(std::move(pending_feed));
+          pending_feed.clear();
+        }
+      }
     }
+    if (!pending_feed.empty()) run.to_load.push_all(std::move(pending_feed));
     run.to_load.close();
   });
 
-  // Committer (this thread): reorder buffer keyed by job index; commits —
-  // output-file write, callback, result slot — strictly in manifest order.
+  // Committer (this thread): commits — output-file write, callback, result
+  // slot — strictly in manifest order. The reorder buffer is a plain slot
+  // vector indexed by job index: an arrival is one pointer store, and an
+  // in-order arrival commits immediately with no ordered-map rebalancing or
+  // lookup — wait-free for the common case where the pipeline largely
+  // preserves order.
   BatchResult result;
   result.jobs.resize(manifest.jobs.size());
-  std::map<std::size_t, JobPtr> pending;
+  std::vector<JobPtr> slots(manifest.jobs.size());
   std::size_t next = 0;
+  StageShard commit_shard;
   const auto commit = [&](JobPtr job) {
-    commit_m.in->add();
+    ++commit_shard.in;
     if (job->failed || job->outcome.cancelled) {
-      commit_m.skip->add();
+      ++commit_shard.skip;
     } else if (!job->outcome.output_path.empty()) {
       Status status;
       {
         obs::TraceSpan span("engine.commit");
         span.arg("job", job->outcome.name);
-        ScopedTimer timer(*commit_m.micros);
+        const auto start = std::chrono::steady_clock::now();
         status = guarded([&]() -> Status {
           const std::filesystem::path target(job->outcome.output_path);
           if (target.has_parent_path()) {
@@ -407,37 +502,88 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
           }
           return {};
         });
+        commit_shard.micros.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
       }
       if (status.ok()) {
         bytes_written.add(job->container.size());
         job->container.clear();  // on disk now; don't hold the bytes twice
-        commit_m.ok->add();
+        ++commit_shard.ok;
       } else {
         job->failed = true;
         job->outcome.status = status;
-        commit_m.fail->add();
+        ++commit_shard.fail;
         if (fail_fast) run.cancelled.store(true, std::memory_order_relaxed);
       }
     } else {
-      commit_m.ok->add();
+      ++commit_shard.ok;
     }
     job->outcome.container = std::move(job->container);
     if (on_commit) on_commit(job->outcome);
     result.jobs[job->index] = std::move(job->outcome);
+    if (baseline) flush_shard(commit_m, commit_shard);
   };
-  while (auto item = run.done.pop()) {
-    pending.emplace((*item)->index, std::move(*item));
-    while (!pending.empty() && pending.begin()->first == next) {
-      commit(std::move(pending.begin()->second));
-      pending.erase(pending.begin());
+  const auto settle = [&](JobPtr job) {
+    slots[job->index] = std::move(job);
+    while (next < slots.size() && slots[next] != nullptr) {
+      commit(std::move(slots[next]));
       ++next;
     }
+  };
+  if (baseline) {
+    while (auto item = run.done.pop()) settle(std::move(*item));
+  } else {
+    std::vector<JobPtr> arrivals;
+    arrivals.reserve(stage_batch);
+    while (run.done.pop_up_to(stage_batch, arrivals) > 0) {
+      for (JobPtr& job : arrivals) settle(std::move(job));
+      arrivals.clear();
+    }
   }
+  flush_shard(commit_m, commit_shard);
 
   feeder.join();
   for (Stage& stage : stages) {
     for (std::thread& t : stage.threads) t.join();
   }
+
+  // Publish each queue's contention counters and roll the totals into the
+  // run trace span — the evidence surface for the wakeup/sharding work (the
+  // engine bench reads these same numbers into BENCH_engine_throughput.json).
+  exp::BoundedQueueStats totals;
+  const auto export_queue = [&m, &totals](const char* qname, const JobQueue& q) {
+    const exp::BoundedQueueStats s = q.stats();
+    const std::string prefix = std::string("queue.") + qname + ".";
+    m.counter(prefix + "pushes").add(s.pushes);
+    m.counter(prefix + "pops").add(s.pops);
+    m.counter(prefix + "batch_pushes").add(s.batch_pushes);
+    m.counter(prefix + "batch_pops").add(s.batch_pops);
+    m.counter(prefix + "push_blocked").add(s.push_blocked);
+    m.counter(prefix + "pop_blocked").add(s.pop_blocked);
+    m.counter(prefix + "push_blocked_micros").add(s.push_blocked_micros);
+    m.counter(prefix + "pop_blocked_micros").add(s.pop_blocked_micros);
+    m.counter(prefix + "notifies_sent").add(s.notifies_sent);
+    m.counter(prefix + "notifies_skipped").add(s.notifies_skipped);
+    totals.pushes += s.pushes;
+    totals.pops += s.pops;
+    totals.push_blocked += s.push_blocked;
+    totals.pop_blocked += s.pop_blocked;
+    totals.push_blocked_micros += s.push_blocked_micros;
+    totals.pop_blocked_micros += s.pop_blocked_micros;
+    totals.notifies_sent += s.notifies_sent;
+    totals.notifies_skipped += s.notifies_skipped;
+  };
+  export_queue("load", run.to_load);
+  export_queue("encode", run.to_encode);
+  export_queue("container", run.to_container);
+  export_queue("verify", run.to_verify);
+  export_queue("done", run.done);
+  run_span.arg("queue_blocked", totals.push_blocked + totals.pop_blocked);
+  run_span.arg("queue_blocked_micros", totals.blocked_micros());
+  run_span.arg("queue_notifies_sent", totals.notifies_sent);
+  run_span.arg("queue_notifies_skipped", totals.notifies_skipped);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)

@@ -34,6 +34,14 @@ struct EngineOptions {
 
   /// Directory prepended to relative job output paths ("" = CWD).
   std::string output_dir = {};
+
+  /// Pre-PR concurrency discipline, kept as the engine bench's measured
+  /// contention baseline: queues notify on every transfer whether or not a
+  /// waiter exists, stage workers move one job per queue lock round-trip,
+  /// and every stage sample is flushed to the shared locked registry per
+  /// job instead of once per worker. Results are identical either way —
+  /// only lock/futex traffic changes (reported via the queue.* counters).
+  bool contention_baseline = false;
 };
 
 /// Everything the batch knows about one finished job, in manifest order.

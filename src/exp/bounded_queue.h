@@ -1,14 +1,42 @@
 #ifndef TDC_EXP_BOUNDED_QUEUE_H
 #define TDC_EXP_BOUNDED_QUEUE_H
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace tdc::exp {
+
+/// Contention counters of one BoundedQueue, readable at any time via
+/// stats(). Blocked counts tally waits that actually slept (a push or pop
+/// that found room/items ready costs no clock read at all); the micros
+/// fields accumulate the wall time spent asleep. notifies_sent/skipped
+/// record the wakeup discipline's work: a skip is a notify the pre-PR queue
+/// would have issued with nobody waiting (pure syscall overhead), counted
+/// so the engine bench can show the contention delta.
+struct BoundedQueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t batch_pushes = 0;  ///< push_all calls (multi-item, one lock)
+  std::uint64_t batch_pops = 0;    ///< pop_up_to calls that moved >= 1 item
+  std::uint64_t push_blocked = 0;
+  std::uint64_t pop_blocked = 0;
+  std::uint64_t push_blocked_micros = 0;
+  std::uint64_t pop_blocked_micros = 0;
+  std::uint64_t notifies_sent = 0;
+  std::uint64_t notifies_skipped = 0;
+
+  std::uint64_t blocked_micros() const {
+    return push_blocked_micros + pop_blocked_micros;
+  }
+};
 
 /// Bounded multi-producer / multi-consumer queue — the backpressure
 /// primitive between pipeline stages (src/engine). A full queue blocks
@@ -20,10 +48,26 @@ namespace tdc::exp {
 /// returns nullopt, which means closed *and* drained — items enqueued before
 /// close() are always delivered. close() is idempotent and safe to call
 /// concurrently with push/pop.
+///
+/// Wakeup discipline: waiting producers/consumers are counted under the
+/// lock, and a push/pop only issues notify_one when a waiter of the right
+/// kind exists — the common uncontended hand-off costs zero futex calls.
+/// This cannot lose a wakeup: a thread can only start waiting while holding
+/// the mutex, after re-checking the predicate the notifier just made true.
+/// Pass eager_notify = true to restore the pre-PR notify-always behavior
+/// (the engine bench's contention baseline); stats are collected either way.
+///
+/// Batch transfers: push_all()/pop_up_to() move several items under a
+/// single lock acquisition and wake at most as many waiters as items moved,
+/// so a stage worker draining its input pays one lock round-trip per batch
+/// instead of per job.
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  using Stats = BoundedQueueStats;
+
+  explicit BoundedQueue(std::size_t capacity, bool eager_notify = false)
+      : capacity_(capacity == 0 ? 1 : capacity), eager_notify_(eager_notify) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -33,25 +77,92 @@ class BoundedQueue {
   /// Blocks while the queue is full. Returns false (dropping `item`) if the
   /// queue was closed before space became available.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    bool wake = false;
+    {
+      std::unique_lock lock(mutex_);
+      wait_not_full(lock);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      ++stats_.pushes;
+      wake = should_wake_consumer(1) > 0;
+    }
+    if (wake) not_empty_.notify_one();
     return true;
+  }
+
+  /// Pushes every item of `items` (in order) under as few lock acquisitions
+  /// as backpressure allows, blocking while the queue is full. Returns the
+  /// number of items accepted — fewer than items.size() only if the queue
+  /// was closed mid-batch (the remainder is dropped, as push() drops).
+  std::size_t push_all(std::vector<T> items) {
+    if (items.empty()) return 0;
+    std::size_t accepted = 0;
+    std::unique_lock lock(mutex_);
+    ++stats_.batch_pushes;
+    std::size_t i = 0;
+    while (i < items.size()) {
+      if (closed_) break;
+      if (items_.size() >= capacity_) {
+        // Wake consumers for what is already queued before sleeping, or the
+        // hand-off deadlocks with both sides asleep.
+        wait_not_full(lock);
+        continue;
+      }
+      const std::size_t chunk =
+          std::min(capacity_ - items_.size(), items.size() - i);
+      for (std::size_t k = 0; k < chunk; ++k) {
+        items_.push_back(std::move(items[i + k]));
+      }
+      i += chunk;
+      accepted += chunk;
+      stats_.pushes += chunk;
+      // Notify under the lock: push_all may loop back into wait_not_full,
+      // and the consumers it wakes are what make that wait finite.
+      for (std::size_t w = should_wake_consumer(chunk); w > 0; --w) {
+        not_empty_.notify_one();
+      }
+    }
+    return accepted;
   }
 
   /// Blocks while the queue is empty. nullopt once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed_ with a drained queue
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    std::optional<T> item;
+    bool wake = false;
+    {
+      std::unique_lock lock(mutex_);
+      wait_not_empty(lock);
+      if (items_.empty()) return std::nullopt;  // closed_ with a drained queue
+      item = std::move(items_.front());
+      items_.pop_front();
+      ++stats_.pops;
+      wake = should_wake_producer(1) > 0;
+    }
+    if (wake) not_full_.notify_one();
     return item;
+  }
+
+  /// Appends up to `max_items` (>= 1 on success) to `out` under one lock
+  /// acquisition, blocking while the queue is empty. Returns the number
+  /// moved; 0 means closed and drained.
+  std::size_t pop_up_to(std::size_t max_items, std::vector<T>& out) {
+    if (max_items == 0) return 0;
+    std::size_t moved = 0;
+    std::size_t wake = 0;
+    {
+      std::unique_lock lock(mutex_);
+      wait_not_empty(lock);
+      moved = std::min(max_items, items_.size());
+      for (std::size_t k = 0; k < moved; ++k) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      stats_.pops += moved;
+      if (moved > 0) ++stats_.batch_pops;
+      wake = should_wake_producer(moved);
+    }
+    for (; wake > 0; --wake) not_full_.notify_one();
+    return moved;
   }
 
   /// No more pushes will be accepted; consumers drain what is queued and
@@ -71,12 +182,69 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Copy of the contention counters (consistent under the queue lock).
+  Stats stats() const {
+    std::unique_lock lock(mutex_);
+    return stats_;
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  void wait_not_full(std::unique_lock<std::mutex>& lock) {
+    if (closed_ || items_.size() < capacity_) return;
+    ++stats_.push_blocked;
+    const Clock::time_point start = Clock::now();
+    ++waiting_producers_;
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    --waiting_producers_;
+    stats_.push_blocked_micros += blocked_micros_since(start);
+  }
+
+  void wait_not_empty(std::unique_lock<std::mutex>& lock) {
+    if (closed_ || !items_.empty()) return;
+    ++stats_.pop_blocked;
+    const Clock::time_point start = Clock::now();
+    ++waiting_consumers_;
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    --waiting_consumers_;
+    stats_.pop_blocked_micros += blocked_micros_since(start);
+  }
+
+  static std::uint64_t blocked_micros_since(Clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+  }
+
+  /// How many consumer notify_one calls `moved` fresh items warrant. Must be
+  /// called with the lock held (reads the waiter count, updates stats).
+  std::size_t should_wake_consumer(std::size_t moved) {
+    return plan_wakeups(moved, waiting_consumers_);
+  }
+  std::size_t should_wake_producer(std::size_t moved) {
+    return plan_wakeups(moved, waiting_producers_);
+  }
+  std::size_t plan_wakeups(std::size_t moved, std::size_t waiters) {
+    if (moved == 0) return 0;
+    const std::size_t wake =
+        eager_notify_ ? moved : std::min(moved, waiters);
+    stats_.notifies_sent += wake;
+    stats_.notifies_skipped += moved - wake;
+    return wake;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
   const std::size_t capacity_;
+  const bool eager_notify_;
+  std::size_t waiting_producers_ = 0;
+  std::size_t waiting_consumers_ = 0;
+  Stats stats_;
   bool closed_ = false;
 };
 

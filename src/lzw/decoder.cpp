@@ -44,9 +44,18 @@ Result<DecodeResult> Decoder::decode_impl(
     }
     const std::uint32_t code = *fetched;
     ++tel.codes_consumed;
-    std::vector<std::uint32_t> entry;
+    // Expansions are written as runs directly into the output tail
+    // (expand_into: one backward parent-chain walk into preallocated room)
+    // instead of materializing a per-code vector and copying it — the
+    // decoder's hot path allocates only when the output grows.
+    std::uint32_t entry_len = 0;
+    std::uint32_t entry_first = 0;
     if (dict.defined(code)) {
-      entry = dict.expand(code);
+      entry_len = dict.length(code);
+      entry_first = dict.first_char(code);
+      const std::size_t old = result.chars.size();
+      result.chars.resize(old + entry_len);
+      dict.expand_into(code, result.chars.data() + old);
     } else if (prev != kNoCode && code == dict.next_code() && dict.extendable(prev) &&
                dict.child(prev, dict.first_char(prev)) == kNoCode) {
       // KwKwK (paper Fig. 4f): the code references the entry that is being
@@ -54,8 +63,12 @@ Result<DecodeResult> Decoder::decode_impl(
       // A real encoder only emits this while (prev, first_char) is still
       // undefined; if that child exists the code is corrupt, and treating it
       // as KwKwK would leave `code` undefined and poison `prev`.
-      entry = dict.expand(prev);
-      entry.push_back(dict.first_char(prev));
+      entry_len = dict.length(prev) + 1;
+      entry_first = dict.first_char(prev);
+      const std::size_t old = result.chars.size();
+      result.chars.resize(old + entry_len);
+      dict.expand_into(prev, result.chars.data() + old);
+      result.chars.back() = entry_first;
       ++tel.kwkwk_codes;
     } else {
       Error err{ErrorKind::UndefinedCode,
@@ -69,31 +82,36 @@ Result<DecodeResult> Decoder::decode_impl(
     if (prev != kNoCode) {
       // Mirror of the encoder's dictionary insertion; Dictionary::add
       // enforces the identical freeze (capacity) and C_MDATA (width) rules.
-      if (dict.child(prev, entry.front()) == kNoCode) {
-        if (dict.add(prev, entry.front()) != kNoCode) ++tel.entries_added;
+      if (dict.child(prev, entry_first) == kNoCode) {
+        if (dict.add(prev, entry_first) != kNoCode) ++tel.entries_added;
       }
     }
 
-    tel.expansion_chars.record(entry.size());
-    result.chars.insert(result.chars.end(), entry.begin(), entry.end());
+    tel.expansion_chars.record(entry_len);
     prev = code;
   }
 
-  for (const std::uint32_t ch : result.chars) {
-    for (std::uint32_t b = config_.char_bits; b-- > 0;) {
-      if (result.bits.size() == original_bits) break;
-      result.bits.push_back(((ch >> b) & 1u) != 0 ? bits::Trit::One
-                                                  : bits::Trit::Zero);
-    }
-  }
-  if (result.bits.size() < original_bits) {
+  const std::uint32_t cc = config_.char_bits;
+  const std::uint64_t decoded_bits =
+      static_cast<std::uint64_t>(result.chars.size()) * cc;
+  if (decoded_bits < original_bits) {
     Error err{ErrorKind::StreamTooShort,
-              "decoded " + std::to_string(result.bits.size()) + " of " +
+              "decoded " + std::to_string(decoded_bits) + " of " +
                   std::to_string(original_bits) + " scan bits from " +
                   std::to_string(code_count) + " codes"};
     err.code_index = static_cast<std::int64_t>(code_count);
     err.bit_offset = tell();
     return err;
+  }
+  // Deposit whole characters with one masked word store per plane
+  // (set_word), truncating the final character to the original bit count —
+  // the word-parallel replacement for the per-bit push_back loop.
+  result.bits = bits::TritVector(original_bits, bits::Trit::Zero);
+  for (std::uint64_t pos = 0, i = 0; pos < original_bits; pos += cc, ++i) {
+    const std::uint32_t ch = result.chars[i];
+    const auto len = static_cast<unsigned>(
+        std::min<std::uint64_t>(cc, original_bits - pos));
+    result.bits.set_word(pos, (ch >> (cc - len)) & bits::low_mask(len), len);
   }
 
   result.dict_codes_used = dict.size();

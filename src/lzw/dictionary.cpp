@@ -10,7 +10,11 @@ namespace tdc::lzw {
 
 Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
   config_.validate();
-  nodes_.reserve(config_.dict_size);
+  // All arenas sized once for the full dictionary: add() never allocates,
+  // and every field of code c sits at index c of a flat array.
+  sib_.reserve(config_.dict_size);
+  meta_.reserve(config_.dict_size);
+  tail_.assign(config_.dict_size, Tail{});
   // Hash index sized once for the full dictionary: power of two with load
   // factor <= 1/2 even at dictionary freeze, so probes stay short.
   const std::size_t slots =
@@ -19,11 +23,9 @@ Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
   index_shift_ = 64 - static_cast<unsigned>(std::countr_zero(slots));
   // Literal codes: one root per possible uncompressed character.
   for (std::uint32_t c = 0; c < config_.literal_count(); ++c) {
-    Node n;
-    n.parent = kNoCode;
-    n.ch = c;
-    n.length = 1;
-    nodes_.push_back(std::move(n));
+    sib_.push_back(SibLink{.ch = c, .next = kNoCode});
+    meta_.push_back(Meta{.parent = kNoCode, .root_ch = c, .length = 1,
+                         .first_child = kNoCode});
   }
   next_code_ = config_.literal_count();
   longest_bits_ = config_.char_bits;
@@ -31,18 +33,13 @@ Dictionary::Dictionary(const LzwConfig& config) : config_(config) {
 
 std::uint32_t Dictionary::first_char(std::uint32_t code) const {
   TDC_REQUIRE(defined(code), "first_char: undefined code");
-  while (nodes_[code].parent != kNoCode) code = nodes_[code].parent;
-  return nodes_[code].ch;
+  return meta_[code].root_ch;
 }
 
 std::vector<std::uint32_t> Dictionary::expand(std::uint32_t code) const {
   TDC_REQUIRE(defined(code), "expand: undefined code");
-  std::vector<std::uint32_t> out;
-  out.reserve(length(code));
-  for (std::uint32_t c = code; c != kNoCode; c = nodes_[c].parent) {
-    out.push_back(nodes_[c].ch);
-  }
-  std::reverse(out.begin(), out.end());
+  std::vector<std::uint32_t> out(length(code));
+  expand_into(code, out.data());
   return out;
 }
 
@@ -61,13 +58,21 @@ std::uint32_t Dictionary::add(std::uint32_t parent, std::uint32_t ch) {
   assert(child(parent, ch) == kNoCode);
   if (full() || !extendable(parent)) return kNoCode;
   const std::uint32_t code = next_code_++;
-  Node n;
-  n.parent = parent;
-  n.ch = ch;
-  n.length = nodes_[parent].length + 1;
-  const std::uint32_t new_length = n.length;
-  nodes_.push_back(std::move(n));
-  nodes_[parent].children.emplace_back(ch, code);
+  sib_.push_back(SibLink{.ch = ch, .next = kNoCode});
+  const Meta& pm = meta_[parent];
+  const std::uint32_t new_length = pm.length + 1;
+  meta_.push_back(Meta{.parent = parent, .root_ch = pm.root_ch,
+                       .length = new_length, .first_child = kNoCode});
+  // Link into the parent's child chain at the tail so children() preserves
+  // insertion order (the First tie-break's contract).
+  Tail& pt = tail_[parent];
+  if (pt.last_child == kNoCode) {
+    meta_[parent].first_child = code;
+  } else {
+    sib_[pt.last_child].next = code;
+  }
+  pt.last_child = code;
+  ++pt.count;
   index_insert(parent, ch, code);
   longest_bits_ = std::max<std::uint64_t>(
       longest_bits_,

@@ -2,6 +2,7 @@
 #define TDC_LZW_DICTIONARY_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "lzw/config.h"
@@ -22,16 +23,23 @@ inline constexpr std::uint32_t kNoCode = 0xffffffffu;
 /// at max_entry_chars() characters — the embedded-memory word bound that the
 /// paper introduces so the hardware can fetch a whole expansion in one read.
 ///
-/// The structure is a trie: each code keeps a list of (character, child)
-/// pairs. Child lists make the don't-care-aware match ("which children are
-/// compatible with this ternary character?") an O(#children) scan instead of
-/// a 2^X enumeration.
+/// The structure is a trie stored as contiguous arenas rather than per-node
+/// heap objects: all fields of code `c` live at index `c` of a handful of
+/// flat arrays, sized once for the full dictionary in the constructor (adds
+/// never allocate). Child lists are intrusive — each node carries its
+/// (character, next-sibling) pair in the scan-hot `sib_` array, and a parent
+/// points at its first/last child — so the don't-care-aware match ("which
+/// children are compatible with this ternary character?") walks an
+/// insertion-ordered sibling chain through one packed 8-byte-per-node array
+/// instead of chasing per-node vectors. The first character of every
+/// expansion is memoized at add time, making first_char() O(1) (the decoder
+/// consults it per code).
 ///
-/// On top of the child lists sits an open-addressed (code, character) ->
+/// On top of the sibling chains sits an open-addressed (code, character) ->
 /// child hash index sized for the whole dictionary up front, so the exact
 /// match — the only query possible when a character carries no X bits — is
 /// O(1) instead of O(#children). The encoder consults it first and falls
-/// back to the insertion-ordered list scan only when X bits leave several
+/// back to the insertion-ordered sibling scan only when X bits leave several
 /// children compatible, which keeps every Tiebreak's output bit-identical.
 class Dictionary {
  public:
@@ -52,7 +60,7 @@ class Dictionary {
   bool defined(std::uint32_t code) const { return code < next_code_; }
 
   /// Expansion length of `code` in characters (1 for literals).
-  std::uint32_t length(std::uint32_t code) const { return nodes_[code].length; }
+  std::uint32_t length(std::uint32_t code) const { return meta_[code].length; }
 
   /// Expansion length of `code` in bits.
   std::uint64_t length_bits(std::uint32_t code) const {
@@ -60,16 +68,30 @@ class Dictionary {
   }
 
   /// Parent of `code` (kNoCode for literals).
-  std::uint32_t parent(std::uint32_t code) const { return nodes_[code].parent; }
+  std::uint32_t parent(std::uint32_t code) const { return meta_[code].parent; }
 
   /// Last character of `code`'s expansion (the literal value for literals).
-  std::uint32_t last_char(std::uint32_t code) const { return nodes_[code].ch; }
+  std::uint32_t last_char(std::uint32_t code) const { return sib_[code].ch; }
 
-  /// First character of `code`'s expansion (walks the parent chain).
+  /// First character of `code`'s expansion — O(1), memoized at add time.
   std::uint32_t first_char(std::uint32_t code) const;
 
   /// Full expansion of `code`, first character first.
   std::vector<std::uint32_t> expand(std::uint32_t code) const;
+
+  /// Writes the expansion of `code` into out[0, length(code)), first
+  /// character first, and returns length(code). The decoder's run writer:
+  /// no per-code vector, just one backward walk of the parent chain into
+  /// the caller's output tail. Precondition: defined(code), out has room.
+  std::uint32_t expand_into(std::uint32_t code, std::uint32_t* out) const {
+    std::uint32_t n = meta_[code].length;
+    std::uint32_t c = code;
+    for (std::uint32_t i = n; i-- > 0;) {
+      out[i] = sib_[c].ch;
+      c = meta_[c].parent;
+    }
+    return n;
+  }
 
   /// Child of `code` along exactly character `ch`, or kNoCode. O(1) via the
   /// hash index; inline because it is the encoder's per-character fast path.
@@ -82,10 +104,72 @@ class Dictionary {
     }
   }
 
+  /// Prefetches the hash-index home slot of (code, ch) — issued by the
+  /// encoder one character ahead so the probe's cache miss overlaps the
+  /// current character's work.
+  void prefetch_child(std::uint32_t code, std::uint32_t ch) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&index_[index_home(index_key(code, ch))], 0, 1);
+#else
+    (void)code;
+    (void)ch;
+#endif
+  }
+
+  /// Forward iterator over a code's children as (character, child code)
+  /// pairs, in insertion order — the sibling chain walk the tie-break scan
+  /// runs. Yields by value; the pairs are synthesized from the arena.
+  class ChildIterator {
+   public:
+    using value_type = std::pair<std::uint32_t, std::uint32_t>;
+
+    ChildIterator(const Dictionary* dict, std::uint32_t code)
+        : dict_(dict), code_(code) {}
+
+    value_type operator*() const {
+      return {dict_->sib_[code_].ch, code_};
+    }
+    ChildIterator& operator++() {
+      code_ = dict_->sib_[code_].next;
+      return *this;
+    }
+    bool operator!=(const ChildIterator& other) const {
+      return code_ != other.code_;
+    }
+    bool operator==(const ChildIterator& other) const {
+      return code_ == other.code_;
+    }
+
+   private:
+    const Dictionary* dict_;
+    std::uint32_t code_;
+  };
+
+  /// Insertion-ordered view of `code`'s children. Replaces the per-node
+  /// vector-of-pairs of the previous layout; size() is O(1) (the count is
+  /// maintained at add time for the MostChildren tie-break).
+  class ChildRange {
+   public:
+    ChildRange(const Dictionary* dict, std::uint32_t code)
+        : dict_(dict), code_(code) {}
+    ChildIterator begin() const {
+      return ChildIterator(dict_, dict_->meta_[code_].first_child);
+    }
+    ChildIterator end() const { return ChildIterator(dict_, kNoCode); }
+    std::size_t size() const { return dict_->tail_[code_].count; }
+    bool empty() const { return size() == 0; }
+
+   private:
+    const Dictionary* dict_;
+    std::uint32_t code_;
+  };
+
   /// All (character, child code) pairs under `code`, in insertion order.
-  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& children(
-      std::uint32_t code) const {
-    return nodes_[code].children;
+  ChildRange children(std::uint32_t code) const { return ChildRange(this, code); }
+
+  /// Number of children of `code` — O(1).
+  std::uint32_t child_count(std::uint32_t code) const {
+    return tail_[code].count;
   }
 
   /// True when appending one character to `code` would still fit in a
@@ -104,11 +188,26 @@ class Dictionary {
   std::uint64_t longest_entry_bits() const { return longest_bits_; }
 
  private:
-  struct Node {
+  /// Scan-hot per-code pair: the character this code appends and the next
+  /// sibling under the same parent. 8 bytes, one load per scanned child.
+  struct SibLink {
+    std::uint32_t ch = 0;
+    std::uint32_t next = kNoCode;
+  };
+
+  /// Match/expand fields: parent chain, memoized first character, expansion
+  /// length, head of the child chain. 16 bytes per code.
+  struct Meta {
     std::uint32_t parent = kNoCode;
-    std::uint32_t ch = 0;       // character appended by this node
+    std::uint32_t root_ch = 0;  // first character of the expansion
     std::uint32_t length = 0;   // expansion length in characters
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> children;
+    std::uint32_t first_child = kNoCode;
+  };
+
+  /// Append-side bookkeeping, touched only by add() and MostChildren.
+  struct Tail {
+    std::uint32_t last_child = kNoCode;
+    std::uint32_t count = 0;
   };
 
   /// Open-addressed hash slots for the (parent, ch) -> child index. The
@@ -131,7 +230,9 @@ class Dictionary {
   void index_insert(std::uint32_t parent, std::uint32_t ch, std::uint32_t child);
 
   LzwConfig config_;
-  std::vector<Node> nodes_;
+  std::vector<SibLink> sib_;
+  std::vector<Meta> meta_;
+  std::vector<Tail> tail_;
   std::vector<IndexSlot> index_;
   unsigned index_shift_ = 0;  // 64 - log2(index_.size())
   std::uint32_t next_code_ = 0;

@@ -15,7 +15,8 @@ namespace tdc::lzw {
 namespace {
 
 /// Applies a pre-fill mode, turning the ternary input into a fully
-/// specified vector (identity for Dynamic).
+/// specified vector. Precondition: mode != Dynamic (the dynamic path reads
+/// the caller's vector in place; see encode()).
 bits::TritVector prefill(const bits::TritVector& input, XAssignMode mode,
                          std::uint64_t rng_seed) {
   switch (mode) {
@@ -110,7 +111,8 @@ std::uint32_t Encoder::pick_child(const Dictionary& dict, std::uint32_t buffer,
         if (best == kNoCode || child > best) best = child;
         break;
       case Tiebreak::MostChildren: {
-        const std::size_t n = dict.children(child).size();
+        // O(1): the dictionary maintains the count at add time.
+        const std::size_t n = dict.child_count(child);
         if (best == kNoCode || n > best_children) {
           best = child;
           best_children = n;
@@ -134,10 +136,18 @@ EncodeResult Encoder::encode(const bits::TritVector& raw_input, XAssignMode mode
                              std::uint64_t rng_seed,
                              const StepObserver& observer) const {
   obs::TraceSpan span("lzw.encode");
-  const bits::TritVector input = prefill(raw_input, mode, rng_seed);
+  // Dynamic mode — the paper's method and the hot configuration — reads the
+  // caller's vector in place; only the pre-fill strawmen materialize a
+  // resolved copy.
+  bits::TritVector filled;
+  const bits::TritVector* input = &raw_input;
+  if (mode != XAssignMode::Dynamic) {
+    filled = prefill(raw_input, mode, rng_seed);
+    input = &filled;
+  }
   EncodeResult result = strategy_ == MatchStrategy::Indexed
-                            ? encode_indexed(input, observer)
-                            : encode_legacy(input, observer);
+                            ? encode_indexed(*input, observer)
+                            : encode_legacy(*input, observer);
   if (mode != XAssignMode::Dynamic) {
     // A pre-fill mode resolved every X bit before the loop saw the stream.
     result.telemetry.x_bits_prefilled = raw_input.x_count();
@@ -217,11 +227,23 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
         std::max(result.longest_match_bits, dict.length_bits(code));
   };
 
+  // The cursor is software-pipelined one character ahead: `cur` always holds
+  // character i while the cursor has already decoded i+1 into `ahead`. That
+  // lets the loop prefetch the *next* iteration's hash-probe home slot right
+  // after `buffer` settles, so the probe's likely cache miss overlaps the
+  // current character's emit/add work instead of stalling the next probe.
+  const bool observing = static_cast<bool>(observer);
   std::uint32_t buffer = kNoCode;
+  bits::CharCursor::Char cur{};
+  if (result.input_chars > 0) cur = cursor.next();
   for (std::uint64_t i = 0; i < result.input_chars; ++i) {
-    const auto [value, care] = cursor.next();
-    EncoderStep step{.char_index = i, .char_value = value, .char_care = care,
-                     .buffer_before = buffer};
+    const std::uint64_t value = cur.value;
+    const std::uint64_t care = cur.care;
+    const bool has_ahead = i + 1 < result.input_chars;
+    if (has_ahead) cur = cursor.next();
+    const std::uint32_t buffer_before = buffer;
+    std::uint32_t emitted = kNoCode;
+    std::uint32_t new_entry = kNoCode;
 
     if (buffer == kNoCode) {
       // First character of the message: bind its X bits (to 0) and start
@@ -246,16 +268,22 @@ EncodeResult Encoder::encode_indexed(const bits::TritVector& input,
       // No compatible child: emit Buffer, create the (Buffer, Input) entry
       // with a concrete binding of the X bits, and restart the match there.
       emit(buffer);
-      step.emitted = buffer;
+      emitted = buffer;
       n_x_zeroed += static_cast<std::uint64_t>(std::popcount(full_care & ~care));
       const auto ch = static_cast<std::uint32_t>(value & care);  // X -> 0
       width_basis = dict.size();
-      step.new_entry = dict.add(buffer, ch);
+      new_entry = dict.add(buffer, ch);
       buffer = ch;
     }
-    if (observer) {
-      step.buffer_after = buffer;
-      observer(step);
+    if (has_ahead) {
+      dict.prefetch_child(buffer,
+                          static_cast<std::uint32_t>(cur.value & cur.care));
+    }
+    if (observing) {
+      observer(EncoderStep{.char_index = i, .char_value = value,
+                           .char_care = care, .buffer_before = buffer_before,
+                           .buffer_after = buffer, .emitted = emitted,
+                           .new_entry = new_entry});
     }
   }
   if (buffer != kNoCode) {

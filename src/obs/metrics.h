@@ -112,6 +112,14 @@ class Histogram {
     data_.add(value);
   }
 
+  /// Folds a whole pre-accumulated snapshot in under one lock acquisition —
+  /// how a worker's LocalHistogram shard publishes at thread exit, replacing
+  /// a lock round-trip per sample with one per worker.
+  void merge(const Snapshot& other) {
+    std::unique_lock lock(mutex_);
+    data_.merge(other);
+  }
+
   Snapshot snapshot() const {
     std::unique_lock lock(mutex_);
     return data_;

@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bits/bitstream.h"
 #include "bits/rng.h"
+#include "bits/simd.h"
 #include "bits/trit.h"
 #include "bits/tritvector.h"
+#include "bits/wordops.h"
 
 namespace tdc::bits {
 namespace {
@@ -375,6 +380,220 @@ TEST(TritVectorTest, PropertyMatchesReferenceModel) {
   std::size_t care = 0;
   for (const Trit t : ref) care += is_care(t);
   EXPECT_EQ(v.care_count(), care);
+}
+
+// ---------------------------------------------------------------- wordops
+
+// SWAR bit reversal against the per-bit reference it replaced.
+TEST(WordOpsTest, ReverseBits64MatchesPerBitReference) {
+  const auto naive = [](std::uint64_t v) {
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+      r = (r << 1) | ((v >> i) & 1u);
+    }
+    return r;
+  };
+  EXPECT_EQ(reverse_bits64(0), 0u);
+  EXPECT_EQ(reverse_bits64(~0ULL), ~0ULL);
+  EXPECT_EQ(reverse_bits64(1), 1ULL << 63);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    ASSERT_EQ(reverse_bits64(v), naive(v)) << "v=" << v;
+  }
+}
+
+TEST(WordOpsTest, ReverseLowBitsMatchesPerBitReference) {
+  const auto naive = [](std::uint64_t v, unsigned len) {
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      r = (r << 1) | ((v >> i) & 1u);
+    }
+    return r;
+  };
+  Rng rng(78);
+  for (unsigned len = 1; len <= 64; ++len) {
+    for (int i = 0; i < 200; ++i) {
+      // Garbage above the field must not leak into the result.
+      const std::uint64_t raw = rng.next_u64();
+      ASSERT_EQ(reverse_low_bits(raw, len), naive(raw & low_mask(len), len))
+          << "len=" << len;
+    }
+  }
+}
+
+TEST(WordOpsTest, LowMaskEdges) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(63), ~0ULL >> 1);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(WordOpsTest, Byteswap64) {
+  EXPECT_EQ(byteswap64(0x0102030405060708ULL), 0x0807060504030201ULL);
+  EXPECT_EQ(byteswap64(byteswap64(0xDEADBEEFCAFEF00DULL)),
+            0xDEADBEEFCAFEF00DULL);
+}
+
+// ---------------------------------------------------------- batched writer
+
+// Property: the word-staging BitWriter is bit-identical to a bit-serial
+// reference under random width sequences — including bytes() flushes
+// interleaved mid-stream, which force the ragged (non-64-aligned) spill
+// paths the steady state never hits.
+TEST(BitstreamTest, PropertyBatchedWriterMatchesBitSerialReference) {
+  Rng rng(501);
+  for (int round = 0; round < 50; ++round) {
+    BitWriter batched;
+    BitWriter reference;
+    std::vector<std::pair<std::uint64_t, unsigned>> writes;
+    for (int w = 0; w < 200; ++w) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+      const std::uint64_t value = rng.next_u64() & low_mask(width);
+      batched.write(value, width);
+      for (unsigned b = width; b-- > 0;) {
+        reference.write_bit(((value >> b) & 1u) != 0);
+      }
+      if (rng.chance(0.1)) {
+        // Mid-stream observation drains the staging word at a position that
+        // is rarely byte- (let alone word-) aligned.
+        ASSERT_EQ(batched.bytes(), reference.bytes()) << "round " << round;
+      }
+    }
+    ASSERT_EQ(batched.bit_count(), reference.bit_count());
+    ASSERT_EQ(batched.bytes(), reference.bytes()) << "round " << round;
+    for (std::size_t i = 0; i < batched.bit_count(); i += 17) {
+      ASSERT_EQ(batched.bit_at(i), reference.bit_at(i));
+    }
+  }
+}
+
+// Property: chunked BitReader::read equals a read_bit-composed reference.
+TEST(BitstreamTest, PropertyChunkedReadMatchesBitSerialReference) {
+  Rng rng(502);
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) w.write_bit(rng.bit());
+  for (int round = 0; round < 200; ++round) {
+    BitReader chunked(w);
+    BitReader serial(w);
+    while (chunked.remaining() > 0) {
+      const unsigned width = std::min<unsigned>(
+          1 + static_cast<unsigned>(rng.below(64)),
+          static_cast<unsigned>(chunked.remaining()));
+      std::uint64_t expect = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        expect = (expect << 1) | (serial.read_bit() ? 1u : 0u);
+      }
+      ASSERT_EQ(chunked.read(width), expect);
+      ASSERT_EQ(chunked.position(), serial.position());
+    }
+  }
+}
+
+// ------------------------------------------------------------- set_word
+
+// Property: set_word is the exact inverse of word() — deposit a random
+// field at a random (word-straddling) position, read it back, and verify
+// neighbours are untouched via a reference model.
+TEST(TritVectorTest, PropertySetWordRoundTrip) {
+  Rng rng(601);
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    TritVector v(n);
+    std::vector<Trit> ref(n, Trit::X);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        const Trit t = rng.bit() ? Trit::One : Trit::Zero;
+        v.set(i, t);
+        ref[i] = t;
+      }
+    }
+    const auto len =
+        static_cast<unsigned>(1 + rng.below(std::min<std::size_t>(64, n)));
+    const std::size_t pos = rng.below(n - len + 1);
+    const std::uint64_t value = rng.next_u64() & low_mask(len);
+    v.set_word(pos, value, len);
+    for (unsigned b = 0; b < len; ++b) {
+      ref[pos + b] = ((value >> (len - 1 - b)) & 1u) != 0 ? Trit::One : Trit::Zero;
+    }
+    ASSERT_EQ(v.word(pos, len), value);
+    ASSERT_EQ(v.care_word(pos, len), low_mask(len));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v.get(i), ref[i]) << "n=" << n << " pos=" << pos
+                                  << " len=" << len << " i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ SIMD kernels
+
+// Property: whatever active_kernel() dispatched to (avx2 on capable hosts,
+// scalar otherwise) is bit-identical to the always-compiled scalar
+// reference, on lengths that cover every remainder of the 4-word vector
+// stride, with adversarial all-X / all-care planes mixed in.
+TEST(SimdKernelsTest, PropertyDispatchedMatchesScalarReference) {
+  Rng rng(701);
+  SCOPED_TRACE(std::string("active kernel: ") + simd::active_kernel());
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 33u}) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::uint64_t> ca(n), va(n), cb(n), vb(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        switch (rng.below(4)) {
+          case 0: ca[i] = 0; break;            // all-X word
+          case 1: ca[i] = ~0ULL; break;        // fully specified word
+          default: ca[i] = rng.next_u64(); break;
+        }
+        cb[i] = rng.chance(0.25) ? ca[i] : rng.next_u64();
+        va[i] = rng.next_u64() & ca[i];
+        vb[i] = rng.chance(0.25) ? va[i] & cb[i] : rng.next_u64() & cb[i];
+      }
+      ASSERT_EQ(simd::popcount_words(ca.data(), n),
+                simd::detail::popcount_words_scalar(ca.data(), n));
+      ASSERT_EQ(simd::planes_conflict(ca.data(), va.data(), cb.data(),
+                                      vb.data(), n),
+                simd::detail::planes_conflict_scalar(ca.data(), va.data(),
+                                                     cb.data(), vb.data(), n));
+      ASSERT_EQ(simd::planes_uncovered(ca.data(), va.data(), cb.data(),
+                                       vb.data(), n),
+                simd::detail::planes_uncovered_scalar(
+                    ca.data(), va.data(), cb.data(), vb.data(), n));
+      std::vector<std::uint64_t> ca2 = ca, va2 = va;
+      simd::planes_merge(ca.data(), va.data(), cb.data(), vb.data(), n);
+      simd::detail::planes_merge_scalar(ca2.data(), va2.data(), cb.data(),
+                                        vb.data(), n);
+      ASSERT_EQ(ca, ca2);
+      ASSERT_EQ(va, va2);
+    }
+  }
+}
+
+// The CharCursor property test above compares against word()/care_word(),
+// which now share the SWAR extract path — this one pins both against an
+// independent per-trit get() reference so a common-mode bug cannot hide.
+TEST(CharCursorTest, PropertyMatchesPerTritReference) {
+  Rng rng(602);
+  for (const std::size_t n : {1u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    for (const std::uint32_t cc : {1u, 3u, 7u, 8u, 16u, 33u, 64u}) {
+      TritVector v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.set(i, static_cast<Trit>(rng.below(3)));
+      }
+      CharCursor cur(v, cc);
+      for (std::uint64_t k = 0; !cur.done(); ++k) {
+        std::uint64_t want_value = 0;
+        std::uint64_t want_care = 0;
+        for (std::uint32_t b = 0; b < cc; ++b) {
+          const std::size_t pos = static_cast<std::size_t>(k) * cc + b;
+          const Trit t = pos < n ? v.get(pos) : Trit::X;
+          want_value = (want_value << 1) | (t == Trit::One ? 1u : 0u);
+          want_care = (want_care << 1) | (is_care(t) ? 1u : 0u);
+        }
+        const auto c = cur.next();
+        ASSERT_EQ(c.value, want_value) << "n=" << n << " cc=" << cc << " k=" << k;
+        ASSERT_EQ(c.care, want_care) << "n=" << n << " cc=" << cc << " k=" << k;
+      }
+    }
+  }
 }
 
 }  // namespace

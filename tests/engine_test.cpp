@@ -4,9 +4,11 @@
 // failure isolation, fail-fast cancellation, and in-order commit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -115,6 +117,146 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersLoseNothing) {
   const int total = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), total);
   EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+TEST(BoundedQueueTest, PushAllPreservesOrderAcrossCapacityChunks) {
+  exp::BoundedQueue<int> q(3);  // batch (10) >> capacity: forces chunking
+  std::vector<int> batch;
+  for (int i = 0; i < 10; ++i) batch.push_back(i);
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    while (const std::optional<int> v = q.pop()) seen.push_back(*v);
+  });
+  EXPECT_EQ(q.push_all(std::move(batch)), 10u);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  const auto st = q.stats();
+  EXPECT_EQ(st.pushes, 10u);
+  EXPECT_EQ(st.batch_pushes, 1u);  // one call, however many chunks
+}
+
+TEST(BoundedQueueTest, PushAllStopsAtCloseAndReportsAccepted) {
+  exp::BoundedQueue<int> q(2);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.close();
+  });
+  // Nobody pops, so the batch fills the queue to capacity, blocks, and the
+  // remainder must be dropped when close() lands — exactly push()'s contract.
+  const std::size_t accepted = q.push_all({1, 2, 3, 4, 5});
+  closer.join();
+  EXPECT_EQ(accepted, 2u);
+  EXPECT_EQ(q.pop().value_or(-1), 1);
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, PopUpToDrainsInOneCallAndSignalsClose) {
+  exp::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_up_to(3, out), 3u);
+  EXPECT_EQ(q.pop_up_to(10, out), 2u);  // takes what's there, not max
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  q.close();
+  EXPECT_EQ(q.pop_up_to(4, out), 0u);  // closed + drained
+  const auto st = q.stats();
+  EXPECT_EQ(st.pops, 5u);
+  EXPECT_EQ(st.batch_pops, 2u);
+}
+
+TEST(BoundedQueueTest, StatsCountSkippedNotifiesAndBlockedWaits) {
+  exp::BoundedQueue<int> lazy(4);
+  // Uncontended hand-off: nobody is waiting, so every notify is skipped.
+  ASSERT_TRUE(lazy.push(1));
+  ASSERT_TRUE(lazy.push(2));
+  EXPECT_TRUE(lazy.pop().has_value());
+  EXPECT_TRUE(lazy.pop().has_value());
+  auto st = lazy.stats();
+  EXPECT_EQ(st.notifies_sent, 0u);
+  EXPECT_EQ(st.notifies_skipped, 4u);  // 2 pushes + 2 pops
+  EXPECT_EQ(st.push_blocked, 0u);
+  EXPECT_EQ(st.pop_blocked, 0u);
+  EXPECT_EQ(st.blocked_micros(), 0u);
+
+  // The same traffic on an eager_notify queue notifies unconditionally —
+  // the pre-PR behavior the engine's contention baseline measures against.
+  exp::BoundedQueue<int> eager(4, /*eager_notify=*/true);
+  ASSERT_TRUE(eager.push(1));
+  EXPECT_TRUE(eager.pop().has_value());
+  st = eager.stats();
+  EXPECT_EQ(st.notifies_sent, 2u);
+  EXPECT_EQ(st.notifies_skipped, 0u);
+
+  // A consumer that really sleeps is counted, and its wakeup notify is sent.
+  exp::BoundedQueue<int> blocked(4);
+  std::thread consumer([&] { EXPECT_EQ(blocked.pop().value_or(-1), 7); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(blocked.push(7));
+  consumer.join();
+  st = blocked.stats();
+  EXPECT_EQ(st.pop_blocked, 1u);
+  EXPECT_EQ(st.notifies_sent, 1u);  // the push that woke the sleeper
+}
+
+// Contention stress: batch producers and batch consumers hammer a tiny
+// queue; every item must come out exactly once, and the waiter-counting
+// notify discipline must not strand a sleeper (a lost wakeup hangs this
+// test, which is the regression signal).
+TEST(BoundedQueueTest, BatchOpsUnderContentionLoseNothing) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 400;
+  for (const bool eager : {false, true}) {
+    exp::BoundedQueue<int> q(2, eager);
+    std::mutex seen_mutex;
+    std::vector<int> seen;
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&q, p] {
+        bits::Rng rng(1000 + p);
+        int i = 0;
+        while (i < kPerProducer) {
+          const int chunk = static_cast<int>(1 + rng.below(7));
+          std::vector<int> batch;
+          for (int k = 0; k < chunk && i < kPerProducer; ++k, ++i) {
+            batch.push_back(p * kPerProducer + i);
+          }
+          q.push_all(std::move(batch));
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&] {
+        std::vector<int> got;
+        while (q.pop_up_to(4, got) > 0) {
+          std::unique_lock lock(seen_mutex);
+          seen.insert(seen.end(), got.begin(), got.end());
+          got.clear();
+        }
+      });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[p].join();
+    q.close();
+    for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+    const int total = kProducers * kPerProducer;
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(total)) << "eager=" << eager;
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < total; ++i) {
+      ASSERT_EQ(seen[i], i) << "eager=" << eager;  // exactly once, none lost
+    }
+    const auto st = q.stats();
+    EXPECT_EQ(st.pushes, static_cast<std::uint64_t>(total));
+    EXPECT_EQ(st.pops, static_cast<std::uint64_t>(total));
+    if (eager) {
+      EXPECT_EQ(st.notifies_skipped, 0u);
+    }
+  }
 }
 
 // -------------------------------------------------------------- metrics
@@ -323,6 +465,29 @@ TEST(EngineTest, BatchIsByteIdenticalForAnyWorkerCount) {
     }
     EXPECT_EQ(serial.report(), parallel.report());
   }
+}
+
+/// contention_baseline swaps the queue/metrics discipline (eager notifies,
+/// per-item transfers, per-job registry flushes) but must never change what
+/// the batch produces — it exists so the engine bench compares like with
+/// like.
+TEST(EngineTest, ContentionBaselineModeIsByteIdentical) {
+  const Manifest manifest = inline_manifest();
+  BatchResult results[2];
+  for (const bool baseline : {false, true}) {
+    EngineOptions options;
+    options.workers = 3;
+    options.queue_capacity = 2;
+    options.contention_baseline = baseline;
+    Engine eng(options);
+    results[baseline ? 1 : 0] = eng.run(manifest);
+  }
+  ASSERT_EQ(results[0].jobs.size(), results[1].jobs.size());
+  for (std::size_t i = 0; i < results[0].jobs.size(); ++i) {
+    EXPECT_TRUE(results[1].jobs[i].status.ok());
+    EXPECT_EQ(results[0].jobs[i].container, results[1].jobs[i].container);
+  }
+  EXPECT_EQ(results[0].report(), results[1].report());
 }
 
 TEST(EngineTest, WritesOutputFilesIdenticallyForAnyWorkerCount) {

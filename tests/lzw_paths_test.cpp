@@ -5,6 +5,8 @@
 // invariant the throughput work is built on.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bits/rng.h"
@@ -100,6 +102,75 @@ TEST(MatchStrategyProperty, TailPartialCharacterAgrees) {
   const auto b = Encoder(config, Tiebreak::First, MatchStrategy::LegacyScan)
                      .encode(input);
   expect_identical(a, b, "tail partial char");
+}
+
+// Adversarial X-density sweep: fully specified (x=0, the SWAR all-care fast
+// path), all-X (x=1, every char matches every entry — dictionary growth is
+// pure tiebreak policy), and blocky runs that flip between the two regimes
+// at non-char-aligned boundaries. Every tiebreak × X-assign pair must keep
+// the Indexed path bit-identical to LegacyScan AND decode-roundtrip clean.
+TritVector blocky_cube(std::size_t n, std::size_t run, std::uint64_t seed) {
+  Rng rng(seed);
+  TritVector v(n);
+  bool specified = true;
+  std::size_t left = run;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (left == 0) {
+      specified = !specified;
+      // Uneven runs so block edges drift across char boundaries.
+      left = 1 + rng.below(run);
+    }
+    --left;
+    if (specified) v.set(i, rng.bit() ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+TEST(MatchStrategyProperty, AdversarialDensitiesBitIdenticalAndRoundTrip) {
+  const LzwConfig config{.dict_size = 512, .char_bits = 5, .entry_bits = 40};
+  std::vector<std::pair<const char*, TritVector>> corpora;
+  corpora.emplace_back("all_specified", random_cube(3000, 0.0, 41));
+  corpora.emplace_back("all_x", random_cube(3000, 1.0, 42));
+  corpora.emplace_back("blocky_short", blocky_cube(3000, 3, 43));
+  corpora.emplace_back("blocky_long", blocky_cube(3000, 64, 44));
+  for (const auto& [name, input] : corpora) {
+    for (const Tiebreak tb : kTiebreaks) {
+      for (const XAssignMode mode : kModes) {
+        const std::string what =
+            std::string(name) +
+            " tiebreak=" + std::to_string(static_cast<int>(tb)) +
+            " mode=" + std::to_string(static_cast<int>(mode));
+        const Encoder fast(config, tb, MatchStrategy::Indexed);
+        const Encoder reference(config, tb, MatchStrategy::LegacyScan);
+        const auto a = fast.encode(input, mode, /*rng_seed=*/7);
+        const auto b = reference.encode(input, mode, /*rng_seed=*/7);
+        expect_identical(a, b, what.c_str());
+        const auto check = verify_roundtrip(input, a);
+        EXPECT_TRUE(check.ok) << what;
+      }
+    }
+  }
+}
+
+// Variable-width streams under the same adversarial corpora: width bumps
+// land at different codes per tiebreak, so this pins the batched BitWriter's
+// mid-stream width changes against the per-bit legacy emission.
+TEST(MatchStrategyProperty, AdversarialDensitiesVariableWidthIdentical) {
+  const LzwConfig config{.dict_size = 1024, .char_bits = 7, .entry_bits = 63,
+                         .variable_width = true};
+  const TritVector inputs[] = {random_cube(4000, 0.0, 51),
+                               random_cube(4000, 1.0, 52),
+                               blocky_cube(4000, 11, 53)};
+  for (const TritVector& input : inputs) {
+    for (const Tiebreak tb : kTiebreaks) {
+      const auto a =
+          Encoder(config, tb, MatchStrategy::Indexed).encode(input);
+      const auto b =
+          Encoder(config, tb, MatchStrategy::LegacyScan).encode(input);
+      expect_identical(a, b, "adversarial variable width");
+      EXPECT_TRUE(verify_roundtrip(input, a).ok);
+    }
+  }
 }
 
 }  // namespace
