@@ -6,6 +6,7 @@
 // two schemes fail in opposite directions.
 #include <cstdio>
 
+#include "codec/codec.h"
 #include "codec/lfsr_reseed.h"
 #include "exp/flow.h"
 #include "exp/table.h"
@@ -33,7 +34,9 @@ int main() {
     table.add_row({profile.name, exp::pct(100.0 * pc.tests.x_density()),
                    exp::num(max_care), exp::num(reseed.seed_bits),
                    exp::num(escapes), exp::pct(lzw_result.ratio_percent()),
-                   exp::pct(reseed.stats().ratio_percent())});
+                   exp::pct(codec::ratio_percent(
+                       reseed.escaped.size() * reseed.width,
+                       reseed.compressed_bits()))});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Reseeding wins when care counts are uniform; a single dense cube\n"

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bits/rng.h"
+#include "codec/codec.h"
 #include "codec/lz77.h"
 #include "codec/rle.h"
 #include "exp/flow.h"
@@ -47,8 +48,8 @@ int main() {
     const auto lz_r = codec::lz77_encode(stream, exp::paper_lz77_config());
     const auto rle_r = codec::alternating_rle_encode(stream, exp::paper_rle_config());
     table.add_row({exp::pct(100.0 * x, 0), exp::pct(lzw_r.ratio_percent()),
-                   exp::pct(lz_r.stats().ratio_percent()),
-                   exp::pct(rle_r.stats().ratio_percent())});
+                   exp::pct(codec::ratio_percent(stream.size(), lz_r.stream.bit_count())),
+                   exp::pct(codec::ratio_percent(stream.size(), rle_r.stream.bit_count()))});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected shape (paper §6): every codec's ratio rises with the X\n"

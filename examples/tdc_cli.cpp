@@ -35,6 +35,7 @@
 // .tdclzw is the binary compressed container of lzw/stream_io.h (TDCLZW2
 // by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -42,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/select.h"
 #include "engine/engine.h"
 #include "engine/manifest.h"
 #include "engine/metrics.h"
@@ -71,6 +73,8 @@ int usage() {
                " [--entry E]\n"
                "              [--variable] [--v1] [--chunk-bytes N]"
                " [--stats <out.json>]\n"
+               "              [--codec <name|auto|race>] [--chunk-trits N]"
+               " (multi-codec TDCLZW2 v3)\n"
                "  tdc_cli compress <in.tests>... --out-dir <dir> [--jobs N] [...]\n"
                "  tdc_cli decompress <in.tdclzw> <out.tests>\n"
                "  tdc_cli inspect <file>        (alias: info)\n"
@@ -109,7 +113,14 @@ bool accept(exp::Args& args, std::size_t min_pos, std::size_t max_pos,
 
 std::string container_line(const lzw::ContainerInfo& c) {
   char buf[160];
-  if (!c.crc_protected()) {
+  if (c.version >= 3) {
+    std::snprintf(buf, sizeof buf,
+                  "container: TDCLZW2 v3 multi-codec (%llu B header + %llu B "
+                  "payload, header+payload+record CRC32, %u records)",
+                  static_cast<unsigned long long>(c.header_bytes),
+                  static_cast<unsigned long long>(c.payload_bytes),
+                  c.chunk_count);
+  } else if (!c.crc_protected()) {
     std::snprintf(buf, sizeof buf,
                   "container: TDCLZW1 legacy (%llu B header + %llu B payload, "
                   "no integrity protection)",
@@ -214,6 +225,11 @@ std::string stream_stats_json(const std::string& input, const char* source,
   return json;
 }
 
+std::string multicodec_stats_json(const std::string& input,
+                                  const std::string& mode,
+                                  const lzw::LzwConfig& config,
+                                  const codec::EncodedChunks& chunks);
+
 /// Writes `text` to `--out <file>` when given, stdout otherwise.
 int emit_text(const std::optional<std::string>& out_path, const std::string& text) {
   if (!out_path) {
@@ -250,6 +266,31 @@ int cmd_stats(exp::Args& args) {
   if (Result<lzw::CompressedImage> image = lzw::try_read_image_file(path);
       image.ok()) {
     const lzw::CompressedImage& img = image.value();
+    if (img.multi_codec()) {
+      // v3: validate through the registry, report the per-record codecs.
+      const Result<bits::TritVector> decoded = codec::decode_image(img);
+      if (!decoded.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     decoded.error().describe().c_str());
+        return 1;
+      }
+      codec::EncodedChunks chunks;
+      chunks.original_bits = img.original_bits;
+      for (const lzw::ChunkRecord& r : img.chunks) {
+        const codec::Codec* c = codec::codec_for_id(r.codec_id);
+        codec::ChunkChoice choice;
+        choice.codec_id = r.codec_id;
+        choice.codec = c != nullptr ? codec::to_string(c->id())
+                                    : "id" + std::to_string(r.codec_id);
+        choice.trits = r.original_trits;
+        choice.payload_bytes = r.payload.size();
+        chunks.payload_bytes += r.payload.size();
+        chunks.choices.push_back(std::move(choice));
+      }
+      chunks.stats_bits = chunks.payload_bytes * 8;
+      return emit_text(out_path,
+                       multicodec_stats_json(path, "container", img.config, chunks));
+    }
     const Result<lzw::DecodeResult> decoded = img.try_decode();
     if (!decoded.ok()) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
@@ -317,12 +358,139 @@ struct CompressOutcome {
   std::string stats_json;
 };
 
+/// "auto[lzw x2, bwt x1]" — the mode plus the winner histogram in chunk
+/// order of first appearance.
+std::string choices_summary(const std::string& mode,
+                            const std::vector<codec::ChunkChoice>& choices) {
+  std::vector<std::pair<std::string, std::size_t>> counts;
+  for (const codec::ChunkChoice& c : choices) {
+    bool found = false;
+    for (auto& [name, n] : counts) {
+      if (name == c.codec) { ++n; found = true; break; }
+    }
+    if (!found) counts.emplace_back(c.codec, 1);
+  }
+  std::string out = mode + "[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += counts[i].first + " x" + std::to_string(counts[i].second);
+  }
+  return out + "]";
+}
+
+/// Deterministic per-codec accounting for the multi-codec --stats output:
+/// chunk choices in order, then totals per codec — the one place compress
+/// reports how many bytes each backend contributed.
+std::string multicodec_stats_json(const std::string& input,
+                                  const std::string& mode,
+                                  const lzw::LzwConfig& config,
+                                  const codec::EncodedChunks& chunks) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"input\": \"%s\",\n"
+                "  \"source\": \"tests\",\n"
+                "  \"codec_mode\": \"%s\",\n"
+                "  \"config\": \"%s%s\",\n"
+                "  \"original_bits\": %llu,\n"
+                "  \"compressed_bits\": %llu,\n"
+                "  \"payload_bytes\": %llu,\n"
+                "  \"ratio_percent\": %.3f,\n",
+                obs::json_escape(input).c_str(), obs::json_escape(mode).c_str(),
+                obs::json_escape(config.describe()).c_str(),
+                config.variable_width ? " variable-width" : "",
+                static_cast<unsigned long long>(chunks.original_bits),
+                static_cast<unsigned long long>(chunks.stats_bits),
+                static_cast<unsigned long long>(chunks.payload_bytes),
+                codec::ratio_percent(chunks.original_bits, chunks.stats_bits));
+  std::string json = buf;
+  json += "  \"chunks\": [";
+  for (std::size_t i = 0; i < chunks.choices.size(); ++i) {
+    const codec::ChunkChoice& c = chunks.choices[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"codec\": \"%s\", \"trits\": %llu,"
+                  " \"stats_bits\": %llu, \"payload_bytes\": %llu}",
+                  i == 0 ? "" : ",", c.codec.c_str(),
+                  static_cast<unsigned long long>(c.trits),
+                  static_cast<unsigned long long>(c.stats_bits),
+                  static_cast<unsigned long long>(c.payload_bytes));
+    json += buf;
+  }
+  json += "\n  ],\n  \"per_codec\": {";
+  std::vector<std::pair<std::string, std::array<std::uint64_t, 4>>> totals;
+  for (const codec::ChunkChoice& c : chunks.choices) {
+    bool found = false;
+    for (auto& [name, t] : totals) {
+      if (name == c.codec) {
+        t[0] += 1; t[1] += c.trits; t[2] += c.stats_bits; t[3] += c.payload_bytes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      totals.emplace_back(c.codec,
+                          std::array<std::uint64_t, 4>{1, c.trits, c.stats_bits,
+                                                       c.payload_bytes});
+    }
+  }
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    \"%s\": {\"chunks\": %llu, \"original_trits\": %llu,"
+                  " \"stats_bits\": %llu, \"payload_bytes\": %llu}",
+                  i == 0 ? "" : ",", totals[i].first.c_str(),
+                  static_cast<unsigned long long>(totals[i].second[0]),
+                  static_cast<unsigned long long>(totals[i].second[1]),
+                  static_cast<unsigned long long>(totals[i].second[2]),
+                  static_cast<unsigned long long>(totals[i].second[3]));
+    json += buf;
+  }
+  json += "\n  }\n}\n";
+  return json;
+}
+
 CompressOutcome compress_one(const std::string& in, const std::string& out,
                              const lzw::LzwConfig& config,
-                             const lzw::ContainerOptions& container) {
+                             const lzw::ContainerOptions& container,
+                             const std::string& codec_mode,
+                             std::uint32_t chunk_trits) {
   obs::TraceSpan span("cli.compress");
   const scan::TestSet tests = scan::read_tests_file(in);
   const bits::TritVector stream = tests.serialize();
+
+  if (!codec_mode.empty()) {
+    // Multi-codec path: per-chunk selection into a TDCLZW2 v3 container,
+    // verified end to end through the registry before the file is written.
+    codec::SelectOptions options =
+        codec::parse_codec_mode(codec_mode).value_or_throw();
+    options.lzw = config;
+    if (chunk_trits != 0) options.chunk_trits = chunk_trits;
+    obs::MetricsRegistry metrics;
+    const codec::EncodedChunks chunks =
+        codec::encode_chunks(stream, options, &metrics).value_or_throw();
+    const bits::TritVector decoded =
+        codec::decode_records(chunks.records, chunks.original_bits)
+            .value_or_throw();
+    if (!decoded.fully_specified() || !stream.covered_by(decoded)) {
+      throw std::runtime_error(
+          "internal verification failed: expansion does not cover the input");
+    }
+    lzw::write_image_v3_file(out, config, chunks.original_bits,
+                             options.chunk_trits, chunks.records);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s: %llu -> %llu bits (ratio %.2f%%, %s, codec %s, TDCLZW2 v3) -> %s",
+        in.c_str(), static_cast<unsigned long long>(chunks.original_bits),
+        static_cast<unsigned long long>(chunks.stats_bits),
+        codec::ratio_percent(chunks.original_bits, chunks.stats_bits),
+        config.describe().c_str(),
+        choices_summary(codec_mode, chunks.choices).c_str(), out.c_str());
+    CompressOutcome outcome;
+    outcome.line = buf;
+    outcome.stats_json = multicodec_stats_json(in, codec_mode, config, chunks);
+    return outcome;
+  }
+
   const auto encoded = lzw::Encoder(config).encode(stream);
   const auto report = lzw::verify_roundtrip(stream, encoded);
   if (!report.ok) {
@@ -360,6 +528,8 @@ int cmd_compress(exp::Args& args) {
   lzw::ContainerOptions container;
   if (args.flag("--v1")) container.version = 1;
   container.chunk_bytes = args.u32("--chunk-bytes", container.chunk_bytes);
+  const std::string codec_mode = args.value("--codec").value_or("");
+  const std::uint32_t chunk_trits = args.u32("--chunk-trits", 0);
   const std::optional<std::string> out_dir = args.value("--out-dir");
   const std::optional<std::string> stats_path = args.value("--stats");
   const unsigned jobs = args.jobs();
@@ -367,6 +537,21 @@ int cmd_compress(exp::Args& args) {
   std::vector<std::string> pos;
   if (!accept(args, out_dir ? 1 : 2, out_dir ? 9999 : 2, &pos)) return usage();
   config.validate();
+  if (!codec_mode.empty()) {
+    if (const auto mode = codec::parse_codec_mode(codec_mode); !mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.error().describe().c_str());
+      return 2;
+    }
+    if (container.version == 1 ||
+        container.chunk_bytes != lzw::ContainerOptions{}.chunk_bytes) {
+      std::fprintf(stderr,
+                   "--codec writes a TDCLZW2 v3 container; drop --v1/--chunk-bytes\n");
+      return 2;
+    }
+  } else if (chunk_trits != 0) {
+    std::fprintf(stderr, "--chunk-trits needs --codec\n");
+    return 2;
+  }
 
   // --stats: per-stream telemetry JSON, one object per input in argument
   // order — byte-identical for any --jobs count.
@@ -390,7 +575,8 @@ int cmd_compress(exp::Args& args) {
   };
 
   if (!out_dir) {
-    const CompressOutcome outcome = compress_one(pos[0], pos[1], config, container);
+    const CompressOutcome outcome =
+        compress_one(pos[0], pos[1], config, container, codec_mode, chunk_trits);
     std::printf("%s\n", outcome.line.c_str());
     return write_stats({outcome});
   }
@@ -407,7 +593,7 @@ int cmd_compress(exp::Args& args) {
           stem.resize(dot);
         }
         return compress_one(in, *out_dir + "/" + stem + ".tdclzw", config,
-                            container);
+                            container, codec_mode, chunk_trits);
       });
   for (const CompressOutcome& o : outcomes) std::printf("%s\n", o.line.c_str());
   return write_stats(outcomes);
@@ -422,7 +608,9 @@ int cmd_decompress(exp::Args& args) {
                  image.error().describe().c_str());
     return 1;
   }
-  const Result<lzw::DecodeResult> decoded = image.value().try_decode();
+  // decode_image handles every container version: v1/v2 through the LZW
+  // image decoder, v3 through the per-chunk codec registry.
+  const Result<bits::TritVector> decoded = codec::decode_image(image.value());
   if (!decoded.ok()) {
     std::fprintf(stderr, "%s: %s\n", pos[0].c_str(),
                  decoded.error().describe().c_str());
@@ -433,12 +621,13 @@ int cmd_decompress(exp::Args& args) {
   out.circuit = "decompressed";
   // Without side information the stream is one long vector; emit it as a
   // single-pattern set (downstream tools re-split by their known width).
-  out.width = static_cast<std::uint32_t>(decoded.value().bits.size());
-  out.cubes.push_back(decoded.value().bits);
+  out.width = static_cast<std::uint32_t>(decoded.value().size());
+  out.cubes.push_back(decoded.value());
   scan::write_tests_file(pos[1], out);
-  std::printf("%s: %llu codes -> %llu bits -> %s\n", pos[0].c_str(),
+  std::printf("%s: %llu %s -> %llu bits -> %s\n", pos[0].c_str(),
               static_cast<unsigned long long>(image.value().code_count),
-              static_cast<unsigned long long>(decoded.value().bits.size()),
+              image.value().multi_codec() ? "records" : "codes",
+              static_cast<unsigned long long>(decoded.value().size()),
               pos[1].c_str());
   return 0;
 }
@@ -462,7 +651,31 @@ int cmd_inspect(exp::Args& args) {
                            static_cast<double>(img.original_bits)) *
                     100.0);
     std::printf("%s\n", container_line(img.container).c_str());
-    if (img.container.chunk_count > 0) {
+    if (img.multi_codec()) {
+      // Per-record codec names plus the payload-size distribution.
+      obs::LocalHistogram record_sizes;
+      std::vector<std::pair<std::string, std::size_t>> counts;
+      for (const lzw::ChunkRecord& r : img.chunks) {
+        record_sizes.record(r.payload.size());
+        const codec::Codec* c = codec::codec_for_id(r.codec_id);
+        const std::string name = c != nullptr
+                                     ? codec::to_string(c->id())
+                                     : "id" + std::to_string(r.codec_id);
+        bool found = false;
+        for (auto& [n, count] : counts) {
+          if (n == name) { ++count; found = true; break; }
+        }
+        if (!found) counts.emplace_back(name, 1);
+      }
+      std::string per_chunk;
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i != 0) per_chunk += ", ";
+        per_chunk += counts[i].first + " x" + std::to_string(counts[i].second);
+      }
+      std::printf("chunk codecs: %s\n", per_chunk.c_str());
+      std::printf("record payload bytes: %s\n",
+                  obs::snapshot_summary_line(record_sizes.snapshot()).c_str());
+    } else if (img.container.chunk_count > 0) {
       // Per-chunk payload-size distribution through the shared obs
       // histogram — every chunk is chunk_bytes except the final remainder.
       obs::LocalHistogram chunk_sizes;
@@ -503,7 +716,7 @@ VerifyOutcome verify_one(const std::string& path) {
     out.line = path + ": FAILED " + image.error().describe();
     return out;
   }
-  const Result<lzw::DecodeResult> decoded = image.value().try_decode();
+  const Result<bits::TritVector> decoded = codec::decode_image(image.value());
   if (!decoded.ok()) {
     out.line = path + ": FAILED " + decoded.error().describe();
     return out;
@@ -511,10 +724,11 @@ VerifyOutcome verify_one(const std::string& path) {
   const lzw::ContainerInfo& c = image.value().container;
   char buf[384];
   std::snprintf(buf, sizeof buf,
-                "%s: OK — %s; %llu codes decode to %llu scan bits%s",
+                "%s: OK — %s; %llu %s decode to %llu scan bits%s",
                 path.c_str(), container_line(c).c_str(),
                 static_cast<unsigned long long>(image.value().code_count),
-                static_cast<unsigned long long>(decoded.value().bits.size()),
+                image.value().multi_codec() ? "records" : "codes",
+                static_cast<unsigned long long>(decoded.value().size()),
                 c.crc_protected() ? ""
                                   : " (legacy format: decode check only, no CRC)");
   out.ok = true;

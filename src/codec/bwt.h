@@ -1,0 +1,47 @@
+#ifndef TDC_CODEC_BWT_H
+#define TDC_CODEC_BWT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "codec/huffman.h"
+#include "core/error.h"
+
+namespace tdc::codec {
+
+/// Burrows–Wheeler pipeline backend: the text/binary generalist proving the
+/// chunk-aware codec API reaches beyond test cubes.
+///
+/// Encode: repeat-fill the don't-cares, pack the bits into bytes (MSB
+/// first), split into `block_bytes` blocks, BWT each block (full cyclic
+/// rotation sort via rank doubling — O(n log² n), deterministic), run one
+/// continuous move-to-front pass over the concatenated BWT output, and
+/// entropy-code the MTF bytes with the existing selective Huffman coder
+/// (8-bit blocks). Everything the decoder needs — block geometry, per-block
+/// primary index, the Huffman codebook and stream — is serialized into the
+/// payload, so the chunk is self-contained.
+struct BwtConfig {
+  std::uint32_t block_bytes = 1u << 16;  ///< BWT block size (memory bound)
+  HuffmanConfig huffman{8, 64};          ///< MTF byte-stream coder
+};
+
+struct BwtResult {
+  BwtConfig config;
+  std::uint64_t original_bits = 0;       ///< input trit count
+  std::vector<std::uint8_t> payload;     ///< self-contained wire bytes
+};
+
+/// Deterministic; throws only through TDC_REQUIRE on unusable configs.
+BwtResult bwt_mtf_huffman_encode(const bits::TritVector& input,
+                                 const BwtConfig& config = {});
+
+/// Expands a payload back into exactly `trit_count` fully specified bits.
+/// The payload is untrusted: every field is bounds-checked and damage
+/// reports a typed Error (InvalidInput), never UB.
+Result<bits::TritVector> bwt_mtf_huffman_decode(
+    const std::vector<std::uint8_t>& payload, std::uint64_t trit_count);
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_BWT_H

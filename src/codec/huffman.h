@@ -6,7 +6,6 @@
 
 #include "bits/bitstream.h"
 #include "bits/tritvector.h"
-#include "codec/stats.h"
 
 namespace tdc::codec {
 
@@ -40,10 +39,6 @@ struct HuffmanResult {
   std::uint64_t original_bits = 0;
   std::uint64_t escaped_blocks = 0;
   std::uint64_t coded_blocks = 0;
-
-  CodecStats stats() const {
-    return CodecStats{"Sel-Huffman", original_bits, stream.bit_count()};
-  }
 };
 
 /// Compresses a ternary scan stream. A trailing partial block is padded

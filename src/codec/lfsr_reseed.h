@@ -6,7 +6,6 @@
 
 #include "bits/gf2.h"
 #include "bits/tritvector.h"
-#include "codec/stats.h"
 
 namespace tdc::codec {
 
@@ -50,10 +49,6 @@ struct LfsrReseedResult {
       total += 1 + (escaped[p] ? width : seed_bits);
     }
     return total;
-  }
-
-  CodecStats stats() const {
-    return CodecStats{"LFSR-reseed", original_bits, compressed_bits()};
   }
 };
 

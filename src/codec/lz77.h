@@ -6,7 +6,6 @@
 
 #include "bits/bitstream.h"
 #include "bits/tritvector.h"
-#include "codec/stats.h"
 
 namespace tdc::codec {
 
@@ -48,10 +47,6 @@ struct Lz77Result {
   std::vector<Lz77Token> tokens;
   bits::BitWriter stream;
   std::uint64_t original_bits = 0;
-
-  CodecStats stats() const {
-    return CodecStats{"LZ77", original_bits, stream.bit_count()};
-  }
 };
 
 /// Compresses a ternary scan stream with X-aware greedy longest match.

@@ -6,7 +6,6 @@
 
 #include "bits/bitstream.h"
 #include "bits/tritvector.h"
-#include "codec/stats.h"
 
 namespace tdc::codec {
 
@@ -36,8 +35,6 @@ struct RleResult {
   bits::BitWriter stream;
   std::uint64_t original_bits = 0;
   const char* name = "RLE";
-
-  CodecStats stats() const { return CodecStats{name, original_bits, stream.bit_count()}; }
 };
 
 /// Appends the code word for run length `len` to `w`.

@@ -1,0 +1,234 @@
+#include "codec/select.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace tdc::codec {
+
+namespace {
+
+/// Encode-side instance for a forced codec id, at wire-default parameters
+/// (the LZW candidate is parameterized by the options instead).
+Result<std::unique_ptr<Codec>> forced_instance(CodecId id) {
+  switch (id) {
+    case CodecId::Lz77: return std::unique_ptr<Codec>(make_lz77_codec());
+    case CodecId::Rle: return std::unique_ptr<Codec>(make_best_rle_codec());
+    case CodecId::Huffman:
+      return std::unique_ptr<Codec>(make_huffman_codec(HuffmanConfig{8, 32}));
+    case CodecId::Bwt: return std::unique_ptr<Codec>(make_bwt_codec());
+    case CodecId::LfsrReseed:
+      return Error{ErrorKind::InvalidInput,
+                   "lfsr is per-pattern (needs a pattern width) and cannot be "
+                   "forced on a flat stream; use the codec API directly"};
+    case CodecId::Lzw: break;
+  }
+  return Error{ErrorKind::InvalidInput, "unsupported forced codec"};
+}
+
+/// One candidate's compressed chunk, tagged for the keep-smaller decision.
+struct Attempt {
+  const Codec* codec = nullptr;
+  CompressedChunk chunk;
+};
+
+}  // namespace
+
+Result<SelectOptions> parse_codec_mode(const std::string& token, SelectOptions base) {
+  if (token == "auto") {
+    base.mode = SelectMode::Auto;
+    return base;
+  }
+  if (token == "race") {
+    base.mode = SelectMode::Race;
+    return base;
+  }
+  Result<CodecId> id = parse_codec_id(token);
+  if (!id.ok()) {
+    return Error{ErrorKind::InvalidInput,
+                 "unknown codec mode '" + token + "' (known: auto, race, " +
+                     known_codec_names() + ")"};
+  }
+  base.mode = SelectMode::Forced;
+  base.forced = id.value();
+  return base;
+}
+
+std::string codec_mode_name(const SelectOptions& options) {
+  switch (options.mode) {
+    case SelectMode::Auto: return "auto";
+    case SelectMode::Race: return "race";
+    case SelectMode::Forced: break;
+  }
+  return to_string(options.forced);
+}
+
+Result<EncodedChunks> encode_chunks(const bits::TritVector& input,
+                                    const SelectOptions& options,
+                                    obs::MetricsRegistry* metrics) {
+  if (options.chunk_trits == 0 || options.chunk_trits > kMaxChunkTrits) {
+    return Error{ErrorKind::InvalidInput,
+                 "chunk_trits must be in [1, 2^30]"};
+  }
+  obs::TraceSpan span("codec.encode_chunks");
+
+  // Candidate order is the deterministic tiebreak: LZW (the paper's codec)
+  // first, then the alternates in fixed order.
+  std::vector<std::unique_ptr<Codec>> candidates;
+  candidates.push_back(make_lzw_codec(options.lzw, options.tiebreak));
+  if (options.mode == SelectMode::Forced) {
+    if (options.forced != CodecId::Lzw) {
+      Result<std::unique_ptr<Codec>> forced = forced_instance(options.forced);
+      if (!forced.ok()) return forced.error();
+      candidates.clear();
+      candidates.push_back(std::move(forced).take());
+    }
+  } else {
+    candidates.push_back(make_bwt_codec());
+    candidates.push_back(make_best_rle_codec());
+    candidates.push_back(make_huffman_codec(HuffmanConfig{8, 32}));
+    candidates.push_back(make_lz77_codec());
+  }
+  const Codec* lzw_candidate =
+      candidates.front()->id() == CodecId::Lzw ? candidates.front().get() : nullptr;
+
+  EncodedChunks out;
+  out.original_bits = input.size();
+  const std::size_t chunk_trits = options.chunk_trits;
+  const std::size_t chunk_count =
+      input.empty() ? 1 : (input.size() + chunk_trits - 1) / chunk_trits;
+
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = c * chunk_trits;
+    const std::size_t len = std::min(chunk_trits, input.size() - begin);
+    const bits::TritVector chunk =
+        input.empty() ? bits::TritVector{} : input.slice(begin, len);
+
+    std::optional<obs::ScopedTimer> timer;
+    if (metrics) timer.emplace(metrics->histogram("codec.select.micros"));
+
+    // Pick the candidates to actually compress.
+    std::vector<const Codec*> picks;
+    if (options.mode == SelectMode::Forced) {
+      picks.push_back(candidates.front().get());
+    } else {
+      const ChunkFeatures features = analyze_chunk(chunk);
+      std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+      ranked.reserve(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        ranked.emplace_back(candidates[i]->estimate_bits(features), i);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      if (options.mode == SelectMode::Auto) {
+        // Heuristic pick, always raced against LZW (ties kept by LZW): a
+        // mixed-codec image can never lose to pure LZW on the same chunks.
+        picks.push_back(candidates[ranked.front().second].get());
+        if (picks.front() != lzw_candidate) picks.push_back(lzw_candidate);
+      } else {
+        picks.push_back(candidates[ranked[0].second].get());
+        if (ranked.size() > 1) picks.push_back(candidates[ranked[1].second].get());
+      }
+    }
+
+    // Compress with every pick; keep the smallest paper-accounting size.
+    // LZW wins ties (it is always the last pick in Auto, first otherwise),
+    // via strict less-than against the incumbent in pick order — except in
+    // Auto, where the LZW fallback replaces the heuristic pick unless the
+    // pick is strictly smaller.
+    std::optional<Attempt> best;
+    for (const Codec* codec : picks) {
+      Result<CompressedChunk> attempt = codec->compress_chunk(chunk);
+      if (!attempt.ok()) return attempt.error();
+      const bool lzw_fallback =
+          options.mode == SelectMode::Auto && codec == lzw_candidate && best;
+      if (!best ||
+          (lzw_fallback
+               ? attempt.value().stats.compressed_bits <= best->chunk.stats.compressed_bits
+               : attempt.value().stats.compressed_bits < best->chunk.stats.compressed_bits)) {
+        best = Attempt{codec, std::move(attempt).take()};
+      }
+    }
+    timer.reset();
+
+    const std::uint8_t wire_id = static_cast<std::uint8_t>(best->codec->id());
+    const std::string token = to_string(best->codec->id());
+    ChunkChoice choice;
+    choice.codec_id = wire_id;
+    choice.codec = token;
+    choice.trits = chunk.size();
+    choice.stats_bits = best->chunk.stats.compressed_bits;
+    choice.payload_bytes = best->chunk.payload.size();
+    if (metrics) {
+      metrics->counter("codec.selected." + token).add(1);
+      metrics->counter("codec." + token + ".original_trits").add(chunk.size());
+      metrics->counter("codec." + token + ".payload_bytes")
+          .add(best->chunk.payload.size());
+      metrics->counter("codec." + token + ".stats_bits").add(choice.stats_bits);
+    }
+    out.stats_bits += choice.stats_bits;
+    out.payload_bytes += best->chunk.payload.size();
+    out.choices.push_back(std::move(choice));
+    out.records.push_back(lzw::ChunkRecord{wire_id, chunk.size(),
+                                           std::move(best->chunk.payload)});
+  }
+  return out;
+}
+
+Result<bits::TritVector> decode_records(const std::vector<lzw::ChunkRecord>& records,
+                                        std::uint64_t original_bits) {
+  obs::TraceSpan span("codec.decode_records");
+  bits::TritVector out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const lzw::ChunkRecord& record = records[i];
+    if (record.original_trits > kMaxChunkTrits) {
+      Error err{ErrorKind::ConfigMismatch,
+                "record expands to " + std::to_string(record.original_trits) +
+                    " trits, past the per-chunk cap"};
+      err.chunk_index = static_cast<std::int64_t>(i);
+      return err;
+    }
+    const Codec* codec = codec_for_id(record.codec_id);
+    if (codec == nullptr) {
+      Error err{ErrorKind::UnknownCodecId,
+                "chunk names codec id " + std::to_string(record.codec_id) +
+                    "; registered: " + known_codec_names()};
+      err.chunk_index = static_cast<std::int64_t>(i);
+      return err;
+    }
+    Result<bits::TritVector> bits =
+        codec->decompress_chunk(record.payload, record.original_trits);
+    if (!bits.ok()) {
+      Error err = bits.error();
+      if (err.chunk_index < 0) err.chunk_index = static_cast<std::int64_t>(i);
+      return err;
+    }
+    if (bits.value().size() != record.original_trits) {
+      Error err{ErrorKind::StreamTooShort,
+                std::string(codec->name()) + " expansion holds " +
+                    std::to_string(bits.value().size()) + " of " +
+                    std::to_string(record.original_trits) + " trits"};
+      err.chunk_index = static_cast<std::int64_t>(i);
+      return err;
+    }
+    out.append(bits.value());
+  }
+  if (out.size() != original_bits) {
+    return Error{ErrorKind::ConfigMismatch,
+                 "records expand to " + std::to_string(out.size()) +
+                     " trits but the image declares " + std::to_string(original_bits)};
+  }
+  return out;
+}
+
+Result<bits::TritVector> decode_image(const lzw::CompressedImage& image) {
+  if (!image.multi_codec()) {
+    Result<lzw::DecodeResult> decoded = image.try_decode();
+    if (!decoded.ok()) return decoded.error();
+    return std::move(decoded).take().bits;
+  }
+  return decode_records(image.chunks, image.original_bits);
+}
+
+}  // namespace tdc::codec

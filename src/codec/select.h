@@ -1,0 +1,97 @@
+#ifndef TDC_CODEC_SELECT_H
+#define TDC_CODEC_SELECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/tritvector.h"
+#include "codec/codec.h"
+#include "core/error.h"
+#include "lzw/stream_io.h"
+#include "obs/metrics.h"
+
+namespace tdc::codec {
+
+/// How the encode stage picks a backend per chunk.
+enum class SelectMode {
+  Forced,  ///< one codec for every chunk (`--codec <name>`)
+  Auto,    ///< feature-driven heuristic pick, raced against LZW
+  Race,    ///< top-2 candidates by estimate, keep the smaller output
+};
+
+/// Default chunk granularity: large enough that every circuit profile in
+/// the suite is a single chunk (so pure-LZW selection is bit-identical to
+/// the whole-buffer encoder), small enough to bound per-chunk memory.
+inline constexpr std::uint32_t kDefaultChunkTrits = 4u << 20;
+
+/// Hard per-record cap enforced by the encode and decode paths (a crafted
+/// container cannot demand an absurd expansion).
+inline constexpr std::uint64_t kMaxChunkTrits = 1ull << 30;
+
+struct SelectOptions {
+  SelectMode mode = SelectMode::Forced;
+  CodecId forced = CodecId::Lzw;
+
+  /// Parameterization of the LZW candidate (the paper's codec).
+  lzw::LzwConfig lzw;
+  lzw::Tiebreak tiebreak = lzw::Tiebreak::First;
+
+  std::uint32_t chunk_trits = kDefaultChunkTrits;
+};
+
+/// Parses the CLI/manifest `--codec` token: a codec name forces that
+/// backend, `auto` and `race` pick per chunk. Mutates only mode/forced.
+Result<SelectOptions> parse_codec_mode(const std::string& token,
+                                       SelectOptions base = {});
+
+/// The inverse token ("lzw", "auto", "race") for reports.
+std::string codec_mode_name(const SelectOptions& options);
+
+/// What the encode stage decided for one chunk.
+struct ChunkChoice {
+  std::uint8_t codec_id = 0;
+  std::string codec;           ///< wire token of the winner
+  std::uint64_t trits = 0;
+  std::uint64_t stats_bits = 0;    ///< paper-accounting compressed bits
+  std::uint64_t payload_bytes = 0; ///< honest wire bytes incl. side info
+};
+
+/// A fully encoded multi-codec image, ready for write_image_v3.
+struct EncodedChunks {
+  std::vector<lzw::ChunkRecord> records;
+  std::vector<ChunkChoice> choices;  ///< parallel to records
+  std::uint64_t original_bits = 0;
+  std::uint64_t stats_bits = 0;      ///< Σ per-chunk paper-accounting bits
+  std::uint64_t payload_bytes = 0;   ///< Σ record payload bytes
+};
+
+/// Cuts `input` into `chunk_trits` chunks and compresses each with the
+/// backend the options select. Deterministic for a given (input, options);
+/// the optional registry records `codec.selected.<name>` counters, the
+/// `codec.select.micros` per-chunk selection latency histogram, and
+/// per-codec `codec.<name>.original_trits` / `codec.<name>.payload_bytes`
+/// counters (the one place `compress --stats` reports per-codec bytes).
+///
+/// Selection compares the paper-accounting compressed_bits (the same metric
+/// every table reports); in Auto mode the heuristic pick is always raced
+/// against LZW with ties kept by LZW, so a mixed-codec image is never
+/// larger than the pure-LZW encoding of the same chunks.
+Result<EncodedChunks> encode_chunks(const bits::TritVector& input,
+                                    const SelectOptions& options,
+                                    obs::MetricsRegistry* metrics = nullptr);
+
+/// Expands a record sequence (already CRC-verified by the container reader)
+/// back into the fully specified scan stream. A record naming an
+/// unregistered codec id reports a typed UnknownCodecId with the chunk
+/// index; per-codec decode failures carry the chunk index too.
+Result<bits::TritVector> decode_records(const std::vector<lzw::ChunkRecord>& records,
+                                        std::uint64_t original_bits);
+
+/// Decodes any container version: v1/v2 through the pure-LZW image decoder,
+/// v3 through the codec registry.
+Result<bits::TritVector> decode_image(const lzw::CompressedImage& image);
+
+}  // namespace tdc::codec
+
+#endif  // TDC_CODEC_SELECT_H

@@ -128,6 +128,29 @@ static_assert(kFixedHeaderBytes == kOffChunkCount + 4,
               "chunk CRC table starts right after the fixed header");
 }  // namespace container_v2
 
+/// Multi-codec container (format version 3, docs/ALGORITHMS.md §13): the
+/// TDCLZW2 fixed header is reused verbatim, but the payload is a sequence
+/// of self-contained chunk records, each opening with this 16-byte record
+/// header. The codec id byte is the wire identity of the backend that
+/// compressed the chunk (codec::CodecId); the per-chunk CRC table covers
+/// whole records, so a flipped codec id is caught before dispatch.
+namespace container_v3 {
+inline constexpr std::uint32_t kVersion = 3;
+inline constexpr std::uint32_t kOffCodecId = 0;        ///< u8
+inline constexpr std::uint32_t kOffRecordFlags = 1;    ///< u8 (reserved, 0)
+inline constexpr std::uint32_t kOffReserved = 2;       ///< u16 (reserved, 0)
+inline constexpr std::uint32_t kOffOriginalTrits = 4;  ///< u64
+inline constexpr std::uint32_t kOffPayloadBytes = 12;  ///< u32
+inline constexpr std::uint32_t kRecordHeaderBytes = 16;
+
+static_assert(kOffRecordFlags == kOffCodecId + 1, "codec id is one byte");
+static_assert(kOffReserved == kOffRecordFlags + 1);
+static_assert(kOffOriginalTrits == kOffReserved + 2, "reserved pad is u16");
+static_assert(kOffPayloadBytes == kOffOriginalTrits + 8, "trit count is u64");
+static_assert(kRecordHeaderBytes == kOffPayloadBytes + 4,
+              "record payload starts right after its byte count");
+}  // namespace container_v3
+
 /// TDCLZW1 legacy header: magic + 4 u32 config words + 3 u64 counters.
 namespace container_v1 {
 inline constexpr std::uint32_t kMagicBytes = 8;

@@ -13,6 +13,7 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::ChunkCrcMismatch: return "ChunkCrcMismatch";
     case ErrorKind::PayloadCrcMismatch: return "PayloadCrcMismatch";
     case ErrorKind::ConfigMismatch: return "ConfigMismatch";
+    case ErrorKind::UnknownCodecId: return "UnknownCodecId";
     case ErrorKind::UndefinedCode: return "UndefinedCode";
     case ErrorKind::CodeStreamTruncated: return "CodeStreamTruncated";
     case ErrorKind::StreamTooShort: return "StreamTooShort";
@@ -34,6 +35,7 @@ bool is_container_error(ErrorKind kind) {
     case ErrorKind::PayloadCrcMismatch:
       return true;
     case ErrorKind::ConfigMismatch:
+    case ErrorKind::UnknownCodecId:
     case ErrorKind::UndefinedCode:
     case ErrorKind::CodeStreamTruncated:
     case ErrorKind::StreamTooShort:

@@ -28,6 +28,7 @@ enum class ErrorKind {
   PayloadCrcMismatch,  ///< whole-payload CRC32 check failed (v2)
   // --- decode / semantic layer
   ConfigMismatch,       ///< configuration invalid or inconsistent with data
+  UnknownCodecId,       ///< chunk names a codec id no registered backend owns
   UndefinedCode,        ///< LZW code not defined at its position (and not KwKwK)
   CodeStreamTruncated,  ///< payload exhausted before code_count codes were read
   StreamTooShort,       ///< decoded output shorter than original_bits

@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "codec/select.h"
+
 namespace tdc::engine {
 
 namespace {
@@ -159,6 +161,16 @@ Result<Manifest> parse_manifest(std::istream& in, const std::string& base_dir) {
       } else if (key == "chunk") {
         if (!parse_u64(value, &n)) return manifest_error(line_no, "bad chunk '" + value + "'");
         spec.container.chunk_bytes = static_cast<std::uint32_t>(n);
+      } else if (key == "codec") {
+        Result<codec::SelectOptions> mode = codec::parse_codec_mode(value);
+        if (!mode.ok()) return manifest_error(line_no, mode.error().message);
+        spec.codec = value;
+      } else if (key == "chunk_trits") {
+        if (!parse_u64(value, &n) || n == 0 || n > codec::kMaxChunkTrits) {
+          return manifest_error(line_no,
+                                "chunk_trits must be in [1, 2^30], got '" + value + "'");
+        }
+        spec.chunk_trits = static_cast<std::uint32_t>(n);
       } else {
         return manifest_error(line_no, "unknown key '" + key + "'");
       }
@@ -176,6 +188,24 @@ Result<Manifest> parse_manifest(std::istream& in, const std::string& base_dir) {
     }
     if (spec.container.chunk_bytes != 0 && spec.container.chunk_bytes < 64) {
       return manifest_error(line_no, "chunk must be 0 or >= 64");
+    }
+    if (spec.codec.empty()) {
+      if (spec.chunk_trits != 0) {
+        return manifest_error(line_no, "chunk_trits needs codec=");
+      }
+    } else {
+      // codec= routes through per-chunk selection and the v3 container; the
+      // selection path assigns don't-cares inside each backend, so the
+      // whole-buffer xassign modes and the v1/v2 container knobs don't apply.
+      if (spec.xassign != lzw::XAssignMode::Dynamic) {
+        return manifest_error(line_no, "codec= jobs require xassign=dynamic");
+      }
+      const lzw::ContainerOptions defaults;
+      if (spec.container.version != defaults.version ||
+          spec.container.chunk_bytes != defaults.chunk_bytes) {
+        return manifest_error(line_no,
+                              "codec= jobs write a v3 container; drop container=/chunk=");
+      }
     }
     if (spec.name.empty()) {
       spec.name = "job" + std::to_string(manifest.jobs.size());

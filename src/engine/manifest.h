@@ -29,6 +29,13 @@ struct JobSpec {
   lzw::XAssignMode xassign = lzw::XAssignMode::Dynamic;
   std::uint64_t rng_seed = 1;  ///< only meaningful for XAssignMode::RandomFill
 
+  /// Multi-codec selection mode (`codec=` / `--codec`): a codec token,
+  /// "auto" or "race" routes the job through per-chunk selection and a
+  /// version-3 container. Empty keeps the legacy whole-buffer LZW path and
+  /// the v1/v2 container bytes exactly as before.
+  std::string codec;
+  std::uint32_t chunk_trits = 0;  ///< 0 = codec::kDefaultChunkTrits
+
   // --- container + destination
   lzw::ContainerOptions container;
   std::string output_path;  ///< empty: container kept in memory only
@@ -55,7 +62,9 @@ Result<lzw::XAssignMode> parse_xassign(const std::string& name);
 /// One `job` line per job, `key=value` tokens plus the bare flag
 /// `variable`. Keys: name, input, gen, dict, char, entry, tiebreak
 /// (first|lowestchar|mostrecent|mostchildren|lookahead), xassign
-/// (dynamic|zero|one|repeat|random), seed, container (1|2), chunk, out.
+/// (dynamic|zero|one|repeat|random), seed, container (1|2), chunk, out,
+/// codec (a codec token|auto|race — selects the v3 multi-codec container),
+/// chunk_trits (per-chunk granularity for codec= jobs).
 /// Relative input paths resolve against `base_dir`; output paths are left
 /// relative (the engine's output_dir option anchors them at run time).
 /// Every job is validated here — config realizability, container options,

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "core/contracts.h"
@@ -18,6 +19,7 @@ namespace {
 // documented §8 table (core/contracts.h static_asserts the offsets chain).
 namespace v1 = contracts::container_v1;
 namespace v2 = contracts::container_v2;
+namespace v3 = contracts::container_v3;
 
 constexpr char kMagicV1[8] = {'T', 'D', 'C', 'L', 'Z', 'W', '1', '\0'};
 constexpr char kMagicV2[8] = {'T', 'D', 'C', 'L', 'Z', 'W', '2', '\0'};
@@ -31,6 +33,8 @@ constexpr std::uint32_t kMaxChunkCount = 1u << 20;
 constexpr std::uint32_t kMinChunkBytes = 64;
 
 // ---------------------------------------------------------------- encoding
+
+constexpr std::uint32_t kMaxRecordPayload = 1u << 30;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
@@ -155,6 +159,112 @@ Result<CompressedImage> read_image_v1(ByteSource& src) {
   return image;
 }
 
+// ---------------------------------------------------------------- v3 body
+
+/// Payload of a version-3 (multi-codec) image: a sequence of chunk records.
+/// The fixed header and chunk CRC table are already parsed and CRC-verified;
+/// `image` carries the header fields. Integrity order: whole-payload CRC
+/// first (record boundaries come from record headers, so framing cannot be
+/// trusted before the bytes are), then the per-record CRCs localizing any
+/// table/record drift, then structural and semantic consistency.
+Result<CompressedImage> read_image_v3_body(ByteSource& src, CompressedImage image,
+                                           std::uint64_t payload_bits,
+                                           std::uint32_t payload_crc,
+                                           const std::vector<std::uint8_t>& chunk_table) {
+  const LzwConfig& c = image.config;
+  if (std::string why = c.check(); !why.empty()) {
+    return Error{ErrorKind::ConfigMismatch, why};
+  }
+  if (c.dict_size > kMaxDictSize) {
+    return Error{ErrorKind::ConfigMismatch,
+                 "dict_size " + std::to_string(c.dict_size) + " exceeds the container cap"};
+  }
+  if (image.original_bits > kMaxOriginalBits) {
+    return Error{ErrorKind::ConfigMismatch, "implausible original_bits"};
+  }
+  if (payload_bits % 8 != 0) {
+    return Error{ErrorKind::ConfigMismatch,
+                 "multi-codec payload is byte-oriented; payload_bits must be a multiple of 8"};
+  }
+  if (image.code_count != image.container.chunk_count) {
+    return Error{ErrorKind::ConfigMismatch,
+                 "record count " + std::to_string(image.code_count) +
+                     " does not match chunk_count " +
+                     std::to_string(image.container.chunk_count)};
+  }
+
+  std::vector<std::uint8_t> payload;
+  if (Status s = read_payload(src, image.container.payload_bytes, payload); !s.ok()) {
+    return s.error();
+  }
+  if (crc32(payload) != payload_crc) {
+    Error err{ErrorKind::PayloadCrcMismatch, "whole-payload CRC32 check failed"};
+    err.byte_offset = static_cast<std::int64_t>(image.container.header_bytes);
+    return err;
+  }
+
+  // Bytes are authentic; walk the record sequence.
+  std::uint64_t pos = 0;
+  std::uint64_t trits_total = 0;
+  image.chunks.reserve(image.container.chunk_count);
+  for (std::uint32_t i = 0; i < image.container.chunk_count; ++i) {
+    if (payload.size() - pos < v3::kRecordHeaderBytes) {
+      Error err{ErrorKind::ConfigMismatch,
+                "payload ends inside the header of record " + std::to_string(i)};
+      err.chunk_index = i;
+      return err;
+    }
+    const std::uint8_t* rec = payload.data() + pos;
+    ChunkRecord record;
+    record.codec_id = rec[v3::kOffCodecId];
+    const std::uint8_t flags = rec[v3::kOffRecordFlags];
+    const std::uint32_t reserved = rec[v3::kOffReserved] | (rec[v3::kOffReserved + 1] << 8);
+    record.original_trits = get_u64(rec + v3::kOffOriginalTrits);
+    const std::uint32_t record_bytes = get_u32(rec + v3::kOffPayloadBytes);
+    if (flags != 0 || reserved != 0) {
+      Error err{ErrorKind::ConfigMismatch,
+                "record " + std::to_string(i) + " sets reserved header bits"};
+      err.chunk_index = i;
+      return err;
+    }
+    if (record_bytes > kMaxRecordPayload ||
+        record_bytes > payload.size() - pos - v3::kRecordHeaderBytes) {
+      Error err{ErrorKind::ConfigMismatch,
+                "record " + std::to_string(i) + " declares " +
+                    std::to_string(record_bytes) + " payload bytes past the container"};
+      err.chunk_index = i;
+      return err;
+    }
+    const std::uint64_t whole = v3::kRecordHeaderBytes + record_bytes;
+    if (crc32(rec, static_cast<std::size_t>(whole)) != get_u32(&chunk_table[4 * i])) {
+      Error err{ErrorKind::ChunkCrcMismatch,
+                "record " + std::to_string(i) + " does not match its CRC table entry"};
+      err.chunk_index = i;
+      err.byte_offset = static_cast<std::int64_t>(image.container.header_bytes + pos);
+      return err;
+    }
+    record.payload.assign(rec + v3::kRecordHeaderBytes, rec + whole);
+    trits_total += record.original_trits;
+    image.chunks.push_back(std::move(record));
+    pos += whole;
+  }
+  if (pos != payload.size()) {
+    return Error{ErrorKind::ConfigMismatch,
+                 std::to_string(payload.size() - pos) +
+                     " payload bytes left over after the last record"};
+  }
+  if (trits_total != image.original_bits) {
+    return Error{ErrorKind::ConfigMismatch,
+                 "records expand to " + std::to_string(trits_total) +
+                     " trits but the header declares " +
+                     std::to_string(image.original_bits)};
+  }
+
+  image.stream = bits::BitWriter::from_bytes(payload.data(),
+                                             static_cast<std::size_t>(payload_bits));
+  return image;
+}
+
 // ---------------------------------------------------------------- v2 body
 
 Result<CompressedImage> read_image_v2(ByteSource& src,
@@ -170,10 +280,10 @@ Result<CompressedImage> read_image_v2(ByteSource& src,
     return fixed.data() + (offset - v2::kMagicBytes);
   };
   const std::uint32_t version = get_u32(field(v2::kOffVersion));
-  if (version != 2) {
+  if (version != 2 && version != v3::kVersion) {
     Error err{ErrorKind::UnsupportedVersion,
               "container declares format version " + std::to_string(version) +
-                  "; this reader supports 1 and 2"};
+                  "; this reader supports 1, 2 and 3"};
     err.byte_offset = 8;
     return err;
   }
@@ -187,7 +297,7 @@ Result<CompressedImage> read_image_v2(ByteSource& src,
   image.code_count = get_u64(field(v2::kOffCodeCount));
   const std::uint64_t payload_bits = get_u64(field(v2::kOffPayloadBits));
   const std::uint32_t payload_crc = get_u32(field(v2::kOffPayloadCrc));
-  image.container.version = 2;
+  image.container.version = version;
   image.container.chunk_bytes = get_u32(field(v2::kOffChunkBytes));
   image.container.chunk_count = get_u32(field(v2::kOffChunkCount));
   image.container.payload_bytes = (payload_bits + 7) / 8;
@@ -223,6 +333,10 @@ Result<CompressedImage> read_image_v2(ByteSource& src,
 
   // Header is authentic from here on; inconsistencies are tool-chain bugs
   // or deliberate tampering, reported as ConfigMismatch.
+  if (version == v3::kVersion) {
+    return read_image_v3_body(src, std::move(image), payload_bits, payload_crc,
+                              chunk_table);
+  }
   if (Status s = check_image_header(image, payload_bits); !s.ok()) return s.error();
   const std::uint32_t cb = image.container.chunk_bytes;
   if (cb != 0 && cb < kMinChunkBytes) {
@@ -333,6 +447,69 @@ void write_image(std::ostream& out, const EncodeResult& encoded,
   out.write(reinterpret_cast<const char*>(payload.data()),
             static_cast<std::streamsize>(payload.size()));
   if (!out) Error{ErrorKind::IoError, "write_image: stream error"}.raise();
+}
+
+void write_image_v3(std::ostream& out, const LzwConfig& config,
+                    std::uint64_t original_bits, std::uint32_t chunk_trits,
+                    const std::vector<ChunkRecord>& chunks) {
+  TDC_REQUIRE(chunks.size() <= kMaxChunkCount,
+              "write_image_v3: record count exceeds the container cap");
+  std::uint64_t trits_total = 0;
+  for (const ChunkRecord& r : chunks) {
+    TDC_REQUIRE(r.payload.size() <= kMaxRecordPayload,
+                "write_image_v3: record payload exceeds the container cap");
+    trits_total += r.original_trits;
+  }
+  TDC_REQUIRE(trits_total == original_bits,
+              "write_image_v3: records expand to " + std::to_string(trits_total) +
+                  " trits, not the declared " + std::to_string(original_bits));
+
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> record_crcs;
+  record_crcs.reserve(chunks.size());
+  for (const ChunkRecord& r : chunks) {
+    const std::size_t base = payload.size();
+    payload.push_back(r.codec_id);
+    payload.push_back(0);  // record flags (reserved)
+    payload.push_back(0);  // reserved u16
+    payload.push_back(0);
+    put_u64(payload, r.original_trits);
+    put_u32(payload, static_cast<std::uint32_t>(r.payload.size()));
+    payload.insert(payload.end(), r.payload.begin(), r.payload.end());
+    record_crcs.push_back(crc32(payload.data() + base, payload.size() - base));
+  }
+
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), kMagicV2, kMagicV2 + sizeof kMagicV2);
+  put_u32(header, v3::kVersion);
+  put_u32(header, config.dict_size);
+  put_u32(header, config.char_bits);
+  put_u32(header, config.entry_bits);
+  put_u32(header, config.variable_width ? 1u : 0u);
+  put_u64(header, original_bits);
+  put_u64(header, chunks.size());  // code_count repeats the record count
+  put_u64(header, static_cast<std::uint64_t>(payload.size()) * 8);
+  put_u32(header, crc32(payload));
+  put_u32(header, chunk_trits);
+  put_u32(header, static_cast<std::uint32_t>(chunks.size()));
+  for (const std::uint32_t crc : record_crcs) put_u32(header, crc);
+  put_u32(header, crc32(header));
+
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) Error{ErrorKind::IoError, "write_image_v3: stream error"}.raise();
+}
+
+void write_image_v3_file(const std::string& path, const LzwConfig& config,
+                         std::uint64_t original_bits, std::uint32_t chunk_trits,
+                         const std::vector<ChunkRecord>& chunks) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    Error{ErrorKind::IoError, "write_image_v3_file: cannot open " + path}.raise();
+  }
+  write_image_v3(out, config, original_bits, chunk_trits, chunks);
 }
 
 // ---------------------------------------------------------------- readers

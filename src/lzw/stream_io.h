@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/error.h"
 #include "lzw/decoder.h"
@@ -42,9 +43,26 @@ namespace tdc::lzw {
 ///     64     4*n   chunk CRC32 table, one entry per chunk
 ///     64+4n  4     header_crc32     (over every byte before this field)
 ///     ...          payload bytes    (ceil(payload_bits / 8))
+///
+/// Format version 3 (multi-codec) keeps the same magic and fixed header but
+/// reinterprets the payload as a sequence of self-contained chunk records,
+/// each `{u8 codec_id, u8 flags, u16 reserved, u64 original_trits,
+/// u32 payload_bytes, payload...}` (core/contracts.h `container_v3`). The
+/// header's `chunk_count` is the record count, `chunk_bytes` carries the
+/// encode-time chunk granularity in trits, `code_count` repeats the record
+/// count, and the chunk CRC table holds one CRC32 per whole record. Codec
+/// ids are opaque at this layer — `codec::decode_image` dispatches them.
 struct ContainerOptions {
   std::uint32_t version = 2;      ///< 1 (legacy TDCLZW1) or 2 (TDCLZW2)
   std::uint32_t chunk_bytes = 4096;  ///< v2 chunk framing; 0 disables it
+};
+
+/// One self-contained chunk of a version-3 multi-codec image: which backend
+/// compressed it, how many scan trits it expands to, and its wire bytes.
+struct ChunkRecord {
+  std::uint8_t codec_id = 0;
+  std::uint64_t original_trits = 0;
+  std::vector<std::uint8_t> payload;
 };
 
 /// What the reader learned about the container itself (surfaced by the CLI
@@ -69,9 +87,23 @@ struct CompressedImage {
   bits::BitWriter stream;
   ContainerInfo container;
 
+  /// Version-3 images only: the parsed chunk records, in payload order.
+  std::vector<ChunkRecord> chunks;
+
+  /// True when the payload is a multi-codec record sequence that must be
+  /// decoded through the codec registry (codec::decode_image) instead of
+  /// the pure-LZW path below.
+  bool multi_codec() const { return container.version >= 3; }
+
   /// Strict decode back into the fully specified scan stream; errors carry
-  /// the failing code index and payload bit offset.
+  /// the failing code index and payload bit offset. Multi-codec images
+  /// cannot be decoded at this layer (the codec registry lives above the
+  /// LZW library) and report ConfigMismatch.
   Result<DecodeResult> try_decode() const {
+    if (multi_codec()) {
+      return Error{ErrorKind::ConfigMismatch,
+                   "multi-codec image: decode through codec::decode_image"};
+    }
     bits::BitReader reader(stream);
     return Decoder(config).try_decode_stream(reader, code_count, original_bits);
   }
@@ -85,6 +117,20 @@ struct CompressedImage {
 /// stream write failure.
 void write_image(std::ostream& out, const EncodeResult& encoded,
                  const ContainerOptions& options = {});
+
+/// Serializes a multi-codec image (format version 3): the LzwConfig rides
+/// along as the configurator block for tools, `chunk_trits` records the
+/// encode-time chunk granularity, and each record is CRC-framed whole.
+/// `original_bits` must equal the sum of the records' original_trits.
+/// Throws ContainerError on a stream write failure, DecodeError
+/// (ContractViolation) on inconsistent arguments.
+void write_image_v3(std::ostream& out, const LzwConfig& config,
+                    std::uint64_t original_bits, std::uint32_t chunk_trits,
+                    const std::vector<ChunkRecord>& chunks);
+
+void write_image_v3_file(const std::string& path, const LzwConfig& config,
+                         std::uint64_t original_bits, std::uint32_t chunk_trits,
+                         const std::vector<ChunkRecord>& chunks);
 
 /// Strict reader for both container versions: every field is bounds-checked,
 /// every integrity check typed — TruncatedHeader, BadMagic,

@@ -163,4 +163,61 @@ grep -q '"lzw.decode"' "$WORK/t2.json"
 "$CLI" inspect "$WORK/c.tdclzw" | grep -q "chunk payload bytes:"
 "$CLI" inspect "$WORK/c.tdclzw" | grep "chunk payload bytes:" | grep -q "p95="
 
+# Multi-codec selection: --codec writes a v3 container whose records route
+# through the codec registry; inspect names the per-chunk picks, verify and
+# decompress handle v3, and the decompressed stream matches the pure-LZW one.
+"$CLI" compress "$WORK/c.tests" "$WORK/ca.tdclzw" --codec auto
+"$CLI" inspect "$WORK/ca.tdclzw" | grep -q "TDCLZW2 v3 multi-codec"
+"$CLI" inspect "$WORK/ca.tdclzw" | grep -q "chunk codecs:"
+"$CLI" verify "$WORK/ca.tdclzw" | grep -q "OK"
+# The expansion is fully specified and byte-deterministic (the X binding may
+# differ from the pure-LZW run — both are valid covers of the same cubes).
+"$CLI" decompress "$WORK/ca.tdclzw" "$WORK/fullauto.tests"
+"$CLI" inspect "$WORK/fullauto.tests" | grep -q "0.0% don't-cares"
+"$CLI" decompress "$WORK/ca.tdclzw" "$WORK/fullauto2.tests"
+cmp "$WORK/fullauto.tests" "$WORK/fullauto2.tests"
+
+# Forced backend + fine chunking, plus per-codec accounting in the stats JSON.
+"$CLI" compress "$WORK/c.tests" "$WORK/cr.tdclzw" --codec race --chunk-trits 512 \
+  --stats "$WORK/mc.json"
+grep -q '"codec_mode": "race"' "$WORK/mc.json"
+grep -q '"per_codec"' "$WORK/mc.json"
+"$CLI" stats "$WORK/cr.tdclzw" | grep -q '"per_codec"'
+"$CLI" verify "$WORK/cr.tdclzw" | grep -q "OK"
+"$CLI" decompress "$WORK/cr.tdclzw" "$WORK/fullrace.tests"
+"$CLI" inspect "$WORK/fullrace.tests" | grep -q "0.0% don't-cares"
+
+# A corrupted record payload byte in a v3 image is detected, never decoded.
+cp "$WORK/ca.tdclzw" "$WORK/badrec.tdclzw"
+SIZE3=$(wc -c < "$WORK/badrec.tdclzw")
+printf '\377' | dd of="$WORK/badrec.tdclzw" bs=1 seek=$((SIZE3 - 5)) count=1 conv=notrunc 2>/dev/null
+if "$CLI" verify "$WORK/badrec.tdclzw" 2>"$WORK/err4.txt"; then
+  echo "verify accepted a damaged v3 record" >&2; exit 1
+fi
+grep -q "FAILED" "$WORK/err4.txt"
+
+# --codec conflicts with the v1/v2 container knobs and bad tokens fail fast.
+if "$CLI" compress "$WORK/c.tests" "$WORK/x.tdclzw" --codec auto --v1 2>/dev/null; then
+  echo "compress accepted --codec with --v1" >&2; exit 1
+fi
+if "$CLI" compress "$WORK/c.tests" "$WORK/x.tdclzw" --codec bogus 2>/dev/null; then
+  echo "compress accepted an unknown codec" >&2; exit 1
+fi
+
+# Batch jobs with codec= are deterministic for any worker count too.
+cat > "$WORK/mc.manifest" <<EOF
+version 1
+job name=pure input=$WORK/c.tests dict=256 out=pure.tdclzw
+job name=auto input=$WORK/c.tests dict=256 codec=auto out=auto.tdclzw
+job name=race input=$WORK/c.tests dict=256 codec=race chunk_trits=512 out=race.tdclzw
+EOF
+"$CLI" batch "$WORK/mc.manifest" --out-dir "$WORK/mc1" --jobs 1 > "$WORK/mc1.txt"
+"$CLI" batch "$WORK/mc.manifest" --out-dir "$WORK/mc4" --jobs 4 > "$WORK/mc4.txt"
+cmp "$WORK/mc1/auto.tdclzw" "$WORK/mc4/auto.tdclzw"
+cmp "$WORK/mc1/race.tdclzw" "$WORK/mc4/race.tdclzw"
+grep -q "codec=auto" "$WORK/mc1.txt"
+"$CLI" verify "$WORK/mc1/auto.tdclzw" "$WORK/mc1/race.tdclzw" | grep -c OK | grep -q 2
+"$CLI" decompress "$WORK/mc1/auto.tdclzw" "$WORK/mcfull.tests"
+"$CLI" inspect "$WORK/mcfull.tests" | grep -q "0.0% don't-cares"
+
 echo "cli_test OK"

@@ -196,7 +196,7 @@ TEST(ContainerCorruption, TypedErrorsForTargetedDamage) {
   EXPECT_EQ(parse(bad_magic).error().kind, ErrorKind::BadMagic);
 
   std::string bad_version = good;
-  bad_version[8] = 3;  // version check fires before the header CRC
+  bad_version[8] = 4;  // version check fires before the header CRC
   EXPECT_EQ(parse(bad_version).error().kind, ErrorKind::UnsupportedVersion);
 
   std::string bad_header = good;
