@@ -26,6 +26,17 @@
 //   tdc_cli wave <in.tdclzw> <out.vcd> [k]       GTKWave dump of the
 //                                                decompressor running the
 //                                                image at clock ratio k
+//   tdc_cli serve <socket>                       tdcd daemon: framed
+//                                                compress / decompress /
+//                                                inspect / verify / stats
+//                                                requests over a unix
+//                                                socket, multiplexed onto
+//                                                the engine worker pool;
+//                                                SIGINT/SIGTERM drain and
+//                                                exit 0
+//   tdc_cli client <socket> <op> [...]           talk to a running daemon
+//                                                with the same ops (plus
+//                                                ping and stats)
 //
 // Every subcommand additionally accepts `--trace <file>` (or $TDC_TRACE):
 // the whole invocation is recorded as Chrome trace_event JSON, viewable in
@@ -36,10 +47,12 @@
 // by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
 #include <algorithm>
 #include <array>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -60,6 +73,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scan/testset_io.h"
+#include "service/client.h"
+#include "service/server.h"
 
 namespace {
 
@@ -86,6 +101,21 @@ int usage() {
                "              [--dict N] [--char C] [--entry E] [--variable]\n"
                "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
                "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n"
+               "  tdc_cli serve <socket> [--jobs N] [--max-in-flight N]\n"
+               "              [--max-connections N] [--no-verify]"
+               " [--io-timeout-ms N]\n"
+               "  tdc_cli client <socket> ping\n"
+               "  tdc_cli client <socket> compress <in.tests> <out.tdclzw>"
+               " [--dict N]\n"
+               "              [--char C] [--entry E] [--variable] [--v1]"
+               " [--chunk-bytes N]\n"
+               "              [--codec <name|auto|race>] [--chunk-trits N]\n"
+               "  tdc_cli client <socket> decompress <in.tdclzw> <out.tests>\n"
+               "  tdc_cli client <socket> verify <in.tdclzw>\n"
+               "  tdc_cli client <socket> inspect <file>\n"
+               "  tdc_cli client <socket> stats [--out <f>]\n"
+               "              client flags: [--connect-wait-ms N]"
+               " [--io-timeout-ms N]\n"
                "global: --trace <file> (or $TDC_TRACE) records a Chrome trace\n");
   return 2;
 }
@@ -815,6 +845,165 @@ int cmd_batch(exp::Args& args) {
   return result.failed_count() == 0 ? 0 : 1;
 }
 
+// --- tdcd daemon (serve) and its command-line client -----------------------
+
+/// The signal handler's route to the server: request_stop() is
+/// async-signal-safe (one self-pipe write), so SIGINT/SIGTERM translate
+/// directly into a graceful drain.
+service::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(exp::Args& args) {
+  service::ServerOptions options;
+  options.workers = args.jobs();
+  options.max_in_flight = args.u32("--max-in-flight", 0);
+  options.max_connections = args.u32("--max-connections", 64);
+  options.verify = !args.flag("--no-verify");
+  options.io_timeout_ms =
+      static_cast<int>(args.u32("--io-timeout-ms", 30000));
+  options.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);  // scripts wait for the "listening" line
+  };
+  std::vector<std::string> pos;
+  if (!accept(args, 1, 1, &pos)) return usage();
+  options.socket_path = pos[0];
+
+  service::Server server(std::move(options));
+  if (Status s = server.start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().describe().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  const int rc = server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  return rc;
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+bool write_file_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  return static_cast<bool>(out.write(bytes.data(),
+                                     static_cast<std::streamsize>(bytes.size())));
+}
+
+int cmd_client(exp::Args& args) {
+  service::ClientOptions options;
+  options.connect_wait_ms =
+      static_cast<int>(args.u32("--connect-wait-ms", 5000));
+  options.io_timeout_ms = static_cast<int>(args.u32("--io-timeout-ms", 60000));
+
+  // compress knobs, forwarded as frame params (only when given, so the
+  // daemon's defaults — identical to the offline tool's — apply otherwise).
+  std::vector<std::pair<std::string, std::string>> params;
+  for (const char* flag : {"--dict", "--char", "--entry"}) {
+    if (const auto v = args.value(flag)) {
+      params.emplace_back(flag + 2, *v);  // strip "--"
+    }
+  }
+  if (const auto v = args.value("--chunk-trits")) {
+    params.emplace_back("chunk_trits", *v);
+  }
+  if (const auto v = args.value("--chunk-bytes")) params.emplace_back("chunk", *v);
+  if (const auto v = args.value("--codec")) params.emplace_back("codec", *v);
+  if (args.flag("--variable")) params.emplace_back("variable", "1");
+  if (args.flag("--v1")) params.emplace_back("container", "1");
+  const std::optional<std::string> out_path = args.value("--out");
+
+  std::vector<std::string> pos;
+  if (!accept(args, 2, 4, &pos)) return usage();
+  const std::string& socket_path = pos[0];
+  const std::string& op = pos[1];
+
+  options.socket_path = socket_path;
+  Result<service::Client> client = service::Client::connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s: %s\n", socket_path.c_str(),
+                 client.error().describe().c_str());
+    return 1;
+  }
+
+  const auto fail = [](const std::string& what, const Error& error) {
+    std::fprintf(stderr, "%s: %s\n", what.c_str(), error.describe().c_str());
+    return 1;
+  };
+
+  if (op == "ping") {
+    if (pos.size() != 2) return usage();
+    Result<service::Frame> resp = client.value().call("ping", {}, "tdc");
+    if (!resp.ok()) return fail(socket_path, resp.error());
+    std::printf("%s: pong (%zu B echoed)\n", socket_path.c_str(),
+                resp.value().payload.size());
+    return 0;
+  }
+
+  if (op == "compress" || op == "decompress") {
+    if (pos.size() != 4) return usage();
+    const std::optional<std::string> input = read_file_bytes(pos[2]);
+    if (!input) {
+      std::fprintf(stderr, "cannot read %s\n", pos[2].c_str());
+      return 1;
+    }
+    Result<service::Frame> resp =
+        client.value().call(op, std::move(params), std::move(*input));
+    if (!resp.ok()) return fail(pos[2], resp.error());
+    if (!write_file_bytes(pos[3], resp.value().payload)) {
+      std::fprintf(stderr, "cannot write %s\n", pos[3].c_str());
+      return 1;
+    }
+    const service::Frame& r = resp.value();
+    if (op == "compress") {
+      std::printf("%s: %s -> %s bits (ratio %s%%, TDCLZW v%s) -> %s\n",
+                  pos[2].c_str(), r.param("original_bits").c_str(),
+                  r.param("compressed_bits").c_str(), r.param("ratio").c_str(),
+                  r.param("version").c_str(), pos[3].c_str());
+    } else {
+      std::printf("%s: %s codes -> %s bits -> %s\n", pos[2].c_str(),
+                  r.param("codes").c_str(), r.param("bits").c_str(),
+                  pos[3].c_str());
+    }
+    return 0;
+  }
+
+  if (op == "verify" || op == "inspect") {
+    if (pos.size() != 3) return usage();
+    const std::optional<std::string> input = read_file_bytes(pos[2]);
+    if (!input) {
+      std::fprintf(stderr, "cannot read %s\n", pos[2].c_str());
+      return 1;
+    }
+    Result<service::Frame> resp = client.value().call(op, {}, std::move(*input));
+    if (!resp.ok()) return fail(pos[2], resp.error());
+    std::printf(op == "verify" ? "%s: %s\n" : "%s: %s", pos[2].c_str(),
+                resp.value().payload.c_str());
+    return 0;
+  }
+
+  if (op == "stats") {
+    if (pos.size() != 2) return usage();
+    Result<service::Frame> resp = client.value().call("stats");
+    if (!resp.ok()) return fail(socket_path, resp.error());
+    return emit_text(out_path, resp.value().payload);
+  }
+
+  std::fprintf(stderr, "unknown client op: %s\n", op.c_str());
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -844,6 +1033,8 @@ int main(int argc, char** argv) {
     else if (cmd == "stats") rc = cmd_stats(args);
     else if (cmd == "convert") rc = cmd_convert(args);
     else if (cmd == "wave") rc = cmd_wave(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
+    else if (cmd == "client") rc = cmd_client(args);
     else rc = usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

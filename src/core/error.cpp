@@ -19,6 +19,8 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::StreamTooShort: return "StreamTooShort";
     case ErrorKind::InvalidInput: return "InvalidInput";
     case ErrorKind::ContractViolation: return "ContractViolation";
+    case ErrorKind::Busy: return "Busy";
+    case ErrorKind::ProtocolError: return "ProtocolError";
   }
   return "UnknownError";
 }
@@ -33,6 +35,11 @@ bool is_container_error(ErrorKind kind) {
     case ErrorKind::TruncatedPayload:
     case ErrorKind::ChunkCrcMismatch:
     case ErrorKind::PayloadCrcMismatch:
+    // Service-layer kinds behave like transport failures: the request never
+    // reached a decoder, so retrying (Busy) or fixing the frame
+    // (ProtocolError) is the remedy, not a toolchain audit.
+    case ErrorKind::Busy:
+    case ErrorKind::ProtocolError:
       return true;
     case ErrorKind::ConfigMismatch:
     case ErrorKind::UnknownCodecId:

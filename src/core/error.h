@@ -34,6 +34,9 @@ enum class ErrorKind {
   StreamTooShort,       ///< decoded output shorter than original_bits
   InvalidInput,         ///< caller-supplied data violates a codec's contract
   ContractViolation,    ///< TDC_REQUIRE / TDC_ENSURE failed (see contracts.h)
+  // --- service / request layer (the tdcd daemon and its framing protocol)
+  Busy,           ///< in-flight cap reached or daemon draining — retry helps
+  ProtocolError,  ///< malformed request frame (bad header, oversized length)
 };
 
 /// Stable identifier, e.g. "PayloadCrcMismatch" (used by the CLI and tests).

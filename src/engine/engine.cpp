@@ -122,6 +122,21 @@ std::string resolve_output(const std::string& output_dir, const std::string& pat
   return output_dir + "/" + path;
 }
 
+/// Seeds the outcome's identity fields from the spec — shared by the batch
+/// feeder and the JobRunner submission path so reports describe jobs
+/// identically whichever front end ran them.
+void init_outcome(Job& job) {
+  const JobSpec& spec = *job.spec;
+  job.outcome.name = spec.name;
+  job.outcome.config_summary =
+      spec.config.describe() + (spec.config.variable_width ? " var" : "") +
+      " " + tiebreak_name(spec.tiebreak) + "/" + xassign_name(spec.xassign);
+  if (!spec.codec.empty()) {
+    job.outcome.config_summary += " codec=" + spec.codec;
+  }
+  job.outcome.container_version = spec.codec.empty() ? spec.container.version : 3;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- BatchResult
@@ -166,6 +181,14 @@ std::string BatchResult::report() const {
 
 namespace {
 
+/// gen= inputs shared by several jobs are prepared exactly once; later
+/// jobs block on the shared future (a failed prepare fails each of them).
+/// Owned per batch run by RunState and per JobRunner for its lifetime.
+struct GenMemo {
+  std::mutex mutex;
+  std::map<std::string, std::shared_future<std::shared_ptr<const bits::TritVector>>> memo;
+};
+
 /// Per-run shared state: queues, the prepared-circuit memo and the
 /// fail-fast cancellation flag.
 struct RunState {
@@ -176,11 +199,7 @@ struct RunState {
 
   JobQueue to_load, to_encode, to_container, to_verify, done;
   std::atomic<bool> cancelled{false};
-
-  // gen= inputs shared by several jobs are prepared exactly once; later
-  // jobs block on the shared future (a failed prepare fails each of them).
-  std::mutex gen_mutex;
-  std::map<std::string, std::shared_future<std::shared_ptr<const bits::TritVector>>> gen_memo;
+  GenMemo gen;
 };
 
 }  // namespace
@@ -199,7 +218,7 @@ Engine::~Engine() = default;
 
 namespace {
 
-Status stage_load(RunState& run, Job& job) {
+Status stage_load(GenMemo& gen, Job& job) {
   const JobSpec& spec = *job.spec;
   if (spec.inline_tests) {
     job.stream = spec.inline_tests->serialize();
@@ -218,11 +237,11 @@ Status stage_load(RunState& run, Job& job) {
   std::promise<StreamPtr> promise;
   bool creator = false;
   {
-    std::unique_lock lock(run.gen_mutex);
-    auto it = run.gen_memo.find(spec.gen_circuit);
-    if (it == run.gen_memo.end()) {
+    std::unique_lock lock(gen.mutex);
+    auto it = gen.memo.find(spec.gen_circuit);
+    if (it == gen.memo.end()) {
       future = promise.get_future().share();
-      run.gen_memo.emplace(spec.gen_circuit, future);
+      gen.memo.emplace(spec.gen_circuit, future);
       creator = true;
     } else {
       future = it->second;
@@ -437,7 +456,7 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
       run.to_load, run.to_encode,
       [&](Job& job, StageShard& shard) {
         process(shard, "engine.load", job,
-                [&run](Job& j) { return stage_load(run, j); });
+                [&run](Job& j) { return stage_load(run.gen, j); });
       },
       load_m));
   stages.push_back(spawn_stage(
@@ -478,17 +497,7 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
       auto job = std::make_unique<Job>();
       job->index = i;
       job->spec = &manifest.jobs[i];
-      job->outcome.name = job->spec->name;
-      job->outcome.config_summary =
-          job->spec->config.describe() +
-          (job->spec->config.variable_width ? " var" : "") + " " +
-          tiebreak_name(job->spec->tiebreak) + "/" +
-          xassign_name(job->spec->xassign);
-      if (!job->spec->codec.empty()) {
-        job->outcome.config_summary += " codec=" + job->spec->codec;
-      }
-      job->outcome.container_version =
-          job->spec->codec.empty() ? job->spec->container.version : 3;
+      init_outcome(*job);
       job->outcome.output_path =
           resolve_output(options_.output_dir, job->spec->output_path);
       if (baseline) {
@@ -592,17 +601,7 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   exp::BoundedQueueStats totals;
   const auto export_queue = [&m, &totals](const char* qname, const JobQueue& q) {
     const exp::BoundedQueueStats s = q.stats();
-    const std::string prefix = std::string("queue.") + qname + ".";
-    m.counter(prefix + "pushes").add(s.pushes);
-    m.counter(prefix + "pops").add(s.pops);
-    m.counter(prefix + "batch_pushes").add(s.batch_pushes);
-    m.counter(prefix + "batch_pops").add(s.batch_pops);
-    m.counter(prefix + "push_blocked").add(s.push_blocked);
-    m.counter(prefix + "pop_blocked").add(s.pop_blocked);
-    m.counter(prefix + "push_blocked_micros").add(s.push_blocked_micros);
-    m.counter(prefix + "pop_blocked_micros").add(s.pop_blocked_micros);
-    m.counter(prefix + "notifies_sent").add(s.notifies_sent);
-    m.counter(prefix + "notifies_skipped").add(s.notifies_skipped);
+    add_queue_stats(m, qname, s);
     totals.pushes += s.pushes;
     totals.pops += s.pops;
     totals.push_blocked += s.push_blocked;
@@ -629,6 +628,231 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   m.counter("engine.failed").add(result.failed_count());
   m.counter("engine.cancelled").add(result.cancelled_count());
   return result;
+}
+
+void add_queue_stats(MetricsRegistry& m, const std::string& name,
+                     const exp::BoundedQueueStats& s) {
+  const std::string prefix = "queue." + name + ".";
+  m.counter(prefix + "pushes").add(s.pushes);
+  m.counter(prefix + "pops").add(s.pops);
+  m.counter(prefix + "batch_pushes").add(s.batch_pushes);
+  m.counter(prefix + "batch_pops").add(s.batch_pops);
+  m.counter(prefix + "push_blocked").add(s.push_blocked);
+  m.counter(prefix + "pop_blocked").add(s.pop_blocked);
+  m.counter(prefix + "push_blocked_micros").add(s.push_blocked_micros);
+  m.counter(prefix + "pop_blocked_micros").add(s.pop_blocked_micros);
+  m.counter(prefix + "notifies_sent").add(s.notifies_sent);
+  m.counter(prefix + "notifies_skipped").add(s.notifies_skipped);
+}
+
+// ------------------------------------------------------------------ JobRunner
+
+/// One queued submission: either a full compression job (spec + done
+/// callback) or a raw closure from the service's decode-side endpoints.
+struct JobRunner::Item {
+  JobSpec spec;
+  DoneCallback done;
+  std::function<void()> task;  ///< when set, spec/done are unused
+};
+
+/// Pre-resolved instruments plus the gen= memo — everything the worker loop
+/// touches besides the queue.
+struct JobRunner::RunnerState {
+  explicit RunnerState(MetricsRegistry& m)
+      : load(make_stage_metrics(m, "load")),
+        encode(make_stage_metrics(m, "encode")),
+        container(make_stage_metrics(m, "container")),
+        verify(make_stage_metrics(m, "verify")),
+        jobs(&m.counter("runner.jobs")), tasks(&m.counter("runner.tasks")),
+        ok(&m.counter("runner.ok")), failed(&m.counter("runner.failed")),
+        busy_rejects(&m.counter("runner.busy_rejects")) {
+    encode.bits_in = &m.counter("encode.bits_in");
+    encode.bits_out = &m.counter("encode.bits_out");
+  }
+
+  StageMetrics load, encode, container, verify;
+  Counter* jobs;
+  Counter* tasks;
+  Counter* ok;
+  Counter* failed;
+  Counter* busy_rejects;
+  GenMemo gen;
+};
+
+namespace {
+
+/// One stage of a runner job, recorded straight into the shared instruments
+/// (per-request cadence — a stats endpoint must see the numbers live, and a
+/// few atomic adds per request are noise next to the socket round trip).
+void run_runner_stage(const StageMetrics& sm, const char* span_name, Job& job,
+                      const std::function<Status(Job&)>& body) {
+  sm.in->add();
+  if (job.failed) {
+    sm.skip->add();
+    return;
+  }
+  Status status;
+  {
+    obs::TraceSpan span(span_name);
+    span.arg("job", job.outcome.name);
+    const auto start = std::chrono::steady_clock::now();
+    status = body(job);
+    sm.micros->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  if (status.ok()) {
+    sm.ok->add();
+    return;
+  }
+  job.failed = true;
+  job.outcome.status = status;
+  sm.fail->add();
+}
+
+}  // namespace
+
+JobRunner::JobRunner(Options options, MetricsRegistry* metrics)
+    : options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = metrics;
+  }
+  if (options_.workers == 0) options_.workers = exp::ThreadPool::default_jobs();
+  if (options_.max_in_flight == 0) {
+    options_.max_in_flight = 2 * static_cast<std::size_t>(options_.workers);
+  }
+  state_ = std::make_unique<RunnerState>(*metrics_);
+  // Queue capacity = the in-flight cap: with admissions counted before the
+  // push, a submit never blocks on queue space.
+  queue_ = std::make_unique<exp::BoundedQueue<std::unique_ptr<Item>>>(
+      options_.max_in_flight);
+  workers_.reserve(options_.workers);
+  for (unsigned t = 0; t < options_.workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobRunner::~JobRunner() { stop(); }
+
+void JobRunner::worker_loop() {
+  while (auto item = queue_->pop()) {
+    std::unique_ptr<Item> work = std::move(*item);
+    if (work->task) {
+      state_->tasks->add();
+      obs::TraceSpan span("runner.task");
+      work->task();
+    } else {
+      state_->jobs->add();
+      Job job;
+      job.spec = &work->spec;
+      init_outcome(job);
+      run_runner_stage(state_->load, "engine.load", job, [this](Job& j) {
+        return stage_load(state_->gen, j);
+      });
+      run_runner_stage(state_->encode, "engine.encode", job, [this](Job& j) {
+        const Status status = stage_encode(j, *metrics_);
+        if (status.ok()) {
+          state_->encode.bits_in->add(j.outcome.original_bits);
+          state_->encode.bits_out->add(j.outcome.compressed_bits);
+        }
+        return status;
+      });
+      run_runner_stage(state_->container, "engine.container", job,
+                       [](Job& j) { return stage_container(j); });
+      if (options_.verify) {
+        run_runner_stage(state_->verify, "engine.verify", job,
+                         [](Job& j) { return stage_verify(j); });
+      }
+      (job.failed ? state_->failed : state_->ok)->add();
+      job.outcome.container = std::move(job.container);
+      if (work->done) work->done(std::move(job.outcome));
+    }
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+bool JobRunner::submit(JobSpec spec, DoneCallback done) {
+  auto item = std::make_unique<Item>();
+  item->spec = std::move(spec);
+  item->done = std::move(done);
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_ || in_flight_ >= options_.max_in_flight) {
+      state_->busy_rejects->add();
+      return false;
+    }
+    ++in_flight_;
+  }
+  queue_->push(std::move(item));
+  return true;
+}
+
+bool JobRunner::submit_task(std::function<void()> task) {
+  auto item = std::make_unique<Item>();
+  item->task = std::move(task);
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_ || in_flight_ >= options_.max_in_flight) {
+      state_->busy_rejects->add();
+      return false;
+    }
+    ++in_flight_;
+  }
+  queue_->push(std::move(item));
+  return true;
+}
+
+std::size_t JobRunner::in_flight() const {
+  std::unique_lock lock(mutex_);
+  return in_flight_;
+}
+
+void JobRunner::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void JobRunner::publish_queue_stats() {
+  std::unique_lock lock(publish_mutex_);
+  const exp::BoundedQueueStats now = queue_->stats();
+  exp::BoundedQueueStats delta;
+  delta.pushes = now.pushes - published_.pushes;
+  delta.pops = now.pops - published_.pops;
+  delta.batch_pushes = now.batch_pushes - published_.batch_pushes;
+  delta.batch_pops = now.batch_pops - published_.batch_pops;
+  delta.push_blocked = now.push_blocked - published_.push_blocked;
+  delta.pop_blocked = now.pop_blocked - published_.pop_blocked;
+  delta.push_blocked_micros =
+      now.push_blocked_micros - published_.push_blocked_micros;
+  delta.pop_blocked_micros =
+      now.pop_blocked_micros - published_.pop_blocked_micros;
+  delta.notifies_sent = now.notifies_sent - published_.notifies_sent;
+  delta.notifies_skipped = now.notifies_skipped - published_.notifies_skipped;
+  add_queue_stats(*metrics_, "service", delta);
+  published_ = now;
+}
+
+exp::BoundedQueueStats JobRunner::queue_stats() const { return queue_->stats(); }
+
+void JobRunner::stop() {
+  {
+    std::unique_lock lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  // close() lets the workers drain everything already queued, then exit —
+  // in-flight jobs complete, new submissions are refused above.
+  queue_->close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
 }
 
 }  // namespace tdc::engine

@@ -1,15 +1,19 @@
 #ifndef TDC_ENGINE_ENGINE_H
 #define TDC_ENGINE_ENGINE_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/error.h"
 #include "engine/manifest.h"
 #include "engine/metrics.h"
+#include "exp/bounded_queue.h"
 
 namespace tdc::engine {
 
@@ -119,6 +123,104 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
+};
+
+/// Adds one queue's contention counters into `m` as "queue.<name>.*" —
+/// shared by the batch engine (whole-run totals at the end of run()) and
+/// JobRunner::publish_queue_stats (live deltas mid-flight).
+void add_queue_stats(MetricsRegistry& m, const std::string& name,
+                     const exp::BoundedQueueStats& s);
+
+/// Persistent job-submission front end: the same load → encode →
+/// containerize → verify stages as Engine::run, staffed by a long-lived
+/// worker pool fed one JobSpec at a time instead of a whole manifest — the
+/// shape a request/response service needs. Each submitted job runs all its
+/// stages on one worker (requests are independent, so cross-job parallelism
+/// is what matters, not per-job pipelining), failures stay typed and
+/// per-job, and the finished outcome (container bytes in
+/// JobOutcome::container — runner jobs never write output files) is handed
+/// to the submitter's callback on the worker thread.
+///
+/// Backpressure is explicit: at most `max_in_flight` jobs may be queued or
+/// running; past that submit() refuses immediately (the caller maps this to
+/// a Busy rejection) instead of buffering unboundedly. Submission flows
+/// through a bounded MPMC queue whose contention counters are exposed live
+/// via publish_queue_stats() — not just after a run, the way the batch
+/// engine reports them.
+class JobRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = exp::ThreadPool::default_jobs().
+    unsigned workers = 0;
+    /// Cap on queued + running jobs before submit() refuses; 0 = 2 * workers.
+    std::size_t max_in_flight = 0;
+    /// Run the verify stage (container read-back + decode + coverage).
+    bool verify = true;
+  };
+
+  /// Invoked on a worker thread once the job finishes (ok or failed). Must
+  /// not throw; keep it cheap — the worker is busy until it returns.
+  using DoneCallback = std::function<void(JobOutcome)>;
+
+  JobRunner() : JobRunner(Options(), nullptr) {}
+  explicit JobRunner(Options options, MetricsRegistry* metrics = nullptr);
+  ~JobRunner();  ///< stop()s: drains queued jobs, joins the pool.
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Submits one compression job. Returns false without queueing anything
+  /// when the runner is stopping or max_in_flight jobs are already queued or
+  /// running (counted in "runner.busy_rejects").
+  bool submit(JobSpec spec, DoneCallback done);
+
+  /// Runs an arbitrary closure on the same pool, under the same in-flight
+  /// cap — how the service daemon multiplexes its decode-side requests
+  /// (decompress/verify/inspect) onto the engine workers. Must not throw.
+  bool submit_task(std::function<void()> task);
+
+  /// Jobs currently queued or running (monitoring only).
+  std::size_t in_flight() const;
+
+  /// Blocks until every queued/running job has completed.
+  void drain();
+
+  /// Publishes the submission queue's contention counters into the metrics
+  /// registry as "queue.service.*" deltas — callable at any time, so a
+  /// stats endpoint reports live numbers mid-flight.
+  void publish_queue_stats();
+
+  /// Snapshot of the submission queue's counters (tests, monitoring).
+  exp::BoundedQueueStats queue_stats() const;
+
+  /// Refuses new submissions, drains everything queued, joins the workers.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct Item;
+  void worker_loop();
+
+  Options options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+
+  std::unique_ptr<exp::BoundedQueue<std::unique_ptr<Item>>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::mutex publish_mutex_;
+  exp::BoundedQueueStats published_;
+
+  // Pre-resolved instruments; private impl type defined in engine.cpp.
+  struct RunnerState;
+  std::unique_ptr<RunnerState> state_;
 };
 
 }  // namespace tdc::engine

@@ -199,6 +199,40 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Prefix-scoped view of a registry: MetricScope(reg, "serve.compress")
+/// resolves counter("requests") to the registry's "serve.compress.requests".
+/// Cheap to copy; instruments keep registry lifetime. The service daemon
+/// gives every endpoint its own scope so per-op counters never collide and
+/// a new endpoint never has to invent its own dotted-name discipline.
+class MetricScope {
+ public:
+  MetricScope(MetricsRegistry& registry, std::string prefix)
+      : registry_(&registry), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) const {
+    return registry_->counter(qualified(name));
+  }
+  Histogram& histogram(const std::string& name) const {
+    return registry_->histogram(qualified(name));
+  }
+
+  /// A nested scope: scoped("errors") under "serve" is "serve.errors.*".
+  MetricScope scoped(const std::string& sub) const {
+    return MetricScope(*registry_, qualified(sub));
+  }
+
+  const std::string& prefix() const { return prefix_; }
+  MetricsRegistry& registry() const { return *registry_; }
+
+ private:
+  std::string qualified(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+  MetricsRegistry* registry_;
+  std::string prefix_;
+};
+
 }  // namespace tdc::obs
 
 #endif  // TDC_OBS_METRICS_H

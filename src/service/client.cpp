@@ -1,0 +1,52 @@
+#include "service/client.h"
+
+namespace tdc::service {
+
+Result<Client> Client::connect(const ClientOptions& options) {
+  Result<Fd> fd = options.connect_wait_ms > 0
+                      ? connect_unix_retry(options.socket_path,
+                                           options.connect_wait_ms)
+                      : connect_unix(options.socket_path);
+  if (!fd.ok()) return fd.error();
+  return Client(std::move(fd).take(), options);
+}
+
+Result<Frame> Client::call(const std::string& op,
+                           std::vector<std::pair<std::string, std::string>> params,
+                           std::string payload) {
+  Frame request;
+  request.id = std::to_string(next_id_++);
+  request.op = op;
+  request.params = std::move(params);
+  request.payload = std::move(payload);
+  if (Status s = write_frame(fd_.get(), request, io_timeout_ms_); !s.ok()) {
+    return s.error();
+  }
+
+  Frame response;
+  Result<bool> got = reader_.read(response);
+  if (!got.ok()) return got.error();
+  if (!got.value()) {
+    Error e;
+    e.kind = ErrorKind::IoError;
+    e.message = "daemon closed the connection before responding";
+    return e;
+  }
+  if (response.id != request.id) {
+    Error e;
+    e.kind = ErrorKind::ProtocolError;
+    e.message = "response id " + response.id + " does not match request id " +
+                request.id;
+    return e;
+  }
+  if (response.op == "error") return decode_error_frame(response);
+  if (response.op != "ok") {
+    Error e;
+    e.kind = ErrorKind::ProtocolError;
+    e.message = "unexpected response op: " + response.op;
+    return e;
+  }
+  return response;
+}
+
+}  // namespace tdc::service

@@ -1,0 +1,62 @@
+#ifndef TDC_SERVICE_CLIENT_H
+#define TDC_SERVICE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/framing.h"
+#include "service/socket.h"
+
+namespace tdc::service {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// How long connect() keeps retrying (~20 ms apart) — lets a client race
+  /// a daemon that is still binding its socket. 0 = single attempt.
+  int connect_wait_ms = 0;
+  /// Bounds every socket wait; < 0 blocks forever.
+  int io_timeout_ms = 30000;
+  /// Caps on daemon responses (same discipline as the server applies to us).
+  FrameLimits limits;
+};
+
+/// One framed request/response session with a tdcd daemon. Requests are
+/// strictly sequential per client (matching the per-connection ordering the
+/// server guarantees); run several Clients for concurrency. Error frames
+/// come back as the typed tdc::Error the daemon reported — a Busy refusal,
+/// a ProtocolError, or the compression failure itself — so callers branch
+/// on ErrorKind exactly as they would against the local library.
+class Client {
+ public:
+  static Result<Client> connect(const ClientOptions& options);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one request and waits for its response. The returned frame is
+  /// the daemon's "ok" frame (params + payload); an "error" frame is
+  /// decoded back into its typed Error instead.
+  Result<Frame> call(const std::string& op,
+                     std::vector<std::pair<std::string, std::string>> params = {},
+                     std::string payload = {});
+
+  /// The raw descriptor (tests: half-close, mid-request disconnects).
+  int fd() const { return fd_.get(); }
+
+ private:
+  Client(Fd fd, const ClientOptions& options)
+      : fd_(std::move(fd)),
+        reader_(fd_.get(), options.limits, options.io_timeout_ms),
+        io_timeout_ms_(options.io_timeout_ms) {}
+
+  Fd fd_;
+  FrameReader reader_;
+  int io_timeout_ms_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tdc::service
+
+#endif  // TDC_SERVICE_CLIENT_H

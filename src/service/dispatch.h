@@ -1,0 +1,62 @@
+#ifndef TDC_SERVICE_DISPATCH_H
+#define TDC_SERVICE_DISPATCH_H
+
+#include <functional>
+#include <string>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "service/framing.h"
+
+namespace tdc::service {
+
+/// Maps one request frame to one response frame. All CPU-bound work
+/// (compress jobs via JobRunner::submit, decode-side ops via submit_task)
+/// runs on the shared engine pool under its in-flight cap — the dispatcher
+/// blocks the calling connection thread until the pool finishes, so engine
+/// workers never touch a socket and a slow peer can only stall its own
+/// connection. Failures come back as "error" frames carrying the typed
+/// ErrorKind; nothing a client sends can make handle() throw.
+///
+/// Operations:
+///   ping        payload echoed back — liveness and framing check
+///   compress    payload: .tests text → payload: TDCLZW container bytes.
+///               Params (all optional): dict, char, entry, variable=1,
+///               container=1|2, chunk (v2 chunk_bytes), codec, chunk_trits,
+///               name. Defaults match `tdc_cli compress` exactly, so the
+///               returned bytes are identical to the offline tool's file.
+///   decompress  payload: container bytes → payload: .tests text (the same
+///               single-cube set `tdc_cli decompress` writes).
+///   verify      payload: container bytes → integrity + decode check;
+///               ok payload is a human-readable summary line.
+///   inspect     payload: container bytes or .tests text → description.
+///   stats       payload out: live obs registry JSON (queue stats published
+///               first, so queue.service.* is current mid-flight).
+///
+/// Per-endpoint metrics land under "serve.<op>.*" (requests, errors,
+/// bytes_in, bytes_out, micros) via obs::MetricScope; unknown ops share
+/// "serve.unknown.*" so a hostile client cannot grow the registry without
+/// bound.
+class Dispatcher {
+ public:
+  Dispatcher(engine::JobRunner& runner, obs::MetricsRegistry& registry)
+      : runner_(runner), registry_(registry) {}
+
+  /// Handles one request synchronously. Never throws; never returns a frame
+  /// whose id differs from the request's.
+  Frame handle(const Frame& request);
+
+ private:
+  Frame dispatch(const Frame& request);
+  Frame do_compress(const Frame& request);
+  /// Runs `work` on the runner pool and waits for its frame; Busy error
+  /// frame when the in-flight cap refuses the task.
+  Frame run_on_pool(const Frame& request, std::function<Result<Frame>()> work);
+
+  engine::JobRunner& runner_;
+  obs::MetricsRegistry& registry_;
+};
+
+}  // namespace tdc::service
+
+#endif  // TDC_SERVICE_DISPATCH_H

@@ -1,0 +1,193 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tdc::service {
+
+namespace {
+
+Frame busy_refusal() {
+  Error e;
+  e.kind = ErrorKind::Busy;
+  e.message = "connection cap reached; retry";
+  return make_error_frame("-", e);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      runner_(std::make_unique<engine::JobRunner>(
+          engine::JobRunner::Options{options_.workers, options_.max_in_flight,
+                                     options_.verify},
+          &metrics_)),
+      dispatcher_(*runner_, metrics_) {}
+
+Server::~Server() {
+  if (started_) {
+    request_stop();
+    wait();
+  }
+}
+
+void Server::say(const std::string& line) {
+  if (options_.log) options_.log(line);
+}
+
+Status Server::start() {
+  Result<std::pair<Fd, Fd>> pipe = make_pipe();
+  if (!pipe.ok()) return pipe.error();
+  stop_read_ = std::move(pipe.value().first);
+  stop_write_ = std::move(pipe.value().second);
+  stop_write_fd_ = stop_write_.get();
+
+  Result<Fd> listener = listen_unix(options_.socket_path, 128);
+  if (!listener.ok()) return listener.error();
+  listen_fd_ = std::move(listener).take();
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  say("tdcd listening on " + options_.socket_path);
+  return {};
+}
+
+void Server::request_stop() {
+  // Async-signal-safe by construction: one write() to the self-pipe, no
+  // locks, no allocation. Extra bytes from repeated calls are harmless.
+  if (stop_write_fd_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t rc = ::write(stop_write_fd_, &byte, 1);
+  }
+}
+
+void Server::reap_finished() {
+  std::lock_guard lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    struct pollfd pfds[2];
+    pfds[0].fd = stop_read_.get();
+    pfds[0].events = POLLIN;
+    pfds[0].revents = 0;
+    pfds[1].fd = listen_fd_.get();
+    pfds[1].events = POLLIN;
+    pfds[1].revents = 0;
+    const int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      say("tdcd accept poll failed; shutting down");
+      return;
+    }
+    if (pfds[0].revents != 0) return;  // stop requested
+    if (pfds[1].revents == 0) continue;
+
+    Fd client(::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC));
+    if (!client.valid()) continue;  // raced with the client going away
+    if (!set_nonblocking(client.get()).ok()) continue;
+
+    reap_finished();
+    {
+      std::lock_guard lock(connections_mutex_);
+      if (connections_.size() >= options_.max_connections) {
+        metrics_.counter("serve.connections.refused").add();
+        // A typed refusal, not a silent close — bounded by a short write
+        // timeout so a hostile non-reading peer cannot stall the acceptor.
+        (void)write_frame(client.get(), busy_refusal(), 1000);
+        continue;
+      }
+      metrics_.counter("serve.connections.accepted").add();
+      auto conn = std::make_unique<Connection>();
+      conn->fd = std::move(client);
+      Connection* raw = conn.get();
+      conn->thread = std::thread([this, raw] { serve_connection(raw); });
+      connections_.push_back(std::move(conn));
+    }
+  }
+}
+
+void Server::serve_connection(Connection* conn) {
+  const int fd = conn->fd.get();
+  FrameReader reader(
+      fd, FrameLimits{.max_payload_bytes = options_.max_payload_bytes},
+      options_.io_timeout_ms);
+  for (;;) {
+    Frame request;
+    Result<bool> got = reader.read(request);
+    if (!got.ok()) {
+      if (got.error().kind == ErrorKind::ProtocolError) {
+        metrics_.counter("serve.protocol_errors").add();
+        // Best-effort: tell the peer why before hanging up. Its id is
+        // unknowable from a malformed frame, hence the "-" placeholder.
+        (void)write_frame(fd, make_error_frame("-", got.error()), 1000);
+      } else {
+        metrics_.counter("serve.io_errors").add();
+      }
+      break;
+    }
+    if (!got.value()) break;  // clean EOF: the peer is done
+
+    const Frame response = dispatcher_.handle(request);
+    if (Status s = write_frame(fd, response, options_.io_timeout_ms); !s.ok()) {
+      metrics_.counter("serve.io_errors").add();
+      say("tdcd client write failed: " + s.error().describe());
+      break;
+    }
+  }
+  // Hang up the wire right now so the peer sees EOF immediately; the
+  // descriptor itself stays reserved until reap/join (closing here could
+  // let the number be reused while wait() still holds a pointer to it).
+  ::shutdown(fd, SHUT_RDWR);
+  metrics_.counter("serve.connections.closed").add();
+  conn->finished.store(true, std::memory_order_release);
+}
+
+int Server::wait() {
+  if (!started_) return 0;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // No new connections can appear now. Half-close every live connection so
+  // a thread blocked in read() sees EOF immediately, while the response it
+  // may still be writing flows out unharmed — that is the "drain in-flight,
+  // refuse new" shutdown contract.
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd.get(), SHUT_RD);
+    }
+  }
+  // Threads only ever exit on their own after SHUT_RD; joining outside the
+  // lock is safe because the accept loop (the other mutator) has exited.
+  std::list<std::unique_ptr<Connection>> remaining;
+  {
+    std::lock_guard lock(connections_mutex_);
+    remaining.swap(connections_);
+  }
+  for (const auto& conn : remaining) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  remaining.clear();
+
+  runner_->drain();
+  runner_->stop();
+  listen_fd_.reset();
+  ::unlink(options_.socket_path.c_str());
+  started_ = false;
+  say("tdcd stopped");
+  return 0;
+}
+
+}  // namespace tdc::service

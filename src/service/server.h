@@ -1,0 +1,125 @@
+#ifndef TDC_SERVICE_SERVER_H
+#define TDC_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "service/dispatch.h"
+#include "service/framing.h"
+#include "service/socket.h"
+
+namespace tdc::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path the daemon listens on (required; must fit
+  /// sockaddr_un, ~107 bytes).
+  std::string socket_path;
+
+  /// Engine pool size; 0 = exp::ThreadPool::default_jobs().
+  unsigned workers = 0;
+
+  /// Jobs queued + running before requests get a Busy refusal;
+  /// 0 = 2 * workers (JobRunner's default).
+  std::size_t max_in_flight = 0;
+
+  /// Concurrent connections; one past the cap is answered with a Busy error
+  /// frame and closed without costing a thread.
+  std::size_t max_connections = 64;
+
+  /// Run the verify stage on compress jobs (read-back + decode + coverage).
+  bool verify = true;
+
+  /// Per-frame payload cap, enforced before allocation (ProtocolError past
+  /// it). Defaults to FrameLimits' 256 MiB.
+  std::size_t max_payload_bytes = FrameLimits{}.max_payload_bytes;
+
+  /// Bounds every per-connection socket wait (read and write). A peer that
+  /// goes quiet — or stops reading its response — for longer than this
+  /// loses its connection with a typed IoError; it never wedges a worker,
+  /// because engine workers do not touch sockets at all. < 0 blocks forever.
+  int io_timeout_ms = 30000;
+
+  /// Lifecycle / connection-error sink ("listening on ...", "client error:
+  /// ..."). Empty = silent. The service library itself never prints.
+  std::function<void(const std::string&)> log;
+};
+
+/// The tdcd daemon: accepts framed requests over a unix-domain socket and
+/// multiplexes every client onto one shared engine::JobRunner pool.
+///
+/// Threading model: one accept thread, one thread per live connection
+/// (bounded by max_connections), `workers` engine threads. A connection
+/// thread reads one frame, hands it to the Dispatcher (which blocks on the
+/// pool), writes the response, and repeats — so per-client requests are
+/// strictly ordered, while clients run concurrently under the pool's
+/// in-flight cap. Job isolation is per request: a typed failure becomes
+/// that request's error frame and touches nothing else.
+///
+/// Shutdown: request_stop() is async-signal-safe (one byte to a self-pipe),
+/// so SIGINT/SIGTERM handlers may call it directly. wait() then stops
+/// accepting, lets every in-flight request finish (connection sockets are
+/// shutdown(SHUT_RD), so blocked reads see a clean EOF while responses
+/// still flow out), joins all threads, drains the pool and removes the
+/// socket file.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< request_stop() + wait() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept thread. IoError on a bad or busy
+  /// socket path.
+  Status start();
+
+  /// Begins graceful shutdown. Async-signal-safe; callable from any thread
+  /// or signal handler, any number of times.
+  void request_stop();
+
+  /// Blocks until the daemon has fully stopped (after request_stop()) and
+  /// every in-flight request drained. Returns 0 on a clean shutdown.
+  int wait();
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  engine::JobRunner& runner() { return *runner_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* conn);
+  void reap_finished();  ///< joins and frees connections that already ended
+  void say(const std::string& line);
+
+  ServerOptions options_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<engine::JobRunner> runner_;
+  Dispatcher dispatcher_;
+
+  Fd listen_fd_;
+  Fd stop_read_, stop_write_;
+  int stop_write_fd_ = -1;  ///< plain copy a signal handler can read safely
+  std::thread accept_thread_;
+  bool started_ = false;
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace tdc::service
+
+#endif  // TDC_SERVICE_SERVER_H

@@ -220,4 +220,45 @@ grep -q "codec=auto" "$WORK/mc1.txt"
 "$CLI" decompress "$WORK/mc1/auto.tdclzw" "$WORK/mcfull.tests"
 "$CLI" inspect "$WORK/mcfull.tests" | grep -q "0.0% don't-cares"
 
+# tdcd service daemon: background serve, client round trips byte-identical
+# to the offline CLI, live stats, graceful SIGTERM drain with exit code 0.
+SOCK="$WORK/tdcd.sock"
+"$CLI" serve "$SOCK" --jobs 2 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+# The client retries the connect (--connect-wait-ms), so no sleep needed.
+"$CLI" client "$SOCK" ping | grep -q "pong"
+
+# Daemon compress with default knobs == offline compress with default knobs.
+"$CLI" compress "$WORK/c.tests" "$WORK/offline.tdclzw"
+"$CLI" client "$SOCK" compress "$WORK/c.tests" "$WORK/served.tdclzw"
+cmp "$WORK/offline.tdclzw" "$WORK/served.tdclzw"
+# Forwarded knobs reach the engine: --dict 256 matches the offline run too.
+"$CLI" client "$SOCK" compress "$WORK/c.tests" "$WORK/served256.tdclzw" --dict 256
+cmp "$WORK/c.tdclzw" "$WORK/served256.tdclzw"
+
+# Decompress / verify / inspect round trip through the socket.
+"$CLI" client "$SOCK" decompress "$WORK/served.tdclzw" "$WORK/served.tests"
+"$CLI" decompress "$WORK/offline.tdclzw" "$WORK/offline.tests"
+cmp "$WORK/offline.tests" "$WORK/served.tests"
+"$CLI" client "$SOCK" verify "$WORK/served.tdclzw" | grep -q "OK"
+"$CLI" client "$SOCK" inspect "$WORK/served.tdclzw" | grep -q "TDCLZW2"
+
+# stats serves the live registry: request counters and queue contention.
+"$CLI" client "$SOCK" stats --out "$WORK/daemon.json"
+grep -q '"serve.compress.requests": 2' "$WORK/daemon.json"
+grep -q '"queue.service.pushes"' "$WORK/daemon.json"
+
+# A hostile payload comes back as a typed error frame, not a dead daemon.
+if "$CLI" client "$SOCK" verify "$WORK/trunc.tdclzw" 2>"$WORK/serve_err.txt"; then
+  echo "daemon verify accepted a truncated container" >&2; exit 1
+fi
+grep -q "Truncated" "$WORK/serve_err.txt"
+"$CLI" client "$SOCK" ping | grep -q "pong"
+
+# SIGTERM drains and exits 0; the socket file is gone afterwards.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # set -e: a nonzero daemon exit code fails the test here
+test ! -e "$SOCK"
+grep -q "tdcd stopped" "$WORK/serve.log"
+
 echo "cli_test OK"

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <mutex>
 #include <filesystem>
@@ -665,6 +666,133 @@ TEST(EngineTest, VerifyStageCanBeDisabled) {
   const BatchResult result = eng.run(manifest);
   EXPECT_EQ(result.ok_count(), 3u);
   EXPECT_EQ(registry.counter("verify.in").value(), 0u);
+}
+
+// -------------------------------------------------------------- JobRunner
+
+/// Submits one spec and waits for its outcome — the synchronous shape every
+/// JobRunner test needs.
+JobOutcome run_one(JobRunner& runner, JobSpec spec) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  JobOutcome outcome;
+  EXPECT_TRUE(runner.submit(std::move(spec), [&](JobOutcome o) {
+    std::lock_guard lock(m);
+    outcome = std::move(o);
+    done = true;
+    cv.notify_one();
+  }));
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done; });
+  return outcome;
+}
+
+TEST(JobRunnerTest, ProducesTheSameBytesAsABatchRun) {
+  Manifest manifest = inline_manifest();
+  manifest.jobs.resize(4);
+  Engine eng(EngineOptions{.workers = 2});
+  const BatchResult batch = eng.run(manifest);
+  ASSERT_EQ(batch.ok_count(), 4u);
+
+  JobRunner runner(JobRunner::Options{.workers = 2});
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    const JobOutcome outcome = run_one(runner, manifest.jobs[i]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status.error().describe();
+    // One-at-a-time submission through the persistent pool commits the very
+    // bytes the batch pipeline committed — the service daemon's determinism
+    // contract with the offline CLI.
+    EXPECT_EQ(outcome.container, batch.jobs[i].container);
+    EXPECT_EQ(outcome.config_summary, batch.jobs[i].config_summary);
+  }
+}
+
+TEST(JobRunnerTest, KeepsFailuresTypedAndIsolated) {
+  JobRunner runner(JobRunner::Options{.workers = 2});
+  JobSpec bad;
+  bad.name = "missing";
+  bad.input_path = "/nonexistent/input.tests";
+  const JobOutcome failed = run_one(runner, std::move(bad));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status.error().kind, ErrorKind::IoError);
+
+  JobSpec good;
+  good.name = "good";
+  good.inline_tests = synthetic_tests(1);
+  EXPECT_TRUE(run_one(runner, std::move(good)).ok());
+  EXPECT_EQ(runner.metrics().counter("runner.failed").value(), 1u);
+  EXPECT_EQ(runner.metrics().counter("runner.ok").value(), 1u);
+}
+
+TEST(JobRunnerTest, RefusesSubmissionsPastTheInFlightCap) {
+  JobRunner runner(JobRunner::Options{.workers = 1, .max_in_flight = 1});
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  // Occupy the single in-flight slot with a task that blocks until told.
+  ASSERT_TRUE(runner.submit_task([&] {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return release; });
+  }));
+  EXPECT_EQ(runner.in_flight(), 1u);
+
+  JobSpec spec;
+  spec.name = "refused";
+  spec.inline_tests = synthetic_tests(2);
+  EXPECT_FALSE(runner.submit(std::move(spec), [](JobOutcome) {}));
+  EXPECT_FALSE(runner.submit_task([] {}));
+  EXPECT_EQ(runner.metrics().counter("runner.busy_rejects").value(), 2u);
+
+  {
+    std::lock_guard lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  runner.drain();
+  EXPECT_EQ(runner.in_flight(), 0u);
+  // Capacity is available again after the drain.
+  JobSpec retry;
+  retry.name = "retry";
+  retry.inline_tests = synthetic_tests(3);
+  EXPECT_TRUE(run_one(runner, std::move(retry)).ok());
+}
+
+TEST(JobRunnerTest, PublishesLiveQueueStatsAsDeltas) {
+  MetricsRegistry registry;
+  JobRunner runner(JobRunner::Options{.workers = 2}, &registry);
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.name = "job" + std::to_string(i);
+    spec.inline_tests = synthetic_tests(10 + static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(run_one(runner, std::move(spec)).ok());
+  }
+  runner.publish_queue_stats();
+  const std::uint64_t pushes =
+      registry.counter("queue.service.pushes").value();
+  EXPECT_EQ(pushes, 3u);
+  // A second publish with no new traffic adds a zero delta — the counters
+  // are live monotonic views, not per-call re-exports.
+  runner.publish_queue_stats();
+  EXPECT_EQ(registry.counter("queue.service.pushes").value(), pushes);
+  // New traffic shows up incrementally.
+  JobSpec spec;
+  spec.name = "late";
+  spec.inline_tests = synthetic_tests(99);
+  ASSERT_TRUE(run_one(runner, std::move(spec)).ok());
+  runner.publish_queue_stats();
+  EXPECT_EQ(registry.counter("queue.service.pushes").value(), pushes + 1);
+}
+
+TEST(JobRunnerTest, StopDrainsQueuedWorkAndStaysIdempotent) {
+  JobRunner runner(JobRunner::Options{.workers = 2});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(runner.submit_task([&] { ++ran; }));
+  }
+  runner.stop();
+  runner.stop();  // idempotent
+  EXPECT_EQ(ran.load(), 4);  // queued tasks ran to completion, none dropped
+  EXPECT_FALSE(runner.submit_task([] {}));  // stopped runners refuse work
 }
 
 }  // namespace

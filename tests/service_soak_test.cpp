@@ -1,0 +1,209 @@
+// Soak / stress for the tdcd daemon: 8 concurrent clients each firing 50
+// mixed requests (compress / decompress / verify / inspect / ping / stats)
+// at one server, with every compress answer checked byte for byte against
+// the offline library result for that client's deterministic payload — the
+// per-client isolation and determinism contract under real contention.
+// Also asserts the daemon's RSS stays flat across the run (no per-request
+// leak), with the assertion relaxed under sanitizers whose allocators
+// inflate RSS by design.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bits/rng.h"
+#include "lzw/encoder.h"
+#include "lzw/stream_io.h"
+#include "scan/testset_io.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace tdc::service {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 50;
+
+std::string tests_text(std::uint64_t seed, std::size_t width) {
+  bits::Rng rng(seed);
+  scan::TestSet tests;
+  tests.circuit = "soak";
+  tests.width = static_cast<std::uint32_t>(width);
+  bits::TritVector cube(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (!rng.chance(0.85)) {
+      cube.set(i, rng.bit() ? bits::Trit::One : bits::Trit::Zero);
+    }
+  }
+  tests.cubes.push_back(std::move(cube));
+  std::ostringstream out;
+  scan::write_tests(out, tests);
+  return std::move(out).str();
+}
+
+std::string offline_container(const std::string& text) {
+  std::istringstream in(text);
+  const scan::TestSet tests = scan::read_tests(in);
+  const auto encoded = lzw::Encoder(lzw::LzwConfig{}).encode(tests.serialize());
+  std::ostringstream out;
+  lzw::write_image(out, encoded, lzw::ContainerOptions{});
+  return std::move(out).str();
+}
+
+/// VmRSS of this process in KiB (the daemon runs in-process, so our own RSS
+/// covers it), 0 if /proc is unavailable.
+std::size_t rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kib = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+constexpr bool under_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+TEST(ServiceSoakTest, ConcurrentMixedClientsStayIsolatedAndLeakFree) {
+  const std::string socket_path =
+      "/tmp/tdc_soak_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.workers = 4;
+  options.max_in_flight = 64;  // soak must never see a Busy refusal
+  Server server(std::move(options));
+  ASSERT_TRUE(server.start().ok());
+
+  // Each client owns one deterministic payload, sized differently per
+  // client so cross-request mix-ups cannot cancel out, plus the offline
+  // reference bytes computed up front.
+  std::vector<std::string> texts, containers;
+  for (int c = 0; c < kClients; ++c) {
+    texts.push_back(tests_text(1000 + static_cast<std::uint64_t>(c),
+                               2048 + static_cast<std::size_t>(c) * 512));
+    containers.push_back(offline_container(texts.back()));
+  }
+
+  // Warm-up: every code path at least once, so steady-state RSS is measured
+  // after allocator pools, metrics instruments and worker stacks exist.
+  {
+    ClientOptions copts;
+    copts.socket_path = socket_path;
+    copts.connect_wait_ms = 2000;
+    Result<Client> warm = Client::connect(copts);
+    ASSERT_TRUE(warm.ok());
+    Client client = std::move(warm).take();
+    ASSERT_TRUE(client.call("compress", {}, texts[0]).ok());
+    ASSERT_TRUE(client.call("decompress", {}, containers[0]).ok());
+    ASSERT_TRUE(client.call("verify", {}, containers[0]).ok());
+    ASSERT_TRUE(client.call("inspect", {}, containers[0]).ok());
+    ASSERT_TRUE(client.call("stats").ok());
+  }
+  const std::size_t rss_before = rss_kib();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.socket_path = socket_path;
+      copts.connect_wait_ms = 2000;
+      copts.io_timeout_ms = 60000;
+      Result<Client> connected = Client::connect(copts);
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      Client client = std::move(connected).take();
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        bool ok = true;
+        switch (r % 6) {
+          case 0:
+          case 1: {  // compress dominates the mix
+            Result<Frame> resp = client.call("compress", {}, texts[c]);
+            ok = resp.ok() && resp.value().payload == containers[c];
+            break;
+          }
+          case 2: {
+            Result<Frame> resp = client.call("decompress", {}, containers[c]);
+            // Deterministic expansion: bits param must equal the client's
+            // serialized width every single time.
+            ok = resp.ok() &&
+                 resp.value().param("bits") ==
+                     std::to_string(2048 + static_cast<std::size_t>(c) * 512);
+            break;
+          }
+          case 3: {
+            Result<Frame> resp = client.call("verify", {}, containers[c]);
+            ok = resp.ok() &&
+                 resp.value().payload.find("OK") != std::string::npos;
+            break;
+          }
+          case 4: {
+            Result<Frame> resp = client.call("inspect", {}, containers[c]);
+            ok = resp.ok() && resp.value().param("kind") == "image";
+            break;
+          }
+          default: {
+            const std::string token = "c" + std::to_string(c) + "r" +
+                                      std::to_string(r);
+            Result<Frame> resp = client.call("ping", {}, token);
+            ok = resp.ok() && resp.value().payload == token;
+            break;
+          }
+        }
+        if (!ok) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const std::size_t rss_after = rss_kib();
+  if (rss_before != 0 && rss_after != 0 && !under_sanitizer()) {
+    // 400 requests moved ~100 MB through the daemon; a per-request leak of
+    // even a few KiB would blow well past this 48 MiB allowance, while
+    // allocator high-water noise stays under it.
+    EXPECT_LT(rss_after, rss_before + 48 * 1024)
+        << "RSS grew from " << rss_before << " KiB to " << rss_after << " KiB";
+  }
+
+  server.request_stop();
+  EXPECT_EQ(server.wait(), 0);
+  Result<Frame> after = [&]() -> Result<Frame> {
+    ClientOptions copts;
+    copts.socket_path = socket_path;
+    Result<Client> c = Client::connect(copts);
+    if (!c.ok()) return c.error();
+    return c.value().call("ping");
+  }();
+  EXPECT_FALSE(after.ok());  // daemon is genuinely gone
+}
+
+}  // namespace
+}  // namespace tdc::service
