@@ -47,6 +47,7 @@
 // by default, TDCLZW1 with --v1). Flags share one parser (exp/args.h).
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +55,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "codec/select.h"
 #include "engine/engine.h"
@@ -70,7 +74,9 @@
 #include "netlist/stats.h"
 #include "netlist/verilog_io.h"
 #include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 #include "scan/testset_io.h"
 #include "service/client.h"
@@ -99,11 +105,16 @@ int usage() {
                "  tdc_cli stats <in.tests|in.tdclzw|netlist.bench|netlist.v>"
                " [--out <f>]\n"
                "              [--dict N] [--char C] [--entry E] [--variable]\n"
+               "  tdc_cli stats <socket> --openmetrics [--follow <sec>]"
+               " [--samples N]\n"
                "  tdc_cli convert <in.bench|in.v> <out.bench|out.v>\n"
                "  tdc_cli wave <in.tdclzw> <out.vcd> [clock_ratio]\n"
                "  tdc_cli serve <socket> [--jobs N] [--max-in-flight N]\n"
                "              [--max-connections N] [--no-verify]"
                " [--io-timeout-ms N]\n"
+               "              [--log-level <debug|info|warn|error|off>]"
+               " [--log-rate N]\n"
+               "              [--metrics-log <file>] [--metrics-interval-ms N]\n"
                "  tdc_cli client <socket> ping\n"
                "  tdc_cli client <socket> compress <in.tests> <out.tdclzw>"
                " [--dict N]\n"
@@ -113,9 +124,9 @@ int usage() {
                "  tdc_cli client <socket> decompress <in.tdclzw> <out.tests>\n"
                "  tdc_cli client <socket> verify <in.tdclzw>\n"
                "  tdc_cli client <socket> inspect <file>\n"
-               "  tdc_cli client <socket> stats [--out <f>]\n"
+               "  tdc_cli client <socket> stats [--out <f>] [--openmetrics]\n"
                "              client flags: [--connect-wait-ms N]"
-               " [--io-timeout-ms N]\n"
+               " [--io-timeout-ms N] [--trace-id <id>]\n"
                "global: --trace <file> (or $TDC_TRACE) records a Chrome trace\n");
   return 2;
 }
@@ -274,7 +285,92 @@ int emit_text(const std::optional<std::string>& out_path, const std::string& tex
   return 0;
 }
 
+/// Sums the per-op request counters out of one OpenMetrics scrape —
+/// `tdc_serve_<op>_requests_total N` lines — so --follow can show a live
+/// serve-wide request rate without a second wire format.
+std::uint64_t sum_request_totals(const std::string& exposition) {
+  std::uint64_t total = 0;
+  std::istringstream lines(exposition);
+  std::string line;
+  const std::string prefix = "tdc_serve_";
+  const std::string marker = "_requests_total ";
+  while (std::getline(lines, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    total += std::strtoull(line.c_str() + at + marker.size(), nullptr, 10);
+  }
+  return total;
+}
+
+/// Scrapes the daemon's `metrics` op and prints the OpenMetrics payload.
+/// With follow_sec > 0, repeats every follow_sec seconds (samples == 0 means
+/// forever) and appends a `# serve.requests …/s` comment line computed from
+/// an obs::RateWindow over the scraped request counters.
+int scrape_openmetrics(const std::string& socket_path, double follow_sec,
+                       std::uint64_t samples, int connect_wait_ms,
+                       int io_timeout_ms) {
+  service::ClientOptions options;
+  options.socket_path = socket_path;
+  options.connect_wait_ms = connect_wait_ms;
+  options.io_timeout_ms = io_timeout_ms;
+  Result<service::Client> client = service::Client::connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s: %s\n", socket_path.c_str(),
+                 client.error().describe().c_str());
+    return 1;
+  }
+  obs::RateWindow rate;
+  const auto epoch = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; samples == 0 || i < samples; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(follow_sec * 1000.0)));
+    }
+    Result<service::Frame> resp = client.value().call("metrics");
+    if (!resp.ok()) {
+      std::fprintf(stderr, "%s: %s\n", socket_path.c_str(),
+                   resp.error().describe().c_str());
+      return 1;
+    }
+    std::fputs(resp.value().payload.c_str(), stdout);
+    if (follow_sec > 0) {
+      const auto now_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - epoch)
+              .count());
+      rate.sample(now_ms, sum_request_totals(resp.value().payload));
+      std::printf("# serve.requests %.1f/s over %zu samples\n",
+                  rate.per_second(), rate.size());
+    }
+    std::fflush(stdout);
+    if (follow_sec <= 0) break;  // single shot even if --samples says more
+  }
+  return 0;
+}
+
 int cmd_stats(exp::Args& args) {
+  // --openmetrics turns the positional into a daemon socket: scrape the
+  // live registry instead of analyzing a file.
+  if (args.flag("--openmetrics")) {
+    const std::optional<std::string> follow = args.value("--follow");
+    const double follow_sec =
+        follow ? std::strtod(follow->c_str(), nullptr) : 0.0;
+    const std::uint64_t samples = args.u32("--samples", follow ? 0 : 1);
+    const int connect_wait_ms =
+        static_cast<int>(args.u32("--connect-wait-ms", 5000));
+    const int io_timeout_ms =
+        static_cast<int>(args.u32("--io-timeout-ms", 60000));
+    std::vector<std::string> pos;
+    if (!accept(args, 1, 1, &pos)) return usage();
+    if (follow && follow_sec <= 0.0) {
+      std::fprintf(stderr, "bad --follow interval: %s\n", follow->c_str());
+      return usage();
+    }
+    return scrape_openmetrics(pos[0], follow_sec, samples, connect_wait_ms,
+                              io_timeout_ms);
+  }
+
   lzw::LzwConfig config;
   config.variable_width = args.flag("--variable");
   config.dict_size = args.u32("--dict", config.dict_size);
@@ -864,10 +960,21 @@ int cmd_serve(exp::Args& args) {
   options.verify = !args.flag("--no-verify");
   options.io_timeout_ms =
       static_cast<int>(args.u32("--io-timeout-ms", 30000));
-  options.log = [](const std::string& line) {
+  options.log_sink = [](const std::string& line) {
     std::printf("%s\n", line.c_str());
-    std::fflush(stdout);  // scripts wait for the "listening" line
+    std::fflush(stdout);  // scripts wait for the "server.listen" line
   };
+  const std::string level_name = args.value("--log-level").value_or("info");
+  options.log_level = obs::parse_log_level(level_name);
+  if (options.log_level == obs::LogLevel::Off && level_name != "off") {
+    std::fprintf(stderr, "bad --log-level: %s\n", level_name.c_str());
+    return usage();
+  }
+  options.log_rate_per_sec =
+      static_cast<double>(args.u32("--log-rate", 0));
+  options.metrics_log_path = args.value("--metrics-log").value_or("");
+  options.metrics_interval_ms =
+      static_cast<int>(args.u32("--metrics-interval-ms", 1000));
   std::vector<std::string> pos;
   if (!accept(args, 1, 1, &pos)) return usage();
   options.socket_path = pos[0];
@@ -906,6 +1013,10 @@ int cmd_client(exp::Args& args) {
   options.connect_wait_ms =
       static_cast<int>(args.u32("--connect-wait-ms", 5000));
   options.io_timeout_ms = static_cast<int>(args.u32("--io-timeout-ms", 60000));
+  // Every request carries a trace id so daemon-side spans can be joined
+  // back to this invocation; --trace-id overrides the pid-derived default.
+  options.trace_id =
+      args.value("--trace-id").value_or("cli-" + std::to_string(::getpid()));
 
   // compress knobs, forwarded as frame params (only when given, so the
   // daemon's defaults — identical to the offline tool's — apply otherwise).
@@ -922,6 +1033,7 @@ int cmd_client(exp::Args& args) {
   if (const auto v = args.value("--codec")) params.emplace_back("codec", *v);
   if (args.flag("--variable")) params.emplace_back("variable", "1");
   if (args.flag("--v1")) params.emplace_back("container", "1");
+  const bool openmetrics = args.flag("--openmetrics");
   const std::optional<std::string> out_path = args.value("--out");
 
   std::vector<std::string> pos;
@@ -995,7 +1107,10 @@ int cmd_client(exp::Args& args) {
 
   if (op == "stats") {
     if (pos.size() != 2) return usage();
-    Result<service::Frame> resp = client.value().call("stats");
+    // --openmetrics swaps the registry-JSON payload for the OpenMetrics
+    // text exposition (the daemon's `metrics` op).
+    Result<service::Frame> resp =
+        client.value().call(openmetrics ? "metrics" : "stats");
     if (!resp.ok()) return fail(socket_path, resp.error());
     return emit_text(out_path, resp.value().payload);
   }

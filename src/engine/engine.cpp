@@ -643,6 +643,12 @@ void add_queue_stats(MetricsRegistry& m, const std::string& name,
   m.counter(prefix + "pop_blocked_micros").add(s.pop_blocked_micros);
   m.counter(prefix + "notifies_sent").add(s.notifies_sent);
   m.counter(prefix + "notifies_skipped").add(s.notifies_skipped);
+  // Occupancy is a level, not an event stream: the gauge is set to the
+  // depth this snapshot saw (0 once a run or drain finished) while the
+  // queue's own lifetime max folds into the gauge's high-watermark.
+  obs::Gauge& depth = m.gauge(prefix + "depth");
+  depth.set(static_cast<std::int64_t>(s.depth));
+  depth.record_peak(static_cast<std::int64_t>(s.max_depth));
 }
 
 // ------------------------------------------------------------------ JobRunner
@@ -665,7 +671,8 @@ struct JobRunner::RunnerState {
         verify(make_stage_metrics(m, "verify")),
         jobs(&m.counter("runner.jobs")), tasks(&m.counter("runner.tasks")),
         ok(&m.counter("runner.ok")), failed(&m.counter("runner.failed")),
-        busy_rejects(&m.counter("runner.busy_rejects")) {
+        busy_rejects(&m.counter("runner.busy_rejects")),
+        in_flight(&m.gauge("runner.in_flight")) {
     encode.bits_in = &m.counter("encode.bits_in");
     encode.bits_out = &m.counter("encode.bits_out");
   }
@@ -676,6 +683,7 @@ struct JobRunner::RunnerState {
   Counter* ok;
   Counter* failed;
   Counter* busy_rejects;
+  obs::Gauge* in_flight;  ///< live queued+running level; peak = worst burst
   GenMemo gen;
 };
 
@@ -695,6 +703,7 @@ void run_runner_stage(const StageMetrics& sm, const char* span_name, Job& job,
   {
     obs::TraceSpan span(span_name);
     span.arg("job", job.outcome.name);
+    if (!job.spec->trace.empty()) span.arg("trace", job.spec->trace);
     const auto start = std::chrono::steady_clock::now();
     status = body(job);
     sm.micros->record(static_cast<std::uint64_t>(
@@ -775,6 +784,7 @@ void JobRunner::worker_loop() {
       std::unique_lock lock(mutex_);
       --in_flight_;
     }
+    state_->in_flight->add(-1);
     idle_.notify_all();
   }
 }
@@ -791,6 +801,7 @@ bool JobRunner::submit(JobSpec spec, DoneCallback done) {
     }
     ++in_flight_;
   }
+  state_->in_flight->add(1);
   queue_->push(std::move(item));
   return true;
 }
@@ -806,6 +817,7 @@ bool JobRunner::submit_task(std::function<void()> task) {
     }
     ++in_flight_;
   }
+  state_->in_flight->add(1);
   queue_->push(std::move(item));
   return true;
 }
@@ -836,6 +848,10 @@ void JobRunner::publish_queue_stats() {
       now.pop_blocked_micros - published_.pop_blocked_micros;
   delta.notifies_sent = now.notifies_sent - published_.notifies_sent;
   delta.notifies_skipped = now.notifies_skipped - published_.notifies_skipped;
+  // Occupancy levels pass through untouched — subtracting a previous depth
+  // from a current one would be meaningless.
+  delta.depth = now.depth;
+  delta.max_depth = now.max_depth;
   add_queue_stats(*metrics_, "service", delta);
   published_ = now;
 }

@@ -39,6 +39,12 @@ struct JobSpec {
   // --- container + destination
   lzw::ContainerOptions container;
   std::string output_path;  ///< empty: container kept in memory only
+
+  /// Request-scoped trace id, propagated by the service daemon from the
+  /// wire protocol's `trace=<id>` param into this job's engine span args so
+  /// one Perfetto view links client, dispatcher and worker. Batch jobs
+  /// leave it empty — the manifest format has no such key.
+  std::string trace;
 };
 
 /// An ordered batch of jobs — the unit the engine runs.

@@ -32,6 +32,12 @@ struct BoundedQueueStats {
   std::uint64_t pop_blocked_micros = 0;
   std::uint64_t notifies_sent = 0;
   std::uint64_t notifies_skipped = 0;
+  /// Occupancy levels, not event counts: depth is the queue's size at the
+  /// stats() call, max_depth the deepest it has ever been (folded on every
+  /// push under the queue lock) — the pair a `queue.<name>.depth` gauge
+  /// exports as value + high-watermark.
+  std::uint64_t depth = 0;
+  std::uint64_t max_depth = 0;
 
   std::uint64_t blocked_micros() const {
     return push_blocked_micros + pop_blocked_micros;
@@ -84,6 +90,7 @@ class BoundedQueue {
       if (closed_) return false;
       items_.push_back(std::move(item));
       ++stats_.pushes;
+      fold_max_depth();
       wake = should_wake_consumer(1) > 0;
     }
     if (wake) not_empty_.notify_one();
@@ -116,6 +123,7 @@ class BoundedQueue {
       i += chunk;
       accepted += chunk;
       stats_.pushes += chunk;
+      fold_max_depth();
       // Notify under the lock: push_all may loop back into wait_not_full,
       // and the consumers it wakes are what make that wait finite.
       for (std::size_t w = should_wake_consumer(chunk); w > 0; --w) {
@@ -183,9 +191,12 @@ class BoundedQueue {
   }
 
   /// Copy of the contention counters (consistent under the queue lock).
+  /// depth is stamped here — it is the live occupancy, not an accumulator.
   Stats stats() const {
     std::unique_lock lock(mutex_);
-    return stats_;
+    Stats copy = stats_;
+    copy.depth = items_.size();
+    return copy;
   }
 
  private:
@@ -217,6 +228,11 @@ class BoundedQueue {
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               start)
             .count());
+  }
+
+  /// Folds the current occupancy into the high-watermark. Lock held.
+  void fold_max_depth() {
+    if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
   }
 
   /// How many consumer notify_one calls `moved` fresh items warrant. Must be

@@ -1,0 +1,160 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace tdc::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "off";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  for (const LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                               LogLevel::Error, LogLevel::Off}) {
+    if (name == log_level_name(level)) return level;
+  }
+  return LogLevel::Off;
+}
+
+void Log::configure(Options options) {
+  std::unique_lock lock(mutex_);
+  sink_ = std::move(options.sink);
+  rate_per_sec_ = options.rate_per_sec;
+  burst_ = options.burst < 1.0 ? 1.0 : options.burst;
+  tokens_ = burst_;  // a fresh log may burst immediately
+  pending_dropped_ = 0;
+  if (options.clock) {
+    clock_ = std::move(options.clock);
+  } else {
+    const auto epoch = std::chrono::steady_clock::now();
+    clock_ = [epoch] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - epoch)
+              .count());
+    };
+  }
+  refilled_at_millis_ = clock_();
+  // Publish the level last: sites that race configure() either stay on the
+  // old filter or see the fully-installed new one.
+  const LogLevel level = sink_ ? options.level : LogLevel::Off;
+  min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::uint64_t Log::now_millis() { return clock_ ? clock_() : 0; }
+
+Log::Event::Event(Log* log, LogLevel level, const char* name) : log_(log) {
+  line_ = "{\"ts_ms\": " + std::to_string(log->now_millis());
+  line_ += ", \"level\": \"";
+  line_ += log_level_name(level);
+  line_ += "\", \"event\": \"";
+  line_ += json_escape(name);
+  line_ += "\"";
+}
+
+Log::Event::~Event() {
+  if (log_ == nullptr) return;
+  line_ += "}";
+  log_->emit(std::move(line_));
+}
+
+Log::Event& Log::Event::str(const char* key, const std::string& value) {
+  if (log_ != nullptr) {
+    line_ += ", \"";
+    line_ += json_escape(key);
+    line_ += "\": \"";
+    line_ += json_escape(value);
+    line_ += "\"";
+  }
+  return *this;
+}
+
+Log::Event& Log::Event::u64(const char* key, std::uint64_t value) {
+  if (log_ != nullptr) {
+    line_ += ", \"";
+    line_ += json_escape(key);
+    line_ += "\": ";
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+Log::Event& Log::Event::i64(const char* key, std::int64_t value) {
+  if (log_ != nullptr) {
+    line_ += ", \"";
+    line_ += json_escape(key);
+    line_ += "\": ";
+    line_ += std::to_string(value);
+  }
+  return *this;
+}
+
+Log::Event& Log::Event::f64(const char* key, double value) {
+  if (log_ != nullptr) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f", value);
+    line_ += ", \"";
+    line_ += json_escape(key);
+    line_ += "\": ";
+    line_ += buf;
+  }
+  return *this;
+}
+
+Log::Event& Log::Event::boolean(const char* key, bool value) {
+  if (log_ != nullptr) {
+    line_ += ", \"";
+    line_ += json_escape(key);
+    line_ += "\": ";
+    line_ += value ? "true" : "false";
+  }
+  return *this;
+}
+
+Log::Event Log::event(LogLevel level, const char* name) {
+  if (!enabled(level)) return Event();  // the whole disabled-site cost
+  return Event(this, level, name);
+}
+
+void Log::emit(std::string line) {
+  std::unique_lock lock(mutex_);
+  if (!sink_) return;
+  if (rate_per_sec_ > 0.0) {
+    const std::uint64_t now = now_millis();
+    if (now > refilled_at_millis_) {
+      const double elapsed_sec =
+          static_cast<double>(now - refilled_at_millis_) / 1000.0;
+      tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+      refilled_at_millis_ = now;
+    }
+    if (tokens_ < 1.0) {
+      ++pending_dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    tokens_ -= 1.0;
+  }
+  if (pending_dropped_ > 0) {
+    // Surface the gap in-band: the first line after a suppression window
+    // says how many events the bucket swallowed.
+    line.insert(line.size() - 1,
+                ", \"dropped\": " + std::to_string(pending_dropped_));
+    pending_dropped_ = 0;
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  sink_(line);
+}
+
+}  // namespace tdc::obs

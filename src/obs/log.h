@@ -1,0 +1,133 @@
+#ifndef TDC_OBS_LOG_H
+#define TDC_OBS_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace tdc::obs {
+
+/// Severity ladder; Off disables every site. Ordering is significant:
+/// a Log at level L emits events at L and above.
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Stable lower-case names ("debug" … "off") for CLI flags and rendering.
+const char* log_level_name(LogLevel level);
+
+/// Parses a log_level_name() spelling; Off for anything unknown.
+LogLevel parse_log_level(const std::string& name);
+
+/// Structured, leveled event log rendering one deterministic JSON object
+/// per line — the daemon's replacement for ad-hoc fprintf(stderr) sites:
+///
+///   {"ts_ms": 12, "level": "info", "event": "server.listen", "socket": "…"}
+///
+/// Fields are typed (str/u64/i64/f64/boolean) and appear in call order
+/// after the fixed ts_ms/level/event prologue; values render through the
+/// same json_escape / fixed-precision rules everywhere, so given the same
+/// events and clock the bytes are identical — tests pin lines verbatim.
+///
+/// Cost discipline mirrors TraceRecorder: a disabled site (level below the
+/// threshold, the default Off included) costs exactly one relaxed atomic
+/// load in event() and nothing else — no allocation, no clock read, no
+/// lock. Only events that pass the level check build a line and take the
+/// emit lock.
+///
+/// Flood control is a token bucket (burst + sustained per-second rate)
+/// refilled from the log's clock: suppressed events are only counted, and
+/// the next line that passes carries a "dropped": N field so the gap is
+/// visible in the stream instead of silent.
+class Log {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+
+  struct Options {
+    LogLevel level = LogLevel::Off;
+    Sink sink;  ///< receives finished lines (no trailing newline)
+    /// Sustained emit rate; 0 disables rate limiting entirely.
+    double rate_per_sec = 0.0;
+    /// Bucket capacity: how many events may burst past the sustained rate.
+    double burst = 32.0;
+    /// Millisecond clock for ts_ms and token refill. Defaults to the
+    /// steady clock relative to configure(); tests inject a fake for
+    /// byte-deterministic lines.
+    std::function<std::uint64_t()> clock;
+  };
+
+  Log() = default;
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Installs level/sink/limits. Callable again to reconfigure; not
+  /// concurrent with in-flight event() builders.
+  void configure(Options options);
+
+  /// The one-relaxed-load fast path every call site guards on.
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Builder for one event; emits on destruction. Inactive (all field
+  /// calls no-ops) when the level is filtered.
+  class Event {
+   public:
+    Event(Event&& other) noexcept : log_(other.log_), line_(std::move(other.line_)) {
+      other.log_ = nullptr;
+    }
+    ~Event();
+
+    Event& str(const char* key, const std::string& value);
+    Event& u64(const char* key, std::uint64_t value);
+    Event& i64(const char* key, std::int64_t value);
+    Event& f64(const char* key, double value);  ///< three decimals
+    Event& boolean(const char* key, bool value);
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    Event& operator=(Event&&) = delete;
+
+   private:
+    friend class Log;
+    Event() = default;  ///< inactive
+    Event(Log* log, LogLevel level, const char* name);
+
+    Log* log_ = nullptr;  ///< nullptr = filtered, every call a no-op
+    std::string line_;
+  };
+
+  /// Starts one event. `name` identifies the event kind ("conn.refused");
+  /// dotted lower-case names keep the stream greppable.
+  Event event(LogLevel level, const char* name);
+
+  Event debug(const char* name) { return event(LogLevel::Debug, name); }
+  Event info(const char* name) { return event(LogLevel::Info, name); }
+  Event warn(const char* name) { return event(LogLevel::Warn, name); }
+  Event error(const char* name) { return event(LogLevel::Error, name); }
+
+  /// Lines handed to the sink / suppressed by the token bucket so far.
+  std::uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t now_millis();
+  void emit(std::string line);  ///< token-bucket check + sink, under lock
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::Off)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::mutex mutex_;  ///< guards sink_, bucket state, pending_dropped_
+  Sink sink_;
+  std::function<std::uint64_t()> clock_;
+  double rate_per_sec_ = 0.0;
+  double burst_ = 32.0;
+  double tokens_ = 0.0;
+  std::uint64_t refilled_at_millis_ = 0;
+  std::uint64_t pending_dropped_ = 0;
+};
+
+}  // namespace tdc::obs
+
+#endif  // TDC_OBS_LOG_H

@@ -9,6 +9,12 @@
 namespace tdc::obs {
 
 void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  // Empty snapshots report min = 0 as a placeholder, not as a sample, so
+  // both directions of the fold must special-case count == 0: merging an
+  // empty `other` must change nothing (early return — its min/max are not
+  // data), and merging into an empty `this` must adopt other.min even when
+  // it is larger than the placeholder 0 (the `count == 0` seed below).
+  // Pinned by MergeSeedsMinFromFirstNonEmptySnapshot in obs_test.
   if (other.count == 0) return;
   if (count == 0 || other.min < min) min = other.min;
   if (other.max > max) max = other.max;
@@ -77,11 +83,33 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::unique_lock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::unique_lock lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, GaugeSnapshot{gauge->value(), gauge->peak()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -91,6 +119,18 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, counter] : counters_) {
     json += first ? "\n" : ",\n";
     json += "    \"" + json_escape(name) + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "{\"value\": %lld, \"peak\": %lld}",
+                  static_cast<long long>(gauge->value()),
+                  static_cast<long long>(gauge->peak()));
+    json += first ? "\n" : ",\n";
+    json += "    \"" + json_escape(name) + "\": " + buf;
     first = false;
   }
   json += first ? "},\n" : "\n  },\n";

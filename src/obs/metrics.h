@@ -5,11 +5,13 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace tdc::obs {
 
@@ -22,6 +24,83 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level with a high-watermark: queue occupancy, in-flight
+/// jobs, live connections, RSS. set()/add() fold the peak as a side effect,
+/// so "how bad did it get" survives the level dropping back to zero. Signed,
+/// because add(-1) on connection close is the natural call shape; relaxed
+/// atomics — like Counter, gauges are statistics, not synchronization.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    fold_peak(v);
+  }
+  void add(std::int64_t delta) {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    fold_peak(now);
+  }
+  /// Raises the high-watermark without touching the level — how an external
+  /// peak (e.g. a queue's own max-depth counter) folds into the gauge.
+  void record_peak(std::int64_t v) { fold_peak(v); }
+
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  void fold_peak(std::int64_t v) {
+    std::int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (v > seen && !peak_.compare_exchange_weak(seen, v,
+                                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Rolling per-second rate reconstructed from samples of one monotonic
+/// counter: feed (timestamp, counter value) pairs and per_second() answers
+/// over the retained window — how `stats --follow` turns two OpenMetrics
+/// scrapes into a live requests/sec readout. Deterministic and clock-free:
+/// the caller supplies every timestamp, so tests drive it with synthetic
+/// millis. Single-threaded by design (a display loop owns it).
+class RateWindow {
+ public:
+  explicit RateWindow(std::size_t capacity = 32)
+      : capacity_(capacity == 0 ? 2 : capacity) {}
+
+  /// Appends one observation of the counter. A value below the previous
+  /// sample means the counter restarted (daemon bounce) — the window resets
+  /// rather than reporting a huge negative rate.
+  void sample(std::uint64_t at_millis, std::uint64_t value) {
+    if (!points_.empty() && value < points_.back().value) points_.clear();
+    points_.push_back({at_millis, value});
+    if (points_.size() > capacity_) points_.erase(points_.begin());
+  }
+
+  /// Counter increase per second across the whole retained window; 0 with
+  /// fewer than two samples or zero elapsed time.
+  double per_second() const {
+    if (points_.size() < 2) return 0.0;
+    const Point& oldest = points_.front();
+    const Point& newest = points_.back();
+    if (newest.at_millis <= oldest.at_millis) return 0.0;
+    return 1000.0 * static_cast<double>(newest.value - oldest.value) /
+           static_cast<double>(newest.at_millis - oldest.at_millis);
+  }
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t at_millis;
+    std::uint64_t value;
+  };
+  std::size_t capacity_;
+  std::vector<Point> points_;
 };
 
 /// Bucket count shared by every histogram: 48 log2 buckets cover ~3 days in
@@ -175,27 +254,49 @@ std::string snapshot_summary_json(const HistogramSnapshot& s);
 /// `count=8 min=1024 p50=4096.0 p95=4096.0 p99=4096.0 max=4096 mean=3712.0`.
 std::string snapshot_summary_line(const HistogramSnapshot& s);
 
-/// Named counters + histograms, created on first use and stable for the
-/// registry's lifetime — the engine instruments every stage through one of
-/// these, and benches read the same numbers the production path records.
+/// Point-in-time copy of one gauge (value + high-watermark).
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+};
+
+/// Consistent-enough copy of a whole registry: each instrument read
+/// atomically, the instrument set under the registry lock. This is the
+/// input shape shared by every exporter (to_json, openmetrics_render,
+/// metrics_ndjson_line), so they can never disagree about what exists.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named counters + gauges + histograms, created on first use and stable for
+/// the registry's lifetime — the engine instruments every stage through one
+/// of these, and benches read the same numbers the production path records.
 ///
-/// counter()/histogram() return references that stay valid until the
+/// counter()/gauge()/histogram() return references that stay valid until the
 /// registry is destroyed, so hot paths resolve a name once and keep the
 /// pointer. to_json() is a consistent-enough snapshot for reporting: each
 /// instrument is read atomically, the set of instruments under a lock.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// {"counters": {name: value, ...}, "histograms": {name: {count, sum,
-  /// min, max, mean, p50, p95, p99, buckets: [[upper_bound, count], ...]},
-  /// ...}} — keys sorted (std::map), so the rendering is deterministic.
+  /// Copies every instrument (exporter input; see RegistrySnapshot).
+  RegistrySnapshot snapshot() const;
+
+  /// {"counters": {name: value, ...}, "gauges": {name: {value, peak}, ...},
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
+  /// buckets: [[upper_bound, count], ...]}, ...}} — keys sorted (std::map),
+  /// so the rendering is deterministic.
   std::string to_json() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
@@ -211,6 +312,9 @@ class MetricScope {
 
   Counter& counter(const std::string& name) const {
     return registry_->counter(qualified(name));
+  }
+  Gauge& gauge(const std::string& name) const {
+    return registry_->gauge(qualified(name));
   }
   Histogram& histogram(const std::string& name) const {
     return registry_->histogram(qualified(name));

@@ -1,0 +1,129 @@
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+#include <unistd.h>
+
+namespace tdc::obs {
+
+namespace {
+
+/// %g-style float rendering for sample values: integral values print with
+/// no fraction ("12"), others with enough digits to round-trip a quantile.
+std::string number(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+void type_line(std::string& out, const std::string& family, const char* type) {
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "tdc_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string openmetrics_render(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "counter");
+    out += family + "_total " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, g] : snapshot.gauges) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "gauge");
+    out += family + " " + std::to_string(g.value) + "\n";
+    type_line(out, family + "_peak", "gauge");
+    out += family + "_peak " + std::to_string(g.peak) + "\n";
+  }
+  for (const auto& [name, s] : snapshot.histograms) {
+    const std::string family = openmetrics_name(name);
+    type_line(out, family, "summary");
+    out += family + "{quantile=\"0.5\"} " + number(s.p50()) + "\n";
+    out += family + "{quantile=\"0.95\"} " + number(s.p95()) + "\n";
+    out += family + "{quantile=\"0.99\"} " + number(s.p99()) + "\n";
+    out += family + "_sum " + std::to_string(s.sum) + "\n";
+    out += family + "_count " + std::to_string(s.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string openmetrics_render(const MetricsRegistry& registry) {
+  return openmetrics_render(registry.snapshot());
+}
+
+std::string metrics_ndjson_line(const RegistrySnapshot& snapshot,
+                                std::uint64_t ts_millis) {
+  std::string out = "{\"ts_ms\": " + std::to_string(ts_millis);
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\"" : ", \"";
+    out += json_escape(name);
+    out += "\": ";
+    out += std::to_string(value);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snapshot.gauges) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "{\"value\": %lld, \"peak\": %lld}",
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.peak));
+    out += first ? "\"" : ", \"";
+    out += json_escape(name);
+    out += "\": ";
+    out += buf;
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, s] : snapshot.histograms) {
+    out += first ? "\"" : ", \"";
+    out += json_escape(name);
+    out += "\": ";
+    out += snapshot_summary_json(s);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::uint64_t process_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int got = std::fscanf(statm, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(statm);
+  if (got != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace tdc::obs

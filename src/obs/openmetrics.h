@@ -1,0 +1,52 @@
+#ifndef TDC_OBS_OPENMETRICS_H
+#define TDC_OBS_OPENMETRICS_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tdc::obs {
+
+/// A registry name ("serve.compress.micros") as a legal OpenMetrics metric
+/// name: every character outside [a-zA-Z0-9_] becomes '_', and the result
+/// carries the "tdc_" exposition prefix ("tdc_serve_compress_micros").
+std::string openmetrics_name(const std::string& name);
+
+/// Renders one registry snapshot in the OpenMetrics text exposition format
+/// (the Prometheus scrape format):
+///
+///   - every Counter is a `counter` family; its single sample carries the
+///     mandatory `_total` suffix,
+///   - every Gauge is two `gauge` families: the level under its own name
+///     and the high-watermark under `<name>_peak`,
+///   - every Histogram is a `summary` family: p50/p95/p99 as `quantile`
+///     labels plus the exact `_sum`/`_count` pair (the log2 buckets stay a
+///     JSON-side detail; quantiles are what dashboards plot).
+///
+/// Families are emitted in name order and the output ends with the `# EOF`
+/// terminator, so the rendering is deterministic and a strict parser
+/// accepts it (tools/check_openmetrics.py validates exactly this grammar
+/// in CI).
+std::string openmetrics_render(const RegistrySnapshot& snapshot);
+
+/// Convenience overload: snapshot + render under the registry's lock
+/// discipline — what the daemon's `metrics` op serves.
+std::string openmetrics_render(const MetricsRegistry& registry);
+
+/// One newline-free JSON object for the daemon's `--metrics-log` NDJSON
+/// stream: {"ts_ms": …, "counters": {…}, "gauges": {name: {"value": …,
+/// "peak": …}, …}, "histograms": {name: {count, sum, min, max, mean, p50,
+/// p95, p99}, …}}. Keys sorted, histograms summarized without buckets —
+/// one line per sampler tick stays greppable and cheap to append forever.
+std::string metrics_ndjson_line(const RegistrySnapshot& snapshot,
+                                std::uint64_t ts_millis);
+
+/// Resident set size of the calling process in bytes, read from
+/// /proc/self/statm; 0 where that interface does not exist. Cheap enough
+/// for a once-per-second sampler, not for a hot loop.
+std::uint64_t process_rss_bytes();
+
+}  // namespace tdc::obs
+
+#endif  // TDC_OBS_OPENMETRICS_H

@@ -1,5 +1,7 @@
 #include "service/client.h"
 
+#include "obs/trace.h"
+
 namespace tdc::service {
 
 Result<Client> Client::connect(const ClientOptions& options) {
@@ -14,11 +16,20 @@ Result<Client> Client::connect(const ClientOptions& options) {
 Result<Frame> Client::call(const std::string& op,
                            std::vector<std::pair<std::string, std::string>> params,
                            std::string payload) {
+  // The client half of the distributed trace: this span brackets the whole
+  // round trip, and the trace id it carries is the one the daemon stamps on
+  // its own spans for this request.
+  obs::TraceSpan span("client.call");
+  span.arg("op", op);
   Frame request;
   request.id = std::to_string(next_id_++);
   request.op = op;
   request.params = std::move(params);
   request.payload = std::move(payload);
+  if (!trace_id_.empty()) {
+    request.add_param("trace", trace_id_);
+    span.arg("trace", trace_id_);
+  }
   if (Status s = write_frame(fd_.get(), request, io_timeout_ms_); !s.ok()) {
     return s.error();
   }

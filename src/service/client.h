@@ -20,6 +20,13 @@ struct ClientOptions {
   int io_timeout_ms = 30000;
   /// Caps on daemon responses (same discipline as the server applies to us).
   FrameLimits limits;
+
+  /// When non-empty, every call() stamps a `trace=<id>` param on the wire
+  /// and attaches the same id to its client-side span — the daemon echoes
+  /// it onto serve.request/serve.task/engine.* spans, so one Perfetto
+  /// query follows a request from this process into the worker that
+  /// served it.
+  std::string trace_id;
 };
 
 /// One framed request/response session with a tdcd daemon. Requests are
@@ -49,11 +56,13 @@ class Client {
   Client(Fd fd, const ClientOptions& options)
       : fd_(std::move(fd)),
         reader_(fd_.get(), options.limits, options.io_timeout_ms),
-        io_timeout_ms_(options.io_timeout_ms) {}
+        io_timeout_ms_(options.io_timeout_ms),
+        trace_id_(options.trace_id) {}
 
   Fd fd_;
   FrameReader reader_;
   int io_timeout_ms_;
+  std::string trace_id_;
   std::uint64_t next_id_ = 1;
 };
 

@@ -1,5 +1,6 @@
 #include "service/dispatch.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -12,6 +13,9 @@
 #include "codec/select.h"
 #include "engine/manifest.h"
 #include "lzw/stream_io.h"
+#include "obs/json.h"
+#include "obs/openmetrics.h"
+#include "obs/trace.h"
 #include "scan/testset_io.h"
 
 namespace tdc::service {
@@ -88,8 +92,8 @@ std::string u64_str(std::uint64_t v) { return std::to_string(v); }
 /// Known ops get their own serve.<op>.* scope; everything else shares
 /// serve.unknown.* so a hostile client cannot grow the registry unboundedly.
 const char* metric_op(const std::string& op) {
-  for (const char* known :
-       {"ping", "compress", "decompress", "verify", "inspect", "stats"}) {
+  for (const char* known : {"ping", "compress", "decompress", "verify",
+                            "inspect", "stats", "metrics"}) {
     if (op == known) return known;
   }
   return "unknown";
@@ -107,21 +111,81 @@ std::string container_summary(const lzw::ContainerInfo& c) {
 
 }  // namespace
 
+void SlowLog::observe(SlowLogEntry entry) {
+  std::lock_guard lock(mutex_);
+  const auto at = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const SlowLogEntry& a, const SlowLogEntry& b) { return a.micros > b.micros; });
+  entries_.insert(at, std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<SlowLogEntry> SlowLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+std::string SlowLog::to_json() const {
+  std::string json = "[";
+  bool first = true;
+  for (const SlowLogEntry& e : snapshot()) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\"micros\": %llu, \"bytes_in\": %llu, \"bytes_out\": %llu, "
+                  "\"error\": %s}",
+                  static_cast<unsigned long long>(e.micros),
+                  static_cast<unsigned long long>(e.bytes_in),
+                  static_cast<unsigned long long>(e.bytes_out),
+                  e.error ? "true" : "false");
+    json += first ? "\n" : ",\n";
+    json += "    {\"id\": \"" + obs::json_escape(e.id) + "\", \"op\": \"" +
+            obs::json_escape(e.op) + "\", \"trace\": \"" +
+            obs::json_escape(e.trace) + "\", ";
+    json += buf;
+    first = false;
+  }
+  json += first ? "]" : "\n  ]";
+  return json;
+}
+
 Frame Dispatcher::handle(const Frame& request) {
   const auto start = std::chrono::steady_clock::now();
   obs::MetricScope scope(registry_, std::string("serve.") + metric_op(request.op));
   scope.counter("requests").add();
   scope.counter("bytes_in").add(request.payload.size());
 
-  Frame response = dispatch(request);
+  Frame response;
+  std::uint64_t micros = 0;
+  {
+    // The request span closes before the latency is recorded so its
+    // duration nests strictly inside what serve.<op>.micros reports.
+    obs::TraceSpan span("serve.request");
+    span.arg("op", request.op);
+    span.arg("id", request.id);
+    if (const std::string trace = request.param("trace"); !trace.empty()) {
+      span.arg("trace", trace);
+    }
+    response = dispatch(request);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  }
   response.id = request.id;  // the one invariant every client relies on
 
   if (response.op == "error") scope.counter("errors").add();
   scope.counter("bytes_out").add(response.payload.size());
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  scope.histogram("micros").record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  scope.histogram("micros").record(micros);
+  slowlog_.observe(SlowLogEntry{request.id, request.op, request.param("trace"),
+                                micros, request.payload.size(),
+                                response.payload.size(),
+                                response.op == "error"});
   return response;
+}
+
+void Dispatcher::refresh_sampled_instruments() {
+  runner_.publish_queue_stats();
+  registry_.gauge("process.rss_bytes")
+      .set(static_cast<std::int64_t>(obs::process_rss_bytes()));
 }
 
 Frame Dispatcher::dispatch(const Frame& request) {
@@ -136,11 +200,28 @@ Frame Dispatcher::dispatch(const Frame& request) {
     // Served inline on the connection thread, deliberately NOT through the
     // pool: stats must answer even when every worker is busy — that is
     // exactly when an operator asks for them.
-    runner_.publish_queue_stats();
+    refresh_sampled_instruments();
     Frame resp;
     resp.op = "ok";
     resp.add_param("in_flight", u64_str(runner_.in_flight()));
-    resp.payload = registry_.to_json();
+    // Splice the slowlog array in as a sibling of counters/gauges/
+    // histograms: the registry renders "...\n}\n", so the final brace is
+    // reopened rather than teaching the obs layer about request logs.
+    std::string json = registry_.to_json();
+    json.resize(json.rfind('}'));
+    json += "  ,\"slowlog\": " + slowlog_.to_json() + "\n}\n";
+    resp.payload = std::move(json);
+    return resp;
+  }
+
+  if (request.op == "metrics") {
+    // Inline for the same reason as stats: the scrape endpoint must answer
+    // while the pool is saturated.
+    refresh_sampled_instruments();
+    Frame resp;
+    resp.op = "ok";
+    resp.add_param("format", "openmetrics");
+    resp.payload = obs::openmetrics_render(registry_);
     return resp;
   }
 
@@ -243,6 +324,7 @@ Frame Dispatcher::do_compress(const Frame& request) {
   // immediately, without costing a pool slot), run it on the pool.
   engine::JobSpec spec;
   spec.name = request.param("name", "req-" + request.id);
+  spec.trace = request.param("trace");
 
   Result<std::uint32_t> dict = u32_param(request, "dict", spec.config.dict_size);
   Result<std::uint32_t> chr = u32_param(request, "char", spec.config.char_bits);
@@ -314,8 +396,15 @@ Frame Dispatcher::run_on_pool(const Frame& request,
                               std::function<Result<Frame>()> work) {
   auto waiter = std::make_shared<Waiter>();
   auto result = std::make_shared<std::optional<Result<Frame>>>();
-  const bool accepted =
-      runner_.submit_task([waiter, result, work = std::move(work)]() {
+  const bool accepted = runner_.submit_task(
+      [waiter, result, work = std::move(work), op = request.op,
+       trace = request.param("trace")]() {
+        // The worker-side half of the request's trace: same id as the
+        // connection thread's serve.request span, so the hand-off is one
+        // query in Perfetto.
+        obs::TraceSpan span("serve.task");
+        span.arg("op", op);
+        if (!trace.empty()) span.arg("trace", trace);
         result->emplace(guarded_frame(work));
         waiter->signal();
       });

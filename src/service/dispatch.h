@@ -1,14 +1,52 @@
 #ifndef TDC_SERVICE_DISPATCH_H
 #define TDC_SERVICE_DISPATCH_H
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "obs/metrics.h"
 #include "service/framing.h"
 
 namespace tdc::service {
+
+/// One request in the slow-request ring: enough to find the matching spans
+/// in a trace (id + trace) and to judge the request's weight (op, sizes).
+struct SlowLogEntry {
+  std::string id;
+  std::string op;
+  std::string trace;  ///< client-stamped trace id; empty if none
+  std::uint64_t micros = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  bool error = false;
+};
+
+/// Bounded top-K-by-latency record of every request the dispatcher served —
+/// the outlier capture a histogram cannot give back (a p99 says *that* slow
+/// requests exist; the slowlog says *which*). observe() is O(K) under one
+/// mutex with K small (default 16), so the per-request cost is noise next
+/// to the socket round trip. Snapshot order is slowest-first.
+class SlowLog {
+ public:
+  explicit SlowLog(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  void observe(SlowLogEntry entry);
+  std::vector<SlowLogEntry> snapshot() const;
+
+  /// `[{"id": …, "op": …, "trace": …, "micros": …, "bytes_in": …,
+  /// "bytes_out": …, "error": …}, …]` — slowest first, deterministic
+  /// for a fixed set of observations.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<SlowLogEntry> entries_;  ///< sorted by micros, descending
+};
 
 /// Maps one request frame to one response frame. All CPU-bound work
 /// (compress jobs via JobRunner::submit, decode-side ops via submit_task)
@@ -30,21 +68,35 @@ namespace tdc::service {
 ///   verify      payload: container bytes → integrity + decode check;
 ///               ok payload is a human-readable summary line.
 ///   inspect     payload: container bytes or .tests text → description.
-///   stats       payload out: live obs registry JSON (queue stats published
-///               first, so queue.service.* is current mid-flight).
+///   stats       payload out: live obs registry JSON — counters (including
+///               the per-codec codec.selected.* family the offline stats
+///               subcommand reports), gauges, histograms — plus the
+///               "slowlog" array (queue stats published first, so
+///               queue.service.* is current mid-flight).
+///   metrics     payload out: the same registry in the OpenMetrics text
+///               exposition format (obs::openmetrics_render) — the scrape
+///               endpoint for Prometheus-shaped collectors.
 ///
 /// Per-endpoint metrics land under "serve.<op>.*" (requests, errors,
 /// bytes_in, bytes_out, micros) via obs::MetricScope; unknown ops share
 /// "serve.unknown.*" so a hostile client cannot grow the registry without
 /// bound.
+///
+/// Tracing: a client-stamped `trace=<id>` param is attached to this
+/// request's serve.request span and propagated into the pool-side spans
+/// (serve.task, engine.<stage>), so one Perfetto view follows the id from
+/// the client process into the worker that served it.
 class Dispatcher {
  public:
-  Dispatcher(engine::JobRunner& runner, obs::MetricsRegistry& registry)
-      : runner_(runner), registry_(registry) {}
+  Dispatcher(engine::JobRunner& runner, obs::MetricsRegistry& registry,
+             std::size_t slowlog_capacity = 16)
+      : runner_(runner), registry_(registry), slowlog_(slowlog_capacity) {}
 
   /// Handles one request synchronously. Never throws; never returns a frame
   /// whose id differs from the request's.
   Frame handle(const Frame& request);
+
+  const SlowLog& slowlog() const { return slowlog_; }
 
  private:
   Frame dispatch(const Frame& request);
@@ -52,9 +104,13 @@ class Dispatcher {
   /// Runs `work` on the runner pool and waits for its frame; Busy error
   /// frame when the in-flight cap refuses the task.
   Frame run_on_pool(const Frame& request, std::function<Result<Frame>()> work);
+  /// Stamps process.rss_bytes and the live queue stats — both reporting
+  /// endpoints (stats, metrics) refresh through this before rendering.
+  void refresh_sampled_instruments();
 
   engine::JobRunner& runner_;
   obs::MetricsRegistry& registry_;
+  SlowLog slowlog_;
 };
 
 }  // namespace tdc::service

@@ -1,11 +1,15 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <fstream>
 #include <utility>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "obs/openmetrics.h"
 
 namespace tdc::service {
 
@@ -26,17 +30,20 @@ Server::Server(ServerOptions options)
           engine::JobRunner::Options{options_.workers, options_.max_in_flight,
                                      options_.verify},
           &metrics_)),
-      dispatcher_(*runner_, metrics_) {}
+      dispatcher_(*runner_, metrics_) {
+  obs::Log::Options log_options;
+  log_options.level = options_.log_level;
+  log_options.sink = options_.log_sink;
+  log_options.rate_per_sec = options_.log_rate_per_sec;
+  log_options.burst = options_.log_burst;
+  log_.configure(std::move(log_options));
+}
 
 Server::~Server() {
   if (started_) {
     request_stop();
     wait();
   }
-}
-
-void Server::say(const std::string& line) {
-  if (options_.log) options_.log(line);
 }
 
 Status Server::start() {
@@ -50,9 +57,16 @@ Status Server::start() {
   if (!listener.ok()) return listener.error();
   listen_fd_ = std::move(listener).take();
 
+  epoch_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (!options_.metrics_log_path.empty()) {
+    sampler_ = std::thread([this] { sampler_loop(); });
+  }
   started_ = true;
-  say("tdcd listening on " + options_.socket_path);
+  log_.info("server.listen")
+      .str("socket", options_.socket_path)
+      .u64("workers", options_.workers)
+      .u64("max_connections", options_.max_connections);
   return {};
 }
 
@@ -89,7 +103,7 @@ void Server::accept_loop() {
     const int rc = ::poll(pfds, 2, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      say("tdcd accept poll failed; shutting down");
+      log_.error("server.poll_failed").i64("errno", errno);
       return;
     }
     if (pfds[0].revents != 0) return;  // stop requested
@@ -104,12 +118,15 @@ void Server::accept_loop() {
       std::lock_guard lock(connections_mutex_);
       if (connections_.size() >= options_.max_connections) {
         metrics_.counter("serve.connections.refused").add();
+        log_.warn("conn.refused").u64("live", connections_.size());
         // A typed refusal, not a silent close — bounded by a short write
         // timeout so a hostile non-reading peer cannot stall the acceptor.
         (void)write_frame(client.get(), busy_refusal(), 1000);
         continue;
       }
       metrics_.counter("serve.connections.accepted").add();
+      metrics_.gauge("serve.connections.live").add(1);
+      log_.debug("conn.accept").u64("live", connections_.size() + 1);
       auto conn = std::make_unique<Connection>();
       conn->fd = std::move(client);
       Connection* raw = conn.get();
@@ -130,6 +147,7 @@ void Server::serve_connection(Connection* conn) {
     if (!got.ok()) {
       if (got.error().kind == ErrorKind::ProtocolError) {
         metrics_.counter("serve.protocol_errors").add();
+        log_.warn("conn.protocol_error").str("detail", got.error().message);
         // Best-effort: tell the peer why before hanging up. Its id is
         // unknowable from a malformed frame, hence the "-" placeholder.
         (void)write_frame(fd, make_error_frame("-", got.error()), 1000);
@@ -143,7 +161,7 @@ void Server::serve_connection(Connection* conn) {
     const Frame response = dispatcher_.handle(request);
     if (Status s = write_frame(fd, response, options_.io_timeout_ms); !s.ok()) {
       metrics_.counter("serve.io_errors").add();
-      say("tdcd client write failed: " + s.error().describe());
+      log_.warn("conn.write_failed").str("detail", s.error().describe());
       break;
     }
   }
@@ -152,7 +170,40 @@ void Server::serve_connection(Connection* conn) {
   // let the number be reused while wait() still holds a pointer to it).
   ::shutdown(fd, SHUT_RDWR);
   metrics_.counter("serve.connections.closed").add();
+  metrics_.gauge("serve.connections.live").add(-1);
+  log_.debug("conn.close");
   conn->finished.store(true, std::memory_order_release);
+}
+
+void Server::sampler_loop() {
+  std::ofstream out(options_.metrics_log_path, std::ios::app);
+  if (!out) {
+    log_.error("sampler.open_failed").str("path", options_.metrics_log_path);
+    return;
+  }
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.metrics_interval_ms, 1));
+  const auto sample = [this, &out] {
+    runner_->publish_queue_stats();
+    metrics_.gauge("process.rss_bytes")
+        .set(static_cast<std::int64_t>(obs::process_rss_bytes()));
+    const std::uint64_t ts_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    out << obs::metrics_ndjson_line(metrics_.snapshot(), ts_ms) << '\n';
+    out.flush();
+  };
+  std::unique_lock lock(sampler_mutex_);
+  while (!sampler_stop_) {
+    sampler_cv_.wait_for(lock, interval, [this] { return sampler_stop_; });
+    lock.unlock();
+    // One snapshot per tick plus a final one on the way out, so the log
+    // always ends with the post-drain state the operator actually cares
+    // about after an incident.
+    sample();
+    lock.lock();
+  }
 }
 
 int Server::wait() {
@@ -183,10 +234,22 @@ int Server::wait() {
 
   runner_->drain();
   runner_->stop();
+  // Stop the sampler after the drain so its final NDJSON line records the
+  // settled end state (queue depth back to zero, connections closed).
+  if (sampler_.joinable()) {
+    {
+      std::lock_guard lock(sampler_mutex_);
+      sampler_stop_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_.join();
+  }
   listen_fd_.reset();
   ::unlink(options_.socket_path.c_str());
   started_ = false;
-  say("tdcd stopped");
+  log_.info("server.stop")
+      .u64("connections",
+           metrics_.counter("serve.connections.accepted").value());
   return 0;
 }
 

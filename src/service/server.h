@@ -2,6 +2,8 @@
 #define TDC_SERVICE_SERVER_H
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <list>
@@ -11,6 +13,7 @@
 #include <thread>
 
 #include "engine/engine.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "service/dispatch.h"
 #include "service/framing.h"
@@ -47,9 +50,28 @@ struct ServerOptions {
   /// because engine workers do not touch sockets at all. < 0 blocks forever.
   int io_timeout_ms = 30000;
 
-  /// Lifecycle / connection-error sink ("listening on ...", "client error:
-  /// ..."). Empty = silent. The service library itself never prints.
-  std::function<void(const std::string&)> log;
+  /// Structured-log sink: receives one deterministic JSON line per
+  /// lifecycle / connection event (obs::Log; "server.listen",
+  /// "conn.refused", "server.stop", …). Empty = silent — the service
+  /// library itself never prints.
+  obs::Log::Sink log_sink;
+
+  /// Severity threshold for log_sink (per-connection accept/close chatter
+  /// sits at Debug, lifecycle and errors at Info and above).
+  obs::LogLevel log_level = obs::LogLevel::Info;
+
+  /// Sustained log lines per second past a `log_burst`-sized burst before
+  /// the token bucket suppresses (suppressed lines surface as a
+  /// "dropped": N field on the next emitted line). 0 = unlimited.
+  double log_rate_per_sec = 0.0;
+  double log_burst = 32.0;
+
+  /// When non-empty, a sampler thread appends one NDJSON metrics snapshot
+  /// (obs::metrics_ndjson_line) to this file every metrics_interval_ms,
+  /// plus a final snapshot at shutdown — the flight recorder an operator
+  /// greps after the fact, where the `metrics` op is the live scrape.
+  std::string metrics_log_path;
+  int metrics_interval_ms = 1000;
 };
 
 /// The tdcd daemon: accepts framed requests over a unix-domain socket and
@@ -103,10 +125,11 @@ class Server {
   void accept_loop();
   void serve_connection(Connection* conn);
   void reap_finished();  ///< joins and frees connections that already ended
-  void say(const std::string& line);
+  void sampler_loop();   ///< appends NDJSON snapshots to metrics_log_path
 
   ServerOptions options_;
   obs::MetricsRegistry metrics_;
+  obs::Log log_;
   std::unique_ptr<engine::JobRunner> runner_;
   Dispatcher dispatcher_;
 
@@ -118,6 +141,12 @@ class Server {
 
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
+
+  std::chrono::steady_clock::time_point epoch_;  ///< ts_ms base for NDJSON
+  std::thread sampler_;
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
 };
 
 }  // namespace tdc::service

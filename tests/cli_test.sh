@@ -223,7 +223,9 @@ grep -q "codec=auto" "$WORK/mc1.txt"
 # tdcd service daemon: background serve, client round trips byte-identical
 # to the offline CLI, live stats, graceful SIGTERM drain with exit code 0.
 SOCK="$WORK/tdcd.sock"
-"$CLI" serve "$SOCK" --jobs 2 > "$WORK/serve.log" 2>&1 &
+"$CLI" serve "$SOCK" --jobs 2 --log-level debug \
+  --metrics-log "$WORK/metrics.ndjson" --metrics-interval-ms 100 \
+  > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 # The client retries the connect (--connect-wait-ms), so no sleep needed.
 "$CLI" client "$SOCK" ping | grep -q "pong"
@@ -243,10 +245,27 @@ cmp "$WORK/offline.tests" "$WORK/served.tests"
 "$CLI" client "$SOCK" verify "$WORK/served.tdclzw" | grep -q "OK"
 "$CLI" client "$SOCK" inspect "$WORK/served.tdclzw" | grep -q "TDCLZW2"
 
-# stats serves the live registry: request counters and queue contention.
+# stats serves the live registry: request counters, queue contention, the
+# occupancy gauges and the top-K slowlog.
 "$CLI" client "$SOCK" stats --out "$WORK/daemon.json"
 grep -q '"serve.compress.requests": 2' "$WORK/daemon.json"
 grep -q '"queue.service.pushes"' "$WORK/daemon.json"
+grep -q '"queue.service.depth"' "$WORK/daemon.json"
+grep -q '"process.rss_bytes"' "$WORK/daemon.json"
+grep -q '"slowlog"' "$WORK/daemon.json"
+grep -q '"op": "compress"' "$WORK/daemon.json"
+
+# The same registry in OpenMetrics text, via both spellings of the scrape.
+"$CLI" client "$SOCK" stats --openmetrics --out "$WORK/metrics.txt"
+grep -q '^tdc_serve_compress_requests_total 2$' "$WORK/metrics.txt"
+grep -q '^# TYPE tdc_queue_service_depth gauge$' "$WORK/metrics.txt"
+grep -q '^# EOF$' "$WORK/metrics.txt"
+"$CLI" stats "$SOCK" --openmetrics | grep -q '^tdc_serve_ping_requests_total '
+# Follow mode: two samples land plus a live request-rate comment line.
+"$CLI" stats "$SOCK" --openmetrics --follow 0.2 --samples 2 \
+  > "$WORK/follow.txt"
+grep -c '^# EOF$' "$WORK/follow.txt" | grep -q 2
+grep -q '^# serve.requests ' "$WORK/follow.txt"
 
 # A hostile payload comes back as a typed error frame, not a dead daemon.
 if "$CLI" client "$SOCK" verify "$WORK/trunc.tdclzw" 2>"$WORK/serve_err.txt"; then
@@ -255,10 +274,19 @@ fi
 grep -q "Truncated" "$WORK/serve_err.txt"
 "$CLI" client "$SOCK" ping | grep -q "pong"
 
-# SIGTERM drains and exits 0; the socket file is gone afterwards.
+# SIGTERM drains and exits 0; the socket file is gone afterwards, and the
+# structured log recorded the full lifecycle as JSON lines.
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"   # set -e: a nonzero daemon exit code fails the test here
 test ! -e "$SOCK"
-grep -q "tdcd stopped" "$WORK/serve.log"
+grep -q '"event": "server.listen"' "$WORK/serve.log"
+grep -q '"event": "conn.accept"' "$WORK/serve.log"
+grep -q '"event": "server.stop"' "$WORK/serve.log"
+
+# The sampler left NDJSON snapshots behind: every line one JSON object, the
+# final (post-drain) line with the queue at depth zero.
+test -s "$WORK/metrics.ndjson"
+grep -q '"ts_ms": ' "$WORK/metrics.ndjson"
+tail -n 1 "$WORK/metrics.ndjson" | grep -q '"queue.service.depth": {"value": 0'
 
 echo "cli_test OK"

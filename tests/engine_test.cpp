@@ -783,6 +783,27 @@ TEST(JobRunnerTest, PublishesLiveQueueStatsAsDeltas) {
   EXPECT_EQ(registry.counter("queue.service.pushes").value(), pushes + 1);
 }
 
+TEST(JobRunnerTest, QueueDepthGaugeDrainsToZeroAfterStop) {
+  MetricsRegistry registry;
+  JobRunner runner(JobRunner::Options{.workers = 1}, &registry);
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec;
+    spec.name = "depth" + std::to_string(i);
+    spec.inline_tests = synthetic_tests(20 + static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(run_one(runner, std::move(spec)).ok());
+  }
+  runner.drain();
+  runner.stop();
+  runner.publish_queue_stats();
+  // Everything submitted was consumed: the occupancy gauge reads zero after
+  // the drain, while its high-watermark proves traffic actually queued.
+  EXPECT_EQ(registry.gauge("queue.service.depth").value(), 0);
+  EXPECT_GE(registry.gauge("queue.service.depth").peak(), 1);
+  EXPECT_EQ(runner.queue_stats().depth, 0u);
+  EXPECT_GE(runner.queue_stats().max_depth, 1u);
+  EXPECT_EQ(runner.in_flight(), 0u);
+}
+
 TEST(JobRunnerTest, StopDrainsQueuedWorkAndStaysIdempotent) {
   JobRunner runner(JobRunner::Options{.workers = 2});
   std::atomic<int> ran{0};

@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/trace.h"
 
 namespace {
@@ -88,6 +90,32 @@ TEST(HistogramTest, EmptySnapshotReportsZeros) {
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeSeedsMinFromFirstNonEmptySnapshot) {
+  // Regression sibling of HistogramFirstSampleSeedsMin, but for merge():
+  // an empty snapshot's min is the 0 default, and folding a non-empty
+  // snapshot in must adopt its min rather than keep that 0 — and the empty
+  // side must never drag an established min back down to 0 either.
+  obs::HistogramSnapshot empty, full;
+  full.add(4096);
+  empty.merge(full);
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.min, 4096u);
+  EXPECT_EQ(empty.max, 4096u);
+
+  obs::HistogramSnapshot a;
+  a.add(7);
+  a.merge(obs::HistogramSnapshot{});  // empty other: a complete no-op
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_EQ(a.min, 7u);
+  EXPECT_EQ(a.max, 7u);
+
+  obs::HistogramSnapshot still_empty;
+  still_empty.merge(obs::HistogramSnapshot{});  // empty into empty
+  EXPECT_EQ(still_empty.count, 0u);
+  EXPECT_EQ(still_empty.min, 0u);
+  EXPECT_EQ(still_empty.max, 0u);
 }
 
 TEST(HistogramTest, MergeFoldsMinMaxAndBuckets) {
@@ -226,6 +254,253 @@ TEST(RegistryTest, EngineAliasStillCompiles) {
   EXPECT_EQ(m.histogram("alias.micros").snapshot().count, 1u);
 }
 
+// -------------------------------------------------------------------- gauge
+
+TEST(GaugeTest, SetAddAndPeakTrackHighWatermark) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.peak(), 5);
+  g.add(3);
+  EXPECT_EQ(g.value(), 8);
+  EXPECT_EQ(g.peak(), 8);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.peak(), 8);  // the peak never follows the level down
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.peak(), 8);
+}
+
+TEST(GaugeTest, RecordPeakRaisesWatermarkWithoutTouchingLevel) {
+  obs::Gauge g;
+  g.set(3);
+  g.record_peak(20);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 20);
+  g.record_peak(10);  // lower external peak: no effect
+  EXPECT_EQ(g.peak(), 20);
+}
+
+TEST(GaugeTest, RegistryGaugeIsStableAndRendered) {
+  obs::MetricsRegistry m;
+  obs::Gauge& g = m.gauge("g.depth");
+  g.set(4);
+  EXPECT_EQ(&m.gauge("g.depth"), &g);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.depth\": {\"value\": 4, \"peak\": 4}"),
+            std::string::npos)
+      << json;
+}
+
+// -------------------------------------------------------------- rate window
+
+TEST(RateWindowTest, ComputesPerSecondRateFromDeltas) {
+  obs::RateWindow w;
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);  // empty
+  w.sample(0, 0);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);  // one sample is no rate
+  w.sample(1000, 10);
+  EXPECT_DOUBLE_EQ(w.per_second(), 10.0);
+  w.sample(2000, 30);
+  EXPECT_DOUBLE_EQ(w.per_second(), 15.0);  // (30 - 0) over 2 s
+}
+
+TEST(RateWindowTest, CounterResetClearsWindow) {
+  obs::RateWindow w;
+  w.sample(0, 100);
+  w.sample(1000, 200);
+  w.sample(2000, 5);  // counter went backwards: the daemon restarted
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+  w.sample(3000, 25);
+  EXPECT_DOUBLE_EQ(w.per_second(), 20.0);  // rates resume from the restart
+}
+
+TEST(RateWindowTest, WindowIsBoundedByCapacity) {
+  obs::RateWindow w(4);
+  for (std::uint64_t i = 0; i < 10; ++i) w.sample(i * 1000, i * 10);
+  EXPECT_EQ(w.size(), 4u);
+  // Oldest retained sample is i=6: (90 - 60) over 3 s.
+  EXPECT_DOUBLE_EQ(w.per_second(), 10.0);
+}
+
+TEST(RateWindowTest, ZeroElapsedTimeIsZeroRate) {
+  obs::RateWindow w;
+  w.sample(500, 1);
+  w.sample(500, 100);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+}
+
+// -------------------------------------------------------------- openmetrics
+
+TEST(OpenMetricsTest, NamesArePrefixedAndSanitized) {
+  EXPECT_EQ(obs::openmetrics_name("serve.compress.requests"),
+            "tdc_serve_compress_requests");
+  EXPECT_EQ(obs::openmetrics_name("queue.service.depth"),
+            "tdc_queue_service_depth");
+  EXPECT_EQ(obs::openmetrics_name("weird-name+x"), "tdc_weird_name_x");
+}
+
+TEST(OpenMetricsTest, RendersCounterGaugeAndSummaryFamilies) {
+  obs::MetricsRegistry m;
+  m.counter("serve.requests").add(3);
+  obs::Gauge& g = m.gauge("queue.depth");
+  g.set(2);
+  g.record_peak(9);
+  m.histogram("lat.micros").record(100);
+  const std::string text = obs::openmetrics_render(m);
+
+  EXPECT_NE(text.find("# TYPE tdc_serve_requests counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tdc_serve_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tdc_queue_depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_queue_depth_peak gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_queue_depth_peak 9\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_lat_micros summary\n"), std::string::npos);
+  EXPECT_NE(text.find("tdc_lat_micros{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(text.find("tdc_lat_micros{quantile=\"0.95\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_lat_micros{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_lat_micros_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("tdc_lat_micros_count 1\n"), std::string::npos);
+  // The exposition must end with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, RenderIsDeterministic) {
+  const auto build = [] {
+    obs::MetricsRegistry m;
+    m.counter("zeta").add(1);
+    m.counter("alpha").add(2);
+    m.gauge("mid").set(5);
+    m.histogram("lat").record(10);
+    return obs::openmetrics_render(m);
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_LT(a.find("tdc_alpha_total"), a.find("tdc_zeta_total"));
+}
+
+TEST(OpenMetricsTest, NdjsonLineIsOneJsonObject) {
+  obs::MetricsRegistry m;
+  m.counter("c").add(2);
+  m.gauge("g").set(-3);
+  m.histogram("h").record(8);
+  const std::string line = obs::metrics_ndjson_line(m.snapshot(), 42);
+  EXPECT_EQ(line.find("{\"ts_ms\": 42, \"counters\": {\"c\": 2}"), 0u) << line;
+  EXPECT_NE(line.find("\"gauges\": {\"g\": {\"value\": -3, \"peak\": 0}}"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"histograms\": {\"h\": "), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, no newline
+  EXPECT_EQ(line.back(), '}');
+}
+
+TEST(OpenMetricsTest, ProcessRssIsNonZeroOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(obs::process_rss_bytes(), 0u);
+#else
+  GTEST_SKIP();
+#endif
+}
+
+// ---------------------------------------------------------------------- log
+
+TEST(LogTest, DisabledSiteEmitsNothing) {
+  obs::Log log;  // default level Off, no sink
+  log.info("never").str("k", "v").u64("n", 1);
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_FALSE(log.enabled(obs::LogLevel::Error));
+}
+
+TEST(LogTest, LinesAreDeterministicWithInjectedClock) {
+  obs::Log log;
+  std::vector<std::string> lines;
+  obs::Log::Options o;
+  o.level = obs::LogLevel::Info;
+  o.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  o.clock = [] { return std::uint64_t{12}; };
+  log.configure(std::move(o));
+
+  log.info("server.listen")
+      .str("socket", "/tmp/x.sock")
+      .u64("workers", 4)
+      .i64("delta", -2)
+      .boolean("verify", true)
+      .f64("ratio", 2.5);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"ts_ms\": 12, \"level\": \"info\", \"event\": \"server.listen\""
+            ", \"socket\": \"/tmp/x.sock\", \"workers\": 4, \"delta\": -2"
+            ", \"verify\": true, \"ratio\": 2.500}");
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST(LogTest, LevelThresholdFilters) {
+  obs::Log log;
+  std::vector<std::string> lines;
+  obs::Log::Options o;
+  o.level = obs::LogLevel::Warn;
+  o.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  o.clock = [] { return std::uint64_t{0}; };
+  log.configure(std::move(o));
+
+  EXPECT_FALSE(log.enabled(obs::LogLevel::Debug));
+  EXPECT_FALSE(log.enabled(obs::LogLevel::Info));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::Warn));
+  log.debug("d");
+  log.info("i");
+  log.warn("w");
+  log.error("e");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\": \"w\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\": \"e\""), std::string::npos);
+}
+
+TEST(LogTest, TokenBucketDropsAndSurfacesCount) {
+  obs::Log log;
+  std::vector<std::string> lines;
+  std::uint64_t now = 0;
+  obs::Log::Options o;
+  o.level = obs::LogLevel::Info;
+  o.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  o.clock = [&now] { return now; };
+  o.rate_per_sec = 1.0;
+  o.burst = 2.0;
+  log.configure(std::move(o));
+
+  for (int i = 0; i < 5; ++i) log.info("flood").u64("i", i);
+  EXPECT_EQ(lines.size(), 2u);  // burst of 2, then the bucket is dry
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+
+  now = 4000;  // 4 s later: refill (clamped to burst)
+  log.info("after");
+  ASSERT_EQ(lines.size(), 3u);
+  // The suppression window is surfaced on the next emitted line.
+  EXPECT_NE(lines[2].find("\"dropped\": 3"), std::string::npos) << lines[2];
+  EXPECT_EQ(lines[2].back(), '}');
+}
+
+TEST(LogTest, ParseLevelRoundTrips) {
+  for (const obs::LogLevel level :
+       {obs::LogLevel::Debug, obs::LogLevel::Info, obs::LogLevel::Warn,
+        obs::LogLevel::Error, obs::LogLevel::Off}) {
+    EXPECT_EQ(obs::parse_log_level(obs::log_level_name(level)), level);
+  }
+  EXPECT_EQ(obs::parse_log_level("bogus"), obs::LogLevel::Off);
+}
+
 // -------------------------------------------------------------------- trace
 
 TEST(TraceTest, DisabledRecorderKeepsSpansFree) {
@@ -312,6 +587,35 @@ TEST(ObsConcurrencyTest, RegistryTotalsMatchSubmittedWork) {
   EXPECT_EQ(s.sum, kThreads * kSamplesPerThread * (kSamplesPerThread + 1) / 2);
   EXPECT_EQ(s.min, 1u);
   EXPECT_EQ(s.max, kSamplesPerThread);
+}
+
+TEST(ObsConcurrencyTest, GaugeAddsBalanceAndPeakIsStable) {
+  constexpr std::uint64_t kOpsPerThread = 20000;
+  obs::MetricsRegistry m;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      obs::Gauge& g = m.gauge("conc.gauge");
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        if (t % 2 == 0) {
+          g.add(1);
+          g.add(-1);
+        } else {
+          m.gauge("conc.gauge").add(1);  // the registry lock path
+          m.gauge("conc.gauge").add(-1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every +1 was matched by a -1, so the level settles at zero; the peak
+  // is at least one and can never exceed the number of threads (each holds
+  // at most one outstanding increment).
+  EXPECT_EQ(m.gauge("conc.gauge").value(), 0);
+  EXPECT_GE(m.gauge("conc.gauge").peak(), 1);
+  EXPECT_LE(m.gauge("conc.gauge").peak(),
+            static_cast<std::int64_t>(kThreads));
 }
 
 TEST(ObsConcurrencyTest, TraceRecorderCountsOverlappingSpans) {

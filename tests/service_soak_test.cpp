@@ -170,8 +170,10 @@ TEST(ServiceSoakTest, ConcurrentMixedClientsStayIsolatedAndLeakFree) {
             break;
           }
           default: {
-            const std::string token = "c" + std::to_string(c) + "r" +
-                                      std::to_string(r);
+            std::string token = "c";
+            token += std::to_string(c);
+            token += "r";
+            token += std::to_string(r);
             Result<Frame> resp = client.call("ping", {}, token);
             ok = resp.ok() && resp.value().payload == token;
             break;

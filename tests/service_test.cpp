@@ -21,6 +21,7 @@
 #include "codec/select.h"
 #include "lzw/encoder.h"
 #include "lzw/stream_io.h"
+#include "obs/trace.h"
 #include "scan/testset_io.h"
 #include "service/client.h"
 #include "service/framing.h"
@@ -559,6 +560,197 @@ TEST_F(ServiceTest, ConnectionCapRefusesWithBusyFrame) {
   ASSERT_TRUE(got.ok() && got.value());
   EXPECT_EQ(resp.op, "error");
   EXPECT_EQ(decode_error_frame(resp).kind, ErrorKind::Busy);
+}
+
+// ------------------------------------------------------------ telemetry
+
+TEST_F(ServiceTest, MetricsOpRendersOpenMetrics) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.call("compress", {}, tests_text(43)).ok());
+  Result<Frame> resp = client.call("metrics");
+  ASSERT_TRUE(resp.ok()) << resp.error().describe();
+  EXPECT_EQ(resp.value().param("format"), "openmetrics");
+  const std::string& text = resp.value().payload;
+  // Counter family, gauge family (+peak), and a summary with quantiles.
+  EXPECT_NE(text.find("# TYPE tdc_serve_compress_requests counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tdc_serve_compress_requests_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_serve_connections_live gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_serve_connections_live_peak "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_queue_service_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_process_rss_bytes "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tdc_serve_compress_micros summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdc_serve_compress_micros{quantile=\"0.99\"} "),
+            std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(ServiceTest, StatsSchemaIsPinnedIncludingCodecSelection) {
+  // Golden schema check over a fixed request sequence (single worker, so
+  // the counters below are exact): the daemon's stats response carries the
+  // same codec.selected.* family the offline stats subcommand reports,
+  // plus the serve/queue/runner instrument names dashboards key on.
+  ServerOptions options;
+  options.workers = 1;
+  StartServer(std::move(options));
+  Client client = MustConnect();
+  ASSERT_TRUE(client.call("ping", {}, "x").ok());
+  ASSERT_TRUE(
+      client.call("compress", {{"codec", "auto"}}, tests_text(41)).ok());
+  Result<Frame> stats = client.call("stats");
+  ASSERT_TRUE(stats.ok()) << stats.error().describe();
+  const std::string& json = stats.value().payload;
+  for (const char* key :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"slowlog\"",
+        "\"codec.selected.", "\"codec.select.micros\"", "\"runner.jobs\"",
+        "\"runner.ok\"", "\"runner.in_flight\"", "\"queue.service.pushes\"",
+        "\"queue.service.depth\"", "\"process.rss_bytes\"",
+        "\"serve.ping.requests\"", "\"serve.compress.requests\"",
+        "\"serve.compress.micros\"", "\"serve.connections.live\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in\n"
+                                                 << json;
+  }
+  EXPECT_EQ(counter_value(json, "serve.ping.requests"), 1u);
+  EXPECT_EQ(counter_value(json, "serve.compress.requests"), 1u);
+  EXPECT_EQ(counter_value(json, "runner.jobs"), 1u);
+}
+
+TEST_F(ServiceTest, SlowLogRecordsRequestsWithTraceAndSizes) {
+  StartServer();
+  ClientOptions copts;
+  copts.socket_path = socket_path_;
+  copts.connect_wait_ms = 2000;
+  copts.io_timeout_ms = 10000;
+  copts.trace_id = "t-slow";
+  Result<Client> client = Client::connect(copts);
+  ASSERT_TRUE(client.ok());
+  const std::string text = tests_text(47);
+  ASSERT_TRUE(client.value().call("compress", {}, text).ok());
+  Result<Frame> stats = client.value().call("stats");
+  ASSERT_TRUE(stats.ok());
+  const std::string& json = stats.value().payload;
+  // The compress request landed in the slowlog with its identity intact.
+  EXPECT_NE(json.find("\"op\": \"compress\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace\": \"t-slow\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bytes_in\": " + std::to_string(text.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"micros\": "), std::string::npos);
+  EXPECT_NE(json.find("\"error\": false"), std::string::npos);
+}
+
+TEST_F(ServiceTest, StructuredLogEmitsLifecycleEventsAsJsonLines) {
+  std::mutex lines_mutex;
+  std::vector<std::string> lines;
+  ServerOptions options;
+  options.log_level = obs::LogLevel::Debug;
+  options.log_sink = [&lines_mutex, &lines](const std::string& line) {
+    std::lock_guard lock(lines_mutex);
+    lines.push_back(line);
+  };
+  StartServer(std::move(options));
+  {
+    Client client = MustConnect();
+    ASSERT_TRUE(client.call("ping", {}, "x").ok());
+  }
+  server_->request_stop();
+  EXPECT_EQ(server_->wait(), 0);
+  server_.reset();
+
+  std::lock_guard lock(lines_mutex);
+  const auto has_event = [&](const std::string& name) {
+    const std::string needle = "\"event\": \"" + name + "\"";
+    return std::any_of(lines.begin(), lines.end(), [&](const std::string& l) {
+      return l.find(needle) != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(has_event("server.listen"));
+  EXPECT_TRUE(has_event("conn.accept"));
+  EXPECT_TRUE(has_event("conn.close"));
+  EXPECT_TRUE(has_event("server.stop"));
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    EXPECT_NE(line.find("\"ts_ms\": "), std::string::npos) << line;
+    EXPECT_NE(line.find("\"level\": \""), std::string::npos) << line;
+  }
+}
+
+TEST_F(ServiceTest, TraceIdPropagatesAcrossTheWireIntoDrainedSpans) {
+  // One client-stamped trace id must appear on the daemon-side spans —
+  // including when the recorder is dumped after a SIGTERM-style drain with
+  // the request still in flight (the incident-capture path).
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.enable("/dev/null");
+  StartServer();
+
+  const std::string big = tests_text(53, 400000);
+  {
+    // An inspect rides the run_on_pool path (serve.task span), while the
+    // compress below rides JobRunner::submit (engine.<stage> spans) — the
+    // same id must thread through both.
+    ClientOptions copts;
+    copts.socket_path = socket_path_;
+    copts.connect_wait_ms = 2000;
+    copts.io_timeout_ms = 10000;
+    copts.trace_id = "t-42";
+    Result<Client> client = Client::connect(copts);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value().call("inspect", {}, tests_text(59)).ok());
+  }
+  std::atomic<bool> ok{false};
+  std::atomic<bool> finished{false};
+  std::thread worker([&] {
+    ClientOptions copts;
+    copts.socket_path = socket_path_;
+    copts.connect_wait_ms = 2000;
+    copts.io_timeout_ms = 30000;
+    copts.trace_id = "t-42";
+    Result<Client> client = Client::connect(copts);
+    ASSERT_TRUE(client.ok());
+    Result<Frame> resp = client.value().call("compress", {}, big);
+    ok.store(resp.ok());
+    finished.store(true);
+  });
+  while (!finished.load() && server_->runner().in_flight() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server_->request_stop();  // drain with the request (likely) in flight
+  EXPECT_EQ(server_->wait(), 0);
+  worker.join();
+  EXPECT_TRUE(ok.load());
+  server_.reset();
+
+  std::ostringstream out;
+  rec.write_json(out);
+  const std::string json = out.str();
+  // Well-formed Chrome trace JSON even though the stop raced the request.
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  const std::string trailer = ", \"displayTimeUnit\": \"ms\"}\n";
+  ASSERT_GE(json.size(), trailer.size());
+  EXPECT_EQ(json.substr(json.size() - trailer.size()), trailer);
+  // The id walks the whole chain: client -> accept -> pool -> codec stages.
+  for (const char* name :
+       {"\"client.call\"", "\"serve.request\"", "\"serve.task\"",
+        "\"engine.encode\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name << "\n";
+  }
+  std::size_t stamped = 0;
+  for (std::size_t at = json.find("\"trace\": \"t-42\"");
+       at != std::string::npos; at = json.find("\"trace\": \"t-42\"", at + 1)) {
+    ++stamped;
+  }
+  // client.call + serve.request spans for two requests, serve.task for the
+  // inspect, engine stage spans for the compress.
+  EXPECT_GE(stamped, 5u) << json.substr(0, 2000);
 }
 
 TEST_F(ServiceTest, GracefulShutdownDrainsInFlightRequests) {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Minimal OpenMetrics text-format validator for CI smoke tests.
+
+Checks the subset tdcd's `metrics` op emits:
+
+  * every sample line belongs to a family declared by a `# TYPE` line;
+  * counter samples use the `<family>_total` suffix;
+  * gauge samples use the bare family name;
+  * summary samples are `<family>{quantile="q"}` with q in [0, 1],
+    plus `<family>_sum` / `<family>_count`;
+  * sample values parse as finite numbers;
+  * the exposition ends with exactly one `# EOF` line.
+
+Usage: check_openmetrics.py <file>   (or `-` / no argument for stdin)
+"""
+
+import math
+import re
+import sys
+
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|summary)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{quantile=\"([^\"]+)\"\})? (\S+)$"
+)
+
+
+def fail(lineno, line, why):
+    sys.stderr.write(f"line {lineno}: {why}: {line!r}\n")
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "-"
+    text = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
+    if not text.endswith("# EOF\n"):
+        sys.stderr.write("exposition does not end with '# EOF'\n")
+        sys.exit(1)
+
+    families = {}  # name -> type
+    samples = 0
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                fail(lineno, line, "'# EOF' before the end of the exposition")
+            continue
+        m = TYPE_RE.match(line)
+        if m:
+            name, kind = m.group(1), m.group(2)
+            if name in families:
+                fail(lineno, line, f"family {name} declared twice")
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comment lines (e.g. the --follow rate readout)
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "unparseable sample line")
+        name, quantile, value = m.group(1), m.group(3), m.group(4)
+        try:
+            v = float(value)
+        except ValueError:
+            fail(lineno, line, f"bad sample value {value!r}")
+        if not math.isfinite(v):
+            fail(lineno, line, f"non-finite sample value {value!r}")
+
+        # Resolve the sample back to its declared family.
+        if quantile is not None:
+            if families.get(name) != "summary":
+                fail(lineno, line, f"quantile sample for non-summary {name!r}")
+            q = float(quantile)
+            if not 0.0 <= q <= 1.0:
+                fail(lineno, line, f"quantile {q} outside [0, 1]")
+        elif name.endswith("_total") and name[: -len("_total")] in families:
+            if families[name[: -len("_total")]] != "counter":
+                fail(lineno, line, f"_total sample for non-counter {name!r}")
+        elif name.endswith("_sum") and name[: -len("_sum")] in families:
+            if families[name[: -len("_sum")]] != "summary":
+                fail(lineno, line, f"_sum sample for non-summary {name!r}")
+        elif name.endswith("_count") and name[: -len("_count")] in families:
+            if families[name[: -len("_count")]] != "summary":
+                fail(lineno, line, f"_count sample for non-summary {name!r}")
+        elif name in families:
+            if families[name] != "gauge":
+                fail(lineno, line, f"bare sample for non-gauge {name!r}")
+        else:
+            fail(lineno, line, f"sample for undeclared family {name!r}")
+        samples += 1
+
+    if not families:
+        sys.stderr.write("no metric families declared\n")
+        sys.exit(1)
+    counters = sum(1 for k in families.values() if k == "counter")
+    gauges = sum(1 for k in families.values() if k == "gauge")
+    summaries = sum(1 for k in families.values() if k == "summary")
+    print(
+        f"ok: {len(families)} families ({counters} counters, {gauges} gauges, "
+        f"{summaries} summaries), {samples} samples"
+    )
+
+
+if __name__ == "__main__":
+    main()
