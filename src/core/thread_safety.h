@@ -1,0 +1,140 @@
+#ifndef TDC_CORE_THREAD_SAFETY_H
+#define TDC_CORE_THREAD_SAFETY_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Compile-time concurrency contracts (docs/ALGORITHMS.md §16).
+///
+/// The TDC_* macros wrap clang's thread-safety attributes and expand to
+/// nothing on every other compiler, so the annotations cost zero bytes and
+/// zero cycles everywhere while the clang `-Wthread-safety -Werror` CI job
+/// proves the lock discipline at compile time: every TDC_GUARDED_BY field
+/// is only touched with its capability held, every TDC_REQUIRES function is
+/// only called under the right lock, and a forgotten unlock is a build
+/// failure instead of a soak-test flake.
+///
+/// The standard library's mutex types carry no attributes, so the analysis
+/// cannot see through std::mutex / std::lock_guard. The annotated wrappers
+/// below (Mutex, MutexLock, CondVar) are therefore the only locking
+/// primitives library code uses; they forward inline to the std types and
+/// add nothing at runtime. tdc_lint's blocking-under-lock rule keys on the
+/// same type names, so one spelling serves both checkers.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TDC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TDC_THREAD_ANNOTATION
+#define TDC_THREAD_ANNOTATION(x)  // expands to nothing off clang
+#endif
+
+/// Declares a type to be a capability ("mutex" in every use here).
+#define TDC_CAPABILITY(x) TDC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define TDC_SCOPED_CAPABILITY TDC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read or written with the named capability held.
+#define TDC_GUARDED_BY(x) TDC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the named capability.
+#define TDC_PT_GUARDED_BY(x) TDC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the capability already held.
+#define TDC_REQUIRES(...) TDC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define TDC_ACQUIRE(...) TDC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define TDC_RELEASE(...) TDC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `ret`.
+#define TDC_TRY_ACQUIRE(...) TDC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (self-deadlock guard on public
+/// entry points whose body takes the lock).
+#define TDC_EXCLUDES(...) TDC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define TDC_ASSERT_CAPABILITY(x) TDC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for functions whose locking is deliberately outside the
+/// analysis; every use carries a comment saying why.
+#define TDC_NO_THREAD_SAFETY_ANALYSIS TDC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tdc::core {
+
+class MutexLock;
+class CondVar;
+
+/// std::mutex with the capability attribute the clang analysis needs.
+/// Same storage, same cost; lock()/unlock() forward inline.
+class TDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TDC_ACQUIRE() { impl_.lock(); }
+  void unlock() TDC_RELEASE() { impl_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex impl_;
+};
+
+/// Scoped lock over a Mutex — the std::unique_lock of this codebase. The
+/// constructor acquires, the destructor releases whatever is still held,
+/// and the manual unlock()/lock() pair supports the drop-the-lock-around-
+/// blocking-work pattern under full analysis coverage.
+class TDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) TDC_ACQUIRE(mutex) : lock_(mutex.impl_) {}
+  ~MutexLock() TDC_RELEASE() {}  // unique_lock releases if still owned
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() TDC_RELEASE() { lock_.unlock(); }
+  void lock() TDC_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over a MutexLock. wait()/wait_for() atomically
+/// release and reacquire the lock, so from the analysis' point of view the
+/// capability is held across the call — which is exactly the caller's
+/// contract. Waits are deliberately predicate-free: callers spell the
+/// `while (!cond) cv.wait(lock);` loop themselves so every guarded read in
+/// the condition happens in an analyzed context (a predicate lambda would
+/// be analyzed as a lockless function and flagged).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tdc::core
+
+#endif  // TDC_CORE_THREAD_SAFETY_H

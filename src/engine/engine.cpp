@@ -185,8 +185,9 @@ namespace {
 /// jobs block on the shared future (a failed prepare fails each of them).
 /// Owned per batch run by RunState and per JobRunner for its lifetime.
 struct GenMemo {
-  std::mutex mutex;
-  std::map<std::string, std::shared_future<std::shared_ptr<const bits::TritVector>>> memo;
+  core::Mutex mutex;
+  std::map<std::string, std::shared_future<std::shared_ptr<const bits::TritVector>>>
+      memo TDC_GUARDED_BY(mutex);
 };
 
 /// Per-run shared state: queues, the prepared-circuit memo and the
@@ -198,6 +199,8 @@ struct RunState {
         done(capacity, eager_notify) {}
 
   JobQueue to_load, to_encode, to_container, to_verify, done;
+  // tdc-sync: advisory fail-fast flag; relaxed on both sides — stages only
+  // skip work they would otherwise do, no data is published through it.
   std::atomic<bool> cancelled{false};
   GenMemo gen;
 };
@@ -237,7 +240,7 @@ Status stage_load(GenMemo& gen, Job& job) {
   std::promise<StreamPtr> promise;
   bool creator = false;
   {
-    std::unique_lock lock(gen.mutex);
+    core::MutexLock lock(gen.mutex);
     auto it = gen.memo.find(spec.gen_circuit);
     if (it == gen.memo.end()) {
       future = promise.get_future().share();
@@ -413,6 +416,8 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
   // the committer with no central coordinator.
   struct Stage {
     std::vector<std::thread> threads;
+    // tdc-sync: last-worker-out election; acq_rel on the decrement makes
+    // every worker's queue writes visible to whichever thread closes `out`.
     std::shared_ptr<std::atomic<int>> remaining;
   };
   const auto spawn_stage = [&](JobQueue& in, JobQueue& out,
@@ -443,7 +448,9 @@ BatchResult Engine::run(const Manifest& manifest, const CommitCallback& on_commi
           }
         }
         flush_shard(sm, shard);
-        if (remaining->fetch_sub(1) == 1) out.close();
+        if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          out.close();
+        }
       });
     }
     return stage;
@@ -781,7 +788,7 @@ void JobRunner::worker_loop() {
       if (work->done) work->done(std::move(job.outcome));
     }
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       --in_flight_;
     }
     state_->in_flight->add(-1);
@@ -794,7 +801,7 @@ bool JobRunner::submit(JobSpec spec, DoneCallback done) {
   item->spec = std::move(spec);
   item->done = std::move(done);
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_ || in_flight_ >= options_.max_in_flight) {
       state_->busy_rejects->add();
       return false;
@@ -810,7 +817,7 @@ bool JobRunner::submit_task(std::function<void()> task) {
   auto item = std::make_unique<Item>();
   item->task = std::move(task);
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_ || in_flight_ >= options_.max_in_flight) {
       state_->busy_rejects->add();
       return false;
@@ -823,17 +830,17 @@ bool JobRunner::submit_task(std::function<void()> task) {
 }
 
 std::size_t JobRunner::in_flight() const {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   return in_flight_;
 }
 
 void JobRunner::drain() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  core::MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.wait(lock);
 }
 
 void JobRunner::publish_queue_stats() {
-  std::unique_lock lock(publish_mutex_);
+  core::MutexLock lock(publish_mutex_);
   const exp::BoundedQueueStats now = queue_->stats();
   exp::BoundedQueueStats delta;
   delta.pushes = now.pushes - published_.pushes;
@@ -860,7 +867,7 @@ exp::BoundedQueueStats JobRunner::queue_stats() const { return queue_->stats(); 
 
 void JobRunner::stop() {
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }

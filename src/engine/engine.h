@@ -1,16 +1,15 @@
 #ifndef TDC_ENGINE_ENGINE_H
 #define TDC_ENGINE_ENGINE_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/error.h"
+#include "core/thread_safety.h"
 #include "engine/manifest.h"
 #include "engine/metrics.h"
 #include "exp/bounded_queue.h"
@@ -210,13 +209,13 @@ class JobRunner {
   std::unique_ptr<exp::BoundedQueue<std::unique_ptr<Item>>> queue_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  mutable core::Mutex mutex_;
+  core::CondVar idle_;
+  std::size_t in_flight_ TDC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ TDC_GUARDED_BY(mutex_) = false;
 
-  std::mutex publish_mutex_;
-  exp::BoundedQueueStats published_;
+  core::Mutex publish_mutex_;
+  exp::BoundedQueueStats published_ TDC_GUARDED_BY(publish_mutex_);
 
   // Pre-resolved instruments; private impl type defined in engine.cpp.
   struct RunnerState;

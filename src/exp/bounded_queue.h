@@ -3,14 +3,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/thread_safety.h"
 
 namespace tdc::exp {
 
@@ -67,6 +67,10 @@ struct BoundedQueueStats {
 /// single lock acquisition and wake at most as many waiters as items moved,
 /// so a stage worker draining its input pays one lock round-trip per batch
 /// instead of per job.
+///
+/// Concurrency contract (docs/ALGORITHMS.md §16): every mutable field is
+/// TDC_GUARDED_BY(mutex_); the clang thread-safety job proves no access
+/// escapes the lock.
 template <typename T>
 class BoundedQueue {
  public:
@@ -82,10 +86,10 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (dropping `item`) if the
   /// queue was closed before space became available.
-  bool push(T item) {
+  bool push(T item) TDC_EXCLUDES(mutex_) {
     bool wake = false;
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       wait_not_full(lock);
       if (closed_) return false;
       items_.push_back(std::move(item));
@@ -101,10 +105,10 @@ class BoundedQueue {
   /// as backpressure allows, blocking while the queue is full. Returns the
   /// number of items accepted — fewer than items.size() only if the queue
   /// was closed mid-batch (the remainder is dropped, as push() drops).
-  std::size_t push_all(std::vector<T> items) {
+  std::size_t push_all(std::vector<T> items) TDC_EXCLUDES(mutex_) {
     if (items.empty()) return 0;
     std::size_t accepted = 0;
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     ++stats_.batch_pushes;
     std::size_t i = 0;
     while (i < items.size()) {
@@ -134,11 +138,11 @@ class BoundedQueue {
   }
 
   /// Blocks while the queue is empty. nullopt once closed and drained.
-  std::optional<T> pop() {
+  std::optional<T> pop() TDC_EXCLUDES(mutex_) {
     std::optional<T> item;
     bool wake = false;
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       wait_not_empty(lock);
       if (items_.empty()) return std::nullopt;  // closed_ with a drained queue
       item = std::move(items_.front());
@@ -153,12 +157,13 @@ class BoundedQueue {
   /// Appends up to `max_items` (>= 1 on success) to `out` under one lock
   /// acquisition, blocking while the queue is empty. Returns the number
   /// moved; 0 means closed and drained.
-  std::size_t pop_up_to(std::size_t max_items, std::vector<T>& out) {
+  std::size_t pop_up_to(std::size_t max_items, std::vector<T>& out)
+      TDC_EXCLUDES(mutex_) {
     if (max_items == 0) return 0;
     std::size_t moved = 0;
     std::size_t wake = 0;
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       wait_not_empty(lock);
       moved = std::min(max_items, items_.size());
       for (std::size_t k = 0; k < moved; ++k) {
@@ -175,9 +180,9 @@ class BoundedQueue {
 
   /// No more pushes will be accepted; consumers drain what is queued and
   /// then see nullopt. Wakes every blocked producer and consumer.
-  void close() {
+  void close() TDC_EXCLUDES(mutex_) {
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -185,15 +190,15 @@ class BoundedQueue {
   }
 
   /// Instantaneous depth (monitoring only — stale the moment it returns).
-  std::size_t size() const {
-    std::unique_lock lock(mutex_);
+  std::size_t size() const TDC_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// Copy of the contention counters (consistent under the queue lock).
   /// depth is stamped here — it is the live occupancy, not an accumulator.
-  Stats stats() const {
-    std::unique_lock lock(mutex_);
+  Stats stats() const TDC_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     Stats copy = stats_;
     copy.depth = items_.size();
     return copy;
@@ -202,23 +207,22 @@ class BoundedQueue {
  private:
   using Clock = std::chrono::steady_clock;
 
-  void wait_not_full(std::unique_lock<std::mutex>& lock) {
+  void wait_not_full(core::MutexLock& lock) TDC_REQUIRES(mutex_) {
     if (closed_ || items_.size() < capacity_) return;
     ++stats_.push_blocked;
     const Clock::time_point start = Clock::now();
     ++waiting_producers_;
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
     --waiting_producers_;
     stats_.push_blocked_micros += blocked_micros_since(start);
   }
 
-  void wait_not_empty(std::unique_lock<std::mutex>& lock) {
+  void wait_not_empty(core::MutexLock& lock) TDC_REQUIRES(mutex_) {
     if (closed_ || !items_.empty()) return;
     ++stats_.pop_blocked;
     const Clock::time_point start = Clock::now();
     ++waiting_consumers_;
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (!closed_ && items_.empty()) not_empty_.wait(lock);
     --waiting_consumers_;
     stats_.pop_blocked_micros += blocked_micros_since(start);
   }
@@ -230,20 +234,21 @@ class BoundedQueue {
             .count());
   }
 
-  /// Folds the current occupancy into the high-watermark. Lock held.
-  void fold_max_depth() {
+  /// Folds the current occupancy into the high-watermark.
+  void fold_max_depth() TDC_REQUIRES(mutex_) {
     if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
   }
 
-  /// How many consumer notify_one calls `moved` fresh items warrant. Must be
-  /// called with the lock held (reads the waiter count, updates stats).
-  std::size_t should_wake_consumer(std::size_t moved) {
+  /// How many consumer notify_one calls `moved` fresh items warrant (reads
+  /// the waiter count, updates stats).
+  std::size_t should_wake_consumer(std::size_t moved) TDC_REQUIRES(mutex_) {
     return plan_wakeups(moved, waiting_consumers_);
   }
-  std::size_t should_wake_producer(std::size_t moved) {
+  std::size_t should_wake_producer(std::size_t moved) TDC_REQUIRES(mutex_) {
     return plan_wakeups(moved, waiting_producers_);
   }
-  std::size_t plan_wakeups(std::size_t moved, std::size_t waiters) {
+  std::size_t plan_wakeups(std::size_t moved, std::size_t waiters)
+      TDC_REQUIRES(mutex_) {
     if (moved == 0) return 0;
     const std::size_t wake =
         eager_notify_ ? moved : std::min(moved, waiters);
@@ -252,16 +257,16 @@ class BoundedQueue {
     return wake;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  mutable core::Mutex mutex_;
+  core::CondVar not_full_;
+  core::CondVar not_empty_;
+  std::deque<T> items_ TDC_GUARDED_BY(mutex_);
   const std::size_t capacity_;
   const bool eager_notify_;
-  std::size_t waiting_producers_ = 0;
-  std::size_t waiting_consumers_ = 0;
-  Stats stats_;
-  bool closed_ = false;
+  std::size_t waiting_producers_ TDC_GUARDED_BY(mutex_) = 0;
+  std::size_t waiting_consumers_ TDC_GUARDED_BY(mutex_) = 0;
+  Stats stats_ TDC_GUARDED_BY(mutex_);
+  bool closed_ TDC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tdc::exp

@@ -21,7 +21,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -32,7 +32,7 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool: submit after shutdown");
     }
@@ -42,8 +42,8 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  core::MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) all_done_.wait(lock);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -64,8 +64,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(lock);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -77,11 +77,11 @@ void ThreadPool::worker_loop() {
       obs::TraceSpan span("pool.task");
       job();
     } catch (...) {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::unique_lock lock(mutex_);
+      core::MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
     }

@@ -1,15 +1,15 @@
 #ifndef TDC_EXP_THREAD_POOL_H
 #define TDC_EXP_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "core/thread_safety.h"
 
 namespace tdc::exp {
 
@@ -18,6 +18,10 @@ namespace tdc::exp {
 /// config) sweep points fan out across the workers; result ordering is the
 /// caller's job (see parallel_map, which collects by submission index so
 /// output is deterministic for any worker count).
+///
+/// Concurrency contract (docs/ALGORITHMS.md §16): queue_, first_error_,
+/// in_flight_ and stopping_ are TDC_GUARDED_BY(mutex_); workers_ is only
+/// touched by the constructor and shutdown(), which the caller serializes.
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means default_jobs().
@@ -35,32 +39,32 @@ class ThreadPool {
   /// the first exception is captured and rethrown from the next wait()
   /// (subsequent ones are dropped — a sweep has no use for more than one
   /// failure). Throws std::runtime_error if the pool has been shut down.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) TDC_EXCLUDES(mutex_);
 
   /// Blocks until every submitted job has finished, then rethrows the first
   /// exception any job raised since the previous wait() (if one did).
-  void wait();
+  void wait() TDC_EXCLUDES(mutex_);
 
   /// Drains outstanding work and joins the workers. Idempotent; after it
   /// returns, submit() throws. Called by the destructor, which additionally
   /// swallows any still-unclaimed job exception (destructors must not throw).
-  void shutdown();
+  void shutdown() TDC_EXCLUDES(mutex_);
 
   /// Worker count when none is requested: $TDC_JOBS if set and positive,
   /// else hardware_concurrency() (at least 1).
   static unsigned default_jobs();
 
  private:
-  void worker_loop();
+  void worker_loop() TDC_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  core::Mutex mutex_;
+  core::CondVar work_ready_;
+  core::CondVar all_done_;
+  std::deque<std::function<void()>> queue_ TDC_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::exception_ptr first_error_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::exception_ptr first_error_ TDC_GUARDED_BY(mutex_);
+  std::size_t in_flight_ TDC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ TDC_GUARDED_BY(mutex_) = false;
 };
 
 /// Applies `fn` to every element of `items` across the pool and returns the

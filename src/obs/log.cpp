@@ -29,7 +29,7 @@ LogLevel parse_log_level(const std::string& name) {
 }
 
 void Log::configure(Options options) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   sink_ = std::move(options.sink);
   rate_per_sec_ = options.rate_per_sec;
   burst_ = options.burst < 1.0 ? 1.0 : options.burst;
@@ -129,7 +129,7 @@ Log::Event Log::event(LogLevel level, const char* name) {
 }
 
 void Log::emit(std::string line) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   if (!sink_) return;
   if (rate_per_sec_ > 0.0) {
     const std::uint64_t now = now_millis();

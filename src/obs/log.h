@@ -4,8 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "core/thread_safety.h"
 
 namespace tdc::obs {
 
@@ -114,18 +115,27 @@ class Log {
   std::uint64_t now_millis();
   void emit(std::string line);  ///< token-bucket check + sink, under lock
 
+  // tdc-sync: relaxed level filter — configure() installs the sink and
+  // bucket state under mutex_ *before* storing the level, so any site that
+  // sees the new level finds the sink already in place when it takes the
+  // lock in emit(); stale reads just keep the old filter one event longer.
   std::atomic<int> min_level_{static_cast<int>(LogLevel::Off)};
+  // tdc-sync: statistics — relaxed add/load, no reader infers other state.
   std::atomic<std::uint64_t> emitted_{0};
+  // tdc-sync: statistics — relaxed add/load, no reader infers other state.
   std::atomic<std::uint64_t> dropped_{0};
 
-  std::mutex mutex_;  ///< guards sink_, bucket state, pending_dropped_
-  Sink sink_;
+  core::Mutex mutex_;  ///< guards sink_, bucket state, pending_dropped_
+  Sink sink_ TDC_GUARDED_BY(mutex_);
+  /// Deliberately outside mutex_: Event builders read the clock without the
+  /// lock, which configure()'s contract makes safe (no reconfiguration
+  /// concurrent with in-flight builders).
   std::function<std::uint64_t()> clock_;
-  double rate_per_sec_ = 0.0;
-  double burst_ = 32.0;
-  double tokens_ = 0.0;
-  std::uint64_t refilled_at_millis_ = 0;
-  std::uint64_t pending_dropped_ = 0;
+  double rate_per_sec_ TDC_GUARDED_BY(mutex_) = 0.0;
+  double burst_ TDC_GUARDED_BY(mutex_) = 32.0;
+  double tokens_ TDC_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t refilled_at_millis_ TDC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t pending_dropped_ TDC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tdc::obs

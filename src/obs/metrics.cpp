@@ -77,28 +77,28 @@ std::string snapshot_summary_line(const HistogramSnapshot& s) {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   RegistrySnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->value());
@@ -113,7 +113,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   std::string json = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

@@ -9,9 +9,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/thread_safety.h"
 
 namespace tdc::obs {
 
@@ -23,6 +24,8 @@ class Counter {
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // tdc-sync: pure statistic — relaxed add/load; no reader infers other
+  // state from the count, so no ordering is needed.
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -52,12 +55,19 @@ class Gauge {
  private:
   void fold_peak(std::int64_t v) {
     std::int64_t seen = peak_.load(std::memory_order_relaxed);
-    while (v > seen && !peak_.compare_exchange_weak(seen, v,
-                                                    std::memory_order_relaxed)) {
+    // Both the success and the failure order are relaxed: a failed CAS only
+    // reloads `seen`, it publishes nothing.
+    while (v > seen &&
+           !peak_.compare_exchange_weak(seen, v, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
     }
   }
 
+  // tdc-sync: statistic like Counter — relaxed everywhere, no reader infers
+  // other state from the level.
   std::atomic<std::int64_t> value_{0};
+  // tdc-sync: relaxed CAS fold — the loop in fold_peak is monotone (peak
+  // only grows), so racing folds converge to max regardless of order.
   std::atomic<std::int64_t> peak_{0};
 };
 
@@ -187,7 +197,7 @@ class Histogram {
   using Snapshot = HistogramSnapshot;
 
   void record(std::uint64_t value) {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     data_.add(value);
   }
 
@@ -195,18 +205,18 @@ class Histogram {
   /// how a worker's LocalHistogram shard publishes at thread exit, replacing
   /// a lock round-trip per sample with one per worker.
   void merge(const Snapshot& other) {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     data_.merge(other);
   }
 
   Snapshot snapshot() const {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     return data_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  HistogramSnapshot data_;
+  mutable core::Mutex mutex_;
+  HistogramSnapshot data_ TDC_GUARDED_BY(mutex_);
 };
 
 /// Unsynchronized histogram for single-thread hot paths (codec telemetry):
@@ -294,10 +304,13 @@ class MetricsRegistry {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the maps (the instrument *set*), not the instruments — those
+  /// are internally synchronized and outlive any lookup.
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ TDC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ TDC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TDC_GUARDED_BY(mutex_);
 };
 
 /// Prefix-scoped view of a registry: MetricScope(reg, "serve.compress")

@@ -15,11 +15,11 @@ TraceRecorder& TraceRecorder::global() {
 }
 
 void TraceRecorder::enable(std::string path) {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   path_ = std::move(path);
   epoch_ = std::chrono::steady_clock::now();
   for (const auto& buffer : buffers_) {
-    std::unique_lock buffer_lock(buffer->mutex);
+    core::MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
   enabled_.store(true, std::memory_order_relaxed);
@@ -38,7 +38,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   // threads that have already finished.
   thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
     auto b = std::make_shared<ThreadBuffer>();
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     b->tid = next_tid_++;
     buffers_.push_back(b);
     return b;
@@ -49,7 +49,7 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 void TraceRecorder::record(TraceEvent event) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
   ThreadBuffer& buffer = local_buffer();
-  std::unique_lock lock(buffer.mutex);  // uncontended except during flush
+  core::MutexLock lock(buffer.mutex);  // uncontended except during flush
   event.tid = buffer.tid;
   buffer.events.push_back(std::move(event));
 }
@@ -57,9 +57,9 @@ void TraceRecorder::record(TraceEvent event) {
 std::vector<TraceEvent> TraceRecorder::drain() {
   enabled_.store(false, std::memory_order_relaxed);
   std::vector<TraceEvent> events;
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   for (const auto& buffer : buffers_) {
-    std::unique_lock buffer_lock(buffer->mutex);
+    core::MutexLock buffer_lock(buffer->mutex);
     events.insert(events.end(), std::make_move_iterator(buffer->events.begin()),
                   std::make_move_iterator(buffer->events.end()));
     buffer->events.clear();
@@ -76,10 +76,10 @@ std::vector<TraceEvent> TraceRecorder::drain() {
 }
 
 std::size_t TraceRecorder::event_count() {
-  std::unique_lock lock(mutex_);
+  core::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) {
-    std::unique_lock buffer_lock(buffer->mutex);
+    core::MutexLock buffer_lock(buffer->mutex);
     n += buffer->events.size();
   }
   return n;
@@ -113,7 +113,7 @@ void TraceRecorder::write_json(std::ostream& out) {
 bool TraceRecorder::flush() {
   std::string path;
   {
-    std::unique_lock lock(mutex_);
+    core::MutexLock lock(mutex_);
     path = path_;
   }
   std::ofstream out(path);

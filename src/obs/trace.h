@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/thread_safety.h"
 
 namespace tdc::obs {
 
@@ -67,9 +68,11 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;
+    core::Mutex mutex;
+    /// Written once at registration (under the recorder's mutex_, before
+    /// the buffer is published); immutable afterwards, so reads are free.
     std::uint32_t tid = 0;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events TDC_GUARDED_BY(mutex);
   };
 
   /// The calling thread's buffer, registered with the recorder on first
@@ -78,12 +81,18 @@ class TraceRecorder {
 
   std::vector<TraceEvent> drain();
 
+  // tdc-sync: relaxed on/off gate — enable() installs path_/epoch_ before
+  // the store, and a site that reads a stale false only skips one span;
+  // drain() clears it first so late recorders see the gate shut.
   std::atomic<bool> enabled_{false};
+  /// Reset by enable() only; recording threads read it unguarded, which the
+  /// enable-before-record call order makes safe (same contract as clock_ in
+  /// Log).
   std::chrono::steady_clock::time_point epoch_{};
-  std::mutex mutex_;  // guards path_, buffers_, next_tid_
-  std::string path_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  core::Mutex mutex_;  // guards path_, buffers_, next_tid_
+  std::string path_ TDC_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ TDC_GUARDED_BY(mutex_);
+  std::uint32_t next_tid_ TDC_GUARDED_BY(mutex_) = 1;
 };
 
 /// RAII span: times the enclosing scope and reports it to the global

@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <utility>
 
 #include "codec/select.h"
+#include "core/thread_safety.h"
 #include "engine/manifest.h"
 #include "lzw/stream_io.h"
 #include "obs/json.h"
@@ -51,20 +50,20 @@ Result<Frame> guarded_frame(const std::function<Result<Frame>()>& fn) {
 
 /// Connection thread ↔ pool worker rendezvous for one request.
 struct Waiter {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
+  core::Mutex mutex;
+  core::CondVar cv;
+  bool done TDC_GUARDED_BY(mutex) = false;
 
   void signal() {
     {
-      std::lock_guard lock(mutex);
+      core::MutexLock lock(mutex);
       done = true;
     }
     cv.notify_one();
   }
   void wait() {
-    std::unique_lock lock(mutex);
-    cv.wait(lock, [this] { return done; });
+    core::MutexLock lock(mutex);
+    while (!done) cv.wait(lock);
   }
 };
 
@@ -112,7 +111,7 @@ std::string container_summary(const lzw::ContainerInfo& c) {
 }  // namespace
 
 void SlowLog::observe(SlowLogEntry entry) {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   const auto at = std::upper_bound(
       entries_.begin(), entries_.end(), entry,
       [](const SlowLogEntry& a, const SlowLogEntry& b) { return a.micros > b.micros; });
@@ -121,7 +120,7 @@ void SlowLog::observe(SlowLogEntry entry) {
 }
 
 std::vector<SlowLogEntry> SlowLog::snapshot() const {
-  std::lock_guard lock(mutex_);
+  core::MutexLock lock(mutex_);
   return entries_;
 }
 

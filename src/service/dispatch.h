@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_safety.h"
 #include "engine/engine.h"
 #include "obs/metrics.h"
 #include "service/framing.h"
@@ -43,9 +43,10 @@ class SlowLog {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable core::Mutex mutex_;
   std::size_t capacity_;
-  std::vector<SlowLogEntry> entries_;  ///< sorted by micros, descending
+  /// Sorted by micros, descending.
+  std::vector<SlowLogEntry> entries_ TDC_GUARDED_BY(mutex_);
 };
 
 /// Maps one request frame to one response frame. All CPU-bound work

@@ -80,7 +80,7 @@ void Server::request_stop() {
 }
 
 void Server::reap_finished() {
-  std::lock_guard lock(connections_mutex_);
+  core::MutexLock lock(connections_mutex_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->finished.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -114,25 +114,36 @@ void Server::accept_loop() {
     if (!set_nonblocking(client.get()).ok()) continue;
 
     reap_finished();
+    std::size_t live = 0;
+    bool refused = false;
     {
-      std::lock_guard lock(connections_mutex_);
-      if (connections_.size() >= options_.max_connections) {
-        metrics_.counter("serve.connections.refused").add();
-        log_.warn("conn.refused").u64("live", connections_.size());
-        // A typed refusal, not a silent close — bounded by a short write
-        // timeout so a hostile non-reading peer cannot stall the acceptor.
-        (void)write_frame(client.get(), busy_refusal(), 1000);
-        continue;
+      core::MutexLock lock(connections_mutex_);
+      live = connections_.size();
+      if (live >= options_.max_connections) {
+        refused = true;
+      } else {
+        // Bump the live gauge before the thread exists so its exit-side
+        // decrement can never be observed first.
+        metrics_.counter("serve.connections.accepted").add();
+        metrics_.gauge("serve.connections.live").add(1);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = std::move(client);
+        Connection* raw = conn.get();
+        conn->thread = std::thread([this, raw] { serve_connection(raw); });
+        connections_.push_back(std::move(conn));
       }
-      metrics_.counter("serve.connections.accepted").add();
-      metrics_.gauge("serve.connections.live").add(1);
-      log_.debug("conn.accept").u64("live", connections_.size() + 1);
-      auto conn = std::make_unique<Connection>();
-      conn->fd = std::move(client);
-      Connection* raw = conn.get();
-      conn->thread = std::thread([this, raw] { serve_connection(raw); });
-      connections_.push_back(std::move(conn));
     }
+    if (refused) {
+      metrics_.counter("serve.connections.refused").add();
+      log_.warn("conn.refused").u64("live", live);
+      // A typed refusal, not a silent close — bounded by a short write
+      // timeout, and issued after the table lock is released so a hostile
+      // non-reading peer can stall at most the acceptor's own write, never
+      // reap/shutdown paths that need the connection table.
+      (void)write_frame(client.get(), busy_refusal(), 1000);
+      continue;
+    }
+    log_.debug("conn.accept").u64("live", live + 1);
   }
 }
 
@@ -194,13 +205,15 @@ void Server::sampler_loop() {
     out << obs::metrics_ndjson_line(metrics_.snapshot(), ts_ms) << '\n';
     out.flush();
   };
-  std::unique_lock lock(sampler_mutex_);
+  core::MutexLock lock(sampler_mutex_);
   while (!sampler_stop_) {
-    sampler_cv_.wait_for(lock, interval, [this] { return sampler_stop_; });
+    sampler_cv_.wait_for(lock, interval);
     lock.unlock();
     // One snapshot per tick plus a final one on the way out, so the log
     // always ends with the post-drain state the operator actually cares
-    // about after an incident.
+    // about after an incident. The lock is dropped around sample() — it
+    // writes to disk, and the shutdown path must never wait on a file. A
+    // spurious wakeup costs one early snapshot, nothing else.
     sample();
     lock.lock();
   }
@@ -215,7 +228,7 @@ int Server::wait() {
   // may still be writing flows out unharmed — that is the "drain in-flight,
   // refuse new" shutdown contract.
   {
-    std::lock_guard lock(connections_mutex_);
+    core::MutexLock lock(connections_mutex_);
     for (const auto& conn : connections_) {
       ::shutdown(conn->fd.get(), SHUT_RD);
     }
@@ -224,7 +237,7 @@ int Server::wait() {
   // lock is safe because the accept loop (the other mutator) has exited.
   std::list<std::unique_ptr<Connection>> remaining;
   {
-    std::lock_guard lock(connections_mutex_);
+    core::MutexLock lock(connections_mutex_);
     remaining.swap(connections_);
   }
   for (const auto& conn : remaining) {
@@ -238,7 +251,7 @@ int Server::wait() {
   // settled end state (queue depth back to zero, connections closed).
   if (sampler_.joinable()) {
     {
-      std::lock_guard lock(sampler_mutex_);
+      core::MutexLock lock(sampler_mutex_);
       sampler_stop_ = true;
     }
     sampler_cv_.notify_all();

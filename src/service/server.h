@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "core/thread_safety.h"
 #include "engine/engine.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -119,6 +118,9 @@ class Server {
   struct Connection {
     Fd fd;
     std::thread thread;
+    // tdc-sync: release on the serving thread's last store / acquire in
+    // reap_finished(), so everything the connection wrote happens-before
+    // the join-and-erase that frees it.
     std::atomic<bool> finished{false};
   };
 
@@ -139,14 +141,15 @@ class Server {
   std::thread accept_thread_;
   bool started_ = false;
 
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  core::Mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_
+      TDC_GUARDED_BY(connections_mutex_);
 
   std::chrono::steady_clock::time_point epoch_;  ///< ts_ms base for NDJSON
   std::thread sampler_;
-  std::mutex sampler_mutex_;
-  std::condition_variable sampler_cv_;
-  bool sampler_stop_ = false;
+  core::Mutex sampler_mutex_;
+  core::CondVar sampler_cv_;
+  bool sampler_stop_ TDC_GUARDED_BY(sampler_mutex_) = false;
 };
 
 }  // namespace tdc::service

@@ -260,6 +260,53 @@ TEST(BoundedQueueTest, BatchOpsUnderContentionLoseNothing) {
   }
 }
 
+// Annotation-consistency hammer: stats() snapshots race full push/pop
+// traffic and a close(). The snapshot copies under the same core::Mutex
+// the TDC_GUARDED_BY annotations name, so under TSan this test proves the
+// declared locking contract matches the real one; without TSan it still
+// pins snapshot monotonicity and final conservation.
+TEST(BoundedQueueTest, StatsSnapshotsRaceWithTraffic) {
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 300;
+  exp::BoundedQueue<int> q(2);
+  std::atomic<bool> done{false};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  threads.emplace_back([&] {
+    while (q.pop().has_value()) popped.fetch_add(1);
+  });
+  std::thread reader([&] {
+    std::uint64_t last_pushes = 0;
+    std::uint64_t last_pops = 0;
+    while (!done.load()) {
+      const auto st = q.stats();
+      EXPECT_GE(st.pushes, last_pushes);  // monotone under the lock
+      EXPECT_GE(st.pops, last_pops);
+      EXPECT_GE(st.pushes, st.pops);  // never popped more than pushed
+      last_pushes = st.pushes;
+      last_pops = st.pops;
+      std::this_thread::yield();
+    }
+  });
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  threads.back().join();
+  done.store(true);
+  reader.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  const auto st = q.stats();
+  EXPECT_EQ(st.pushes, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(st.pops, static_cast<std::uint64_t>(total));
+}
+
 // -------------------------------------------------------------- metrics
 
 TEST(MetricsTest, CounterAccumulates) {

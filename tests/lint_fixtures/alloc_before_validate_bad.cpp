@@ -1,0 +1,15 @@
+// Violating fixture: allocations sized straight from a wire field with no
+// bound check anywhere before them.
+#include <cstdint>
+#include <vector>
+
+namespace tdc::codec {
+
+inline void decode_block(const std::uint8_t* wire, std::vector<std::uint8_t>& out) {
+  const std::uint32_t declared = static_cast<std::uint32_t>(wire[0]) << 24;
+  out.resize(declared);
+  auto* scratch = new std::uint8_t[declared];
+  delete[] scratch;
+}
+
+}  // namespace tdc::codec

@@ -1,0 +1,18 @@
+// Conforming fixture: the declared size meets a cap before it sizes any
+// memory, so the same allocations are clean.
+#include <cstdint>
+#include <vector>
+
+namespace tdc::codec {
+
+inline constexpr std::uint32_t kMaxBlock = 1u << 20;
+
+inline void decode_block(const std::uint8_t* wire, std::vector<std::uint8_t>& out) {
+  const std::uint32_t declared = static_cast<std::uint32_t>(wire[0]) << 24;
+  if (declared > kMaxBlock) return;
+  out.resize(declared);
+  auto* scratch = new std::uint8_t[declared];
+  delete[] scratch;
+}
+
+}  // namespace tdc::codec

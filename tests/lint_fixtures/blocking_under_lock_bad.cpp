@@ -1,0 +1,24 @@
+// Violating fixture: descriptor I/O and a nested wait inside lock scopes.
+#include <condition_variable>
+#include <mutex>
+
+namespace tdc::service {
+
+bool write_frame(int fd, const char* buf, unsigned long n, int timeout_ms);
+
+struct FixtureChannel {
+  std::mutex mutex;
+  std::mutex inner;
+  std::condition_variable ready;
+  int fd = -1;
+
+  void pump(const char* buf, unsigned long n) {
+    std::lock_guard<std::mutex> guard(mutex);
+    write(fd, buf, n);
+    (void)write_frame(fd, buf, n, 1000);
+    std::unique_lock<std::mutex> nested(inner);
+    ready.wait(nested);
+  }
+};
+
+}  // namespace tdc::service

@@ -1,0 +1,29 @@
+// Conforming fixture: copy what you need under the lock, do the I/O after
+// it releases; a single-scope condition wait releases its own lock.
+#include <condition_variable>
+#include <mutex>
+
+namespace tdc::service {
+
+bool write_frame(int fd, const char* buf, unsigned long n, int timeout_ms);
+
+struct FixtureChannel {
+  std::mutex mutex;
+  std::mutex inner;
+  std::condition_variable ready;
+  int fd = -1;
+
+  void pump(const char* buf, unsigned long n) {
+    int fd_copy = -1;
+    {
+      std::lock_guard<std::mutex> guard(mutex);
+      fd_copy = fd;
+    }
+    write(fd_copy, buf, n);
+    (void)write_frame(fd_copy, buf, n, 1000);
+    std::unique_lock<std::mutex> only(inner);
+    ready.wait(only);
+  }
+};
+
+}  // namespace tdc::service

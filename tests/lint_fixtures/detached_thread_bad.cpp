@@ -1,0 +1,11 @@
+// Violating fixture: a detached worker no shutdown path can prove exited.
+#include <thread>
+
+namespace tdc::service {
+
+inline void fixture_spawn() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace tdc::service

@@ -1,0 +1,15 @@
+// Conforming fixture: the worker stays joinable and shutdown joins it.
+#include <thread>
+
+namespace tdc::service {
+
+struct FixtureWorker {
+  std::thread worker;
+
+  void start() { worker = std::thread([] {}); }
+  void stop() {
+    if (worker.joinable()) worker.join();
+  }
+};
+
+}  // namespace tdc::service

@@ -1,0 +1,17 @@
+// Violating fixture: implicit seq_cst operations and an unjustified
+// atomic declaration.
+#include <atomic>
+
+namespace tdc::obs {
+
+struct FixtureCounter {
+  std::atomic<unsigned long> hits{0};
+
+  void bump() { hits.fetch_add(1); }
+  unsigned long get() const { return hits.load(); }
+  bool swap_in(unsigned long& seen, unsigned long v) {
+    return hits.compare_exchange_weak(seen, v, std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace tdc::obs

@@ -1,0 +1,20 @@
+// Conforming fixture: explicit orders everywhere, and the declaration
+// carries a tdc-sync justification the rule's walk-up coverage finds.
+#include <atomic>
+
+namespace tdc::obs {
+
+struct FixtureCounter {
+  // tdc-sync: pure statistic — relaxed add/load, no reader infers other
+  // state from the count.
+  std::atomic<unsigned long> hits{0};
+
+  void bump() { hits.fetch_add(1, std::memory_order_relaxed); }
+  unsigned long get() const { return hits.load(std::memory_order_relaxed); }
+  bool swap_in(unsigned long& seen, unsigned long v) {
+    return hits.compare_exchange_weak(seen, v, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+  }
+};
+
+}  // namespace tdc::obs

@@ -1,0 +1,10 @@
+// Violating fixture: suppressions that no longer suppress anything.
+namespace tdc::service {
+
+// tdc-lint: allow(iostream-print)
+inline int fixture_quiet() { return 1; }
+
+// tdc-lint: allow(iostrem-print)
+inline int fixture_typo() { return 2; }
+
+}  // namespace tdc::service

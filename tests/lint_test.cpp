@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "lint.h"
+#include "tdc_lint/lint.h"
 
 namespace tdc::lint {
 namespace {
@@ -35,10 +35,12 @@ std::vector<RuleLine> rule_lines(const std::vector<Finding>& findings) {
   return out;
 }
 
-TEST(LintCatalogueTest, AllFiveRulesAreRegistered) {
-  const std::vector<std::string> expected = {"determinism", "iostream-print",
-                                             "naked-throw", "unordered-iteration",
-                                             "include-hygiene"};
+TEST(LintCatalogueTest, AllTenRulesAreRegistered) {
+  const std::vector<std::string> expected = {
+      "determinism",        "iostream-print",     "naked-throw",
+      "unordered-iteration", "include-hygiene",    "memory-order-audit",
+      "blocking-under-lock", "alloc-before-validate", "detached-thread",
+      "stale-suppression"};
   EXPECT_EQ(rule_ids(), expected);
 }
 
@@ -144,6 +146,124 @@ TEST(LintIncludeTest, ConformingFixtureIsClean) {
   EXPECT_TRUE(findings.empty()) << format_report(findings);
 }
 
+// --------------------------------------------------------- memory-order-audit
+
+TEST(LintMemoryOrderTest, ViolatingFixtureFiresOnDefaultsAndBareDecl) {
+  const auto findings = lint_file("src/obs/memory_order_bad.cpp",
+                                  read_fixture("memory_order_bad.cpp"));
+  // 8: declaration without tdc-sync; 10/11: implicit seq_cst fetch_add and
+  // load; 13: compare_exchange with only a success order.
+  const std::vector<RuleLine> expected = {{"memory-order-audit", 8},
+                                          {"memory-order-audit", 10},
+                                          {"memory-order-audit", 11},
+                                          {"memory-order-audit", 13}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+TEST(LintMemoryOrderTest, ConformingFixtureIsClean) {
+  const auto findings = lint_file("src/obs/memory_order_good.cpp",
+                                  read_fixture("memory_order_good.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+TEST(LintMemoryOrderTest, SyncCommentCoversOnlyAdjacentDeclarations) {
+  // The first declaration sits under the tdc-sync comment; the second is
+  // separated from it by a code line, so the walk-up stops short.
+  const std::string content =
+      "#include <atomic>\n"
+      "// tdc-sync: relaxed statistic.\n"
+      "std::atomic<int> covered{0};\n"
+      "std::atomic<int> uncovered{0};\n";
+  const auto findings = lint_file("src/obs/x.cpp", content);
+  const std::vector<RuleLine> expected = {{"memory-order-audit", 4}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+// -------------------------------------------------------- blocking-under-lock
+
+TEST(LintBlockingTest, ViolatingFixtureFiresOnIoAndNestedWait) {
+  const auto findings = lint_file("src/service/blocking_under_lock_bad.cpp",
+                                  read_fixture("blocking_under_lock_bad.cpp"));
+  // 17: raw write() under the guard; 18: project I/O wrapper under the
+  // guard; 20: condition wait with a second lock scope still open.
+  const std::vector<RuleLine> expected = {{"blocking-under-lock", 17},
+                                          {"blocking-under-lock", 18},
+                                          {"blocking-under-lock", 20}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+TEST(LintBlockingTest, ConformingFixtureIsClean) {
+  const auto findings = lint_file("src/service/blocking_under_lock_good.cpp",
+                                  read_fixture("blocking_under_lock_good.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+// ------------------------------------------------------ alloc-before-validate
+
+TEST(LintAllocTest, ViolatingFixtureFiresOnResizeAndArrayNew) {
+  const auto findings = lint_file("src/codec/alloc_before_validate_bad.cpp",
+                                  read_fixture("alloc_before_validate_bad.cpp"));
+  const std::vector<RuleLine> expected = {{"alloc-before-validate", 10},
+                                          {"alloc-before-validate", 11}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+TEST(LintAllocTest, ConformingFixtureIsClean) {
+  const auto findings = lint_file("src/codec/alloc_before_validate_good.cpp",
+                                  read_fixture("alloc_before_validate_good.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+TEST(LintAllocTest, RuleIsScopedToWireFacingTrees) {
+  // The same unvalidated sizing is legal outside src/service and src/codec
+  // — only wire-facing decode paths take attacker-controlled lengths.
+  const auto findings = lint_file("src/engine/alloc_before_validate_bad.cpp",
+                                  read_fixture("alloc_before_validate_bad.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+// ------------------------------------------------------------ detached-thread
+
+TEST(LintDetachTest, ViolatingFixtureFiresOnDetach) {
+  const auto findings = lint_file("src/service/detached_thread_bad.cpp",
+                                  read_fixture("detached_thread_bad.cpp"));
+  const std::vector<RuleLine> expected = {{"detached-thread", 8}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+TEST(LintDetachTest, ConformingFixtureIsClean) {
+  const auto findings = lint_file("src/service/detached_thread_good.cpp",
+                                  read_fixture("detached_thread_good.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+// ---------------------------------------------------------- stale-suppression
+
+TEST(LintStaleTest, ViolatingFixtureFiresOnUnusedAndUnknown) {
+  const auto findings = lint_file("src/service/stale_suppression_bad.cpp",
+                                  read_fixture("stale_suppression_bad.cpp"));
+  // 4: known rule that never fired; 7: misspelled rule id.
+  const std::vector<RuleLine> expected = {{"stale-suppression", 4},
+                                          {"stale-suppression", 7}};
+  EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
+}
+
+TEST(LintStaleTest, ConformingFixtureIsClean) {
+  const auto findings = lint_file("src/service/stale_suppression_good.cpp",
+                                  read_fixture("stale_suppression_good.cpp"));
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
+TEST(LintStaleTest, EscapeHatchKeepsADeliberateSuppression) {
+  // allow(stale-suppression) on the same comment self-suppresses the stale
+  // report — the sanctioned way to keep a deliberately speculative allow.
+  const std::string content =
+      "// tdc-lint: allow(determinism, stale-suppression)\n"
+      "int fixture = 1;\n";
+  const auto findings = lint_file("src/service/x.cpp", content);
+  EXPECT_TRUE(findings.empty()) << format_report(findings);
+}
+
 // --------------------------------------------------- suppressions + reporting
 
 TEST(LintSuppressionTest, AllowCoversItsOwnLineAndTheNext) {
@@ -165,11 +285,14 @@ TEST(LintSuppressionTest, AllowListsSeveralRules) {
 }
 
 TEST(LintSuppressionTest, AllowForOneRuleDoesNotCoverAnother) {
+  // The mismatched allow() both fails to cover the determinism hit and is
+  // itself reported as stale, since it never fired.
   const std::string content =
       "// tdc-lint: allow(iostream-print)\n"
       "int a = rand();\n";
   const auto findings = lint_file("src/lzw/x.cpp", content);
-  const std::vector<RuleLine> expected = {{"determinism", 2}};
+  const std::vector<RuleLine> expected = {{"stale-suppression", 1},
+                                          {"determinism", 2}};
   EXPECT_EQ(rule_lines(findings), expected) << format_report(findings);
 }
 

@@ -320,6 +320,39 @@ TEST(RateWindowTest, CounterResetClearsWindow) {
   EXPECT_DOUBLE_EQ(w.per_second(), 20.0);  // rates resume from the restart
 }
 
+TEST(RateWindowTest, EqualValueIsNotAReset) {
+  obs::RateWindow w;
+  w.sample(0, 50);
+  w.sample(1000, 50);  // flat counter: a quiet second, not a restart
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+  w.sample(2000, 80);
+  EXPECT_DOUBLE_EQ(w.per_second(), 15.0);  // (80 - 50) over the full 2 s
+}
+
+TEST(RateWindowTest, ResetKeepsTheRestartSampleAsNewBaseline) {
+  obs::RateWindow w;
+  w.sample(0, 100);
+  w.sample(1000, 0);  // restart all the way back to zero
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+  w.sample(2000, 7);
+  EXPECT_DOUBLE_EQ(w.per_second(), 7.0);  // only post-restart samples count
+}
+
+TEST(RateWindowTest, BackToBackResetsAlwaysRetainTheLatestSample) {
+  obs::RateWindow w(4);
+  w.sample(0, 90);
+  w.sample(1000, 60);
+  w.sample(2000, 30);  // strictly descending: every sample reads as a restart
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+  w.sample(2500, 30);  // equal to the baseline: retained, still no rate
+  w.sample(3000, 90);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.per_second(), 60.0);  // (90 - 30) over 1 s
+}
+
 TEST(RateWindowTest, WindowIsBoundedByCapacity) {
   obs::RateWindow w(4);
   for (std::uint64_t i = 0; i < 10; ++i) w.sample(i * 1000, i * 10);
@@ -616,6 +649,68 @@ TEST(ObsConcurrencyTest, GaugeAddsBalanceAndPeakIsStable) {
   EXPECT_GE(m.gauge("conc.gauge").peak(), 1);
   EXPECT_LE(m.gauge("conc.gauge").peak(),
             static_cast<std::int64_t>(kThreads));
+}
+
+TEST(ObsConcurrencyTest, ConcurrentPeakFoldsConvergeToMax) {
+  constexpr std::int64_t kFoldsPerThread = 20000;
+  obs::MetricsRegistry m;
+  obs::Gauge& g = m.gauge("conc.peakfold");
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      // Interleave ascending and descending folds so the CAS loop exercises
+      // both the raise-and-win and the reload-and-retry paths.
+      for (std::int64_t i = 0; i < kFoldsPerThread; ++i) {
+        const std::int64_t v = (t % 2 == 0) ? i : kFoldsPerThread - i;
+        g.record_peak(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // record_peak never touches the level, and racing folds must settle on
+  // exactly the global maximum — the fold is monotone, so no interleaving
+  // can lose it.
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), kFoldsPerThread);
+}
+
+TEST(ObsConcurrencyTest, HistogramMergeRecordAndSnapshotRace) {
+  // Annotation-consistency hammer for Histogram's lock: bulk merges from
+  // per-thread local shards race single-sample records while a reader
+  // snapshots mid-flight. Every sample must land exactly once, and every
+  // snapshot must be internally consistent (it copies under the same mutex
+  // the TDC_GUARDED_BY annotation names).
+  constexpr std::uint64_t kSamples = 4000;
+  obs::MetricsRegistry m;
+  obs::Histogram& h = m.histogram("conc.merge");
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto s = h.snapshot();
+      EXPECT_LE(s.min, s.max);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      if (t % 2 == 0) {
+        obs::LocalHistogram local;
+        for (std::uint64_t i = 1; i <= kSamples; ++i) local.record(i);
+        h.merge(local.snapshot());
+      } else {
+        for (std::uint64_t i = 1; i <= kSamples; ++i) h.record(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  done.store(true);
+  reader.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kSamples);
+  EXPECT_EQ(s.sum, kThreads * kSamples * (kSamples + 1) / 2);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, kSamples);
 }
 
 TEST(ObsConcurrencyTest, TraceRecorderCountsOverlappingSpans) {

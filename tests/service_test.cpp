@@ -562,6 +562,36 @@ TEST_F(ServiceTest, ConnectionCapRefusesWithBusyFrame) {
   EXPECT_EQ(decode_error_frame(resp).kind, ErrorKind::Busy);
 }
 
+TEST_F(ServiceTest, UnreadRefusalsNeverWedgeServiceOrShutdown) {
+  // Regression for the busy-refusal write moving outside connections_mutex_:
+  // peers that connect over the cap and never read their refusal frame must
+  // cost the acceptor at most its own bounded write — the in-cap connection
+  // keeps serving, every hostile peer is counted refused, and TearDown's
+  // wait() must still drain cleanly with the hostile sockets left open.
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(std::move(options));
+  Client first = MustConnect();
+  ASSERT_TRUE(first.call("ping").ok());  // guarantees the slot is taken
+
+  std::vector<Fd> hostile;
+  for (int i = 0; i < 4; ++i) {
+    Fd fd = raw_connect(socket_path_);
+    ASSERT_TRUE(fd.valid());
+    hostile.push_back(std::move(fd));
+  }
+  EXPECT_GE(wait_for_counter(first, "serve.connections.refused", 4), 4u);
+  // The table lock was never held across those writes: the live connection
+  // answers immediately even with refusals in flight.
+  ASSERT_TRUE(first.call("ping").ok());
+  // A refused peer that does read still finds the typed busy frame.
+  FrameReader reader(hostile.back().get(), FrameLimits{}, 5000);
+  Frame resp;
+  Result<bool> got = reader.read(resp);
+  ASSERT_TRUE(got.ok() && got.value());
+  EXPECT_EQ(decode_error_frame(resp).kind, ErrorKind::Busy);
+}
+
 // ------------------------------------------------------------ telemetry
 
 TEST_F(ServiceTest, MetricsOpRendersOpenMetrics) {

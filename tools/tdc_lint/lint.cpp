@@ -1,4 +1,4 @@
-#include "lint.h"
+#include "tdc_lint/lint.h"
 
 #include <algorithm>
 #include <cctype>
@@ -41,18 +41,40 @@ bool is_header(const std::string& path) {
 
 // ------------------------------------------------- scrubbing + suppressions
 
-/// Comment- and literal-stripped copy of the source plus the suppression
-/// map harvested from the comments while stripping.
-struct Scrubbed {
-  std::vector<std::string> lines;  ///< literals/comments blanked, 0-based
-  /// rule ids allowed per 1-based line (a `tdc-lint: allow(r)` comment
-  /// covers its own line and the next one).
-  std::map<int, std::set<std::string>> allowed;
+/// One allow(rule) suppression, tracked for the stale-suppression audit:
+/// report() marks the record used when it actually swallows a finding, and
+/// whatever is still unused at the end of the file is itself a violation.
+/// (The tag is spelled out only inside harvest_allows — writing it in a
+/// comment here would register a suppression in this very file.)
+struct AllowRecord {
+  std::string rule;
+  int origin_line = 0;  ///< 1-based line the comment sits on
+  bool used = false;
 };
 
-/// Parses "tdc-lint: allow(rule-a, rule-b)" occurrences inside one
-/// comment's text and registers them for `line` and `line + 1`.
+/// Comment- and literal-stripped copy of the source plus the suppression
+/// map and `tdc-sync:` coverage harvested from the comments while stripping.
+struct Scrubbed {
+  std::vector<std::string> lines;  ///< literals/comments blanked, 0-based
+  /// Every allow() parsed from the comments, in source order.
+  std::vector<AllowRecord> allows;
+  /// 1-based line -> rule id -> index into `allows` (an allow comment
+  /// covers its own line and the next one).
+  std::map<int, std::map<std::string, std::size_t>> allowed;
+  /// 1-based lines carrying a `tdc-sync:` justification comment (the
+  /// memory-order-audit declaration check walks up through comment-only
+  /// lines to find one).
+  std::set<int> sync_lines;
+};
+
+/// Parses occurrences of the suppression tag (the `tag` literal below,
+/// followed by a comma-separated rule list and a closing paren) inside one
+/// comment's text and registers them for `line` and `line + 1`; also
+/// records `tdc-sync:` tags for the memory-order-audit rule.
 void harvest_allows(const std::string& comment, int line, Scrubbed& out) {
+  if (comment.find("tdc-sync:") != std::string::npos) {
+    out.sync_lines.insert(line);
+  }
   const std::string tag = "tdc-lint: allow(";
   std::size_t at = 0;
   while ((at = comment.find(tag, at)) != std::string::npos) {
@@ -67,11 +89,26 @@ void harvest_allows(const std::string& comment, int line, Scrubbed& out) {
       const auto e = rule.find_last_not_of(" \t");
       if (b == std::string::npos) continue;
       const std::string id = rule.substr(b, e - b + 1);
-      out.allowed[line].insert(id);
-      out.allowed[line + 1].insert(id);
+      out.allows.push_back({id, line, false});
+      const std::size_t idx = out.allows.size() - 1;
+      out.allowed[line].emplace(id, idx);
+      out.allowed[line + 1].emplace(id, idx);
     }
     at = close;
   }
+}
+
+/// True when `line` (1-based) is covered by a tdc-sync comment: the tag on
+/// the line itself or separated from it only by comment/blank lines above.
+bool sync_covered(const Scrubbed& sc, int line) {
+  for (int m = line; m >= 1; --m) {
+    if (sc.sync_lines.count(m) != 0) return true;
+    if (m != line) {
+      const std::string& s = sc.lines[static_cast<std::size_t>(m) - 1];
+      if (s.find_first_not_of(" \t") != std::string::npos) return false;
+    }
+  }
+  return false;
 }
 
 /// One-pass state machine producing the scrubbed lines. Handles //, /*...*/,
@@ -268,13 +305,19 @@ bool free_or_std_qualified(const std::vector<Token>& t, std::size_t i) {
 
 struct Ctx {
   const std::string& path;
-  const Scrubbed& sc;
+  Scrubbed& sc;  ///< non-const: report() marks matched suppressions used
   const std::vector<Token>& tokens;
   std::vector<Finding>& findings;
 
   void report(const std::string& rule, int line, const std::string& message) const {
     const auto it = sc.allowed.find(line);
-    if (it != sc.allowed.end() && it->second.count(rule) != 0) return;
+    if (it != sc.allowed.end()) {
+      const auto r = it->second.find(rule);
+      if (r != it->second.end()) {
+        sc.allows[r->second].used = true;
+        return;
+      }
+    }
     findings.push_back({path, line, rule, message});
   }
 };
@@ -439,6 +482,384 @@ void check_unordered_iteration(const Ctx& ctx) {
   }
 }
 
+/// memory-order-audit — every atomic operation must spell its memory_order
+/// (the default seq_cst hides the protocol and costs fences nobody asked
+/// for), and every std::atomic<> declaration must carry a `// tdc-sync:`
+/// comment justifying the ordering it participates in. The comment may sit
+/// on the declaration's own line or any comment/blank line directly above
+/// it, so one justification can head a block of related atomics only when
+/// nothing but comments separates them.
+void check_memory_order(const Ctx& ctx) {
+  static const std::set<std::string> ops = {
+      "load",      "store",     "exchange",     "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",     "fetch_xor",
+      "test_and_set", "compare_exchange_weak", "compare_exchange_strong"};
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    // Operation check: member calls only (free `load(...)` is some other
+    // function, not an atomic op).
+    if (ops.count(s) != 0 && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && tok(t, i + 1) == "(") {
+      std::size_t orders = 0;
+      std::size_t j = i + 2;
+      for (int depth = 1; j < t.size() && depth > 0; ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") --depth;
+        if (starts_with(t[j].text, "memory_order")) ++orders;
+      }
+      const std::size_t need = starts_with(s, "compare_exchange") ? 2 : 1;
+      if (orders == 0) {
+        ctx.report("memory-order-audit", t[i].line,
+                   "atomic '" + s +
+                       "' relies on the implicit seq_cst default; spell the "
+                       "memory_order explicitly");
+      } else if (orders < need) {
+        ctx.report("memory-order-audit", t[i].line,
+                   "'" + s +
+                       "' names only a success order; compare_exchange takes "
+                       "explicit success and failure orders");
+      }
+    }
+    // Declaration check: `atomic<` ... `>` [>&* const]* identifier, where a
+    // declarator is recognized by its terminator ({, ; or =) — this skips
+    // function parameters and nested template arguments like
+    // make_shared<std::atomic<int>>(...).
+    if (s == "atomic" && tok(t, i + 1) == "<") {
+      std::size_t j = i + 2;
+      for (int depth = 1; j < t.size() && depth > 0; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+      }
+      while (j < t.size() && (t[j].text == ">" || t[j].text == "&" ||
+                              t[j].text == "*" || t[j].text == "const")) {
+        ++j;
+      }
+      if (j < t.size() && ident_start(t[j].text[0])) {
+        const std::string& term = tok(t, j + 1);
+        if ((term == "{" || term == ";" || term == "=") &&
+            !sync_covered(ctx.sc, t[i].line)) {
+          ctx.report("memory-order-audit", t[i].line,
+                     "std::atomic declaration without a '// tdc-sync:' "
+                     "justification; document the ordering protocol at the "
+                     "declaration site");
+        }
+      }
+    }
+  }
+}
+
+/// blocking-under-lock — no unbounded I/O, sleep or nested condition wait
+/// while a lock scope is open: whoever else wants that mutex now waits on a
+/// peer's socket. Lock scopes are recognized lexically from guard
+/// declarations (`lock_guard<...> g(m)`, `core::MutexLock lock(m)`), which
+/// deliberately ignores parameters (`MutexLock& lock`) and member
+/// declarations — those hold nothing at this site.
+void check_blocking_under_lock(const Ctx& ctx) {
+  static const std::set<std::string> lock_types = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock", "MutexLock"};
+  // Raw descriptors block arbitrarily long; flagged as free or ::-global
+  // calls (a member `.read(...)` is some object's method, not the syscall).
+  static const std::set<std::string> syscalls = {
+      "poll", "select", "pselect", "epoll_wait", "read",   "write",  "send",
+      "recv", "sendmsg", "recvmsg", "accept",    "accept4", "connect"};
+  // Project I/O wrappers and sleeps: blocking in any call form.
+  static const std::set<std::string> wrappers = {
+      "write_frame", "read_exact", "write_all", "sleep_for", "sleep_until"};
+  // A condition wait *releases its own lock* — the violation is waiting
+  // while a second scope stays held across the sleep.
+  static const std::set<std::string> cv_waits = {"wait", "wait_for",
+                                                 "wait_until"};
+  const auto& t = ctx.tokens;
+  int depth = 0;
+  std::vector<int> scopes;  // brace depth at which each held guard was declared
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "{") {
+      ++depth;
+      continue;
+    }
+    if (s == "}") {
+      --depth;
+      while (!scopes.empty() && scopes.back() > depth) scopes.pop_back();
+      continue;
+    }
+    if (lock_types.count(s) != 0) {
+      std::size_t j = i + 1;
+      if (tok(t, j) == "<") {
+        ++j;
+        for (int d = 1; j < t.size() && d > 0; ++j) {
+          if (t[j].text == "<") ++d;
+          if (t[j].text == ">") --d;
+        }
+      }
+      if (j < t.size() && ident_start(t[j].text[0]) &&
+          (tok(t, j + 1) == "(" || tok(t, j + 1) == "{")) {
+        scopes.push_back(depth);
+      }
+      continue;
+    }
+    if (scopes.empty()) continue;
+    if (cv_waits.count(s) != 0 && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && tok(t, i + 1) == "(") {
+      if (scopes.size() >= 2) {
+        ctx.report("blocking-under-lock", t[i].line,
+                   "condition '" + s +
+                       "' with a second lock scope open; the outer lock stays "
+                       "held across the sleep");
+      }
+      continue;
+    }
+    if (tok(t, i + 1) != "(") continue;
+    if (wrappers.count(s) != 0) {
+      ctx.report("blocking-under-lock", t[i].line,
+                 "'" + s +
+                     "()' performs I/O or sleeps while a lock scope is open; "
+                     "copy what you need and call it after the guard releases");
+      continue;
+    }
+    if (syscalls.count(s) != 0) {
+      bool free_call = true;
+      if (i > 0) {
+        const std::string& prev = t[i - 1].text;
+        if (prev == "." || prev == "->") {
+          free_call = false;
+        } else if (prev == "::") {
+          free_call = !(i >= 2 && ident_start(t[i - 2].text[0]));
+        }
+      }
+      if (free_call) {
+        ctx.report("blocking-under-lock", t[i].line,
+                   "blocking call '" + s +
+                       "()' while a lock scope is open; do descriptor I/O "
+                       "after the guard releases");
+      }
+    }
+  }
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// alloc-before-validate — in the wire-facing trees (src/service/,
+/// src/codec/) a decode-path function must not size an allocation from a
+/// variable before that variable has met a bound check. The heuristic:
+/// inside any function whose name smells like decoding, every plain
+/// identifier feeding `.resize(...)`, `.reserve(...)` or `new T[...]` must
+/// appear earlier in the function next to a comparison operator or inside a
+/// TDC_REQUIRE/TDC_ENSURE/TDC_CHECK/assert argument list.
+void check_alloc_before_validate(const Ctx& ctx) {
+  if (!starts_with(ctx.path, "src/service/") &&
+      !starts_with(ctx.path, "src/codec/")) {
+    return;
+  }
+  static const std::set<std::string> control = {
+      "if",     "for",    "while", "switch", "catch",
+      "return", "sizeof", "else",  "do",     "constexpr"};
+  static const std::set<std::string> decode_stems = {
+      "decode", "decompress", "read", "parse", "expand", "inspect"};
+  static const std::set<std::string> check_macros = {"TDC_REQUIRE", "TDC_ENSURE",
+                                                     "TDC_CHECK", "assert"};
+  static const std::set<std::string> type_words = {
+      "const",    "unsigned",  "signed",          "auto",
+      "std",      "static_cast", "reinterpret_cast", "const_cast",
+      "true",     "false",     "nullptr"};
+  const auto& t = ctx.tokens;
+
+  // Pass 1: opening-brace token index -> function name, recognized as
+  // `name (args) [qualifiers]* {` with a short qualifier run that contains
+  // no expression punctuation (rejects calls, initializers and init lists).
+  std::map<std::size_t, std::string> fn_at;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!ident_start(t[i].text[0]) || control.count(t[i].text) != 0) continue;
+    if (tok(t, i + 1) != "(") continue;
+    std::size_t j = i + 2;
+    for (int d = 1; j < t.size() && d > 0; ++j) {
+      if (t[j].text == "(") ++d;
+      if (t[j].text == ")") --d;
+    }
+    std::size_t k = j;
+    std::size_t steps = 0;
+    bool plausible = true;
+    while (k < t.size() && t[k].text != "{") {
+      const std::string& q = t[k].text;
+      if (q == ";" || q == "," || q == ")" || q == "(" || q == "=" || q == "}") {
+        plausible = false;
+        break;
+      }
+      if (++steps > 12) {
+        plausible = false;
+        break;
+      }
+      ++k;
+    }
+    if (plausible && k < t.size()) fn_at[k] = t[i].text;
+  }
+
+  // Pass 2: walk the file tracking the innermost named function (lambdas
+  // open no frame, so their bodies inherit the enclosing function's name
+  // and validation region).
+  struct FnFrame {
+    std::string name;
+    int depth = 0;
+    std::size_t start = 0;  ///< token index of the opening brace
+    bool decodeish = false;
+  };
+  std::vector<FnFrame> frames;
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "{") {
+      ++depth;
+      const auto it = fn_at.find(i);
+      if (it != fn_at.end()) {
+        FnFrame frame{it->second, depth, i, false};
+        const std::string lname = to_lower(frame.name);
+        for (const std::string& stem : decode_stems) {
+          if (lname.find(stem) != std::string::npos) frame.decodeish = true;
+        }
+        frames.push_back(frame);
+      }
+      continue;
+    }
+    if (s == "}") {
+      if (!frames.empty() && frames.back().depth == depth) frames.pop_back();
+      --depth;
+      continue;
+    }
+    if (frames.empty() || !frames.back().decodeish) continue;
+
+    // Allocation site?
+    std::size_t args_begin = 0, args_end = 0;
+    if ((s == "resize" || s == "reserve") && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && tok(t, i + 1) == "(") {
+      args_begin = i + 2;
+      std::size_t j = args_begin;
+      for (int d = 1; j < t.size() && d > 0; ++j) {
+        if (t[j].text == "(") ++d;
+        if (t[j].text == ")") --d;
+      }
+      args_end = j - 1;
+    } else if (s == "new") {
+      std::size_t j = i + 1;
+      const std::size_t limit = i + 8;
+      while (j < t.size() && j < limit && t[j].text != "[" && t[j].text != ";" &&
+             t[j].text != "(") {
+        ++j;
+      }
+      if (j < t.size() && t[j].text == "[") {
+        args_begin = j + 1;
+        std::size_t k = args_begin;
+        for (int d = 1; k < t.size() && d > 0; ++k) {
+          if (t[k].text == "[") ++d;
+          if (t[k].text == "]") --d;
+        }
+        args_end = k - 1;
+      }
+    }
+    if (args_begin == 0 || args_end <= args_begin) continue;
+
+    // Top-level plain identifiers in the size expression. An identifier
+    // followed by `(` is a call, by `<` a template-id or an inline clamp
+    // (`n < cap ? n : cap`) — both already bounded, so skipped.
+    std::set<std::string> idents;
+    int d = 0;
+    for (std::size_t k = args_begin; k < args_end; ++k) {
+      const std::string& a = t[k].text;
+      if (a == "(" || a == "[") {
+        ++d;
+        continue;
+      }
+      if (a == ")" || a == "]") {
+        --d;
+        continue;
+      }
+      if (d != 0 || !ident_start(a[0])) continue;
+      if (type_words.count(a) != 0 || control.count(a) != 0) continue;
+      const std::string& next = tok(t, k + 1);
+      // A base of member access (`msg.len`) is an object, not a size; its
+      // trailing member is what gets collected (or skipped as a call).
+      if (next == "(" || next == "<" || next == "::" || next == "." ||
+          next == "->") {
+        continue;
+      }
+      const std::string& prev = k > 0 ? t[k - 1].text : "";
+      if (prev == "." || prev == "->" || prev == "::") continue;
+      idents.insert(a);
+    }
+    if (idents.empty()) continue;
+
+    const FnFrame& fn = frames.back();
+    for (const std::string& id : idents) {
+      bool validated = false;
+      for (std::size_t k = fn.start; k < i && !validated; ++k) {
+        if (check_macros.count(t[k].text) != 0 && tok(t, k + 1) == "(") {
+          std::size_t m = k + 2;
+          for (int cd = 1; m < t.size() && m < i && cd > 0; ++m) {
+            if (t[m].text == "(") ++cd;
+            if (t[m].text == ")") --cd;
+            if (t[m].text == id) validated = true;
+          }
+          continue;
+        }
+        if (t[k].text != id) continue;
+        const std::string& p = k > 0 ? t[k - 1].text : "";
+        const std::string& n = tok(t, k + 1);
+        if (p == "<" || p == ">" || n == "<" || n == ">") validated = true;
+      }
+      if (!validated) {
+        ctx.report("alloc-before-validate", t[i].line,
+                   "allocation sized by '" + id + "' in '" + fn.name +
+                       "' before any bound check; validate the wire-derived "
+                       "size against a cap first");
+      }
+    }
+  }
+}
+
+/// detached-thread — detach() abandons the thread's lifetime: shutdown can
+/// no longer prove it exited, and its captures dangle if the owner dies
+/// first. Every thread in this codebase keeps a joinable handle.
+void check_detached_thread(const Ctx& ctx) {
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i].text == "detach" &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && tok(t, i + 1) == "(") {
+      ctx.report("detached-thread", t[i].line,
+                 "detach() abandons the thread's lifetime; keep a joinable "
+                 "handle and join it on shutdown");
+    }
+  }
+}
+
+/// stale-suppression — runs after every other rule: an allow() that no rule
+/// consulted is dead weight that silently re-licenses the violation if the
+/// code regresses. Reported at the comment's own line, so a deliberate
+/// `tdc-lint: allow(stale-suppression)` on that line can keep a
+/// intentionally-speculative suppression (the one sanctioned escape hatch).
+void check_stale_suppressions(const Ctx& ctx) {
+  static const std::set<std::string> known = [] {
+    const auto& ids = rule_ids();
+    return std::set<std::string>(ids.begin(), ids.end());
+  }();
+  for (std::size_t idx = 0; idx < ctx.sc.allows.size(); ++idx) {
+    const AllowRecord& a = ctx.sc.allows[idx];
+    if (a.used) continue;
+    if (known.count(a.rule) == 0) {
+      ctx.report("stale-suppression", a.origin_line,
+                 "suppression 'tdc-lint: allow(" + a.rule +
+                     ")' names an unknown rule id");
+    } else {
+      ctx.report("stale-suppression", a.origin_line,
+                 "suppression 'tdc-lint: allow(" + a.rule +
+                     ")' no longer fires; remove it");
+    }
+  }
+}
+
 // The include-hygiene rule needs the *unscrubbed* lines (include paths are
 // string literals, which scrub() blanks), so it reparses the raw content.
 
@@ -458,8 +879,6 @@ std::vector<std::string> split_lines(const std::string& content) {
 }
 
 void check_includes_and_guard(const Ctx& ctx, const std::vector<std::string>& raw_lines) {
-  if (!in_library_path(ctx.path)) return;
-
   for (std::size_t li = 0; li < raw_lines.size(); ++li) {
     const int lineno = static_cast<int>(li) + 1;
     // Use the scrubbed line to decide this is a real include directive (not
@@ -486,8 +905,11 @@ void check_includes_and_guard(const Ctx& ctx, const std::vector<std::string>& ra
                  "bare include \"" + target +
                      "\" depends on the including file's directory; use the "
                      "project-relative form \"subsystem/file.h\"");
-    } else if (starts_with(target, "tests/") || starts_with(target, "bench/") ||
-               starts_with(target, "examples/") || starts_with(target, "tools/")) {
+    } else if (in_library_path(ctx.path) &&
+               (starts_with(target, "tests/") || starts_with(target, "bench/") ||
+                starts_with(target, "examples/") || starts_with(target, "tools/"))) {
+      // Only library code is barred from the non-library trees; a tool may
+      // include another tool's header.
       ctx.report("include-hygiene", lineno,
                  "library code must not include \"" + target +
                      "\" from a non-library tree");
@@ -523,14 +945,16 @@ void check_includes_and_guard(const Ctx& ctx, const std::vector<std::string>& ra
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "determinism", "iostream-print", "naked-throw", "unordered-iteration",
-      "include-hygiene"};
+      "determinism",        "iostream-print",     "naked-throw",
+      "unordered-iteration", "include-hygiene",    "memory-order-audit",
+      "blocking-under-lock", "alloc-before-validate", "detached-thread",
+      "stale-suppression"};
   return ids;
 }
 
 std::vector<Finding> lint_file(const std::string& path, const std::string& content) {
   std::vector<Finding> findings;
-  const Scrubbed sc = scrub(content);
+  Scrubbed sc = scrub(content);
   const std::vector<Token> tokens = tokenize(sc);
   const Ctx ctx{path, sc, tokens, findings};
   check_determinism(ctx);
@@ -538,6 +962,12 @@ std::vector<Finding> lint_file(const std::string& path, const std::string& conte
   check_naked_throw(ctx);
   check_unordered_iteration(ctx);
   check_includes_and_guard(ctx, split_lines(content));
+  check_memory_order(ctx);
+  check_blocking_under_lock(ctx);
+  check_alloc_before_validate(ctx);
+  check_detached_thread(ctx);
+  // Must run last: it audits which allow() comments the rules above used.
+  check_stale_suppressions(ctx);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

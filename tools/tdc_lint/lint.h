@@ -10,9 +10,11 @@
 /// works off a comment/string-stripped token stream plus the raw lines, so
 /// the tool builds everywhere the project builds and runs in milliseconds
 /// over the whole tree. Rules are scoped by project-relative path; see
-/// docs/ALGORITHMS.md §11 for the rule catalogue and the inline
-/// suppression syntax (`// tdc-lint: allow(<rule>)`, which covers its own
-/// line and the next).
+/// docs/ALGORITHMS.md §16 for the rule catalogue, the inline suppression
+/// syntax (an allow(<rule>) comment tag, which covers its own line and the
+/// next, and is itself audited — a suppression that no longer fires is a
+/// stale-suppression violation), and the `// tdc-sync:` justification
+/// grammar the memory-order-audit rule enforces on atomic declarations.
 namespace tdc::lint {
 
 /// One rule violation. `path` is project-relative with forward slashes,

@@ -1,16 +1,17 @@
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "lint.h"
+#include "tdc_lint/lint.h"
 
 // tdc_lint <repo-root> [subdir...]
 //
 // Lints every C++ source under <repo-root>/<subdir> (default: src) against
-// the project rules (docs/ALGORITHMS.md §11). Exit code 0 when clean, 1 on
+// the project rules (docs/ALGORITHMS.md §16). Exit code 0 when clean, 1 on
 // violations, 2 on usage errors. CI and the `tdc_lint_src` ctest run it
-// over the whole src/ tree; the fixture suite (tests/lint_test) pins each
-// rule's id and line reporting.
+// over src/, tools/ and examples/; the fixture suite (tests/lint_test) pins
+// each rule's id and line reporting.
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: tdc_lint <repo-root> [subdir...]\n");
@@ -31,6 +32,12 @@ int main(int argc, char** argv) {
   if (!findings.empty()) {
     const std::string report = tdc::lint::format_report(findings);
     std::fputs(report.c_str(), stdout);
+    // Per-rule totals so a CI log shows the violation mix at a glance.
+    std::map<std::string, std::size_t> per_rule;
+    for (const tdc::lint::Finding& f : findings) ++per_rule[f.rule];
+    for (const auto& [rule, count] : per_rule) {
+      std::printf("tdc_lint:   %-22s %zu\n", rule.c_str(), count);
+    }
   }
   std::printf("tdc_lint: %zu violation(s) in %zu file(s) scanned\n",
               findings.size(), files);
